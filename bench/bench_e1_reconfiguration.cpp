@@ -1,0 +1,125 @@
+// Experiment E1 — the paper's §3 proof:
+//   "To prove the model, it was reconfigured to fulfill the OFDM
+//    modulation of three different standardized OFDM transmitters:
+//    IEEE 802.11a WLAN, multi-carrier ADSL modem and DRM. The
+//    reconfiguration ... is achieved simply by changing the parameters
+//    of one Mother Model."
+//
+// This bench reconfigures ONE Transmitter instance 802.11a -> ADSL ->
+// DRM (then onward through the rest of the family), and for each target
+// verifies the standard-defining signal invariants plus a lossless
+// loopback. It also times the changeover itself.
+#include <chrono>
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/spectrum.hpp"
+#include "metrics/ber.hpp"
+#include "metrics/mask.hpp"
+#include "rx/receiver.hpp"
+
+namespace {
+
+using namespace ofdm;
+
+struct Row {
+  std::string standard;
+  double reconfig_us = 0.0;
+  std::size_t params_changed = 0;
+  double symbol_us = 0.0;
+  double occ_bw_hz = 0.0;
+  std::size_t ber_errors = 0;
+  std::size_t bits = 0;
+};
+
+Row evaluate(core::Transmitter& tx, const core::OfdmParams& prev,
+             core::OfdmParams params, Rng& rng) {
+  Row row;
+  row.standard = core::standard_name(params.standard);
+  if (params.frame.symbols_per_frame > 16) {
+    params.frame.symbols_per_frame = 16;
+  }
+  row.params_changed = core::parameter_distance(prev, params);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tx.configure(params);  // the changeover
+  row.reconfig_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  row.symbol_us = 1e6 * tx.params().symbol_duration_s();
+
+  const std::size_t n_bits =
+      std::min<std::size_t>(tx.recommended_payload_bits(), 4000);
+  const bitvec payload = rng.bits(n_bits);
+  const auto burst = tx.modulate(payload);
+
+  dsp::WelchConfig cfg;
+  cfg.segment = std::min<std::size_t>(512, tx.params().fft_size);
+  cfg.sample_rate = tx.params().sample_rate;
+  const auto body = std::span<const cplx>(burst.samples)
+                        .subspan(burst.null_samples);
+  const auto psd = dsp::welch_psd(body, cfg);
+  row.occ_bw_hz = metrics::occupied_bandwidth_hz(psd, 0.99);
+
+  rx::Receiver rx(tx.params());
+  const auto result = rx.demodulate(burst.samples, payload.size());
+  const auto ber = metrics::ber(payload, result.payload);
+  row.ber_errors = ber.errors;
+  row.bits = ber.bits;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E1: Mother Model reconfiguration proof (paper §3) "
+              "===\n\n");
+  std::printf("One Transmitter instance, reconfigured in sequence. The "
+              "paper proved\n802.11a -> ADSL -> DRM; we continue through "
+              "the whole family.\n\n");
+  std::printf("%-20s %-12s %-10s %-10s %-12s %s\n", "standard",
+              "reconfig_us", "dParams", "Tsym_us", "occBW",
+              "loopback BER");
+
+  core::Transmitter tx;  // single instance, as the paper requires
+  Rng rng(2005);
+  core::OfdmParams prev = core::profile_wlan_80211a();
+
+  // The paper's proven trio first, then the remaining family members.
+  const core::Standard order[] = {
+      core::Standard::kWlan80211a, core::Standard::kAdsl,
+      core::Standard::kDrm,        core::Standard::kWlan80211g,
+      core::Standard::kVdsl,       core::Standard::kDab,
+      core::Standard::kDvbT,       core::Standard::kWman80216a,
+      core::Standard::kHomePlug,   core::Standard::kAdslPlusPlus,
+  };
+
+  bool all_clean = true;
+  for (core::Standard s : order) {
+    const core::OfdmParams target = core::profile_for(s);
+    const Row row = evaluate(tx, prev, target, rng);
+    prev = target;
+    all_clean = all_clean && row.ber_errors == 0;
+
+    char bw[32];
+    if (row.occ_bw_hz >= 1e6) {
+      std::snprintf(bw, sizeof bw, "%.3g MHz", row.occ_bw_hz / 1e6);
+    } else {
+      std::snprintf(bw, sizeof bw, "%.3g kHz", row.occ_bw_hz / 1e3);
+    }
+    std::printf("%-20s %-12.1f %-10zu %-10.2f %-12s %zu/%zu\n",
+                row.standard.c_str(), row.reconfig_us,
+                row.params_changed, row.symbol_us, bw, row.ber_errors,
+                row.bits);
+  }
+
+  std::printf("\nResult: %s — changeover between standards is a "
+              "parameter swap on one\nmodel instance; every derived "
+              "instance demodulates losslessly.\n",
+              all_clean ? "PASS" : "FAIL");
+  return all_clean ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Experiment E4 — the paper's co-modeling use case (§2):
+//   "With these executable baseband blocks the RF designer can assure
+//    the functionality of the design at RF system level ... the
+//    operation of the digital transceiver can be verified with proper
+//    modeling of the RF parts and the transmission channel in one
+//    simulator."
+//
+// The regenerated artefact is the RF designer's two sweeps:
+//   (1) EVM and spectral-mask margin vs PA input back-off (Rapp PA);
+//   (2) coded BER vs SNR through PA + multipath + AWGN, behavioural TX
+//       and RX in the same simulator as the analog chain.
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "core/transmitter.hpp"
+#include "metrics/ber.hpp"
+#include "metrics/evm.hpp"
+#include "metrics/mask.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rx/receiver.hpp"
+
+namespace {
+
+using namespace ofdm;
+
+void pa_backoff_sweep() {
+  const auto params = core::profile_wlan_80211a(core::WlanRate::k36);
+  core::Transmitter tx(params);
+  Rng rng(17);
+  const bitvec payload = rng.bits(tx.recommended_payload_bits());
+  const auto burst = tx.modulate(payload);
+
+  rx::Receiver ref_rx(params);
+  const auto clean =
+      ref_rx.extract_data_tones(burst.samples, burst.data_symbols);
+
+  std::printf("(1) 802.11a 36 Mbit/s through a Rapp PA (s=2): EVM and "
+              "mask margin vs back-off\n\n");
+  std::printf("%-12s %-10s %-12s %-16s %s\n", "backoff_dB", "EVM_%",
+              "EVM_dB", "mask_margin_dB", "16QAM_limit(-19dB)");
+  for (double backoff = 14.0; backoff >= 0.0; backoff -= 2.0) {
+    rf::Chain chain;
+    chain.add<rf::Gain>(-backoff);
+    chain.add<rf::RappPa>(2.0, 1.0);
+    chain.add<rf::Gain>(backoff);
+    dsp::WelchConfig cfg;
+    cfg.segment = 256;
+    cfg.sample_rate = 20e6;
+    auto& analyzer = chain.add<rf::SpectrumAnalyzer>(cfg);
+
+    cvec rx_samples;
+    for (int rep = 0; rep < 6; ++rep) {
+      cvec out = chain.process(burst.samples);
+      if (rep == 0) rx_samples = std::move(out);
+    }
+
+    rx::Receiver rx(params);
+    rx.set_equalizer(rx.estimate_equalizer(rx_samples));
+    const auto tones =
+        rx.extract_data_tones(rx_samples, burst.data_symbols);
+    cvec all_rx;
+    cvec all_ref;
+    for (std::size_t s = 0; s < tones.size(); ++s) {
+      all_rx.insert(all_rx.end(), tones[s].begin(), tones[s].end());
+      all_ref.insert(all_ref.end(), clean[s].begin(), clean[s].end());
+    }
+    const auto evm = metrics::evm(all_rx, all_ref);
+    const auto mask = metrics::check_mask(
+        analyzer.psd(), metrics::wlan_mask(), 8.5e6, 9e6);
+
+    std::printf("%-12.0f %-10.2f %-12.1f %-16.1f %s\n", backoff,
+                evm.rms_percent(), evm.rms_db(), mask.worst_margin_db,
+                evm.rms_db() <= -19.0 && mask.pass ? "pass" : "FAIL");
+  }
+  std::printf("\n");
+}
+
+void ber_vs_snr_sweep() {
+  const auto params = core::profile_wlan_80211a(core::WlanRate::k12);
+  core::Transmitter tx(params);
+  Rng rng(18);
+
+  std::printf("(2) 802.11a 12 Mbit/s coded BER vs SNR, PA(8 dB backoff) "
+              "+ 3-tap multipath + AWGN\n\n");
+  std::printf("%-9s %-14s %-12s %s\n", "SNR_dB", "bit_errors",
+              "bits", "BER");
+
+  const cvec channel_taps = {cplx{0.95, 0.05}, cplx{0.2, -0.1},
+                             cplx{0.08, 0.05}};
+  for (double snr_db = 2.0; snr_db <= 16.0; snr_db += 2.0) {
+    metrics::BerCounter counter;
+    for (int frame = 0; frame < 12; ++frame) {
+      const bitvec payload = rng.bits(tx.recommended_payload_bits());
+      const auto burst = tx.modulate(payload);
+
+      rf::Chain chain;
+      chain.add<rf::Gain>(-8.0);
+      chain.add<rf::RappPa>(2.0, 1.0);
+      chain.add<rf::MultipathChannel>(channel_taps);
+      chain.add<rf::AwgnChannel>(
+          rf::snr_to_noise_power(from_db(-8.0), snr_db),
+          static_cast<std::uint64_t>(frame) * 977 + 13);
+      const cvec rx_samples = chain.process(burst.samples);
+
+      rx::Receiver rx(params);
+      rx.set_equalizer(rx.estimate_equalizer(rx_samples));
+      const auto result = rx.demodulate(rx_samples, payload.size());
+      counter.add(payload, result.payload);
+    }
+    const auto r = counter.result();
+    std::printf("%-9.0f %-14zu %-12zu %.2e\n", snr_db, r.errors, r.bits,
+                r.rate());
+  }
+  std::printf("\nThe waterfall shape — error floor at low SNR, clean "
+              "above ~12 dB —\nis the RF-level verification artefact the "
+              "paper's flow produces.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: analog-digital co-simulation (paper §2) ===\n\n");
+  pa_backoff_sweep();
+  ber_vs_snr_sweep();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's RF-designer workflow: the 802.11a Mother Model instance is
+// wrapped as a Submodel signal source, fed through an analog TX chain
+// (back-off -> Rapp PA), and judged at RF level: EVM, spectral regrowth
+// against the 802.11a transmit mask, and ACPR — all inside one simulator.
+//
+//   $ ./wlan_over_rf
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "core/transmitter.hpp"
+#include "metrics/evm.hpp"
+#include "metrics/mask.hpp"
+#include "rf/chain.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rx/receiver.hpp"
+
+int main() {
+  using namespace ofdm;
+
+  const auto params = core::profile_wlan_80211a(core::WlanRate::k54);
+  std::printf("Source: %s, 54 Mbit/s mode\n\n",
+              core::summarize(params).c_str());
+
+  // A clean reference burst and its constellation-domain tones.
+  core::Transmitter tx(params);
+  Rng rng(7);
+  const bitvec payload = rng.bits(tx.recommended_payload_bits());
+  const auto burst = tx.modulate(payload);
+
+  rx::Receiver ref_rx(params);
+  const auto clean_tones =
+      ref_rx.extract_data_tones(burst.samples, burst.data_symbols);
+
+  std::printf("%-12s %-10s %-12s %-12s %s\n", "backoff_dB", "EVM_%",
+              "EVM_dB", "mask_margin", "verdict");
+  for (double backoff = 12.0; backoff >= 0.0; backoff -= 2.0) {
+    // TX chain: set the PA operating point, amplify, renormalize.
+    rf::Chain chain;
+    chain.add<rf::Gain>(-backoff);
+    chain.add<rf::RappPa>(2.0, 1.0);
+    chain.add<rf::Gain>(backoff);
+    auto& analyzer = chain.add<rf::SpectrumAnalyzer>([] {
+      dsp::WelchConfig cfg;
+      cfg.segment = 256;
+      cfg.sample_rate = 20e6;
+      return cfg;
+    }());
+
+    // Run several frames through the chain for a stable spectrum.
+    cvec rx_samples;
+    for (int frame = 0; frame < 8; ++frame) {
+      const cvec out = chain.process(burst.samples);
+      if (frame == 0) rx_samples = out;
+    }
+
+    // Modulation quality: equalize from the burst's own preamble, then
+    // compare data tones against the clean reference.
+    rx::Receiver rx(params);
+    rx.set_equalizer(rx.estimate_equalizer(rx_samples));
+    const auto tones =
+        rx.extract_data_tones(rx_samples, burst.data_symbols);
+    cvec all_rx;
+    cvec all_ref;
+    for (std::size_t s = 0; s < tones.size(); ++s) {
+      all_rx.insert(all_rx.end(), tones[s].begin(), tones[s].end());
+      all_ref.insert(all_ref.end(), clean_tones[s].begin(),
+                     clean_tones[s].end());
+    }
+    const auto evm = metrics::evm(all_rx, all_ref);
+
+    // Spectral regrowth against the standard transmit mask.
+    const auto report = metrics::check_mask(
+        analyzer.psd(), metrics::wlan_mask(), 8.5e6,
+        /*margin_from_hz=*/9e6);
+
+    // 802.11a 17.3.9.6.3 requires EVM <= -25 dB for 64-QAM 3/4.
+    const bool evm_ok = evm.rms_db() <= -25.0;
+    std::printf("%-12.0f %-10.2f %-12.1f %-12.1f %s\n", backoff,
+                evm.rms_percent(), evm.rms_db(), report.worst_margin_db,
+                evm_ok && report.pass ? "pass" : "FAIL");
+  }
+
+  std::printf(
+      "\nThe RF designer reads the operating point straight off this "
+      "table:\nthe smallest back-off whose row still passes both the EVM "
+      "limit\n(-25 dB for 54 Mbit/s) and the spectral mask.\n");
+  return 0;
+}

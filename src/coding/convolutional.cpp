@@ -1,0 +1,148 @@
+#include "coding/convolutional.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace ofdm::coding {
+
+ConvCode k7_industry_code() { return ConvCode{}; }
+
+std::size_t PuncturePattern::kept_per_period() const {
+  std::size_t n = 0;
+  for (const auto& stream : keep) {
+    for (std::uint8_t k : stream) n += k;
+  }
+  return n;
+}
+
+PuncturePattern puncture_none(unsigned num_outputs) {
+  PuncturePattern p;
+  p.keep.assign(num_outputs, {1});
+  return p;
+}
+
+PuncturePattern puncture_2_3() {
+  // 802.11a rate 2/3: keep A1 A2, keep B1, steal B2.
+  return PuncturePattern{{{1, 1}, {1, 0}}};
+}
+
+PuncturePattern puncture_3_4() {
+  // 802.11a rate 3/4: keep A1 B1 A2, steal B2 A3, keep B3.
+  return PuncturePattern{{{1, 0, 1}, {1, 1, 0}}};
+}
+
+ConvEncoder::ConvEncoder(ConvCode code) : code_(std::move(code)) {
+  OFDM_REQUIRE(code_.constraint_length >= 2 && code_.constraint_length <= 16,
+               "ConvEncoder: constraint length must be in 2..16");
+  OFDM_REQUIRE(!code_.generators.empty(),
+               "ConvEncoder: need at least one generator");
+  const std::uint32_t mask =
+      (std::uint32_t{1} << code_.constraint_length) - 1;
+  for (std::uint32_t g : code_.generators) {
+    OFDM_REQUIRE((g & ~mask) == 0,
+                 "ConvEncoder: generator exceeds constraint length");
+  }
+}
+
+bitvec ConvEncoder::encode(std::span<const std::uint8_t> bits) const {
+  const unsigned kk = code_.constraint_length;
+  bitvec out;
+  out.reserve(bits.size() * code_.generators.size());
+  std::uint32_t window = 0;  // bit (kk-1) = current input, bit 0 = oldest
+  for (std::uint8_t b : bits) {
+    window = (window >> 1) |
+             (static_cast<std::uint32_t>(b & 1u) << (kk - 1));
+    for (std::uint32_t g : code_.generators) {
+      out.push_back(static_cast<std::uint8_t>(
+          std::popcount(window & g) & 1));
+    }
+  }
+  return out;
+}
+
+bitvec ConvEncoder::encode_terminated(std::span<const std::uint8_t> bits) const {
+  bitvec padded(bits.begin(), bits.end());
+  padded.insert(padded.end(), code_.constraint_length - 1, 0);
+  return encode(padded);
+}
+
+bitvec puncture(std::span<const std::uint8_t> coded,
+                const PuncturePattern& pattern) {
+  const std::size_t streams = pattern.keep.size();
+  const std::size_t period = pattern.period();
+  OFDM_REQUIRE(streams > 0 && period > 0, "puncture: empty pattern");
+  OFDM_REQUIRE_DIM(coded.size() % streams == 0,
+                   "puncture: coded length not a multiple of stream count");
+  bitvec out;
+  out.reserve(coded.size());
+  std::size_t phase = 0;
+  for (std::size_t i = 0; i < coded.size(); i += streams) {
+    for (std::size_t j = 0; j < streams; ++j) {
+      if (pattern.keep[j][phase]) out.push_back(coded[i + j]);
+    }
+    phase = (phase + 1) % period;
+  }
+  return out;
+}
+
+std::vector<double> depuncture_soft(std::span<const double> punctured,
+                                    const PuncturePattern& pattern,
+                                    std::size_t coded_len_mother) {
+  const std::size_t streams = pattern.keep.size();
+  const std::size_t period = pattern.period();
+  OFDM_REQUIRE(streams > 0 && period > 0, "depuncture_soft: empty pattern");
+  OFDM_REQUIRE_DIM(coded_len_mother % streams == 0,
+                   "depuncture_soft: mother length not a multiple of "
+                   "streams");
+  std::vector<double> out;
+  out.reserve(coded_len_mother);
+  std::size_t phase = 0;
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < coded_len_mother; i += streams) {
+    for (std::size_t j = 0; j < streams; ++j) {
+      if (pattern.keep[j][phase]) {
+        OFDM_REQUIRE_DIM(src < punctured.size(),
+                         "depuncture_soft: punctured stream too short");
+        out.push_back(punctured[src++]);
+      } else {
+        out.push_back(0.0);
+      }
+    }
+    phase = (phase + 1) % period;
+  }
+  OFDM_REQUIRE_DIM(src == punctured.size(),
+                   "depuncture_soft: punctured stream too long");
+  return out;
+}
+
+bitvec depuncture(std::span<const std::uint8_t> punctured,
+                  const PuncturePattern& pattern,
+                  std::size_t coded_len_mother) {
+  const std::size_t streams = pattern.keep.size();
+  const std::size_t period = pattern.period();
+  OFDM_REQUIRE(streams > 0 && period > 0, "depuncture: empty pattern");
+  OFDM_REQUIRE_DIM(coded_len_mother % streams == 0,
+                   "depuncture: mother length not a multiple of streams");
+  bitvec out;
+  out.reserve(coded_len_mother);
+  std::size_t phase = 0;
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < coded_len_mother; i += streams) {
+    for (std::size_t j = 0; j < streams; ++j) {
+      if (pattern.keep[j][phase]) {
+        OFDM_REQUIRE_DIM(src < punctured.size(),
+                         "depuncture: punctured stream too short");
+        out.push_back(punctured[src++]);
+      } else {
+        out.push_back(kErasure);
+      }
+    }
+    phase = (phase + 1) % period;
+  }
+  OFDM_REQUIRE_DIM(src == punctured.size(),
+                   "depuncture: punctured stream too long");
+  return out;
+}
+
+}  // namespace ofdm::coding

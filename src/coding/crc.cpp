@@ -1,0 +1,60 @@
+#include "coding/crc.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace ofdm::coding {
+
+namespace {
+std::uint64_t reflect_bits(std::uint64_t v, unsigned width) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (v & (std::uint64_t{1} << i)) {
+      r |= std::uint64_t{1} << (width - 1 - i);
+    }
+  }
+  return r;
+}
+}  // namespace
+
+Crc::Crc(unsigned width, std::uint64_t poly, std::uint64_t init,
+         bool reflect, std::uint64_t xorout)
+    : width_(width), poly_(poly), init_(init), reflect_(reflect),
+      xorout_(xorout) {
+  OFDM_REQUIRE(width >= 1 && width <= 64, "Crc: width must be in 1..64");
+}
+
+std::uint64_t Crc::compute(std::span<const std::uint8_t> bytes) const {
+  const bitvec bits = reflect_ ? bytes_to_bits_lsb(bytes)
+                               : bytes_to_bits_msb(bytes);
+  return compute_bits(bits);
+}
+
+std::uint64_t Crc::compute_bits(std::span<const std::uint8_t> bits) const {
+  const std::uint64_t top = std::uint64_t{1} << (width_ - 1);
+  const std::uint64_t mask =
+      width_ == 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << width_) - 1;
+  std::uint64_t reg = init_;
+  for (std::uint8_t b : bits) {
+    const bool in = (b & 1u) != 0;
+    const bool msb = (reg & top) != 0;
+    reg = (reg << 1) & mask;
+    if (in != msb) reg ^= poly_;
+  }
+  if (reflect_) reg = reflect_bits(reg, width_);
+  return (reg ^ xorout_) & mask;
+}
+
+Crc make_crc32() {
+  return Crc(32, 0x04C11DB7ull, 0xFFFFFFFFull, /*reflect=*/true,
+             0xFFFFFFFFull);
+}
+
+Crc make_crc16_ccitt() {
+  return Crc(16, 0x1021ull, 0xFFFFull, /*reflect=*/false, 0xFFFFull);
+}
+
+Crc make_crc8() { return Crc(8, 0xD5ull, 0x00ull, /*reflect=*/false, 0x00ull); }
+
+}  // namespace ofdm::coding

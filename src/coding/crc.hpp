@@ -1,0 +1,45 @@
+// Cyclic redundancy checks. Frame check sequences appear throughout the
+// family (802.11 FCS, DAB FIB CRC, HomePlug frame control check).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::coding {
+
+/// Bit-serial CRC engine, parameterized like the Rocksoft model:
+/// polynomial (without the leading term), width, init, reflect, xorout.
+class Crc {
+ public:
+  Crc(unsigned width, std::uint64_t poly, std::uint64_t init,
+      bool reflect, std::uint64_t xorout);
+
+  /// CRC over a byte stream.
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+  /// CRC over an unpacked bit stream (MSB-first semantics when
+  /// reflect == false; LSB-first when reflect == true).
+  std::uint64_t compute_bits(std::span<const std::uint8_t> bits) const;
+
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+  std::uint64_t poly_;
+  std::uint64_t init_;
+  bool reflect_;
+  std::uint64_t xorout_;
+};
+
+/// IEEE CRC-32 (802.11 FCS): poly 0x04C11DB7 reflected, init/xorout all-ones.
+Crc make_crc32();
+
+/// CCITT CRC-16 (DAB FIB): poly 0x1021, init 0xFFFF, output inverted.
+Crc make_crc16_ccitt();
+
+/// CRC-8 (DVB-ish header checks): poly 0xD5.
+Crc make_crc8();
+
+}  // namespace ofdm::coding

@@ -1,0 +1,75 @@
+#include "coding/lfsr.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace ofdm::coding {
+
+Lfsr::Lfsr(unsigned degree, std::uint64_t taps, std::uint64_t seed)
+    : degree_(degree), taps_(taps), state_(seed) {
+  OFDM_REQUIRE(degree >= 1 && degree <= 63, "Lfsr: degree must be in 1..63");
+  const std::uint64_t mask = (std::uint64_t{1} << degree) - 1;
+  OFDM_REQUIRE((taps & ~mask) == 0, "Lfsr: tap mask exceeds degree");
+  OFDM_REQUIRE((seed & mask) != 0, "Lfsr: seed must be non-zero");
+  state_ &= mask;
+}
+
+std::uint8_t Lfsr::step() {
+  const auto fb = static_cast<std::uint8_t>(
+      std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | fb) & ((std::uint64_t{1} << degree_) - 1);
+  return fb;
+}
+
+bitvec Lfsr::sequence(std::size_t n) {
+  bitvec out(n);
+  for (auto& b : out) b = step();
+  return out;
+}
+
+void Lfsr::reset(std::uint64_t seed) {
+  const std::uint64_t mask = (std::uint64_t{1} << degree_) - 1;
+  OFDM_REQUIRE((seed & mask) != 0, "Lfsr::reset: seed must be non-zero");
+  state_ = seed & mask;
+}
+
+Scrambler::Scrambler(unsigned degree, std::uint64_t taps, std::uint64_t seed)
+    : lfsr_(degree, taps, seed), seed0_(seed) {}
+
+bitvec Scrambler::process(std::span<const std::uint8_t> bits) {
+  bitvec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ lfsr_.step()) & 1u);
+  }
+  return out;
+}
+
+void Scrambler::reset() { lfsr_.reset(seed0_); }
+void Scrambler::reset(std::uint64_t seed) { lfsr_.reset(seed); }
+
+Scrambler make_wlan_scrambler(std::uint64_t seed) {
+  // x^7 + x^4 + 1: cells with delays 7 and 4 feed back.
+  return Scrambler(7, (1u << 6) | (1u << 3), seed);
+}
+
+Scrambler make_dvb_scrambler() {
+  // x^15 + x^14 + 1, initialization sequence 100101010000000 (EN 300 744).
+  // Register bit i holds delay i+1, so the leftmost '1' of the init string
+  // (delay 1) is bit 0.
+  // init string (delay 1..15): 1,0,0,1,0,1,0,1,0,0,0,0,0,0,0
+  std::uint64_t seed = 0;
+  const int init[15] = {1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 15; ++i) {
+    if (init[i]) seed |= std::uint64_t{1} << i;
+  }
+  return Scrambler(15, (std::uint64_t{1} << 14) | (std::uint64_t{1} << 13),
+                   seed);
+}
+
+Scrambler make_homeplug_scrambler() {
+  // x^10 + x^3 + 1, all-ones initialization (HomePlug 1.0 PHY spec).
+  return Scrambler(10, (1u << 9) | (1u << 2), (1u << 10) - 1);
+}
+
+}  // namespace ofdm::coding

@@ -1,0 +1,74 @@
+// Linear-feedback shift registers and the scramblers built from them.
+//
+// Every standard in the OFDM family randomizes its bit stream with an
+// additive (synchronous) scrambler defined by an LFSR polynomial; the
+// Mother Model treats the polynomial, register length and seed as plain
+// reconfiguration parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::coding {
+
+/// Fibonacci LFSR over GF(2).
+///
+/// The polynomial is given by a tap mask: bit i set means the register
+/// cell holding the input delayed by (i+1) steps feeds the XOR sum, so
+/// x^7 + x^4 + 1 (the 802.11a scrambler) is mask (1<<6)|(1<<3).
+class Lfsr {
+ public:
+  /// `degree` is the register length (1..63); `taps` the feedback mask;
+  /// `seed` the initial register contents (bit i = cell with delay i+1).
+  /// The seed must be non-zero or the sequence degenerates to all zeros.
+  Lfsr(unsigned degree, std::uint64_t taps, std::uint64_t seed);
+
+  /// Advance one step, returning the new feedback bit (== PRBS output).
+  std::uint8_t step();
+
+  /// Generate n PRBS bits.
+  bitvec sequence(std::size_t n);
+
+  /// Reset to a new seed.
+  void reset(std::uint64_t seed);
+
+  std::uint64_t state() const { return state_; }
+  unsigned degree() const { return degree_; }
+
+ private:
+  unsigned degree_;
+  std::uint64_t taps_;
+  std::uint64_t state_;
+};
+
+/// Additive (synchronous) scrambler: out = in XOR PRBS. Descrambling is
+/// the identical operation with the same seed, so one class serves both.
+class Scrambler {
+ public:
+  Scrambler(unsigned degree, std::uint64_t taps, std::uint64_t seed);
+
+  /// Scramble/descramble a bit stream (stateful across calls).
+  bitvec process(std::span<const std::uint8_t> bits);
+
+  /// Restart the PRBS from a seed (default: the construction seed).
+  void reset();
+  void reset(std::uint64_t seed);
+
+ private:
+  Lfsr lfsr_;
+  std::uint64_t seed0_;
+};
+
+/// The IEEE 802.11a frame-synchronous scrambler, x^7 + x^4 + 1.
+/// `seed` is the 7-bit initial state (Annex G example uses 1011101b).
+Scrambler make_wlan_scrambler(std::uint64_t seed = 0x5D);
+
+/// DVB-style energy-dispersal PRBS, x^15 + x^14 + 1, init 100101010000000b.
+Scrambler make_dvb_scrambler();
+
+/// HomePlug 1.0 data scrambler, x^10 + x^3 + 1, all-ones init.
+Scrambler make_homeplug_scrambler();
+
+}  // namespace ofdm::coding

@@ -1,0 +1,50 @@
+// MPEG-2 transport-stream framing — the payload substrate of the DVB-T
+// family member. EN 300 744 operates on 188-byte TS packets: the energy
+// dispersal randomizer runs over 8-packet groups with the first sync
+// byte inverted (0x47 -> 0xB8) as the receiver's re-init marker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::coding {
+
+inline constexpr std::size_t kTsPacketSize = 188;
+inline constexpr std::uint8_t kTsSyncByte = 0x47;
+inline constexpr std::uint8_t kTsInvertedSync = 0xB8;
+
+/// Wrap an elementary byte stream into TS packets (4-byte header: sync,
+/// PID, continuity counter; 184-byte payload, zero-padded at the end).
+class TsPacketizer {
+ public:
+  explicit TsPacketizer(std::uint16_t pid = 0x100);
+
+  /// Packetize a payload; output length is a multiple of 188.
+  bytevec packetize(std::span<const std::uint8_t> payload);
+
+  /// Extract the payload back (inverse of packetize; trailing padding
+  /// zeros are kept — the caller knows the original length).
+  static bytevec extract(std::span<const std::uint8_t> ts);
+
+  /// Check sync bytes on every packet boundary.
+  static bool sync_ok(std::span<const std::uint8_t> ts);
+
+ private:
+  std::uint16_t pid_;
+  std::uint8_t continuity_ = 0;
+};
+
+/// EN 300 744 4.3.1 energy dispersal over a whole number of TS packets:
+/// the PRBS (x^15+x^14+1, init 100101010000000) restarts every 8
+/// packets; sync bytes are never randomized (the PRBS still advances
+/// under them) and the first sync of each group is inverted. Applying
+/// the function twice restores the input (involution).
+bytevec ts_energy_dispersal(std::span<const std::uint8_t> ts);
+
+/// Verify the group structure of a dispersed stream (inverted sync
+/// every 8th packet, plain sync elsewhere).
+bool dispersed_sync_ok(std::span<const std::uint8_t> ts);
+
+}  // namespace ofdm::coding

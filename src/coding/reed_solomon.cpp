@@ -1,0 +1,232 @@
+#include "coding/reed_solomon.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ofdm::coding {
+
+Gf256::Gf256() {
+  // Build exp/log tables from the primitive element alpha = 0x02.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  log_[0] = -1;
+}
+
+std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[static_cast<std::size_t>(log_[a] + log_[b])];
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) const {
+  OFDM_REQUIRE(b != 0, "Gf256::div: division by zero");
+  if (a == 0) return 0;
+  return exp_[static_cast<std::size_t>(log_[a] - log_[b] + 255)];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) const {
+  OFDM_REQUIRE(a != 0, "Gf256::inv: zero has no inverse");
+  return exp_[static_cast<std::size_t>(255 - log_[a])];
+}
+
+std::uint8_t Gf256::alpha_pow(int e) const {
+  int r = e % 255;
+  if (r < 0) r += 255;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+int Gf256::log(std::uint8_t a) const {
+  OFDM_REQUIRE(a != 0, "Gf256::log: log of zero");
+  return log_[a];
+}
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k, int first_root)
+    : n_(n), k_(k), first_root_(first_root) {
+  OFDM_REQUIRE(n <= 255 && k < n && (n - k) % 2 == 0 && k >= 1,
+               "ReedSolomon: need k < n <= 255 with even parity count");
+  // g(x) = prod_{i=0}^{2t-1} (x - alpha^{first_root+i}), highest degree
+  // coefficient first.
+  const std::size_t twot = n - k;
+  genpoly_.assign(1, 1);
+  for (std::size_t i = 0; i < twot; ++i) {
+    const std::uint8_t root = gf_.alpha_pow(first_root + static_cast<int>(i));
+    bytevec next(genpoly_.size() + 1, 0);
+    for (std::size_t j = 0; j < genpoly_.size(); ++j) {
+      next[j] ^= genpoly_[j];                       // * x
+      next[j + 1] ^= gf_.mul(genpoly_[j], root);    // * root
+    }
+    genpoly_ = std::move(next);
+  }
+}
+
+bytevec ReedSolomon::encode(std::span<const std::uint8_t> message) const {
+  OFDM_REQUIRE_DIM(message.size() == k_,
+                   "ReedSolomon::encode: message must be k bytes");
+  const std::size_t twot = n_ - k_;
+  // Systematic encoding: remainder of message(x) * x^{2t} mod g(x).
+  bytevec rem(twot, 0);
+  for (std::uint8_t m : message) {
+    const std::uint8_t feedback = static_cast<std::uint8_t>(m ^ rem[0]);
+    // Shift left by one and add feedback * g (skipping the monic term).
+    for (std::size_t j = 0; j + 1 < twot; ++j) {
+      rem[j] = static_cast<std::uint8_t>(
+          rem[j + 1] ^ gf_.mul(feedback, genpoly_[j + 1]));
+    }
+    rem[twot - 1] = gf_.mul(feedback, genpoly_[twot]);
+  }
+  bytevec out(message.begin(), message.end());
+  out.insert(out.end(), rem.begin(), rem.end());
+  return out;
+}
+
+ReedSolomon::DecodeResult ReedSolomon::decode(
+    std::span<const std::uint8_t> received) const {
+  OFDM_REQUIRE_DIM(received.size() == n_,
+                   "ReedSolomon::decode: received word must be n bytes");
+  const std::size_t twot = n_ - k_;
+  DecodeResult result;
+
+  // Syndromes S_i = r(alpha^{first_root+i}). The shortened code behaves
+  // as RS(255,...) with leading zeros, which do not affect evaluation.
+  bytevec synd(twot, 0);
+  bool all_zero = true;
+  for (std::size_t i = 0; i < twot; ++i) {
+    const std::uint8_t x = gf_.alpha_pow(first_root_ + static_cast<int>(i));
+    std::uint8_t acc = 0;
+    for (std::uint8_t r : received) {
+      acc = static_cast<std::uint8_t>(gf_.mul(acc, x) ^ r);
+    }
+    synd[i] = acc;
+    if (acc != 0) all_zero = false;
+  }
+  if (all_zero) {
+    result.message.assign(received.begin(),
+                          received.begin() + static_cast<std::ptrdiff_t>(k_));
+    result.success = true;
+    return result;
+  }
+
+  // Berlekamp-Massey: find the error locator polynomial lambda(x),
+  // lowest-degree coefficient first (lambda[0] == 1).
+  bytevec lambda{1};
+  bytevec prev{1};
+  std::uint8_t b = 1;
+  std::size_t ll = 0;  // current number of assumed errors
+  std::size_t m = 1;
+  for (std::size_t r = 0; r < twot; ++r) {
+    // Discrepancy.
+    std::uint8_t delta = synd[r];
+    for (std::size_t i = 1; i <= ll && i < lambda.size(); ++i) {
+      delta = static_cast<std::uint8_t>(
+          delta ^ gf_.mul(lambda[i], synd[r - i]));
+    }
+    if (delta == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * ll <= r) {
+      bytevec tmp = lambda;
+      const std::uint8_t coeff = gf_.div(delta, b);
+      if (lambda.size() < prev.size() + m) lambda.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        lambda[i + m] = static_cast<std::uint8_t>(
+            lambda[i + m] ^ gf_.mul(coeff, prev[i]));
+      }
+      ll = r + 1 - ll;
+      prev = std::move(tmp);
+      b = delta;
+      m = 1;
+    } else {
+      const std::uint8_t coeff = gf_.div(delta, b);
+      if (lambda.size() < prev.size() + m) lambda.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        lambda[i + m] = static_cast<std::uint8_t>(
+            lambda[i + m] ^ gf_.mul(coeff, prev[i]));
+      }
+      ++m;
+    }
+  }
+  if (ll > t()) return result;  // uncorrectable
+
+  // Chien search over the n_ positions of the (shortened) code word.
+  // Position p (0-based from the first transmitted byte) corresponds to
+  // the evaluation point alpha^{-(n_-1-p)}.
+  std::vector<std::size_t> error_pos;
+  for (std::size_t p = 0; p < n_; ++p) {
+    const int power = static_cast<int>(n_) - 1 - static_cast<int>(p);
+    const std::uint8_t xinv = gf_.alpha_pow(-power);
+    // Evaluate lambda at x = xinv^{-1}... we need lambda(X^{-1}) == 0 for
+    // error locator X = alpha^{power}; equivalently evaluate lambda at
+    // alpha^{-power}.
+    std::uint8_t acc = 0;
+    for (std::size_t i = lambda.size(); i-- > 0;) {
+      acc = static_cast<std::uint8_t>(gf_.mul(acc, xinv) ^ lambda[i]);
+    }
+    if (acc == 0) error_pos.push_back(p);
+  }
+  if (error_pos.size() != ll) return result;  // locator degree mismatch
+
+  // Forney: omega(x) = [S(x) * lambda(x)] mod x^{2t};
+  // error value e_p = X^{1-first_root} * omega(X^{-1}) / lambda'(X^{-1}).
+  bytevec omega(twot, 0);
+  for (std::size_t i = 0; i < twot; ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j <= i && j < lambda.size(); ++j) {
+      acc = static_cast<std::uint8_t>(acc ^ gf_.mul(lambda[j], synd[i - j]));
+    }
+    omega[i] = acc;
+  }
+
+  bytevec corrected(received.begin(), received.end());
+  for (std::size_t p : error_pos) {
+    const int power = static_cast<int>(n_) - 1 - static_cast<int>(p);
+    const std::uint8_t xinv = gf_.alpha_pow(-power);  // X^{-1}
+    // omega(X^{-1})
+    std::uint8_t om = 0;
+    for (std::size_t i = omega.size(); i-- > 0;) {
+      om = static_cast<std::uint8_t>(gf_.mul(om, xinv) ^ omega[i]);
+    }
+    // lambda'(X^{-1}): formal derivative keeps odd-power terms.
+    std::uint8_t lp = 0;
+    for (std::size_t i = 1; i < lambda.size(); i += 2) {
+      // derivative coefficient of x^{i-1} is lambda[i] (char-2 field).
+      std::uint8_t term = lambda[i];
+      for (std::size_t j = 0; j + 1 < i; ++j) term = gf_.mul(term, xinv);
+      lp = static_cast<std::uint8_t>(lp ^ term);
+    }
+    if (lp == 0) return result;  // Forney failure -> uncorrectable
+    std::uint8_t mag = gf_.div(om, lp);
+    // Root-offset correction for first_root != 1: multiply by X^{1-b0}.
+    const int adjust = 1 - first_root_;
+    if (adjust != 0) {
+      mag = gf_.mul(mag, gf_.alpha_pow(adjust * power));
+    }
+    corrected[p] = static_cast<std::uint8_t>(corrected[p] ^ mag);
+  }
+
+  // Verify by recomputing syndromes on the corrected word.
+  for (std::size_t i = 0; i < twot; ++i) {
+    const std::uint8_t x = gf_.alpha_pow(first_root_ + static_cast<int>(i));
+    std::uint8_t acc = 0;
+    for (std::uint8_t r : corrected) {
+      acc = static_cast<std::uint8_t>(gf_.mul(acc, x) ^ r);
+    }
+    if (acc != 0) return result;  // miscorrection guard
+  }
+
+  result.message.assign(corrected.begin(),
+                        corrected.begin() + static_cast<std::ptrdiff_t>(k_));
+  result.errors_corrected = error_pos.size();
+  result.success = true;
+  return result;
+}
+
+ReedSolomon make_dvb_rs() { return ReedSolomon(204, 188, /*first_root=*/0); }
+
+}  // namespace ofdm::coding

@@ -1,0 +1,74 @@
+// Reed-Solomon coding over GF(2^8). DVB-T's outer code is the shortened
+// RS(204, 188) derived from RS(255, 239); 802.16a uses shortened variants
+// of the same mother code. Both are reconfiguration parameters here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::coding {
+
+/// GF(2^8) arithmetic with primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D),
+/// the polynomial used by DVB and 802.16.
+class Gf256 {
+ public:
+  Gf256();
+
+  std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t inv(std::uint8_t a) const;
+  /// alpha^e for any integer exponent (reduced mod 255).
+  std::uint8_t alpha_pow(int e) const;
+  /// discrete log base alpha; a must be non-zero.
+  int log(std::uint8_t a) const;
+
+ private:
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<int, 256> log_{};
+};
+
+/// Systematic Reed-Solomon code RS(n, k) over GF(2^8), n <= 255.
+/// Generator roots are alpha^first_root ... alpha^(first_root+2t-1);
+/// DVB uses first_root = 0. Shortened codes (n < 255) are handled by
+/// implicit zero-padding, matching the DVB definition of RS(204,188).
+class ReedSolomon {
+ public:
+  ReedSolomon(std::size_t n, std::size_t k, int first_root = 0);
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+  std::size_t parity() const { return n_ - k_; }
+  std::size_t t() const { return (n_ - k_) / 2; }
+
+  /// Encode k message bytes into an n-byte systematic code word
+  /// (message first, parity appended).
+  bytevec encode(std::span<const std::uint8_t> message) const;
+
+  struct DecodeResult {
+    bytevec message;            ///< corrected k message bytes
+    std::size_t errors_corrected = 0;
+    bool success = false;       ///< false when > t errors were present
+  };
+
+  /// Decode an n-byte received word, correcting up to t byte errors
+  /// (Berlekamp-Massey + Chien search + Forney).
+  DecodeResult decode(std::span<const std::uint8_t> received) const;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  int first_root_;
+  Gf256 gf_;
+  bytevec genpoly_;  // generator polynomial, degree 2t, genpoly_[0] = x^{2t} coeff
+};
+
+/// The DVB-T outer code: RS(204, 188), t = 8.
+ReedSolomon make_dvb_rs();
+
+}  // namespace ofdm::coding

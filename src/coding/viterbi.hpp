@@ -1,0 +1,46 @@
+// Hard-decision Viterbi decoder for the convolutional codes in
+// coding/convolutional.hpp. Used by the reference receivers to close the
+// TX->RX loop and by the BER experiments.
+#pragma once
+
+#include <span>
+
+#include "coding/convolutional.hpp"
+#include "common/types.hpp"
+
+namespace ofdm::coding {
+
+/// Maximum-likelihood sequence decoder (hard decisions, Hamming metric).
+///
+/// Input symbols may be 0, 1 or kErasure (from depuncture()); erasures
+/// contribute nothing to any branch metric.
+class ViterbiDecoder {
+ public:
+  explicit ViterbiDecoder(ConvCode code);
+
+  /// Decode a terminated code word (encoder used encode_terminated()):
+  /// forces the end state to zero and strips the (K-1) tail bits.
+  bitvec decode_terminated(std::span<const std::uint8_t> coded) const;
+
+  /// Decode an unterminated code word: best end state wins, all decision
+  /// bits are returned.
+  bitvec decode(std::span<const std::uint8_t> coded) const;
+
+  /// Soft-decision decoding from LLRs (convention: llr > 0 => coded bit
+  /// 0 more likely; llr == 0 == erasure). Terminated code words.
+  /// Typically worth ~2 dB over hard decisions on an AWGN channel.
+  bitvec decode_soft_terminated(std::span<const double> llr) const;
+
+  const ConvCode& code() const { return code_; }
+
+ private:
+  bitvec run(std::span<const std::uint8_t> coded, bool terminated) const;
+  bitvec run_soft(std::span<const double> llr, bool terminated) const;
+
+  ConvCode code_;
+  // Precomputed per (state, input): next state and expected output bits.
+  std::vector<std::uint32_t> next_state_;   // [state*2 + input]
+  std::vector<std::uint32_t> out_bits_;     // packed expected outputs
+};
+
+}  // namespace ofdm::coding

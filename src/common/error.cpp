@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ofdm::detail {
+
+namespace {
+std::string format(const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [failed: " << expr << " at " << file << ':' << line << ']';
+  return os.str();
+}
+}  // namespace
+
+void throw_config_error(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw ConfigError(format(expr, file, line, msg));
+}
+
+void throw_dimension_error(const char* expr, const char* file, int line,
+                           const std::string& msg) {
+  throw DimensionError(format(expr, file, line, msg));
+}
+
+}  // namespace ofdm::detail

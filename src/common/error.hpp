@@ -1,0 +1,53 @@
+// Error reporting for the OFDM library: all precondition violations and
+// configuration errors surface as ofdm::Error exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ofdm {
+
+/// Base exception for every error raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an OfdmParams set is internally inconsistent or an argument
+/// violates a documented precondition.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an input buffer has the wrong size/shape for an operation.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_config_error(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_dimension_error(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ofdm
+
+/// Validate a configuration/argument precondition; throws ofdm::ConfigError.
+#define OFDM_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ofdm::detail::throw_config_error(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Validate a buffer-shape precondition; throws ofdm::DimensionError.
+#define OFDM_REQUIRE_DIM(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::ofdm::detail::throw_dimension_error(#expr, __FILE__, __LINE__, \
+                                            (msg));                   \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,64 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ofdm {
+
+double to_db(double linear_power) {
+  if (linear_power <= 0.0) return -400.0;
+  return 10.0 * std::log10(linear_power);
+}
+
+double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+double mean_power(std::span<const cplx> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc / static_cast<double>(x.size());
+}
+
+double rms(std::span<const cplx> x) { return std::sqrt(mean_power(x)); }
+
+double peak_power(std::span<const cplx> x) {
+  double peak = 0.0;
+  for (const cplx& v : x) peak = std::max(peak, std::norm(v));
+  return peak;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  OFDM_REQUIRE(n >= 1, "next_pow2: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = kPi * x;
+  return std::sin(px) / px;
+}
+
+void normalize_power(std::span<cplx> x, double target_power) {
+  const double p = mean_power(x);
+  if (p <= 0.0) return;
+  const double g = std::sqrt(target_power / p);
+  for (cplx& v : x) v *= g;
+}
+
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b) {
+  OFDM_REQUIRE_DIM(a.size() == b.size(),
+                   "max_abs_error: spans must be equal length");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace ofdm

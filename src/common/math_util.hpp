@@ -1,0 +1,42 @@
+// Small numeric helpers shared across the DSP and RF modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm {
+
+/// Linear power ratio -> decibels. Clamps at -400 dB for zero input.
+double to_db(double linear_power);
+
+/// Decibels -> linear power ratio.
+double from_db(double db);
+
+/// Average power (mean |x|^2) of a complex signal; 0 for empty input.
+double mean_power(std::span<const cplx> x);
+
+/// Root-mean-square magnitude of a complex signal.
+double rms(std::span<const cplx> x);
+
+/// Peak instantaneous power max |x|^2.
+double peak_power(std::span<const cplx> x);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Normalized sinc: sin(pi x)/(pi x), sinc(0) = 1.
+double sinc(double x);
+
+/// Scale a signal in place so its average power becomes `target_power`.
+/// A zero signal is left untouched.
+void normalize_power(std::span<cplx> x, double target_power = 1.0);
+
+/// Maximum absolute difference between two equal-length complex signals.
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b);
+
+}  // namespace ofdm

@@ -1,0 +1,53 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic element in the library (payload bits, AWGN, phase noise,
+// Monte-Carlo sweeps) draws from ofdm::Rng so that a simulation seeded the
+// same way produces bit-identical results across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ofdm {
+
+/// xoshiro256++ generator: small, fast, and fully reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal draw (Box-Muller, cached second value).
+  double gaussian();
+
+  /// Zero-mean circular complex gaussian with total variance `variance`
+  /// (i.e. variance/2 per real dimension).
+  cplx complex_gaussian(double variance = 1.0);
+
+  /// A fresh bit (0 or 1).
+  std::uint8_t bit();
+
+  /// `n` fresh bits.
+  bitvec bits(std::size_t n);
+
+  /// `n` fresh bytes.
+  bytevec bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ofdm

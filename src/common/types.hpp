@@ -1,0 +1,30 @@
+// Fundamental numeric types shared by every OFDM library module.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace ofdm {
+
+/// Complex baseband sample. Double precision throughout: the Mother Model is
+/// a behavioural reference, so numerical headroom beats raw speed.
+using cplx = std::complex<double>;
+
+/// A run of complex baseband samples.
+using cvec = std::vector<cplx>;
+
+/// A run of real samples (passband signals, filter taps, PSDs, ...).
+using rvec = std::vector<double>;
+
+/// An unpacked bit stream; each element is 0 or 1. Unpacked storage keeps
+/// the scrambler/coder/interleaver pipeline trivially composable.
+using bitvec = std::vector<std::uint8_t>;
+
+/// A run of bytes (packed transport-stream style payloads).
+using bytevec = std::vector<std::uint8_t>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace ofdm

@@ -1,0 +1,104 @@
+#include "core/modulator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/window.hpp"
+
+namespace ofdm::core {
+
+Modulator::Modulator(const OfdmParams& params, const ToneLayout& layout)
+    : params_(params),
+      layout_(layout),
+      fft_(params.fft_size),
+      ramp_(params.window_ramp > 0
+                ? dsp::raised_cosine_ramp(params.window_ramp)
+                : rvec{}) {
+  // Unit average output power: the 1/N-scaled IFFT of a spectrum with
+  // n_used unit-power tones has average power n_used/N^2.
+  std::size_t used = layout_.used_tones();
+  if (params_.hermitian) used *= 2;  // mirrored half carries equal power
+  OFDM_REQUIRE(used > 0, "Modulator: no used tones");
+  scale_ = static_cast<double>(params_.fft_size) /
+           std::sqrt(static_cast<double>(used));
+}
+
+cvec Modulator::assemble(std::span<const cplx> data_values,
+                         std::span<const cplx> pilot_values) const {
+  OFDM_REQUIRE_DIM(data_values.size() == layout_.data_bins.size(),
+                   "Modulator::assemble: data value count mismatch");
+  OFDM_REQUIRE_DIM(pilot_values.size() == layout_.pilot_bins.size(),
+                   "Modulator::assemble: pilot value count mismatch");
+  cvec freq(params_.fft_size, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < data_values.size(); ++i) {
+    freq[layout_.data_bins[i]] = data_values[i];
+  }
+  for (std::size_t i = 0; i < pilot_values.size(); ++i) {
+    freq[layout_.pilot_bins[i]] = pilot_values[i];
+  }
+  if (params_.hermitian) {
+    const std::size_t n = params_.fft_size;
+    for (std::size_t k = 1; k < n / 2; ++k) {
+      freq[n - k] = std::conj(freq[k]);
+    }
+  }
+  return freq;
+}
+
+void Modulator::emit(std::span<const cplx> freq_bins, cvec& out) {
+  const std::size_t n = params_.fft_size;
+  const std::size_t cp = params_.cp_len;
+  const std::size_t ramp = params_.window_ramp;
+  OFDM_REQUIRE_DIM(freq_bins.size() == n,
+                   "Modulator::emit: frequency vector size mismatch");
+
+  cvec body = fft_.inverse(freq_bins);
+  for (cplx& v : body) v *= scale_;
+
+  // Extended symbol: cyclic prefix + body + cyclic suffix (ramp).
+  cvec ext;
+  ext.reserve(cp + n + ramp);
+  for (std::size_t i = 0; i < cp; ++i) ext.push_back(body[n - cp + i]);
+  ext.insert(ext.end(), body.begin(), body.end());
+  for (std::size_t i = 0; i < ramp; ++i) ext.push_back(body[i]);
+
+  if (ramp > 0) {
+    for (std::size_t i = 0; i < ramp; ++i) {
+      ext[i] *= ramp_[i];                        // rising edge
+      ext[cp + n + i] *= 1.0 - ramp_[i];         // falling edge (suffix)
+    }
+    // Overlap-add the previous symbol's suffix into our rising edge.
+    for (std::size_t i = 0; i < tail_.size(); ++i) ext[i] += tail_[i];
+    tail_.assign(ext.begin() + static_cast<std::ptrdiff_t>(cp + n),
+                 ext.end());
+    ext.resize(cp + n);
+  }
+  out.insert(out.end(), ext.begin(), ext.end());
+}
+
+void Modulator::emit_silence(std::size_t n, cvec& out) {
+  const std::size_t start = out.size();
+  out.insert(out.end(), n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < tail_.size() && i < n; ++i) {
+    out[start + i] += tail_[i];
+  }
+  tail_.clear();
+}
+
+void Modulator::emit_raw(std::span<const cplx> samples, cvec& out) {
+  const std::size_t start = out.size();
+  out.insert(out.end(), samples.begin(), samples.end());
+  for (std::size_t i = 0; i < tail_.size() && i < samples.size(); ++i) {
+    out[start + i] += tail_[i];
+  }
+  tail_.clear();
+}
+
+void Modulator::flush(cvec& out) {
+  out.insert(out.end(), tail_.begin(), tail_.end());
+  tail_.clear();
+}
+
+void Modulator::reset() { tail_.clear(); }
+
+}  // namespace ofdm::core

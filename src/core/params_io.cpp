@@ -1,0 +1,300 @@
+#include "core/params_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ofdm::core {
+
+namespace {
+
+char tone_code(ToneType t) {
+  switch (t) {
+    case ToneType::kNull: return 'n';
+    case ToneType::kData: return 'd';
+    case ToneType::kPilot: return 'p';
+  }
+  return 'n';
+}
+
+ToneType tone_from_code(char c) {
+  switch (c) {
+    case 'n': return ToneType::kNull;
+    case 'd': return ToneType::kData;
+    case 'p': return ToneType::kPilot;
+    default:
+      throw ConfigError(std::string("params_io: bad tone code '") + c +
+                        "'");
+  }
+}
+
+// Run-length encode the tone map: "n6,d26,p1,d14,..." in bin order.
+std::string encode_tone_map(const std::vector<ToneType>& map) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < map.size()) {
+    std::size_t run = 1;
+    while (i + run < map.size() && map[i + run] == map[i]) ++run;
+    if (!first) os << ',';
+    os << tone_code(map[i]) << run;
+    i += run;
+    first = false;
+  }
+  return os.str();
+}
+
+std::vector<ToneType> decode_tone_map(const std::string& text) {
+  std::vector<ToneType> map;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    OFDM_REQUIRE(item.size() >= 2, "params_io: malformed tone_map run");
+    const ToneType t = tone_from_code(item[0]);
+    const unsigned long run = std::stoul(item.substr(1));
+    map.insert(map.end(), run, t);
+  }
+  return map;
+}
+
+std::string encode_bit_table(const mapping::BitTable& table) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < table.size()) {
+    std::size_t run = 1;
+    while (i + run < table.size() && table[i + run] == table[i]) ++run;
+    if (!first) os << ',';
+    os << static_cast<unsigned>(table[i]) << 'x' << run;
+    i += run;
+    first = false;
+  }
+  return os.str();
+}
+
+mapping::BitTable decode_bit_table(const std::string& text) {
+  mapping::BitTable table;
+  if (text.empty()) return table;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const std::size_t x = item.find('x');
+    OFDM_REQUIRE(x != std::string::npos,
+                 "params_io: malformed bit_table run");
+    const unsigned long load = std::stoul(item.substr(0, x));
+    const unsigned long run = std::stoul(item.substr(x + 1));
+    table.insert(table.end(), run, static_cast<std::uint8_t>(load));
+  }
+  return table;
+}
+
+std::string encode_cvec(const cvec& v) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i].real() << ':' << v[i].imag();
+  }
+  return os.str();
+}
+
+cvec decode_cvec(const std::string& text) {
+  cvec v;
+  if (text.empty()) return v;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const std::size_t colon = item.find(':');
+    OFDM_REQUIRE(colon != std::string::npos,
+                 "params_io: malformed complex value");
+    v.emplace_back(std::stod(item.substr(0, colon)),
+                   std::stod(item.substr(colon + 1)));
+  }
+  return v;
+}
+
+std::string encode_puncture(const coding::PuncturePattern& p) {
+  std::ostringstream os;
+  for (std::size_t j = 0; j < p.keep.size(); ++j) {
+    if (j) os << '/';
+    for (std::uint8_t k : p.keep[j]) os << (k ? '1' : '0');
+  }
+  return os.str();
+}
+
+coding::PuncturePattern decode_puncture(const std::string& text) {
+  coding::PuncturePattern p;
+  std::istringstream is(text);
+  std::string row;
+  while (std::getline(is, row, '/')) {
+    std::vector<std::uint8_t> keep;
+    for (char c : row) {
+      OFDM_REQUIRE(c == '0' || c == '1',
+                   "params_io: puncture rows are 0/1 strings");
+      keep.push_back(c == '1');
+    }
+    p.keep.push_back(std::move(keep));
+  }
+  return p;
+}
+
+std::string encode_generators(const std::vector<std::uint32_t>& gens) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    if (i) os << ',';
+    os << '0' << std::oct << gens[i] << std::dec;  // octal convention
+  }
+  return os.str();
+}
+
+std::vector<std::uint32_t> decode_generators(const std::string& text) {
+  std::vector<std::uint32_t> gens;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    gens.push_back(
+        static_cast<std::uint32_t>(std::stoul(item, nullptr, 0)));
+  }
+  return gens;
+}
+
+}  // namespace
+
+std::string to_text(const OfdmParams& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# OFDM Mother Model parameter deck: "
+     << standard_name(p.standard) << "\n";
+  os << "standard=" << static_cast<int>(p.standard) << "\n";
+  os << "variant=" << p.variant << "\n";
+  os << "sample_rate=" << p.sample_rate << "\n";
+  os << "fft_size=" << p.fft_size << "\n";
+  os << "cp_len=" << p.cp_len << "\n";
+  os << "window_ramp=" << p.window_ramp << "\n";
+  os << "hermitian=" << (p.hermitian ? 1 : 0) << "\n";
+  os << "tone_map=" << encode_tone_map(p.tone_map) << "\n";
+  os << "mapping=" << static_cast<int>(p.mapping) << "\n";
+  os << "scheme=" << static_cast<int>(p.scheme) << "\n";
+  os << "diff_kind=" << static_cast<int>(p.diff_kind) << "\n";
+  os << "bit_table=" << encode_bit_table(p.bit_table) << "\n";
+  os << "scrambler.enabled=" << (p.scrambler.enabled ? 1 : 0) << "\n";
+  os << "scrambler.degree=" << p.scrambler.degree << "\n";
+  os << "scrambler.taps=0x" << std::hex << p.scrambler.taps << std::dec
+     << "\n";
+  os << "scrambler.seed=0x" << std::hex << p.scrambler.seed << std::dec
+     << "\n";
+  os << "fec.rs_enabled=" << (p.fec.rs_enabled ? 1 : 0) << "\n";
+  os << "fec.rs_n=" << p.fec.rs_n << "\n";
+  os << "fec.rs_k=" << p.fec.rs_k << "\n";
+  os << "fec.conv_enabled=" << (p.fec.conv_enabled ? 1 : 0) << "\n";
+  os << "fec.conv.k=" << p.fec.conv.constraint_length << "\n";
+  os << "fec.conv.generators=" << encode_generators(p.fec.conv.generators)
+     << "\n";
+  os << "fec.puncture=" << encode_puncture(p.fec.puncture) << "\n";
+  os << "interleaver.kind=" << static_cast<int>(p.interleaver.kind)
+     << "\n";
+  os << "interleaver.rows=" << p.interleaver.rows << "\n";
+  os << "interleaver.seed=0x" << std::hex << p.interleaver.seed
+     << std::dec << "\n";
+  os << "pilots.base_values=" << encode_cvec(p.pilots.base_values)
+     << "\n";
+  os << "pilots.polarity_prbs=" << (p.pilots.polarity_prbs ? 1 : 0)
+     << "\n";
+  os << "pilots.prbs_degree=" << p.pilots.prbs_degree << "\n";
+  os << "pilots.prbs_taps=0x" << std::hex << p.pilots.prbs_taps
+     << std::dec << "\n";
+  os << "pilots.prbs_seed=0x" << std::hex << p.pilots.prbs_seed
+     << std::dec << "\n";
+  os << "pilots.boost=" << p.pilots.boost << "\n";
+  os << "frame.symbols_per_frame=" << p.frame.symbols_per_frame << "\n";
+  os << "frame.preamble=" << static_cast<int>(p.frame.preamble) << "\n";
+  os << "frame.null_samples=" << p.frame.null_samples << "\n";
+  os << "frame.phase_ref_seed=0x" << std::hex << p.frame.phase_ref_seed
+     << std::dec << "\n";
+  os << "nominal_rf_hz=" << p.nominal_rf_hz << "\n";
+  return os.str();
+}
+
+OfdmParams from_text(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim whitespace.
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    const std::size_t eq = line.find('=');
+    OFDM_REQUIRE(eq != std::string::npos,
+                 "params_io: expected key=value, got: " + line);
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+
+  OfdmParams p;
+  auto take = [&kv](const std::string& key) {
+    const auto it = kv.find(key);
+    OFDM_REQUIRE(it != kv.end(), "params_io: missing key " + key);
+    const std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+  auto to_u64 = [](const std::string& s) {
+    return static_cast<std::uint64_t>(std::stoull(s, nullptr, 0));
+  };
+
+  p.standard = static_cast<Standard>(std::stoi(take("standard")));
+  p.variant = take("variant");
+  p.sample_rate = std::stod(take("sample_rate"));
+  p.fft_size = to_u64(take("fft_size"));
+  p.cp_len = to_u64(take("cp_len"));
+  p.window_ramp = to_u64(take("window_ramp"));
+  p.hermitian = to_u64(take("hermitian")) != 0;
+  p.tone_map = decode_tone_map(take("tone_map"));
+  p.mapping = static_cast<MappingKind>(std::stoi(take("mapping")));
+  p.scheme = static_cast<mapping::Scheme>(std::stoi(take("scheme")));
+  p.diff_kind =
+      static_cast<mapping::DiffKind>(std::stoi(take("diff_kind")));
+  p.bit_table = decode_bit_table(take("bit_table"));
+  p.scrambler.enabled = to_u64(take("scrambler.enabled")) != 0;
+  p.scrambler.degree =
+      static_cast<unsigned>(to_u64(take("scrambler.degree")));
+  p.scrambler.taps = to_u64(take("scrambler.taps"));
+  p.scrambler.seed = to_u64(take("scrambler.seed"));
+  p.fec.rs_enabled = to_u64(take("fec.rs_enabled")) != 0;
+  p.fec.rs_n = to_u64(take("fec.rs_n"));
+  p.fec.rs_k = to_u64(take("fec.rs_k"));
+  p.fec.conv_enabled = to_u64(take("fec.conv_enabled")) != 0;
+  p.fec.conv.constraint_length =
+      static_cast<unsigned>(to_u64(take("fec.conv.k")));
+  p.fec.conv.generators = decode_generators(take("fec.conv.generators"));
+  p.fec.puncture = decode_puncture(take("fec.puncture"));
+  p.interleaver.kind =
+      static_cast<InterleaverKind>(std::stoi(take("interleaver.kind")));
+  p.interleaver.rows = to_u64(take("interleaver.rows"));
+  p.interleaver.seed = to_u64(take("interleaver.seed"));
+  p.pilots.base_values = decode_cvec(take("pilots.base_values"));
+  p.pilots.polarity_prbs = to_u64(take("pilots.polarity_prbs")) != 0;
+  p.pilots.prbs_degree =
+      static_cast<unsigned>(to_u64(take("pilots.prbs_degree")));
+  p.pilots.prbs_taps = to_u64(take("pilots.prbs_taps"));
+  p.pilots.prbs_seed = to_u64(take("pilots.prbs_seed"));
+  p.pilots.boost = std::stod(take("pilots.boost"));
+  p.frame.symbols_per_frame = to_u64(take("frame.symbols_per_frame"));
+  p.frame.preamble =
+      static_cast<PreambleKind>(std::stoi(take("frame.preamble")));
+  p.frame.null_samples = to_u64(take("frame.null_samples"));
+  p.frame.phase_ref_seed = to_u64(take("frame.phase_ref_seed"));
+  p.nominal_rf_hz = std::stod(take("nominal_rf_hz"));
+
+  OFDM_REQUIRE(kv.empty(),
+               "params_io: unknown key " +
+                   (kv.empty() ? std::string() : kv.begin()->first));
+  validate(p);
+  return p;
+}
+
+}  // namespace ofdm::core

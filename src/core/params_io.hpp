@@ -1,0 +1,26 @@
+// OfdmParams serialization: the paper's "set of parameters" as a
+// portable text artifact.
+//
+// An APLAC user reconfigures the Mother Model by editing a parameter
+// deck; this module provides exactly that workflow: save a
+// configuration to a key=value text block, edit it, load it back. The
+// format is line-oriented, order-insensitive, and round-trip exact
+// (bit patterns for seeds/taps, full precision for rates).
+#pragma once
+
+#include <string>
+
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+/// Render a parameter set as a key=value deck (one key per line,
+/// '#' comments allowed when parsing). Vectors use compact run-length
+/// or list encodings documented in the output itself.
+std::string to_text(const OfdmParams& params);
+
+/// Parse a deck produced by to_text() (or hand-written). Unknown keys
+/// throw; the result is validate()d before being returned.
+OfdmParams from_text(const std::string& text);
+
+}  // namespace ofdm::core

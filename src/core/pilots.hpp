@@ -1,0 +1,28 @@
+// Pilot tone value generation: per-symbol pilot vectors from the static
+// base values, optional polarity PRBS and amplitude boost in PilotConfig.
+#pragma once
+
+#include <optional>
+
+#include "coding/lfsr.hpp"
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+class PilotGenerator {
+ public:
+  PilotGenerator(const PilotConfig& cfg, std::size_t pilot_count);
+
+  /// Pilot values for the next OFDM symbol (advances the polarity PRBS).
+  cvec next_symbol();
+
+  /// Restart the polarity sequence (new frame).
+  void reset();
+
+ private:
+  PilotConfig cfg_;
+  std::size_t count_;
+  std::optional<coding::Lfsr> prbs_;
+};
+
+}  // namespace ofdm::core

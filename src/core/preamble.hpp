@@ -1,0 +1,35 @@
+// Frame preamble generation.
+//
+//  * 802.11a short + long training fields, bit-exact tone sequences from
+//    IEEE 802.11a-1999 17.3.3, scaled to the Mother Model's unit-power
+//    convention.
+//  * A generic "phase reference" symbol: every used tone carries a known
+//    QPSK value drawn from a seeded LFSR. DAB's phase reference symbol
+//    and DRM's gain references are represented this way; it also seeds
+//    the differential mapper.
+#pragma once
+
+#include <span>
+
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+/// The 64 long-training tone values (bins in natural FFT order); used by
+/// the receiver for channel estimation.
+cvec wlan_ltf_bins();
+
+/// The 64 short-training tone values (natural FFT order, includes the
+/// sqrt(13/6) power normalization).
+cvec wlan_stf_bins();
+
+/// Full 802.11a preamble: 160 samples STF + 160 samples LTF at 20 MS/s,
+/// scaled to match a unit-power data section. `p` supplies fft size / cp
+/// (must be the 64/16 WLAN geometry).
+cvec wlan_preamble(const OfdmParams& p);
+
+/// Deterministic QPSK values for the data tones of a phase-reference
+/// symbol (ascending logical order), derived from frame.phase_ref_seed.
+cvec phase_reference_values(const OfdmParams& p, std::size_t count);
+
+}  // namespace ofdm::core

@@ -1,0 +1,45 @@
+// Standard profiles: factory functions producing the OfdmParams instance
+// for each member of the ten-standard OFDM family. Each profile is a
+// *derivation from the Mother Model* in the paper's sense — a set of
+// parameter values, nothing more.
+//
+// Values come from the public standard texts (representative default mode
+// per standard; deviations are documented inline and in DESIGN.md §4).
+#pragma once
+
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+/// IEEE 802.11a-1999 data rates (Mbit/s) selecting modulation + code rate.
+enum class WlanRate { k6, k9, k12, k18, k24, k36, k48, k54 };
+
+/// DRM (ETSI ES 201 980) robustness modes.
+enum class DrmMode { kA, kB, kC, kD };
+
+/// DAB (ETSI EN 300 401) transmission modes.
+enum class DabMode { kI, kII, kIII, kIV };
+
+/// DVB-T (ETSI EN 300 744) transmission modes.
+enum class DvbtMode { k2k, k8k };
+
+OfdmParams profile_wlan_80211a(WlanRate rate = WlanRate::k36);
+OfdmParams profile_wlan_80211g(WlanRate rate = WlanRate::k36);
+OfdmParams profile_adsl();
+OfdmParams profile_adsl_plus_plus();
+OfdmParams profile_vdsl();
+OfdmParams profile_drm(DrmMode mode = DrmMode::kB);
+OfdmParams profile_dab(DabMode mode = DabMode::kI);
+OfdmParams profile_dvbt(DvbtMode mode = DvbtMode::k2k,
+                        mapping::Scheme scheme = mapping::Scheme::kQam64);
+OfdmParams profile_wman_80216a();
+OfdmParams profile_homeplug();
+
+/// The default profile for any family member (used by the family sweep).
+OfdmParams profile_for(Standard standard);
+
+/// Coded bits per subcarrier and code rate for a WLAN rate.
+mapping::Scheme wlan_rate_scheme(WlanRate rate);
+coding::PuncturePattern wlan_rate_puncture(WlanRate rate);
+
+}  // namespace ofdm::core

@@ -1,0 +1,83 @@
+// DAB / Eureka-147 (ETSI EN 300 401) profiles.
+//
+// DAB is the differential member of the family: pi/4-shifted DQPSK in
+// time on every carrier, a leading null symbol, and a phase-reference
+// symbol that seeds the differential modulation. Transmission modes
+// I..IV scale the same design across FFT sizes 2048/512/256/1024.
+//
+// Simplification (DESIGN.md §4): the phase reference symbol uses the
+// Mother Model's seeded QPSK reference generator instead of the CAZAC
+// tables of EN 300 401, and the time/frequency interleaving is folded
+// into one per-symbol block interleaver.
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+OfdmParams profile_dab(DabMode mode) {
+  OfdmParams p;
+  p.standard = Standard::kDab;
+  p.sample_rate = 2.048e6;
+  p.nominal_rf_hz = 227.36e6;  // VHF band III, channel 12C
+
+  long half = 0;
+  switch (mode) {
+    case DabMode::kI:
+      p.variant = "mode I";
+      p.fft_size = 2048;
+      p.cp_len = 504;
+      p.frame.null_samples = 2656;
+      p.frame.symbols_per_frame = 76;
+      half = 768;
+      break;
+    case DabMode::kII:
+      p.variant = "mode II";
+      p.fft_size = 512;
+      p.cp_len = 126;
+      p.frame.null_samples = 664;
+      p.frame.symbols_per_frame = 76;
+      half = 192;
+      break;
+    case DabMode::kIII:
+      p.variant = "mode III";
+      p.fft_size = 256;
+      p.cp_len = 63;
+      p.frame.null_samples = 345;
+      p.frame.symbols_per_frame = 153;
+      half = 96;
+      break;
+    case DabMode::kIV:
+      p.variant = "mode IV";
+      p.fft_size = 1024;
+      p.cp_len = 252;
+      p.frame.null_samples = 1328;
+      p.frame.symbols_per_frame = 76;
+      half = 384;
+      break;
+  }
+
+  p.tone_map = null_tone_map(p.fft_size);
+  fill_data_range(p.tone_map, -half, half);  // DC skipped: K carriers
+
+  p.mapping = MappingKind::kDifferential;
+  p.diff_kind = mapping::DiffKind::kPi4Dqpsk;
+
+  // EN 300 401 energy dispersal PRBS x^9 + x^5 + 1, all-ones init.
+  p.scrambler.enabled = true;
+  p.scrambler.degree = 9;
+  p.scrambler.taps = (1u << 8) | (1u << 4);
+  p.scrambler.seed = 0x1FF;
+
+  p.fec.conv_enabled = true;  // EN 300 401 uses the same K=7 mother code
+  p.fec.conv = coding::k7_industry_code();
+  p.fec.puncture = coding::puncture_none();
+
+  p.interleaver.kind = InterleaverKind::kBlock;
+  p.interleaver.rows = 16;
+
+  p.frame.preamble = PreambleKind::kPhaseReference;
+  p.frame.phase_ref_seed = 0x0147ull;
+  return p;
+}
+
+}  // namespace ofdm::core

@@ -1,0 +1,81 @@
+// Digital Radio Mondiale (ETSI ES 201 980) profiles.
+//
+// DRM is the family member that forces non-power-of-two FFT sizes: the
+// robustness modes run a 48 kHz master rate with useful symbol durations
+// 24 / 21.33 / 14.66 / 9.33 ms -> 1152 / 1024 / 704 / 448 samples. The
+// Mother Model's Bluestein FFT path exists because of these modes.
+//
+// Simplifications (DESIGN.md §4): the multi-level coding (MSC/SDC/FAC
+// channels) is collapsed to one 64-QAM stream with cell interleaving,
+// and the scattered gain/frequency pilots are represented by a small set
+// of boosted pilot tones plus the phase-reference symbol.
+#include <cmath>
+
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+OfdmParams profile_drm(DrmMode mode) {
+  OfdmParams p;
+  p.standard = Standard::kDrm;
+  p.sample_rate = 48e3;
+  p.nominal_rf_hz = 6.095e6;  // a 49 m shortwave broadcast channel
+
+  long kmax = 0;
+  switch (mode) {
+    case DrmMode::kA:
+      p.variant = "mode A (Tu 24 ms)";
+      p.fft_size = 1152;
+      p.cp_len = 128;  // Tg = Tu/9
+      kmax = 114;      // ~10 kHz spectrum occupancy
+      break;
+    case DrmMode::kB:
+      p.variant = "mode B (Tu 21.3 ms)";
+      p.fft_size = 1024;
+      p.cp_len = 256;  // Tg = Tu/4
+      kmax = 103;
+      break;
+    case DrmMode::kC:
+      p.variant = "mode C (Tu 14.7 ms)";
+      p.fft_size = 704;
+      p.cp_len = 256;
+      kmax = 69;
+      break;
+    case DrmMode::kD:
+      p.variant = "mode D (Tu 9.3 ms)";
+      p.fft_size = 448;
+      p.cp_len = 352;  // Tg = 11/14 Tu
+      kmax = 44;
+      break;
+  }
+
+  p.tone_map = null_tone_map(p.fft_size);
+  fill_data_range(p.tone_map, -kmax, kmax);
+  // Representative boosted gain pilots at the band edges and centre.
+  for (long k : {-kmax, -kmax / 2, kmax / 2, kmax}) {
+    set_tone(p.tone_map, k, ToneType::kPilot);
+  }
+
+  p.mapping = MappingKind::kFixed;
+  p.scheme = mapping::Scheme::kQam64;
+
+  const double a = 1.0 / std::sqrt(2.0);
+  p.pilots.base_values = {cplx{a, a}, cplx{a, -a}, cplx{-a, a}, cplx{a, a}};
+  p.pilots.boost = std::sqrt(2.0);  // gain references are power-boosted
+
+  p.scrambler.enabled = true;  // ES 201 980 energy dispersal x^9+x^5+1
+  p.scrambler.degree = 9;
+  p.scrambler.taps = (1u << 8) | (1u << 4);
+  p.scrambler.seed = 0x1FF;
+
+  p.interleaver.kind = InterleaverKind::kCell;
+  p.interleaver.seed = 0xD12Aull;
+
+  p.frame.symbols_per_frame = 15;  // one 400 ms transmission frame
+  p.frame.preamble = PreambleKind::kPhaseReference;
+  p.frame.phase_ref_seed = 0x0DD5ull;
+  return p;
+}
+
+}  // namespace ofdm::core

@@ -1,0 +1,84 @@
+// Wireline DMT profiles: ADSL (G.992.1), ADSL2+ ("ADSL++") and VDSL
+// (G.993.1). All three are discrete multi-tone systems with 4.3125 kHz
+// subcarrier spacing, Hermitian-symmetric (real) output, and per-tone
+// QAM bit loading — in the Mother Model they differ only in FFT size,
+// cyclic-extension length and the bit table.
+//
+// Simplifications (documented in DESIGN.md §4): no trellis coding, the
+// downstream direction only, a flat default bit table (the bit-loading
+// algorithm in mapping/bitloading.hpp produces channel-derived tables in
+// the ADSL example), and an additive x^23+x^18+1 scrambler standing in
+// for G.992.1's self-synchronizing scrambler.
+#include <cmath>
+
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+namespace {
+
+OfdmParams dmt_base(std::size_t fft_size, std::size_t cp_len,
+                    long first_tone, long last_tone, long pilot_tone,
+                    std::uint8_t default_load) {
+  OfdmParams p;
+  p.sample_rate = 4312.5 * static_cast<double>(fft_size);
+  p.fft_size = fft_size;
+  p.cp_len = cp_len;
+  p.hermitian = true;
+
+  p.tone_map = null_tone_map(fft_size);
+  for (long k = first_tone; k <= last_tone; ++k) {
+    if (k == pilot_tone) continue;
+    set_tone(p.tone_map, k, ToneType::kData);
+  }
+  set_tone(p.tone_map, pilot_tone, ToneType::kPilot);
+
+  p.mapping = MappingKind::kBitTable;
+  const std::size_t data_tones =
+      static_cast<std::size_t>(last_tone - first_tone);  // minus pilot
+  p.bit_table.assign(data_tones, default_load);
+
+  // G.992.1 pilot: a fixed {+,+} constellation point on the pilot tone.
+  p.pilots.base_values = {cplx{1.0, 1.0} / std::sqrt(2.0)};
+
+  p.scrambler.enabled = true;
+  p.scrambler.degree = 23;
+  p.scrambler.taps = (std::uint64_t{1} << 22) | (std::uint64_t{1} << 17);
+  p.scrambler.seed = 0x3FFFFF;
+
+  p.frame.symbols_per_frame = 68;  // one G.992.1 superframe of data syms
+  return p;
+}
+
+}  // namespace
+
+OfdmParams profile_adsl() {
+  // Downstream: 512-point IFFT at 2.208 MS/s, 32-sample cyclic extension,
+  // data tones 33..255 (full-duplex split), pilot on tone 64.
+  OfdmParams p = dmt_base(512, 32, 33, 255, 64, 8);
+  p.standard = Standard::kAdsl;
+  p.variant = "G.992.1 downstream";
+  return p;
+}
+
+OfdmParams profile_adsl_plus_plus() {
+  // ADSL2+ doubles the downstream spectrum: 1024-point IFFT at
+  // 4.416 MS/s, tones 33..511.
+  OfdmParams p = dmt_base(1024, 64, 33, 511, 64, 8);
+  p.standard = Standard::kAdslPlusPlus;
+  p.variant = "G.992.5 downstream";
+  return p;
+}
+
+OfdmParams profile_vdsl() {
+  // VDSL 8192-point IFFT at 35.328 MS/s (G.993.1 with 4096 tones),
+  // 640-sample cyclic extension; band up to ~8.8 MHz used here.
+  OfdmParams p = dmt_base(8192, 640, 33, 2047, 64, 6);
+  p.standard = Standard::kVdsl;
+  p.variant = "G.993.1, 8.8 MHz band plan";
+  p.frame.symbols_per_frame = 8;  // keep default bursts tractable
+  return p;
+}
+
+}  // namespace ofdm::core

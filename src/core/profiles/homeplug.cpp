@@ -1,0 +1,66 @@
+// HomePlug 1.0 powerline profile.
+//
+// The powerline PHY transmits a *real* signal built from 84 carriers
+// (logical tones 23..106 of a 256-point transform at 50 MS/s, i.e.
+// 4.5..20.7 MHz) with differential QPSK in time on each carrier — the
+// line conditions change too fast for coherent mapping. Its long
+// 172-sample cyclic prefix absorbs powerline impulse responses.
+//
+// Simplification (DESIGN.md §4): HomePlug's ROBO mode and tone masking
+// are not modelled; the data scrambler is the x^10+x^3+1 PRBS.
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+OfdmParams profile_homeplug() {
+  OfdmParams p;
+  p.standard = Standard::kHomePlug;
+  p.variant = "1.0, 84 carriers";
+  p.sample_rate = 50e6;
+  p.fft_size = 256;
+  p.cp_len = 172;
+  p.hermitian = true;  // the powerline signal is real
+  p.nominal_rf_hz = 0.0;  // baseband powerline coupling, no upconversion
+
+  p.tone_map = null_tone_map(256);
+  for (long k = 23; k <= 106; ++k) set_tone(p.tone_map, k, ToneType::kData);
+
+  p.mapping = MappingKind::kDifferential;
+  p.diff_kind = mapping::DiffKind::kDqpsk;
+
+  p.scrambler.enabled = true;  // x^10 + x^3 + 1, all-ones init
+  p.scrambler.degree = 10;
+  p.scrambler.taps = (1u << 9) | (1u << 2);
+  p.scrambler.seed = 0x3FF;
+
+  p.fec.conv_enabled = true;  // K=7 rate-3/4 punctured (DA link mode)
+  p.fec.conv = coding::k7_industry_code();
+  p.fec.puncture = coding::puncture_3_4();
+
+  p.interleaver.kind = InterleaverKind::kBlock;
+  p.interleaver.rows = 8;  // 84 carriers * 2 bits = 168 = 8 * 21
+
+  p.frame.symbols_per_frame = 20;
+  p.frame.preamble = PreambleKind::kPhaseReference;
+  p.frame.phase_ref_seed = 0x0BEEull;
+  return p;
+}
+
+OfdmParams profile_for(Standard standard) {
+  switch (standard) {
+    case Standard::kWlan80211a: return profile_wlan_80211a();
+    case Standard::kWlan80211g: return profile_wlan_80211g();
+    case Standard::kAdsl: return profile_adsl();
+    case Standard::kDrm: return profile_drm();
+    case Standard::kVdsl: return profile_vdsl();
+    case Standard::kDab: return profile_dab();
+    case Standard::kDvbT: return profile_dvbt();
+    case Standard::kWman80216a: return profile_wman_80216a();
+    case Standard::kHomePlug: return profile_homeplug();
+    case Standard::kAdslPlusPlus: return profile_adsl_plus_plus();
+  }
+  return profile_wlan_80211a();
+}
+
+}  // namespace ofdm::core

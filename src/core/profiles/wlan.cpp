@@ -1,0 +1,91 @@
+// IEEE 802.11a / 802.11g (ERP-OFDM) profiles.
+//
+// Geometry and processing from IEEE 802.11a-1999 clause 17: 64-point FFT
+// at 20 MS/s, 48 data + 4 pilot subcarriers, 16-sample (800 ns) guard
+// interval, frame-synchronous scrambler x^7+x^4+1, K=7 (133,171)
+// convolutional coding with rate-dependent puncturing, two-permutation
+// bit interleaver, BPSK..64-QAM. 802.11g reuses the identical PHY in the
+// 2.4 GHz band.
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+mapping::Scheme wlan_rate_scheme(WlanRate rate) {
+  switch (rate) {
+    case WlanRate::k6:
+    case WlanRate::k9: return mapping::Scheme::kBpsk;
+    case WlanRate::k12:
+    case WlanRate::k18: return mapping::Scheme::kQpsk;
+    case WlanRate::k24:
+    case WlanRate::k36: return mapping::Scheme::kQam16;
+    case WlanRate::k48:
+    case WlanRate::k54: return mapping::Scheme::kQam64;
+  }
+  return mapping::Scheme::kBpsk;
+}
+
+coding::PuncturePattern wlan_rate_puncture(WlanRate rate) {
+  switch (rate) {
+    case WlanRate::k6:
+    case WlanRate::k12:
+    case WlanRate::k24: return coding::puncture_none();
+    case WlanRate::k9:
+    case WlanRate::k18:
+    case WlanRate::k36:
+    case WlanRate::k54: return coding::puncture_3_4();
+    case WlanRate::k48: return coding::puncture_2_3();
+  }
+  return coding::puncture_none();
+}
+
+OfdmParams profile_wlan_80211a(WlanRate rate) {
+  OfdmParams p;
+  p.standard = Standard::kWlan80211a;
+  p.variant = "20 MHz, 5 GHz band";
+  p.sample_rate = 20e6;
+  p.fft_size = 64;
+  p.cp_len = 16;
+  p.window_ramp = 1;  // ~100 ns transition, 17.3.2.4
+  p.nominal_rf_hz = 5.18e9;
+
+  p.tone_map = null_tone_map(64);
+  fill_data_range(p.tone_map, -26, 26);
+  for (long k : {-21, -7, 7, 21}) set_tone(p.tone_map, k, ToneType::kPilot);
+
+  p.mapping = MappingKind::kFixed;
+  p.scheme = wlan_rate_scheme(rate);
+
+  // Pilots (-21,-7,7,21) carry (1,1,1,-1) times the p_n polarity PRBS
+  // (the 127-bit scrambler sequence with an all-ones seed), 17.3.5.9.
+  p.pilots.base_values = {cplx{1, 0}, cplx{1, 0}, cplx{1, 0}, cplx{-1, 0}};
+  p.pilots.polarity_prbs = true;
+  p.pilots.prbs_degree = 7;
+  p.pilots.prbs_taps = (1u << 6) | (1u << 3);
+  p.pilots.prbs_seed = 0x7F;
+
+  p.scrambler.enabled = true;
+  p.scrambler.degree = 7;
+  p.scrambler.taps = (1u << 6) | (1u << 3);
+  p.scrambler.seed = 0x5D;  // Annex G example initial state
+
+  p.fec.conv_enabled = true;
+  p.fec.conv = coding::k7_industry_code();
+  p.fec.puncture = wlan_rate_puncture(rate);
+
+  p.interleaver.kind = InterleaverKind::kWlan;
+
+  p.frame.symbols_per_frame = 10;
+  p.frame.preamble = PreambleKind::kWlan;
+  return p;
+}
+
+OfdmParams profile_wlan_80211g(WlanRate rate) {
+  OfdmParams p = profile_wlan_80211a(rate);
+  p.standard = Standard::kWlan80211g;
+  p.variant = "ERP-OFDM, 2.4 GHz band";
+  p.nominal_rf_hz = 2.412e9;
+  return p;
+}
+
+}  // namespace ofdm::core

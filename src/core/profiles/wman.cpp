@@ -1,0 +1,60 @@
+// IEEE 802.16a WirelessMAN-OFDM (256-carrier) profile.
+//
+// Geometry from IEEE 802.16a-2003 8.3.5: 256-point FFT, 192 data + 8
+// pilot subcarriers, 28+27 guard carriers, null DC; pilots at logical
+// indices ±88, ±63, ±38, ±13. Sampling factor 8/7 over a 7 MHz channel
+// gives exactly 8 MS/s. Scrambler x^15+x^14+1, RS + K=7 convolutional
+// concatenated FEC (the mandatory rate-1/2 16-QAM burst profile here,
+// with the RS(64,48) shortened code of that profile).
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::core {
+
+OfdmParams profile_wman_80216a() {
+  OfdmParams p;
+  p.standard = Standard::kWman80216a;
+  p.variant = "WirelessMAN-OFDM, 7 MHz channel";
+  p.sample_rate = 8e6;  // 7 MHz * 8/7
+  p.fft_size = 256;
+  p.cp_len = 32;  // G = 1/8
+  p.nominal_rf_hz = 3.5e9;
+
+  p.tone_map = null_tone_map(256);
+  fill_data_range(p.tone_map, -100, 100);
+  for (long k : {-88, -63, -38, -13, 13, 38, 63, 88}) {
+    set_tone(p.tone_map, k, ToneType::kPilot);
+  }
+
+  p.mapping = MappingKind::kFixed;
+  p.scheme = mapping::Scheme::kQam16;
+
+  // Pilots are BPSK modulated by the 802.16 w_k PRBS (x^11 + x^9 + 1).
+  p.pilots.base_values.assign(8, cplx{1.0, 0.0});
+  p.pilots.polarity_prbs = true;
+  p.pilots.prbs_degree = 11;
+  p.pilots.prbs_taps = (1u << 10) | (1u << 8);
+  p.pilots.prbs_seed = 0x7FF;
+
+  p.scrambler.enabled = true;
+  p.scrambler.degree = 15;
+  p.scrambler.taps = (std::uint64_t{1} << 14) | (std::uint64_t{1} << 13);
+  p.scrambler.seed = 0x4D4E;  // non-zero randomizer init
+
+  p.fec.rs_enabled = true;  // shortened RS(64, 48), t = 8
+  p.fec.rs_n = 64;
+  p.fec.rs_k = 48;
+  p.fec.conv_enabled = true;
+  p.fec.conv = coding::k7_industry_code();
+  p.fec.puncture = coding::puncture_2_3();
+
+  p.interleaver.kind = InterleaverKind::kBlock;
+  p.interleaver.rows = 16;  // 8.3.5.2.4 two-step interleaver, d = 16
+
+  p.frame.symbols_per_frame = 12;
+  p.frame.preamble = PreambleKind::kPhaseReference;
+  p.frame.phase_ref_seed = 0x0216ull;
+  return p;
+}
+
+}  // namespace ofdm::core

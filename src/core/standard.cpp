@@ -1,0 +1,21 @@
+#include "core/standard.hpp"
+
+namespace ofdm::core {
+
+std::string standard_name(Standard s) {
+  switch (s) {
+    case Standard::kWlan80211a: return "IEEE 802.11a";
+    case Standard::kWlan80211g: return "IEEE 802.11g";
+    case Standard::kAdsl: return "ADSL (G.992.1)";
+    case Standard::kDrm: return "DRM";
+    case Standard::kVdsl: return "VDSL (G.993.1)";
+    case Standard::kDab: return "DAB";
+    case Standard::kDvbT: return "DVB-T";
+    case Standard::kWman80216a: return "IEEE 802.16a";
+    case Standard::kHomePlug: return "HomePlug 1.0";
+    case Standard::kAdslPlusPlus: return "ADSL2+ (ADSL++)";
+  }
+  return "?";
+}
+
+}  // namespace ofdm::core

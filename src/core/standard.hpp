@@ -1,0 +1,32 @@
+// The OFDM Standard Family covered by the Mother Model — exactly the ten
+// standards the paper names in its introduction.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace ofdm::core {
+
+enum class Standard {
+  kWlan80211a,
+  kWlan80211g,
+  kAdsl,
+  kDrm,
+  kVdsl,
+  kDab,
+  kDvbT,
+  kWman80216a,
+  kHomePlug,
+  kAdslPlusPlus,
+};
+
+inline constexpr std::array<Standard, 10> kStandardFamily = {
+    Standard::kWlan80211a, Standard::kWlan80211g, Standard::kAdsl,
+    Standard::kDrm,        Standard::kVdsl,       Standard::kDab,
+    Standard::kDvbT,       Standard::kWman80216a, Standard::kHomePlug,
+    Standard::kAdslPlusPlus,
+};
+
+std::string standard_name(Standard s);
+
+}  // namespace ofdm::core

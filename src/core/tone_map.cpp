@@ -1,0 +1,36 @@
+#include "core/tone_map.hpp"
+
+#include "common/error.hpp"
+
+namespace ofdm::core {
+
+namespace {
+std::size_t logical_to_bin(const std::vector<ToneType>& map, long k) {
+  const long n = static_cast<long>(map.size());
+  OFDM_REQUIRE(k >= -n / 2 && k < n / 2,
+               "tone index outside [-N/2, N/2)");
+  return static_cast<std::size_t>((k + n) % n);
+}
+}  // namespace
+
+std::vector<ToneType> null_tone_map(std::size_t fft_size) {
+  return std::vector<ToneType>(fft_size, ToneType::kNull);
+}
+
+void set_tone(std::vector<ToneType>& map, long k, ToneType type) {
+  map[logical_to_bin(map, k)] = type;
+}
+
+void fill_data_range(std::vector<ToneType>& map, long lo, long hi,
+                     bool skip_dc) {
+  for (long k = lo; k <= hi; ++k) {
+    if (skip_dc && k == 0) continue;
+    set_tone(map, k, ToneType::kData);
+  }
+}
+
+ToneType tone_at(const std::vector<ToneType>& map, long k) {
+  return map[logical_to_bin(map, k)];
+}
+
+}  // namespace ofdm::core

@@ -1,0 +1,28 @@
+// Helpers for constructing tone maps (the per-bin role table inside
+// OfdmParams). Profiles compose these instead of writing out thousands of
+// bins by hand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+/// An all-null tone map of the given FFT size.
+std::vector<ToneType> null_tone_map(std::size_t fft_size);
+
+/// Set the tone at *logical* subcarrier index k (negative = below DC) in a
+/// tone map of size fft_size. k must lie in [-fft_size/2, fft_size/2).
+void set_tone(std::vector<ToneType>& map, long k, ToneType type);
+
+/// Mark logical subcarriers lo..hi (inclusive, DC skipped when
+/// `skip_dc`) as data tones.
+void fill_data_range(std::vector<ToneType>& map, long lo, long hi,
+                     bool skip_dc = true);
+
+/// Read the role at logical index k.
+ToneType tone_at(const std::vector<ToneType>& map, long k);
+
+}  // namespace ofdm::core

@@ -1,0 +1,320 @@
+#include "core/transmitter.hpp"
+
+#include <algorithm>
+
+#include "coding/interleaver.hpp"
+#include "coding/lfsr.hpp"
+#include "coding/reed_solomon.hpp"
+#include "coding/viterbi.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "core/preamble.hpp"
+
+namespace ofdm::core {
+
+struct Transmitter::State {
+  OfdmParams params;
+  ToneLayout layout;
+  std::optional<Modulator> modulator;
+  std::optional<mapping::Constellation> constellation;
+  std::optional<mapping::DmtMapper> dmt;
+  std::optional<mapping::DifferentialMapper> diff;
+  std::optional<coding::PermutationInterleaver> bit_interleaver;
+  std::optional<coding::PermutationInterleaver> cell_interleaver;
+  std::optional<coding::ConvEncoder> conv;
+  std::optional<coding::ReedSolomon> rs;
+  std::optional<PilotGenerator> pilots;
+  std::size_t cbps = 0;
+};
+
+Transmitter::Transmitter() = default;
+Transmitter::~Transmitter() = default;
+Transmitter::Transmitter(Transmitter&&) noexcept = default;
+Transmitter& Transmitter::operator=(Transmitter&&) noexcept = default;
+
+Transmitter::Transmitter(OfdmParams params) { configure(std::move(params)); }
+
+void Transmitter::configure(OfdmParams params) {
+  validate(params);
+  auto s = std::make_unique<State>();
+  s->params = std::move(params);
+  const OfdmParams& p = s->params;
+  s->layout = make_tone_layout(p);
+  s->modulator.emplace(s->params, s->layout);
+  s->cbps = coded_bits_per_symbol(p);
+
+  switch (p.mapping) {
+    case MappingKind::kFixed:
+      s->constellation = mapping::Constellation::make(p.scheme);
+      break;
+    case MappingKind::kDifferential:
+      s->diff.emplace(p.diff_kind, s->layout.data_bins.size());
+      break;
+    case MappingKind::kBitTable:
+      s->dmt.emplace(p.bit_table);
+      break;
+  }
+
+  switch (p.interleaver.kind) {
+    case InterleaverKind::kNone:
+      break;
+    case InterleaverKind::kWlan:
+      s->bit_interleaver = coding::make_wlan_interleaver(
+          s->cbps, mapping::bits_per_symbol(p.scheme));
+      break;
+    case InterleaverKind::kBlock:
+      s->bit_interleaver = coding::make_block_interleaver(
+          p.interleaver.rows, s->cbps / p.interleaver.rows);
+      break;
+    case InterleaverKind::kCell:
+      s->cell_interleaver = coding::make_random_interleaver(
+          s->layout.data_bins.size(), p.interleaver.seed);
+      break;
+  }
+
+  if (p.fec.conv_enabled) s->conv.emplace(p.fec.conv);
+  if (p.fec.rs_enabled) s->rs.emplace(p.fec.rs_n, p.fec.rs_k);
+  s->pilots.emplace(p.pilots, s->layout.pilot_bins.size());
+
+  state_ = std::move(s);  // commit only after everything succeeded
+}
+
+bool Transmitter::configured() const { return state_ != nullptr; }
+
+namespace {
+const char* kUnconfigured = "Transmitter: configure() first";
+}
+
+const OfdmParams& Transmitter::params() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  return state_->params;
+}
+
+const ToneLayout& Transmitter::layout() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  return state_->layout;
+}
+
+double Transmitter::tone_scale() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  return state_->modulator->tone_scale();
+}
+
+std::size_t Transmitter::bits_per_symbol() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  return state_->cbps;
+}
+
+std::size_t Transmitter::coded_length(std::size_t payload_bits) const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  const OfdmParams& p = state_->params;
+  std::size_t bits = payload_bits;
+  if (p.fec.rs_enabled) {
+    const std::size_t bytes = (bits + 7) / 8;
+    const std::size_t blocks = (bytes + p.fec.rs_k - 1) / p.fec.rs_k;
+    bits = std::max<std::size_t>(blocks, 1) * p.fec.rs_n * 8;
+  }
+  if (p.fec.conv_enabled) {
+    const std::size_t steps = bits + p.fec.conv.constraint_length - 1;
+    const auto& pat = state_->params.fec.puncture;
+    const std::size_t period = pat.period();
+    const std::size_t kept = pat.kept_per_period();
+    std::size_t coded = (steps / period) * kept;
+    for (std::size_t r = 0; r < steps % period; ++r) {
+      for (const auto& stream : pat.keep) coded += stream[r];
+    }
+    bits = coded;
+  }
+  // Pad to whole symbols, at least the configured frame length.
+  const std::size_t min_syms = state_->params.frame.symbols_per_frame;
+  const std::size_t syms =
+      std::max(min_syms, (bits + state_->cbps - 1) / state_->cbps);
+  return syms * state_->cbps;
+}
+
+std::size_t Transmitter::recommended_payload_bits() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  const std::size_t capacity =
+      state_->params.frame.symbols_per_frame * state_->cbps;
+  // coded_length() is monotone in the payload size; find the largest
+  // payload that still fits the configured frame.
+  std::size_t lo = 0;
+  std::size_t hi = capacity;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (coded_length(mid) <= capacity) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+bitvec Transmitter::encode_payload(
+    std::span<const std::uint8_t> payload_bits) const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  const OfdmParams& p = state_->params;
+  bitvec bits(payload_bits.begin(), payload_bits.end());
+
+  if (p.scrambler.enabled) {
+    coding::Scrambler scr(p.scrambler.degree, p.scrambler.taps,
+                          p.scrambler.seed);
+    bits = scr.process(bits);
+  }
+
+  // Filler PRBS: frame padding (RS block fill and whole-symbol fill)
+  // carries pseudo-random bits, not zeros — a run of zero bits would map
+  // to constellation corner points and skew the transmit power, whereas
+  // the real standards keep padding energy-dispersed. The receiver
+  // truncates the padding away, so the exact sequence only needs to be
+  // deterministic.
+  coding::Lfsr filler(15, (std::uint64_t{1} << 14) | 1u, 0x2A2A);
+
+  if (state_->rs) {
+    while (bits.size() % 8 != 0) bits.push_back(filler.step());
+    bytevec bytes = bits_to_bytes_msb(bits);
+    const std::size_t k = state_->rs->k();
+    const std::size_t blocks =
+        std::max<std::size_t>((bytes.size() + k - 1) / k, 1);
+    while (bytes.size() < blocks * k) {
+      std::uint8_t b = 0;
+      for (int i = 0; i < 8; ++i) {
+        b = static_cast<std::uint8_t>((b << 1) | filler.step());
+      }
+      bytes.push_back(b);
+    }
+    bytevec coded_bytes;
+    coded_bytes.reserve(bytes.size() / k * state_->rs->n());
+    for (std::size_t off = 0; off < bytes.size(); off += k) {
+      const bytevec block = state_->rs->encode(
+          std::span<const std::uint8_t>(bytes).subspan(off, k));
+      coded_bytes.insert(coded_bytes.end(), block.begin(), block.end());
+    }
+    bits = bytes_to_bits_msb(coded_bytes);
+  }
+
+  if (state_->conv) {
+    bits = coding::puncture(state_->conv->encode_terminated(bits),
+                            p.fec.puncture);
+  }
+
+  const std::size_t target = coded_length(payload_bits.size());
+  OFDM_REQUIRE(bits.size() <= target,
+               "Transmitter: internal coded-length mismatch");
+  while (bits.size() < target) bits.push_back(filler.step());
+  return bits;
+}
+
+cvec Transmitter::preamble_samples() const {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  const OfdmParams& p = state_->params;
+  switch (p.frame.preamble) {
+    case PreambleKind::kNone:
+      return {};
+    case PreambleKind::kWlan:
+      return wlan_preamble(p);
+    case PreambleKind::kPhaseReference: {
+      const cvec data =
+          phase_reference_values(p, state_->layout.data_bins.size());
+      const cvec pil(p.pilots.base_values);
+      Modulator mod(p, state_->layout);
+      cvec out;
+      mod.emit(mod.assemble(data, pil), out);
+      return out;
+    }
+  }
+  return {};
+}
+
+Transmitter::Burst Transmitter::modulate(
+    std::span<const std::uint8_t> payload_bits) {
+  OFDM_REQUIRE(state_, kUnconfigured);
+  State& s = *state_;
+  const OfdmParams& p = s.params;
+
+  Burst burst;
+  burst.payload_bits = payload_bits.size();
+
+  const bitvec coded = encode_payload(payload_bits);
+  burst.coded_bits = coded.size();
+  burst.data_symbols = coded.size() / s.cbps;
+
+  s.modulator->reset();
+  s.pilots->reset();
+
+  cvec& out = burst.samples;
+  out.reserve(p.frame.null_samples +
+              (burst.data_symbols + 2) * p.symbol_len());
+
+  // 1. Null symbol (DAB-style leading silence).
+  if (p.frame.null_samples > 0) {
+    s.modulator->emit_silence(p.frame.null_samples, out);
+    burst.null_samples = p.frame.null_samples;
+  }
+
+  // 2. Preamble / phase reference.
+  switch (p.frame.preamble) {
+    case PreambleKind::kNone:
+      break;
+    case PreambleKind::kWlan: {
+      const cvec pre = wlan_preamble(p);
+      s.modulator->emit_raw(pre, out);
+      burst.preamble_samples = pre.size();
+      break;
+    }
+    case PreambleKind::kPhaseReference: {
+      const cvec ref_data =
+          phase_reference_values(p, s.layout.data_bins.size());
+      const cvec ref_pilots(p.pilots.base_values);
+      const std::size_t before = out.size();
+      s.modulator->emit(s.modulator->assemble(ref_data, ref_pilots), out);
+      burst.preamble_samples = out.size() - before;
+      if (s.diff) s.diff->reset(ref_data);
+      break;
+    }
+  }
+
+  // 3. Payload symbols.
+  for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
+    const auto sym_bits = std::span<const std::uint8_t>(coded).subspan(
+        sym * s.cbps, s.cbps);
+
+    // Per-symbol bit interleaving.
+    bitvec permuted;
+    std::span<const std::uint8_t> mapped_bits = sym_bits;
+    if (s.bit_interleaver) {
+      permuted = s.bit_interleaver->interleave(sym_bits);
+      mapped_bits = permuted;
+    }
+
+    // Bits -> tone values.
+    cvec data_values;
+    switch (p.mapping) {
+      case MappingKind::kFixed:
+        data_values = s.constellation->map_all(mapped_bits);
+        break;
+      case MappingKind::kDifferential:
+        data_values = s.diff->map_symbol(mapped_bits);
+        break;
+      case MappingKind::kBitTable:
+        data_values = s.dmt->map_symbol(mapped_bits);
+        break;
+    }
+
+    // Cell interleaving permutes mapped values across the data tones.
+    if (s.cell_interleaver) {
+      data_values = s.cell_interleaver->interleave(
+          std::span<const cplx>(data_values));
+    }
+
+    const cvec pilot_values = s.pilots->next_symbol();
+    s.modulator->emit(s.modulator->assemble(data_values, pilot_values),
+                      out);
+  }
+
+  s.modulator->flush(out);
+  return burst;
+}
+
+}  // namespace ofdm::core

@@ -1,0 +1,232 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::dsp {
+
+namespace {
+
+// Iterative radix-2 DIT on data whose twiddles are precomputed for the
+// forward direction; the inverse runs the same network with conjugated
+// twiddles and applies 1/N outside.
+struct Radix2Plan {
+  std::size_t n = 0;
+  std::vector<std::size_t> bitrev;   // bit-reversal permutation
+  cvec twiddle;                      // e^{-j2πk/n}, k in [0, n/2)
+
+  explicit Radix2Plan(std::size_t size) : n(size) {
+    bitrev.resize(n);
+    std::size_t log2n = 0;
+    while ((std::size_t{1} << log2n) < n) ++log2n;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t r = 0;
+      for (std::size_t b = 0; b < log2n; ++b) {
+        r |= ((i >> b) & 1u) << (log2n - 1 - b);
+      }
+      bitrev[i] = r;
+    }
+    twiddle.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double a = -kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+      twiddle[k] = {std::cos(a), std::sin(a)};
+    }
+  }
+
+  void execute(std::span<cplx> data, bool inverse) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = bitrev[i];
+      if (i < j) std::swap(data[i], data[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      const std::size_t step = n / len;
+      for (std::size_t base = 0; base < n; base += len) {
+        for (std::size_t k = 0; k < half; ++k) {
+          cplx w = twiddle[k * step];
+          if (inverse) w = std::conj(w);
+          const cplx u = data[base + k];
+          const cplx t = data[base + k + half] * w;
+          data[base + k] = u + t;
+          data[base + k + half] = u - t;
+        }
+      }
+    }
+  }
+};
+
+// Bluestein expresses an N-point DFT as a convolution of length >= 2N-1,
+// evaluated with a power-of-two FFT. The chirp and the transformed kernel
+// are precomputed per direction.
+struct BluesteinPlan {
+  std::size_t n = 0;
+  std::size_t m = 0;  // convolution FFT size (power of two)
+  Radix2Plan conv;
+  cvec chirp_fwd;        // e^{-jπk²/n}
+  cvec kernel_fft_fwd;   // FFT of conjugate chirp, forward direction
+  cvec kernel_fft_inv;   // same for the inverse direction
+
+  explicit BluesteinPlan(std::size_t size)
+      : n(size), m(next_pow2(2 * size - 1)), conv(m) {
+    chirp_fwd.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      // k² mod 2n keeps the argument small for large N without changing
+      // the chirp value (e^{-jπ(k²+2n·q)/n} == e^{-jπk²/n}).
+      const std::size_t k2 = (k * k) % (2 * n);
+      const double a = -kPi * static_cast<double>(k2) / static_cast<double>(n);
+      chirp_fwd[k] = {std::cos(a), std::sin(a)};
+    }
+    kernel_fft_fwd = make_kernel(false);
+    kernel_fft_inv = make_kernel(true);
+  }
+
+  cvec make_kernel(bool inverse) const {
+    cvec kern(m, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx c = inverse ? chirp_fwd[k] : std::conj(chirp_fwd[k]);
+      kern[k] = c;
+      if (k != 0) kern[m - k] = c;
+    }
+    conv.execute(kern, /*inverse=*/false);
+    return kern;
+  }
+
+  void execute(std::span<const cplx> in, std::span<cplx> out,
+               bool inverse) const {
+    cvec a(m, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
+      a[k] = in[k] * c;
+    }
+    conv.execute(a, /*inverse=*/false);
+    const cvec& kern = inverse ? kernel_fft_inv : kernel_fft_fwd;
+    for (std::size_t k = 0; k < m; ++k) a[k] *= kern[k];
+    conv.execute(a, /*inverse=*/true);
+    const double scale = 1.0 / static_cast<double>(m);
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
+      out[k] = a[k] * c * scale;
+    }
+  }
+};
+
+}  // namespace
+
+struct Fft::Impl {
+  std::size_t n = 0;
+  std::unique_ptr<Radix2Plan> radix2;
+  std::unique_ptr<BluesteinPlan> bluestein;
+};
+
+Fft::Fft(std::size_t n) : impl_(std::make_unique<Impl>()) {
+  OFDM_REQUIRE(n >= 1, "Fft: size must be >= 1");
+  impl_->n = n;
+  if (is_pow2(n)) {
+    impl_->radix2 = std::make_unique<Radix2Plan>(n);
+  } else {
+    impl_->bluestein = std::make_unique<BluesteinPlan>(n);
+  }
+}
+
+Fft::~Fft() = default;
+Fft::Fft(Fft&&) noexcept = default;
+Fft& Fft::operator=(Fft&&) noexcept = default;
+
+std::size_t Fft::size() const { return impl_->n; }
+bool Fft::is_radix2() const { return impl_->radix2 != nullptr; }
+
+void Fft::forward(std::span<const cplx> in, std::span<cplx> out) const {
+  OFDM_REQUIRE_DIM(in.size() == impl_->n && out.size() == impl_->n,
+                   "Fft::forward: buffer size mismatch");
+  if (impl_->radix2) {
+    if (out.data() != in.data()) {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+    impl_->radix2->execute(out, /*inverse=*/false);
+  } else {
+    if (out.data() == in.data()) {
+      cvec tmp(in.begin(), in.end());
+      impl_->bluestein->execute(tmp, out, /*inverse=*/false);
+    } else {
+      impl_->bluestein->execute(in, out, /*inverse=*/false);
+    }
+  }
+}
+
+void Fft::inverse(std::span<const cplx> in, std::span<cplx> out) const {
+  OFDM_REQUIRE_DIM(in.size() == impl_->n && out.size() == impl_->n,
+                   "Fft::inverse: buffer size mismatch");
+  if (impl_->radix2) {
+    if (out.data() != in.data()) {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+    impl_->radix2->execute(out, /*inverse=*/true);
+  } else {
+    if (out.data() == in.data()) {
+      cvec tmp(in.begin(), in.end());
+      impl_->bluestein->execute(tmp, out, /*inverse=*/true);
+    } else {
+      impl_->bluestein->execute(in, out, /*inverse=*/true);
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(impl_->n);
+  for (cplx& v : out) v *= scale;
+}
+
+cvec Fft::forward(std::span<const cplx> in) const {
+  cvec out(size());
+  forward(in, out);
+  return out;
+}
+
+cvec Fft::inverse(std::span<const cplx> in) const {
+  cvec out(size());
+  inverse(in, out);
+  return out;
+}
+
+cvec reference_dft(std::span<const cplx> x, bool inverse) {
+  const std::size_t n = x.size();
+  cvec out(n, cplx{0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t m = 0; m < n; ++m) {
+      const double a = sign * kTwoPi * static_cast<double>(k * m % n) /
+                       static_cast<double>(n);
+      acc += x[m] * cplx{std::cos(a), std::sin(a)};
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+cvec fftshift(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  cvec out(n);
+  const std::size_t half = (n + 1) / 2;  // ceil: DC lands in the middle
+  std::copy(x.begin() + static_cast<std::ptrdiff_t>(half), x.end(),
+            out.begin());
+  std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(half),
+            out.begin() + static_cast<std::ptrdiff_t>(n - half));
+  return out;
+}
+
+cvec ifftshift(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  cvec out(n);
+  // Rotate left by floor(n/2): the exact inverse of fftshift's
+  // rotate-left-by-ceil(n/2).
+  const std::size_t half = n / 2;
+  std::copy(x.begin() + static_cast<std::ptrdiff_t>(half), x.end(),
+            out.begin());
+  std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(half),
+            out.begin() + static_cast<std::ptrdiff_t>(n - half));
+  return out;
+}
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,65 @@
+// Fast Fourier transform with two execution paths:
+//
+//  * power-of-two sizes  -> iterative radix-2 Cooley-Tukey with precomputed
+//    twiddles (the common case: 64/256/512/.../8192-point OFDM symbols);
+//  * any other size      -> Bluestein's chirp-z algorithm, needed because
+//    the DRM robustness modes use non-power-of-two symbol lengths
+//    (1152, 704, 448 samples at the 48 kHz master rate).
+//
+// Conventions: forward() computes X[k] = sum_n x[n] e^{-j2πkn/N} (no
+// scaling); inverse() includes the 1/N factor so inverse(forward(x)) == x.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::dsp {
+
+/// A transform plan for a fixed size N. Plans are immutable after
+/// construction and cheap to reuse; construct once per symbol size.
+class Fft {
+ public:
+  /// Build a plan for size n (n >= 1). Chooses radix-2 or Bluestein.
+  explicit Fft(std::size_t n);
+  ~Fft();
+
+  Fft(Fft&&) noexcept;
+  Fft& operator=(Fft&&) noexcept;
+  Fft(const Fft&) = delete;
+  Fft& operator=(const Fft&) = delete;
+
+  std::size_t size() const;
+
+  /// True if this plan runs the radix-2 path (power-of-two size).
+  bool is_radix2() const;
+
+  /// Forward DFT. in.size() == out.size() == size(). In-place allowed.
+  void forward(std::span<const cplx> in, std::span<cplx> out) const;
+
+  /// Inverse DFT with 1/N scaling. In-place allowed.
+  void inverse(std::span<const cplx> in, std::span<cplx> out) const;
+
+  /// Convenience allocating overloads.
+  cvec forward(std::span<const cplx> in) const;
+  cvec inverse(std::span<const cplx> in) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// O(N^2) reference DFT used by the unit tests as ground truth.
+cvec reference_dft(std::span<const cplx> x, bool inverse = false);
+
+/// Swap the two halves of a spectrum so that DC ends up in the middle
+/// (odd lengths put DC at index (N-1)/2 after the shift, matching the
+/// usual fftshift definition).
+cvec fftshift(std::span<const cplx> x);
+
+/// Inverse of fftshift.
+cvec ifftshift(std::span<const cplx> x);
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,79 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "dsp/window.hpp"
+
+namespace ofdm::dsp {
+
+rvec design_lowpass(double cutoff, std::size_t taps) {
+  OFDM_REQUIRE(cutoff > 0.0 && cutoff < 0.5,
+               "design_lowpass: cutoff must be in (0, 0.5)");
+  OFDM_REQUIRE(taps >= 1, "design_lowpass: need at least one tap");
+  rvec h(taps);
+  const double mid = (static_cast<double>(taps) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    // Symmetric (non-periodic) Hamming for linear phase.
+    const double w =
+        taps == 1 ? 1.0
+                  : 0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) /
+                                           static_cast<double>(taps - 1));
+    h[i] = 2.0 * cutoff * sinc(2.0 * cutoff * t) * w;
+  }
+  // Normalize to unity DC gain.
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  if (sum != 0.0) {
+    for (double& v : h) v /= sum;
+  }
+  return h;
+}
+
+FirFilter::FirFilter(rvec taps) : taps_(std::move(taps)) {
+  OFDM_REQUIRE(!taps_.empty(), "FirFilter: empty tap vector");
+  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+}
+
+void FirFilter::process(std::span<const cplx> in, std::span<cplx> out) {
+  OFDM_REQUIRE_DIM(in.size() == out.size(),
+                   "FirFilter::process: in/out size mismatch");
+  const std::size_t n_taps = taps_.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    head_ = (head_ + n_taps - 1) % n_taps;
+    delay_[head_] = in[i];
+    cplx acc{0.0, 0.0};
+    std::size_t idx = head_;
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc += delay_[idx] * taps_[t];
+      idx = (idx + 1) % n_taps;
+    }
+    out[i] = acc;
+  }
+}
+
+cvec FirFilter::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  process(in, out);
+  return out;
+}
+
+void FirFilter::reset() {
+  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+  head_ = 0;
+}
+
+cvec convolve(std::span<const cplx> x, std::span<const double> taps) {
+  if (x.empty() || taps.empty()) return {};
+  cvec out(x.size() + taps.size() - 1, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      out[i + j] += x[i] * taps[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,45 @@
+// FIR filtering: windowed-sinc design plus a streaming filter state.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::dsp {
+
+/// Design a linear-phase lowpass by the windowed-sinc method.
+/// `cutoff` is the normalized cutoff in cycles/sample (0 < cutoff < 0.5);
+/// `taps` is the filter length (>= 1). Hamming window, unity DC gain.
+rvec design_lowpass(double cutoff, std::size_t taps);
+
+/// Streaming FIR filter with real taps acting on complex samples.
+/// Keeps its own delay line so arbitrarily chunked input produces the same
+/// output as one big call (required by the sample-streaming RF blocks).
+class FirFilter {
+ public:
+  explicit FirFilter(rvec taps);
+
+  std::size_t tap_count() const { return taps_.size(); }
+  /// Group delay in samples for the linear-phase case: (taps-1)/2.
+  double group_delay() const {
+    return (static_cast<double>(taps_.size()) - 1.0) / 2.0;
+  }
+
+  /// Filter a chunk; output has the same length as the input.
+  void process(std::span<const cplx> in, std::span<cplx> out);
+  cvec process(std::span<const cplx> in);
+
+  /// Clear the delay line.
+  void reset();
+
+ private:
+  rvec taps_;
+  cvec delay_;           // circular delay line, length == taps
+  std::size_t head_ = 0;  // index of the most recent sample
+};
+
+/// One-shot convolution returning full length (x.size()+taps.size()-1).
+cvec convolve(std::span<const cplx> x, std::span<const double> taps);
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,62 @@
+#include "dsp/resample.hpp"
+
+#include "common/error.hpp"
+
+namespace ofdm::dsp {
+
+namespace {
+rvec anti_alias_taps(std::size_t factor, std::size_t taps_per_phase,
+                     double gain) {
+  if (factor == 1) {
+    return rvec{gain};
+  }
+  const std::size_t taps = taps_per_phase * factor;
+  rvec h = design_lowpass(0.5 / static_cast<double>(factor), taps);
+  for (double& v : h) v *= gain;
+  return h;
+}
+}  // namespace
+
+Interpolator::Interpolator(std::size_t factor, std::size_t taps_per_phase)
+    : factor_(factor),
+      filter_(anti_alias_taps(factor, taps_per_phase,
+                              static_cast<double>(factor))) {
+  OFDM_REQUIRE(factor >= 1, "Interpolator: factor must be >= 1");
+}
+
+cvec Interpolator::process(std::span<const cplx> in) {
+  if (factor_ == 1) {
+    return filter_.process(in);
+  }
+  cvec stuffed(in.size() * factor_, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    stuffed[i * factor_] = in[i];
+  }
+  return filter_.process(stuffed);
+}
+
+void Interpolator::reset() { filter_.reset(); }
+
+Decimator::Decimator(std::size_t factor, std::size_t taps_per_phase)
+    : factor_(factor),
+      filter_(anti_alias_taps(factor, taps_per_phase, 1.0)) {
+  OFDM_REQUIRE(factor >= 1, "Decimator: factor must be >= 1");
+}
+
+cvec Decimator::process(std::span<const cplx> in) {
+  const cvec filtered = filter_.process(in);
+  cvec out;
+  out.reserve(filtered.size() / factor_ + 1);
+  for (const cplx& v : filtered) {
+    if (phase_ == 0) out.push_back(v);
+    phase_ = (phase_ + 1) % factor_;
+  }
+  return out;
+}
+
+void Decimator::reset() {
+  filter_.reset();
+  phase_ = 0;
+}
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,54 @@
+// Integer-factor sample-rate conversion. The RF simulator oversamples the
+// baseband signal before the DAC/upconverter; the Interpolator implements
+// zero-stuffing followed by an anti-imaging lowpass.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "dsp/fir.hpp"
+
+namespace ofdm::dsp {
+
+/// Upsample by an integer factor L: zero-stuff then lowpass at 1/(2L),
+/// with gain L so the signal amplitude is preserved.
+class Interpolator {
+ public:
+  /// `factor` >= 1; `taps_per_phase` controls filter quality (default 16
+  /// taps for every output phase).
+  explicit Interpolator(std::size_t factor, std::size_t taps_per_phase = 16);
+
+  std::size_t factor() const { return factor_; }
+
+  /// Produces factor()*in.size() samples.
+  cvec process(std::span<const cplx> in);
+
+  void reset();
+
+ private:
+  std::size_t factor_;
+  FirFilter filter_;
+};
+
+/// Downsample by an integer factor M: lowpass at 1/(2M) then keep every
+/// M-th sample.
+class Decimator {
+ public:
+  explicit Decimator(std::size_t factor, std::size_t taps_per_phase = 16);
+
+  std::size_t factor() const { return factor_; }
+
+  /// Produces floor((phase + in.size())/M) - floor(phase/M) samples,
+  /// streaming-safe across chunk boundaries.
+  cvec process(std::span<const cplx> in);
+
+  void reset();
+
+ private:
+  std::size_t factor_;
+  std::size_t phase_ = 0;
+  FirFilter filter_;
+};
+
+}  // namespace ofdm::dsp

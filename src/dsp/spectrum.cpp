@@ -1,0 +1,74 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace ofdm::dsp {
+
+double Psd::total_power() const {
+  double acc = 0.0;
+  for (double v : power) acc += v;
+  return acc;
+}
+
+double Psd::band_power(double f_lo, double f_hi) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (freq[i] >= f_lo && freq[i] <= f_hi) acc += power[i];
+  }
+  return acc;
+}
+
+double Psd::peak_in_band(double f_lo, double f_hi) const {
+  double peak = 0.0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (freq[i] >= f_lo && freq[i] <= f_hi) peak = std::max(peak, power[i]);
+  }
+  return peak;
+}
+
+Psd welch_psd(std::span<const cplx> x, const WelchConfig& cfg) {
+  OFDM_REQUIRE(cfg.segment >= 2, "welch_psd: segment must be >= 2");
+  OFDM_REQUIRE(cfg.overlap >= 0.0 && cfg.overlap < 1.0,
+               "welch_psd: overlap must be in [0, 1)");
+  OFDM_REQUIRE_DIM(x.size() >= cfg.segment,
+                   "welch_psd: signal shorter than one segment");
+
+  const std::size_t seg = cfg.segment;
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(seg) * (1.0 - cfg.overlap))));
+  const rvec w = make_window(cfg.window, seg);
+  const double norm = window_power(w) * static_cast<double>(seg);
+
+  Fft fft(seg);
+  cvec buf(seg);
+  cvec spec(seg);
+  rvec acc(seg, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) buf[i] = x[start + i] * w[i];
+    fft.forward(buf, spec);
+    for (std::size_t i = 0; i < seg; ++i) acc[i] += std::norm(spec[i]);
+    ++count;
+  }
+
+  Psd psd;
+  psd.freq.resize(seg);
+  psd.power.resize(seg);
+  const double df = cfg.sample_rate / static_cast<double>(seg);
+  const std::size_t half = seg / 2;  // ifftshift offset for even seg
+  for (std::size_t i = 0; i < seg; ++i) {
+    // DC-centered ordering: bin 0 of the output is -fs/2.
+    const std::size_t src = (i + half) % seg;
+    psd.freq[i] =
+        (static_cast<double>(i) - static_cast<double>(half)) * df;
+    psd.power[i] = acc[src] / (static_cast<double>(count) * norm);
+  }
+  return psd;
+}
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,36 @@
+// Power spectral density estimation (Welch's method). The RF simulator's
+// spectrum-analyzer sink and the spectral-mask metric are built on this.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "dsp/window.hpp"
+
+namespace ofdm::dsp {
+
+struct WelchConfig {
+  std::size_t segment = 256;             ///< FFT/segment length
+  double overlap = 0.5;                  ///< fractional overlap in [0, 1)
+  WindowType window = WindowType::kHann;
+  double sample_rate = 1.0;              ///< Hz, for the frequency axis
+};
+
+struct Psd {
+  rvec freq;   ///< frequency axis, DC-centered, length == segment
+  rvec power;  ///< linear power density per bin (same ordering as freq)
+
+  /// Total power integrated over all bins (should match mean signal power).
+  double total_power() const;
+  /// Power in [f_lo, f_hi] (Hz on the DC-centered axis).
+  double band_power(double f_lo, double f_hi) const;
+  /// Largest bin value in [f_lo, f_hi], linear.
+  double peak_in_band(double f_lo, double f_hi) const;
+};
+
+/// Welch-averaged, DC-centered PSD of a complex baseband signal. The input
+/// must contain at least one full segment.
+Psd welch_psd(std::span<const cplx> x, const WelchConfig& cfg);
+
+}  // namespace ofdm::dsp

@@ -1,0 +1,60 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ofdm::dsp {
+
+rvec make_window(WindowType type, std::size_t n) {
+  OFDM_REQUIRE(n >= 1, "make_window: n must be >= 1");
+  rvec w(n, 1.0);
+  const double denom = static_cast<double>(n);  // periodic window
+  switch (type) {
+    case WindowType::kRectangular:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+      }
+      break;
+  }
+  return w;
+}
+
+double window_power(std::span<const double> w) {
+  double acc = 0.0;
+  for (double v : w) acc += v * v;
+  return acc;
+}
+
+rvec raised_cosine_ramp(std::size_t ramp) {
+  rvec r(ramp);
+  for (std::size_t i = 0; i < ramp; ++i) {
+    // Sampled so that r[0] > 0 and the complementary falling ramp
+    // (1 - r[i]) sums with it to exactly 1 at every overlap position.
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(ramp);
+    r[i] = 0.5 * (1.0 - std::cos(kPi * t));
+  }
+  return r;
+}
+
+void apply_window(std::span<cplx> x, std::span<const double> w) {
+  OFDM_REQUIRE_DIM(x.size() == w.size(),
+                   "apply_window: signal/window size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
+}
+
+}  // namespace ofdm::dsp

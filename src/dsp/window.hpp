@@ -1,0 +1,33 @@
+// Window functions for spectral analysis and OFDM symbol edge shaping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Generate an n-point window of the given type (periodic form, the right
+/// choice for spectral averaging).
+rvec make_window(WindowType type, std::size_t n);
+
+/// Sum of squared window coefficients (PSD normalization constant).
+double window_power(std::span<const double> w);
+
+/// Raised-cosine edge taper used for OFDM symbol windowing: `ramp` samples
+/// rise from 0 to 1 following 0.5(1-cos). The caller overlaps consecutive
+/// symbols by `ramp` samples so the summed envelope stays flat.
+rvec raised_cosine_ramp(std::size_t ramp);
+
+/// Apply a real window to a complex signal in place (sizes must match).
+void apply_window(std::span<cplx> x, std::span<const double> w);
+
+}  // namespace ofdm::dsp

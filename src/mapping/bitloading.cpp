@@ -1,0 +1,79 @@
+#include "mapping/bitloading.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::mapping {
+
+std::size_t table_bits(const BitTable& table) {
+  std::size_t total = 0;
+  for (std::uint8_t b : table) total += b;
+  return total;
+}
+
+BitTable compute_bit_allocation(std::span<const double> snr_db,
+                                double gamma_db, std::uint8_t max_bits,
+                                std::uint8_t min_bits) {
+  OFDM_REQUIRE(max_bits >= 1 && max_bits <= kMaxBitsPerTone,
+               "compute_bit_allocation: max_bits must be 1..15");
+  const double gamma = from_db(gamma_db);
+  BitTable table(snr_db.size(), 0);
+  for (std::size_t i = 0; i < snr_db.size(); ++i) {
+    const double cap = std::log2(1.0 + from_db(snr_db[i]) / gamma);
+    auto b = static_cast<std::int64_t>(std::floor(cap));
+    if (b > max_bits) b = max_bits;
+    if (b < min_bits) b = 0;
+    table[i] = static_cast<std::uint8_t>(b);
+  }
+  return table;
+}
+
+DmtMapper::DmtMapper(BitTable table)
+    : table_(std::move(table)), bits_per_symbol_(table_bits(table_)) {
+  OFDM_REQUIRE(!table_.empty(), "DmtMapper: empty bit table");
+  for (std::uint8_t b : table_) {
+    OFDM_REQUIRE(b <= kMaxBitsPerTone,
+                 "DmtMapper: per-tone load must be <= 15 bits");
+  }
+  // Build the constellation cache for loads 1..15.
+  cache_.reserve(kMaxBitsPerTone + 1);
+  cache_.push_back(Constellation::make_rect(1, 0));  // placeholder for 0
+  for (std::size_t b = 1; b <= kMaxBitsPerTone; ++b) {
+    cache_.push_back(Constellation::make_rect((b + 1) / 2, b / 2));
+  }
+}
+
+const Constellation& DmtMapper::constellation_for(std::uint8_t load) const {
+  return cache_[load];
+}
+
+cvec DmtMapper::map_symbol(std::span<const std::uint8_t> bits) const {
+  OFDM_REQUIRE_DIM(bits.size() == bits_per_symbol_,
+                   "DmtMapper::map_symbol: wrong bit count");
+  cvec out(table_.size(), cplx{0.0, 0.0});
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < table_.size(); ++t) {
+    const std::uint8_t load = table_[t];
+    if (load == 0) continue;
+    out[t] = constellation_for(load).map(bits.subspan(pos, load));
+    pos += load;
+  }
+  return out;
+}
+
+bitvec DmtMapper::demap_symbol(std::span<const cplx> tones_in) const {
+  OFDM_REQUIRE_DIM(tones_in.size() == table_.size(),
+                   "DmtMapper::demap_symbol: tone count mismatch");
+  bitvec out;
+  out.reserve(bits_per_symbol_);
+  for (std::size_t t = 0; t < table_.size(); ++t) {
+    const std::uint8_t load = table_[t];
+    if (load == 0) continue;
+    constellation_for(load).demap(tones_in[t], out);
+  }
+  return out;
+}
+
+}  // namespace ofdm::mapping

@@ -1,0 +1,172 @@
+#include "mapping/constellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace ofdm::mapping {
+
+std::size_t bits_per_symbol(Scheme s) {
+  switch (s) {
+    case Scheme::kBpsk: return 1;
+    case Scheme::kQpsk: return 2;
+    case Scheme::kQam16: return 4;
+    case Scheme::kQam64: return 6;
+    case Scheme::kQam256: return 8;
+  }
+  return 0;
+}
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kBpsk: return "BPSK";
+    case Scheme::kQpsk: return "QPSK";
+    case Scheme::kQam16: return "16-QAM";
+    case Scheme::kQam64: return "64-QAM";
+    case Scheme::kQam256: return "256-QAM";
+  }
+  return "?";
+}
+
+Constellation Constellation::make(Scheme s) {
+  switch (s) {
+    case Scheme::kBpsk: return Constellation(1, 0);
+    case Scheme::kQpsk: return Constellation(1, 1);
+    case Scheme::kQam16: return Constellation(2, 2);
+    case Scheme::kQam64: return Constellation(3, 3);
+    case Scheme::kQam256: return Constellation(4, 4);
+  }
+  return Constellation(1, 0);
+}
+
+Constellation Constellation::make_rect(std::size_t bits_i,
+                                       std::size_t bits_q) {
+  return Constellation(bits_i, bits_q);
+}
+
+Constellation::Constellation(std::size_t bits_i, std::size_t bits_q)
+    : bits_i_(bits_i), bits_q_(bits_q) {
+  OFDM_REQUIRE(bits_i >= 1 && bits_i <= 8 && bits_q <= 8,
+               "Constellation: need 1..8 I bits and 0..8 Q bits");
+  // Average energy of an M-PAM axis with levels {±1, ±3, ...}: (M²-1)/3.
+  auto axis_energy = [](std::size_t nbits) {
+    if (nbits == 0) return 0.0;
+    const double m = static_cast<double>(std::size_t{1} << nbits);
+    return (m * m - 1.0) / 3.0;
+  };
+  norm_ = std::sqrt(axis_energy(bits_i_) + axis_energy(bits_q_));
+}
+
+int Constellation::gray_to_level(std::size_t gray_bits, std::size_t n_bits) {
+  // Gray -> binary index.
+  std::size_t b = gray_bits;
+  for (std::size_t shift = 1; shift < n_bits; shift <<= 1) b ^= b >> shift;
+  const std::size_t m = std::size_t{1} << n_bits;
+  return 2 * static_cast<int>(b) - static_cast<int>(m - 1);
+}
+
+std::size_t Constellation::level_to_gray(double value, std::size_t n_bits) {
+  const auto m = static_cast<long>(std::size_t{1} << n_bits);
+  long idx = std::lround((value + static_cast<double>(m - 1)) / 2.0);
+  idx = std::clamp(idx, 0l, m - 1);
+  const auto b = static_cast<std::size_t>(idx);
+  return b ^ (b >> 1);
+}
+
+cplx Constellation::map(std::span<const std::uint8_t> bits) const {
+  OFDM_REQUIRE_DIM(bits.size() == this->bits(),
+                   "Constellation::map: wrong bit count");
+  const std::size_t gi = bits_to_uint(bits, 0, bits_i_);
+  const double i_level = gray_to_level(gi, bits_i_);
+  double q_level = 0.0;
+  if (bits_q_ > 0) {
+    const std::size_t gq = bits_to_uint(bits, bits_i_, bits_q_);
+    q_level = gray_to_level(gq, bits_q_);
+  }
+  return cplx{i_level, q_level} / norm_;
+}
+
+cvec Constellation::map_all(std::span<const std::uint8_t> bits) const {
+  const std::size_t bps = this->bits();
+  OFDM_REQUIRE_DIM(bits.size() % bps == 0,
+                   "Constellation::map_all: bit count not a multiple of "
+                   "bits per symbol");
+  cvec out;
+  out.reserve(bits.size() / bps);
+  for (std::size_t i = 0; i < bits.size(); i += bps) {
+    out.push_back(map(bits.subspan(i, bps)));
+  }
+  return out;
+}
+
+void Constellation::demap(cplx symbol, bitvec& out) const {
+  const cplx scaled = symbol * norm_;
+  append_uint(out, level_to_gray(scaled.real(), bits_i_), bits_i_);
+  if (bits_q_ > 0) {
+    append_uint(out, level_to_gray(scaled.imag(), bits_q_), bits_q_);
+  }
+}
+
+bitvec Constellation::demap_all(std::span<const cplx> symbols) const {
+  bitvec out;
+  out.reserve(symbols.size() * bits());
+  for (const cplx& s : symbols) demap(s, out);
+  return out;
+}
+
+namespace {
+// Max-log LLRs for one symbol given the precomputed point table: per
+// bit, the squared distance to the nearest point with that bit 0 vs 1.
+// Exhaustive over the (<= 256-point) constellation — a reference
+// implementation, not a modem kernel.
+void soft_bits(cplx symbol, double noise_var, const cvec& points,
+               std::size_t n_bits, rvec& out) {
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    double d0 = 1e300;
+    double d1 = 1e300;
+    for (std::size_t idx = 0; idx < points.size(); ++idx) {
+      const double d = std::norm(symbol - points[idx]);
+      if ((idx >> (n_bits - 1 - b)) & 1u) {
+        d1 = std::min(d1, d);
+      } else {
+        d0 = std::min(d0, d);
+      }
+    }
+    out.push_back((d1 - d0) / noise_var);
+  }
+}
+}  // namespace
+
+void Constellation::demap_soft(cplx symbol, double noise_var,
+                               rvec& out) const {
+  OFDM_REQUIRE(noise_var > 0.0,
+               "demap_soft: noise variance must be positive");
+  cvec points(size());
+  for (std::size_t i = 0; i < points.size(); ++i) points[i] = point(i);
+  soft_bits(symbol, noise_var, points, bits(), out);
+}
+
+rvec Constellation::demap_soft_all(std::span<const cplx> symbols,
+                                   double noise_var) const {
+  OFDM_REQUIRE(noise_var > 0.0,
+               "demap_soft_all: noise variance must be positive");
+  cvec points(size());
+  for (std::size_t i = 0; i < points.size(); ++i) points[i] = point(i);
+  rvec out;
+  out.reserve(symbols.size() * bits());
+  for (const cplx& s : symbols) {
+    soft_bits(s, noise_var, points, bits(), out);
+  }
+  return out;
+}
+
+cplx Constellation::point(std::size_t index) const {
+  OFDM_REQUIRE(index < size(), "Constellation::point: index out of range");
+  bitvec bits;
+  append_uint(bits, index, this->bits());
+  return map(bits);
+}
+
+}  // namespace ofdm::mapping

@@ -1,0 +1,83 @@
+// Gray-coded QAM constellations.
+//
+// One Constellation object describes a complete bits<->symbols mapping,
+// normalized to unit average energy. Square QAM (even bit counts) and
+// rectangular QAM (odd bit counts, used by the DMT bit-loading path) are
+// both composed from Gray-coded PAM axes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ofdm::mapping {
+
+enum class Scheme {
+  kBpsk,    ///< 1 bit, real axis
+  kQpsk,    ///< 2 bits
+  kQam16,   ///< 4 bits
+  kQam64,   ///< 6 bits
+  kQam256,  ///< 8 bits
+};
+
+/// Bits per symbol for a scheme.
+std::size_t bits_per_symbol(Scheme s);
+std::string scheme_name(Scheme s);
+
+/// A concrete constellation with Gray mapping and unit average energy.
+class Constellation {
+ public:
+  /// Standard square constellation for a scheme (802.11a 17.3.5.7 style).
+  static Constellation make(Scheme s);
+
+  /// Rectangular QAM with `bits_i` Gray-coded bits on I and `bits_q` on Q
+  /// (bits_q == 0 gives PAM). Used for DMT tones with odd bit loads.
+  static Constellation make_rect(std::size_t bits_i, std::size_t bits_q);
+
+  std::size_t bits() const { return bits_i_ + bits_q_; }
+  std::size_t size() const { return std::size_t{1} << bits(); }
+
+  /// Map `bits()` bits (MSB-significant: I bits first, then Q bits) to a
+  /// symbol.
+  cplx map(std::span<const std::uint8_t> bits) const;
+
+  /// Map a whole stream; length must be a multiple of bits().
+  cvec map_all(std::span<const std::uint8_t> bits) const;
+
+  /// Hard-decision demap of one symbol back to bits (appended to `out`).
+  void demap(cplx symbol, bitvec& out) const;
+
+  /// Demap a symbol stream.
+  bitvec demap_all(std::span<const cplx> symbols) const;
+
+  /// Max-log soft demap: appends one LLR per bit, with the convention
+  /// llr > 0 => bit 0 more likely. `noise_var` scales the magnitudes
+  /// (LLR = (d1² - d0²)/noise_var with d_b the distance to the nearest
+  /// point whose bit equals b).
+  void demap_soft(cplx symbol, double noise_var, rvec& out) const;
+
+  /// Soft demap of a symbol stream.
+  rvec demap_soft_all(std::span<const cplx> symbols,
+                      double noise_var) const;
+
+  /// The point a given bit pattern maps to (index = bits as an integer,
+  /// I bits in the high positions).
+  cplx point(std::size_t index) const;
+
+  /// sqrt of unnormalized average energy: the K_MOD scale denominator.
+  double norm_factor() const { return norm_; }
+
+ private:
+  Constellation(std::size_t bits_i, std::size_t bits_q);
+
+  static int gray_to_level(std::size_t gray_bits, std::size_t n_bits);
+  static std::size_t level_to_gray(double value, std::size_t n_bits);
+
+  std::size_t bits_i_;
+  std::size_t bits_q_;
+  double norm_;
+};
+
+}  // namespace ofdm::mapping

@@ -1,0 +1,25 @@
+#include "metrics/ber.hpp"
+
+#include "common/error.hpp"
+
+namespace ofdm::metrics {
+
+BerResult ber(std::span<const std::uint8_t> tx,
+              std::span<const std::uint8_t> rx) {
+  OFDM_REQUIRE_DIM(tx.size() == rx.size(), "ber: stream size mismatch");
+  BerResult r;
+  r.bits = tx.size();
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    r.errors += (tx[i] & 1u) != (rx[i] & 1u);
+  }
+  return r;
+}
+
+void BerCounter::add(std::span<const std::uint8_t> tx,
+                     std::span<const std::uint8_t> rx) {
+  const BerResult r = ber(tx, rx);
+  acc_.bits += r.bits;
+  acc_.errors += r.errors;
+}
+
+}  // namespace ofdm::metrics

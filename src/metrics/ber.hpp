@@ -1,0 +1,36 @@
+// Bit-error bookkeeping for the loopback and co-simulation experiments.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::metrics {
+
+struct BerResult {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  double rate() const {
+    return bits > 0 ? static_cast<double>(errors) /
+                          static_cast<double>(bits)
+                    : 0.0;
+  }
+};
+
+/// Compare transmitted vs received bits.
+BerResult ber(std::span<const std::uint8_t> tx,
+              std::span<const std::uint8_t> rx);
+
+/// Accumulator for Monte-Carlo sweeps.
+class BerCounter {
+ public:
+  void add(std::span<const std::uint8_t> tx,
+           std::span<const std::uint8_t> rx);
+  BerResult result() const { return acc_; }
+  void reset() { acc_ = {}; }
+
+ private:
+  BerResult acc_;
+};
+
+}  // namespace ofdm::metrics

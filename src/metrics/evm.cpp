@@ -1,0 +1,52 @@
+#include "metrics/evm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::metrics {
+
+double EvmResult::rms_db() const {
+  return rms > 0.0 ? 20.0 * std::log10(rms) : -400.0;
+}
+
+EvmResult evm(std::span<const cplx> received,
+              std::span<const cplx> reference) {
+  OFDM_REQUIRE_DIM(received.size() == reference.size() && !received.empty(),
+                   "evm: received/reference size mismatch");
+  double err_acc = 0.0;
+  double ref_acc = 0.0;
+  double peak_err = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    const double e = std::norm(received[i] - reference[i]);
+    err_acc += e;
+    ref_acc += std::norm(reference[i]);
+    peak_err = std::max(peak_err, e);
+  }
+  EvmResult r;
+  const double ref_ms = ref_acc / static_cast<double>(received.size());
+  if (ref_ms > 0.0) {
+    r.rms = std::sqrt(err_acc / static_cast<double>(received.size()) /
+                      ref_ms);
+    r.peak = std::sqrt(peak_err / ref_ms);
+  }
+  return r;
+}
+
+EvmResult evm_blind(std::span<const cplx> received,
+                    const mapping::Constellation& constellation) {
+  cvec reference(received.size());
+  bitvec tmp;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    tmp.clear();
+    constellation.demap(received[i], tmp);
+    std::size_t index = 0;
+    for (std::uint8_t b : tmp) index = (index << 1) | (b & 1u);
+    reference[i] = constellation.point(index);
+  }
+  return evm(received, reference);
+}
+
+}  // namespace ofdm::metrics

@@ -1,0 +1,29 @@
+// Error vector magnitude — the RF designer's primary modulation-quality
+// metric in the co-simulation experiments.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "mapping/constellation.hpp"
+
+namespace ofdm::metrics {
+
+struct EvmResult {
+  double rms = 0.0;      ///< RMS EVM, linear fraction of reference RMS
+  double peak = 0.0;     ///< worst-case symbol EVM (linear)
+  double rms_db() const;
+  double rms_percent() const { return rms * 100.0; }
+};
+
+/// Data-aided EVM: error between received and known reference symbols,
+/// normalized by the reference RMS.
+EvmResult evm(std::span<const cplx> received,
+              std::span<const cplx> reference);
+
+/// Decision-directed (blind) EVM: each received point is compared to the
+/// nearest constellation point.
+EvmResult evm_blind(std::span<const cplx> received,
+                    const mapping::Constellation& constellation);
+
+}  // namespace ofdm::metrics

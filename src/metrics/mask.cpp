@@ -1,0 +1,81 @@
+#include "metrics/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::metrics {
+
+double SpectralMask::limit_at(double offset_hz) const {
+  OFDM_REQUIRE(!offsets_hz.empty() && offsets_hz.size() == limits_dbr.size(),
+               "SpectralMask: malformed breakpoint table");
+  const double f = std::abs(offset_hz);
+  if (f <= offsets_hz.front()) return limits_dbr.front();
+  if (f >= offsets_hz.back()) return limits_dbr.back();
+  for (std::size_t i = 1; i < offsets_hz.size(); ++i) {
+    if (f <= offsets_hz[i]) {
+      const double t =
+          (f - offsets_hz[i - 1]) / (offsets_hz[i] - offsets_hz[i - 1]);
+      return limits_dbr[i - 1] + t * (limits_dbr[i] - limits_dbr[i - 1]);
+    }
+  }
+  return limits_dbr.back();
+}
+
+SpectralMask wlan_mask() {
+  return SpectralMask{{9e6, 11e6, 20e6, 30e6}, {0.0, -20.0, -28.0, -40.0}};
+}
+
+MaskReport check_mask(const dsp::Psd& psd, const SpectralMask& mask,
+                      double ref_band_hz, double margin_from_hz) {
+  const double ref = psd.peak_in_band(-ref_band_hz, ref_band_hz);
+  OFDM_REQUIRE(ref > 0.0, "check_mask: no in-band power");
+  MaskReport report;
+  bool violated = false;
+  for (std::size_t i = 0; i < psd.freq.size(); ++i) {
+    const double level_dbr = to_db(psd.power[i] / ref);
+    const double limit = mask.limit_at(psd.freq[i]);
+    const double margin = limit - level_dbr;
+    if (margin < 0.0) violated = true;
+    if (std::abs(psd.freq[i]) < margin_from_hz && margin >= 0.0) {
+      continue;  // compliant in-band bin: not margin-relevant
+    }
+    if (margin < report.worst_margin_db) {
+      report.worst_margin_db = margin;
+      report.worst_offset_hz = psd.freq[i];
+    }
+  }
+  report.pass = !violated;
+  return report;
+}
+
+double acpr_db(const dsp::Psd& psd, double channel_bw_hz,
+               double adjacent_offset_hz) {
+  const double half = channel_bw_hz / 2.0;
+  const double main = psd.band_power(-half, half);
+  const double adj = psd.band_power(adjacent_offset_hz - half,
+                                    adjacent_offset_hz + half);
+  OFDM_REQUIRE(main > 0.0, "acpr_db: no main-channel power");
+  return to_db(adj / main);
+}
+
+double occupied_bandwidth_hz(const dsp::Psd& psd, double fraction) {
+  OFDM_REQUIRE(fraction > 0.0 && fraction < 1.0,
+               "occupied_bandwidth_hz: fraction must be in (0,1)");
+  const double total = psd.total_power();
+  OFDM_REQUIRE(total > 0.0, "occupied_bandwidth_hz: empty spectrum");
+  // Grow a symmetric band around DC until it holds the target fraction.
+  const double fmax = std::max(std::abs(psd.freq.front()),
+                               std::abs(psd.freq.back()));
+  const double df = psd.freq.size() > 1 ? psd.freq[1] - psd.freq[0] : fmax;
+  for (double half = df; half <= fmax + df; half += df) {
+    if (psd.band_power(-half, half) >= fraction * total) {
+      return 2.0 * half;
+    }
+  }
+  return 2.0 * fmax;
+}
+
+}  // namespace ofdm::metrics

@@ -1,0 +1,49 @@
+// Transmit spectral masks and adjacent-channel power — the RF-level
+// acceptance criteria the co-simulation experiments check against.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace ofdm::metrics {
+
+/// A piecewise-linear spectral mask: attenuation (dBr, relative to the
+/// in-band PSD peak) as a function of |frequency offset| in Hz.
+struct SpectralMask {
+  rvec offsets_hz;  ///< ascending breakpoints
+  rvec limits_dbr;  ///< limit at each breakpoint (linear interp between)
+
+  /// Mask limit at a given offset (clamped to the end values).
+  double limit_at(double offset_hz) const;
+};
+
+/// IEEE 802.11a-1999 17.3.9.2 transmit mask: 0 dBr to 9 MHz, -20 dBr at
+/// 11 MHz, -28 dBr at 20 MHz, -40 dBr at 30 MHz.
+SpectralMask wlan_mask();
+
+struct MaskReport {
+  bool pass = true;
+  double worst_margin_db = 1e9;  ///< min(limit - measured); < 0 == violation
+  double worst_offset_hz = 0.0;
+};
+
+/// Check a PSD (DC-centred, from dsp::welch_psd) against a mask. The
+/// reference level is the peak PSD within ±`ref_band_hz`. Bins with
+/// |offset| < `margin_from_hz` are still checked for violations but do
+/// not drive the reported worst margin (the in-band top touches the
+/// 0 dBr limit by construction and would always report margin 0).
+MaskReport check_mask(const dsp::Psd& psd, const SpectralMask& mask,
+                      double ref_band_hz, double margin_from_hz = 0.0);
+
+/// Adjacent channel power ratio: power in
+/// [offset - bw/2, offset + bw/2] over power in [-bw/2, bw/2], dB.
+double acpr_db(const dsp::Psd& psd, double channel_bw_hz,
+               double adjacent_offset_hz);
+
+/// Occupied bandwidth: the symmetric band holding `fraction` (e.g. 0.99)
+/// of the total power.
+double occupied_bandwidth_hz(const dsp::Psd& psd, double fraction = 0.99);
+
+}  // namespace ofdm::metrics

@@ -1,0 +1,37 @@
+#include "metrics/papr.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::metrics {
+
+double papr_db(std::span<const cplx> x) {
+  const double avg = mean_power(x);
+  if (avg <= 0.0) return 0.0;
+  return to_db(peak_power(x) / avg);
+}
+
+PaprCcdf papr_ccdf(std::span<const cplx> x, std::size_t window,
+                   std::span<const double> thresholds_db) {
+  OFDM_REQUIRE(window >= 1, "papr_ccdf: window must be >= 1");
+  OFDM_REQUIRE_DIM(x.size() >= window,
+                   "papr_ccdf: signal shorter than one window");
+  PaprCcdf out;
+  out.thresholds_db.assign(thresholds_db.begin(), thresholds_db.end());
+  out.probability.assign(thresholds_db.size(), 0.0);
+
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + window <= x.size(); start += window) {
+    const double p = papr_db(x.subspan(start, window));
+    for (std::size_t t = 0; t < out.thresholds_db.size(); ++t) {
+      if (p > out.thresholds_db[t]) out.probability[t] += 1.0;
+    }
+    ++count;
+  }
+  if (count > 0) {
+    for (double& p : out.probability) p /= static_cast<double>(count);
+  }
+  return out;
+}
+
+}  // namespace ofdm::metrics

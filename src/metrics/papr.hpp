@@ -1,0 +1,24 @@
+// Peak-to-average power ratio and its CCDF — the OFDM property that makes
+// the PA back-off experiment interesting in the first place.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::metrics {
+
+/// PAPR of a signal segment, dB.
+double papr_db(std::span<const cplx> x);
+
+/// Complementary CDF of the per-symbol PAPR: for each threshold (dB),
+/// the fraction of length-`window` segments whose PAPR exceeds it.
+struct PaprCcdf {
+  rvec thresholds_db;
+  rvec probability;
+};
+
+PaprCcdf papr_ccdf(std::span<const cplx> x, std::size_t window,
+                   std::span<const double> thresholds_db);
+
+}  // namespace ofdm::metrics

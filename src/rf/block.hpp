@@ -1,0 +1,48 @@
+// The RF system simulator's block abstraction.
+//
+// This module plays APLAC's role in the paper: a block-based RF system
+// simulator into which the digital Mother Model is embedded as a signal
+// source. Blocks stream chunks of complex baseband (or real passband,
+// carried in the real part) samples; sources produce them on demand.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofdm::rf {
+
+/// A signal-processing block. Implementations keep their own streaming
+/// state so that chunked processing equals one-shot processing.
+class Block {
+ public:
+  virtual ~Block() = default;
+
+  /// Transform one chunk. Most blocks are 1:1 in sample count; rate
+  /// changers (DAC interpolation, decimation) are not.
+  virtual cvec process(std::span<const cplx> in) = 0;
+
+  /// Clear streaming state.
+  virtual void reset() {}
+
+  /// Display name for simulation reports.
+  virtual std::string name() const = 0;
+};
+
+/// A signal source: produces samples on demand (the paper's "signal
+/// source block" role, filled by the wrapped Mother Model).
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Produce exactly n samples.
+  virtual cvec pull(std::size_t n) = 0;
+
+  virtual void reset() {}
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,41 @@
+#include "rf/chain.hpp"
+
+#include <chrono>
+
+namespace ofdm::rf {
+
+cvec Chain::process(std::span<const cplx> in) {
+  cvec buf(in.begin(), in.end());
+  for (auto& block : blocks_) {
+    buf = block->process(buf);
+  }
+  return buf;
+}
+
+void Chain::reset() {
+  for (auto& block : blocks_) block->reset();
+}
+
+RunStats run(Source& source, Chain& chain, std::size_t total,
+             std::size_t chunk) {
+  using clock = std::chrono::steady_clock;
+  RunStats stats;
+  const auto t0 = clock::now();
+  std::size_t produced = 0;
+  while (produced < total) {
+    const std::size_t n = std::min(chunk, total - produced);
+    const auto s0 = clock::now();
+    const cvec in = source.pull(n);
+    stats.source_seconds +=
+        std::chrono::duration<double>(clock::now() - s0).count();
+    const cvec out = chain.process(in);
+    stats.samples_in += in.size();
+    stats.samples_out += out.size();
+    produced += n;
+  }
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  return stats;
+}
+
+}  // namespace ofdm::rf

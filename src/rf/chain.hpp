@@ -1,0 +1,54 @@
+// Composition of RF blocks into a processing chain and a simple
+// simulation driver — the "RF system simulation" loop of the paper.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// An ordered chain of blocks; itself a Block.
+class Chain : public Block {
+ public:
+  Chain() = default;
+
+  /// Append a block, constructed in place. Returns a reference to it so
+  /// callers can keep handles for inspection (e.g. sinks).
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto block = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *block;
+    blocks_.push_back(std::move(block));
+    return ref;
+  }
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "chain"; }
+
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+/// Simulation statistics returned by run().
+struct RunStats {
+  std::size_t samples_in = 0;
+  std::size_t samples_out = 0;
+  double elapsed_seconds = 0.0;     ///< wall-clock simulation time
+  double source_seconds = 0.0;      ///< time spent inside the source
+};
+
+/// Pull `total` samples from `source`, push them through `chain` in
+/// chunks of `chunk` samples. The split of wall-clock time between the
+/// source and the rest of the chain is what experiment E2 measures ("the
+/// digital block had only negligible influence on the total simulation
+/// time").
+RunStats run(Source& source, Chain& chain, std::size_t total,
+             std::size_t chunk = 4096);
+
+}  // namespace ofdm::rf

@@ -1,0 +1,88 @@
+#include "rf/channel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::rf {
+
+AwgnChannel::AwgnChannel(double noise_power, std::uint64_t seed)
+    : noise_power_(noise_power), rng_(seed), seed_(seed) {
+  OFDM_REQUIRE(noise_power >= 0.0,
+               "AwgnChannel: noise power must be non-negative");
+}
+
+cvec AwgnChannel::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] + rng_.complex_gaussian(noise_power_);
+  }
+  return out;
+}
+
+void AwgnChannel::reset() { rng_ = Rng(seed_); }
+
+double snr_to_noise_power(double signal_power, double snr_db) {
+  OFDM_REQUIRE(signal_power >= 0.0,
+               "snr_to_noise_power: signal power must be non-negative");
+  return signal_power / from_db(snr_db);
+}
+
+MultipathChannel::MultipathChannel(cvec taps) : taps_(std::move(taps)) {
+  OFDM_REQUIRE(!taps_.empty(), "MultipathChannel: empty tap vector");
+  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+}
+
+cvec MultipathChannel::process(std::span<const cplx> in) {
+  const std::size_t n_taps = taps_.size();
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    head_ = (head_ + n_taps - 1) % n_taps;
+    delay_[head_] = in[i];
+    cplx acc{0.0, 0.0};
+    std::size_t idx = head_;
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc += delay_[idx] * taps_[t];
+      idx = (idx + 1) % n_taps;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+void MultipathChannel::reset() {
+  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+  head_ = 0;
+}
+
+cvec exponential_pdp_taps(double rms_delay_samples, std::size_t n_taps,
+                          std::uint64_t seed) {
+  OFDM_REQUIRE(rms_delay_samples > 0.0 && n_taps >= 1,
+               "exponential_pdp_taps: invalid profile");
+  Rng rng(seed);
+  cvec taps(n_taps);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n_taps; ++k) {
+    const double power =
+        std::exp(-static_cast<double>(k) / rms_delay_samples);
+    taps[k] = rng.complex_gaussian(power);
+    total += std::norm(taps[k]);
+  }
+  const double norm = 1.0 / std::sqrt(total);
+  for (cplx& t : taps) t *= norm;
+  return taps;
+}
+
+cvec twisted_pair_taps(double cutoff_norm, double attenuation_db,
+                       std::size_t n_taps) {
+  const rvec lp = dsp::design_lowpass(cutoff_norm, n_taps);
+  const double gain = std::sqrt(from_db(-attenuation_db));
+  cvec taps(lp.size());
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    taps[i] = {lp[i] * gain, 0.0};
+  }
+  return taps;
+}
+
+}  // namespace ofdm::rf

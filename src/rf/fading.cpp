@@ -1,0 +1,137 @@
+#include "rf/fading.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ofdm::rf {
+
+FadingChannel::FadingChannel(std::vector<FadingTap> taps,
+                             double doppler_hz, double sample_rate,
+                             std::uint64_t seed, std::size_t n_sinusoids)
+    : seed_(seed), n_sinusoids_(n_sinusoids),
+      doppler_rad_(kTwoPi * doppler_hz / sample_rate) {
+  OFDM_REQUIRE(!taps.empty(), "FadingChannel: need at least one tap");
+  OFDM_REQUIRE(doppler_hz >= 0.0 && sample_rate > 0.0,
+               "FadingChannel: invalid Doppler/sample rate");
+  OFDM_REQUIRE(n_sinusoids >= 4,
+               "FadingChannel: need >= 4 sinusoids for a Rayleigh-ish "
+               "envelope");
+  for (const FadingTap& t : taps) {
+    TapState state;
+    state.tap = t;
+    taps_.push_back(std::move(state));
+    max_delay_ = std::max(max_delay_, t.delay_samples);
+  }
+  delay_line_.assign(max_delay_ + 1, cplx{0.0, 0.0});
+  init_states();
+}
+
+void FadingChannel::init_states() {
+  Rng rng(seed_);
+  for (TapState& t : taps_) {
+    t.doppler_freq.resize(n_sinusoids_);
+    t.phase.resize(n_sinusoids_);
+    t.phase_q.resize(n_sinusoids_);
+    for (std::size_t n = 0; n < n_sinusoids_; ++n) {
+      // Jakes: arrival angles spread over the circle with random
+      // offsets; Doppler shift = fd * cos(angle).
+      const double alpha = (kTwoPi * (static_cast<double>(n) + 0.5)) /
+                               static_cast<double>(n_sinusoids_) +
+                           rng.uniform(-0.1, 0.1);
+      t.doppler_freq[n] = doppler_rad_ * std::cos(alpha);
+      t.phase[n] = rng.uniform(0.0, kTwoPi);
+      t.phase_q[n] = rng.uniform(0.0, kTwoPi);
+    }
+  }
+}
+
+cplx FadingChannel::tap_gain(const TapState& t) const {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t n = 0; n < n_sinusoids_; ++n) {
+    re += std::cos(t.phase[n]);
+    im += std::cos(t.phase_q[n]);
+  }
+  const double norm =
+      std::sqrt(t.tap.power / static_cast<double>(n_sinusoids_));
+  return {re * norm, im * norm};
+}
+
+void FadingChannel::advance() {
+  for (TapState& t : taps_) {
+    for (std::size_t n = 0; n < n_sinusoids_; ++n) {
+      t.phase[n] += t.doppler_freq[n];
+      t.phase_q[n] += t.doppler_freq[n];
+    }
+  }
+}
+
+cvec FadingChannel::current_gains() const {
+  cvec g;
+  g.reserve(taps_.size());
+  for (const TapState& t : taps_) g.push_back(tap_gain(t));
+  return g;
+}
+
+cvec FadingChannel::process(std::span<const cplx> in) {
+  const std::size_t line = delay_line_.size();
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    head_ = (head_ + line - 1) % line;
+    delay_line_[head_] = in[i];
+    cplx acc{0.0, 0.0};
+    for (const TapState& t : taps_) {
+      const std::size_t idx = (head_ + t.tap.delay_samples) % line;
+      acc += delay_line_[idx] * tap_gain(t);
+    }
+    out[i] = acc;
+    advance();
+  }
+  return out;
+}
+
+void FadingChannel::reset() {
+  std::fill(delay_line_.begin(), delay_line_.end(), cplx{0.0, 0.0});
+  head_ = 0;
+  init_states();
+}
+
+ImpulseNoise::ImpulseNoise(double burst_rate, double mean_len,
+                           double impulse_power, std::uint64_t seed)
+    : burst_rate_(burst_rate),
+      continue_prob_(mean_len > 1.0 ? 1.0 - 1.0 / mean_len : 0.0),
+      impulse_power_(impulse_power),
+      rng_(seed),
+      seed_(seed) {
+  OFDM_REQUIRE(burst_rate >= 0.0 && burst_rate <= 1.0,
+               "ImpulseNoise: burst rate must be a probability");
+  OFDM_REQUIRE(impulse_power >= 0.0,
+               "ImpulseNoise: impulse power must be non-negative");
+}
+
+cvec ImpulseNoise::process(std::span<const cplx> in) {
+  cvec out(in.begin(), in.end());
+  for (cplx& v : out) {
+    if (remaining_ == 0 && rng_.uniform() < burst_rate_) {
+      ++bursts_;
+      remaining_ = 1;
+      // Geometric burst length.
+      while (rng_.uniform() < continue_prob_) ++remaining_;
+    }
+    if (remaining_ > 0) {
+      v += rng_.complex_gaussian(impulse_power_);
+      --remaining_;
+    }
+  }
+  return out;
+}
+
+void ImpulseNoise::reset() {
+  rng_ = Rng(seed_);
+  remaining_ = 0;
+  bursts_ = 0;
+}
+
+}  // namespace ofdm::rf

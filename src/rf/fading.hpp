@@ -1,0 +1,84 @@
+// Time-varying channels: Rayleigh fading with a Jakes Doppler spectrum
+// (sum-of-sinusoids) and powerline-style impulsive noise. These extend
+// the static channel models so mobile (DAB/DVB-T) and powerline
+// (HomePlug) co-simulations see their characteristic impairments.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// One tap of a tapped-delay-line fading channel.
+struct FadingTap {
+  std::size_t delay_samples = 0;
+  double power = 1.0;  ///< average tap power (linear)
+};
+
+/// Rayleigh fading via Jakes' sum-of-sinusoids: each tap is an
+/// independent complex Gaussian process with the classic U-shaped
+/// Doppler spectrum of maximum frequency `doppler_hz`.
+class FadingChannel : public Block {
+ public:
+  FadingChannel(std::vector<FadingTap> taps, double doppler_hz,
+                double sample_rate, std::uint64_t seed = 1234,
+                std::size_t n_sinusoids = 16);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "fading"; }
+
+  /// Instantaneous tap gains at the current stream position.
+  cvec current_gains() const;
+
+ private:
+  struct TapState {
+    FadingTap tap;
+    rvec doppler_freq;  // rad/sample per sinusoid
+    rvec phase;         // current phase per sinusoid (I branch)
+    rvec phase_q;       // quadrature branch
+  };
+
+  cplx tap_gain(const TapState& t) const;
+  void advance();
+
+  std::vector<TapState> taps_;
+  std::size_t max_delay_ = 0;
+  cvec delay_line_;
+  std::size_t head_ = 0;
+  std::uint64_t seed_;
+  std::size_t n_sinusoids_;
+  double doppler_rad_;  // 2*pi*fd/fs
+  void init_states();
+};
+
+/// Powerline/impulsive noise: a Bernoulli process starts bursts of
+/// geometrically distributed length during which strong white noise is
+/// added (Middleton-class-A flavoured, two-state).
+class ImpulseNoise : public Block {
+ public:
+  /// `burst_rate` = burst starts per sample (e.g. 1e-5), `mean_len` =
+  /// mean burst length in samples, `impulse_power` = noise power while
+  /// a burst is active.
+  ImpulseNoise(double burst_rate, double mean_len, double impulse_power,
+               std::uint64_t seed = 555);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "impulse-noise"; }
+
+  std::size_t bursts_seen() const { return bursts_; }
+
+ private:
+  double burst_rate_;
+  double continue_prob_;
+  double impulse_power_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::size_t remaining_ = 0;
+  std::size_t bursts_ = 0;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,139 @@
+#include "rf/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ofdm::rf {
+
+Dac::Dac(unsigned bits, std::size_t oversample, double full_scale)
+    : bits_(bits),
+      oversample_(oversample),
+      full_scale_(full_scale),
+      interp_(oversample) {
+  OFDM_REQUIRE(bits <= 24, "Dac: at most 24 bits");
+  OFDM_REQUIRE(full_scale > 0.0, "Dac: full scale must be positive");
+}
+
+double Dac::quantize(double v) const {
+  if (bits_ == 0) return v;
+  const double clipped = std::clamp(v, -full_scale_, full_scale_);
+  const double levels = static_cast<double>(1u << (bits_ - 1));
+  const double lsb = full_scale_ / levels;
+  return std::round(clipped / lsb) * lsb;
+}
+
+cvec Dac::process(std::span<const cplx> in) {
+  cvec q(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    q[i] = {quantize(in[i].real()), quantize(in[i].imag())};
+  }
+  return interp_.process(q);
+}
+
+void Dac::reset() { interp_.reset(); }
+
+Oscillator::Oscillator(double freq_hz, double sample_rate, double cfo_hz,
+                       double linewidth_hz, std::uint64_t noise_seed)
+    : step_(kTwoPi * (freq_hz + cfo_hz) / sample_rate),
+      sample_rate_(sample_rate),
+      rng_(noise_seed),
+      seed_(noise_seed) {
+  OFDM_REQUIRE(sample_rate > 0.0, "Oscillator: sample rate must be > 0");
+  OFDM_REQUIRE(linewidth_hz >= 0.0,
+               "Oscillator: linewidth must be non-negative");
+  // Wiener phase noise: variance per sample = 2π * linewidth / fs.
+  sigma_ = std::sqrt(kTwoPi * linewidth_hz / sample_rate);
+}
+
+cplx Oscillator::next() {
+  const cplx lo{std::cos(phase_ + noise_phase_),
+                std::sin(phase_ + noise_phase_)};
+  phase_ = std::fmod(phase_ + step_, kTwoPi);
+  if (sigma_ > 0.0) noise_phase_ += sigma_ * rng_.gaussian();
+  return lo;
+}
+
+void Oscillator::reset() {
+  phase_ = 0.0;
+  noise_phase_ = 0.0;
+  rng_ = Rng(seed_);
+}
+
+IqModulator::IqModulator(Oscillator lo) : lo_(lo) {}
+
+cvec IqModulator::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const cplx lo = lo_.next();
+    // Re{x * e^{jωt}} = I cos - Q sin, carried in the real part.
+    out[i] = {in[i].real() * lo.real() - in[i].imag() * lo.imag(), 0.0};
+  }
+  return out;
+}
+
+void IqModulator::reset() { lo_.reset(); }
+
+IqDemodulator::IqDemodulator(Oscillator lo, double cutoff, std::size_t taps)
+    : lo_(lo),
+      filter_i_(dsp::design_lowpass(cutoff, taps)),
+      filter_q_(dsp::design_lowpass(cutoff, taps)) {}
+
+cvec IqDemodulator::process(std::span<const cplx> in) {
+  cvec mixed(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const cplx lo = lo_.next();
+    // 2 x(t) e^{-jωt}: the factor 2 restores baseband amplitude after
+    // the lowpass removes the 2ω image.
+    const double x = in[i].real();
+    mixed[i] = {2.0 * x * lo.real(), -2.0 * x * lo.imag()};
+  }
+  // Lowpass I and Q (identical linear-phase filters keep them aligned).
+  cvec out(mixed.size());
+  cvec tmp_i(mixed.size());
+  cvec tmp_q(mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    tmp_i[i] = {mixed[i].real(), 0.0};
+    tmp_q[i] = {mixed[i].imag(), 0.0};
+  }
+  filter_i_.process(tmp_i, tmp_i);
+  filter_q_.process(tmp_q, tmp_q);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    out[i] = {tmp_i[i].real(), tmp_q[i].real()};
+  }
+  return out;
+}
+
+void IqDemodulator::reset() {
+  lo_.reset();
+  filter_i_.reset();
+  filter_q_.reset();
+}
+
+FrequencyShift::FrequencyShift(double freq_hz, double sample_rate)
+    : step_(kTwoPi * freq_hz / sample_rate) {
+  OFDM_REQUIRE(sample_rate > 0.0,
+               "FrequencyShift: sample rate must be > 0");
+}
+
+cvec FrequencyShift::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] * cplx{std::cos(phase_), std::sin(phase_)};
+    phase_ = std::fmod(phase_ + step_, kTwoPi);
+  }
+  return out;
+}
+
+void FrequencyShift::reset() { phase_ = 0.0; }
+
+DecimatorBlock::DecimatorBlock(std::size_t factor) : dec_(factor) {}
+
+cvec DecimatorBlock::process(std::span<const cplx> in) {
+  return dec_.process(in);
+}
+
+void DecimatorBlock::reset() { dec_.reset(); }
+
+}  // namespace ofdm::rf

@@ -1,0 +1,119 @@
+// Analog front-end blocks: DAC, IQ modulator/demodulator and the local
+// oscillator. Together with the PA models these form the analog TX chain
+// the paper's RF designer verifies against the digital Mother Model.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/resample.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// DAC model: mid-tread quantization to `bits` (0 = ideal) followed by
+/// `oversample`x interpolation with an anti-imaging reconstruction filter.
+class Dac : public Block {
+ public:
+  Dac(unsigned bits, std::size_t oversample, double full_scale = 4.0);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "dac"; }
+
+  std::size_t oversample() const { return oversample_; }
+
+ private:
+  double quantize(double v) const;
+
+  unsigned bits_;
+  std::size_t oversample_;
+  double full_scale_;
+  dsp::Interpolator interp_;
+};
+
+/// Local oscillator: nominal frequency plus optional frequency offset
+/// and Wiener phase noise of given linewidth (-3 dB Lorentzian width).
+class Oscillator {
+ public:
+  Oscillator(double freq_hz, double sample_rate, double cfo_hz = 0.0,
+             double linewidth_hz = 0.0, std::uint64_t noise_seed = 77);
+
+  /// Next LO sample e^{j(2π f t + φ_n)}.
+  cplx next();
+  void reset();
+
+  double sample_rate() const { return sample_rate_; }
+
+ private:
+  double step_;
+  double sample_rate_;
+  double sigma_;  // per-sample phase-noise std dev
+  double phase_ = 0.0;
+  double noise_phase_ = 0.0;
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// IQ modulator: complex baseband -> real passband at the LO frequency
+/// (the imaginary part of the output is zero).
+class IqModulator : public Block {
+ public:
+  explicit IqModulator(Oscillator lo);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "iq-mod"; }
+
+ private:
+  Oscillator lo_;
+};
+
+/// IQ demodulator: real passband -> complex baseband, with an image-
+/// rejection lowpass at `cutoff` (normalized, cycles/sample).
+class IqDemodulator : public Block {
+ public:
+  IqDemodulator(Oscillator lo, double cutoff, std::size_t taps = 127);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "iq-demod"; }
+
+  /// Filter group delay in samples (callers align against this).
+  double group_delay() const { return filter_i_.group_delay(); }
+
+ private:
+  Oscillator lo_;
+  dsp::FirFilter filter_i_;
+  dsp::FirFilter filter_q_;
+};
+
+/// Complex frequency shift (digital IF mixing in baseband simulations).
+class FrequencyShift : public Block {
+ public:
+  FrequencyShift(double freq_hz, double sample_rate);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "freq-shift"; }
+
+ private:
+  double step_;
+  double phase_ = 0.0;
+};
+
+/// Decimating lowpass (receiver anti-alias + rate restore).
+class DecimatorBlock : public Block {
+ public:
+  explicit DecimatorBlock(std::size_t factor);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "decimator"; }
+
+ private:
+  dsp::Decimator dec_;
+};
+
+}  // namespace ofdm::rf

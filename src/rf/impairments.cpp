@@ -1,0 +1,49 @@
+#include "rf/impairments.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace ofdm::rf {
+
+IqImbalance::IqImbalance(double gain_error_db, double phase_error_deg) {
+  const double g = std::sqrt(from_db(gain_error_db));
+  const double phi = phase_error_deg * kPi / 180.0;
+  const cplx ge{g * std::cos(phi), g * std::sin(phi)};
+  mu_ = (1.0 + ge) / 2.0;
+  nu_ = (1.0 - ge) / 2.0;
+}
+
+cvec IqImbalance::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = mu_ * in[i] + nu_ * std::conj(in[i]);
+  }
+  return out;
+}
+
+double IqImbalance::image_rejection_db() const {
+  return to_db(std::norm(mu_) / std::norm(nu_));
+}
+
+DcOffset::DcOffset(cplx offset) : offset_(offset) {}
+
+cvec DcOffset::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] + offset_;
+  return out;
+}
+
+PhaseNoise::PhaseNoise(double linewidth_hz, double sample_rate,
+                       std::uint64_t seed)
+    : lo_(0.0, sample_rate, 0.0, linewidth_hz, seed) {}
+
+cvec PhaseNoise::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] * lo_.next();
+  return out;
+}
+
+void PhaseNoise::reset() { lo_.reset(); }
+
+}  // namespace ofdm::rf

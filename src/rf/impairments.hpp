@@ -1,0 +1,56 @@
+// Quadrature impairments: IQ gain/phase imbalance, DC offset (LO
+// leakage) and a phase-noise block that rotates the signal by a free-
+// running noisy LO.
+#pragma once
+
+#include "rf/block.hpp"
+#include "rf/frontend.hpp"
+
+namespace ofdm::rf {
+
+/// IQ imbalance: out = μ x + ν conj(x) with
+/// μ = (1 + g e^{jφ})/2, ν = (1 - g e^{jφ})/2 for gain ratio g and
+/// phase error φ — the standard image-leakage model.
+class IqImbalance : public Block {
+ public:
+  IqImbalance(double gain_error_db, double phase_error_deg);
+
+  cvec process(std::span<const cplx> in) override;
+  std::string name() const override { return "iq-imbalance"; }
+
+  /// Image rejection ratio implied by the parameters, dB.
+  double image_rejection_db() const;
+
+ private:
+  cplx mu_;
+  cplx nu_;
+};
+
+/// Additive DC offset (carrier leakage at baseband).
+class DcOffset : public Block {
+ public:
+  explicit DcOffset(cplx offset);
+
+  cvec process(std::span<const cplx> in) override;
+  std::string name() const override { return "dc-offset"; }
+
+ private:
+  cplx offset_;
+};
+
+/// Multiplicative phase noise: rotates the stream by a zero-frequency
+/// oscillator carrying only the Wiener phase-noise process.
+class PhaseNoise : public Block {
+ public:
+  PhaseNoise(double linewidth_hz, double sample_rate,
+             std::uint64_t seed = 101);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "phase-noise"; }
+
+ private:
+  Oscillator lo_;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,118 @@
+#include "rf/netlist.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace ofdm::rf {
+
+Netlist::NodeId Netlist::add_source_ptr(std::unique_ptr<Source> src) {
+  OFDM_REQUIRE(src != nullptr, "Netlist: null source");
+  Node node;
+  node.source = std::move(src);
+  nodes_.push_back(std::move(node));
+  return NodeId{nodes_.size() - 1};
+}
+
+Netlist::NodeId Netlist::add_block_ptr(std::unique_ptr<Block> block) {
+  OFDM_REQUIRE(block != nullptr, "Netlist: null block");
+  Node node;
+  node.block = std::move(block);
+  nodes_.push_back(std::move(node));
+  return NodeId{nodes_.size() - 1};
+}
+
+void Netlist::connect(NodeId from, NodeId to) {
+  OFDM_REQUIRE(from.index < nodes_.size() && to.index < nodes_.size(),
+               "Netlist::connect: unknown node");
+  OFDM_REQUIRE(!nodes_[to.index].is_source(),
+               "Netlist::connect: cannot drive a source node");
+  OFDM_REQUIRE(from.index != to.index,
+               "Netlist::connect: self-loop");
+  nodes_[to.index].inputs.push_back(from.index);
+}
+
+std::vector<std::size_t> Netlist::topo_order() const {
+  // Kahn's algorithm over the explicit edge lists.
+  std::vector<std::size_t> in_degree(nodes_.size(), 0);
+  std::vector<std::vector<std::size_t>> out_edges(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    in_degree[i] = nodes_[i].inputs.size();
+    for (std::size_t src : nodes_[i].inputs) {
+      out_edges[src].push_back(i);
+    }
+    if (!nodes_[i].is_source()) {
+      OFDM_REQUIRE(!nodes_[i].inputs.empty(),
+                   "Netlist: block node has no inputs");
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::size_t n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (std::size_t next : out_edges[n]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  OFDM_REQUIRE(order.size() == nodes_.size(),
+               "Netlist: the block graph contains a cycle");
+  return order;
+}
+
+RunStats Netlist::run(std::size_t total, std::size_t chunk) {
+  using clock = std::chrono::steady_clock;
+  const std::vector<std::size_t> order = topo_order();
+
+  RunStats stats;
+  const auto t0 = clock::now();
+  std::vector<cvec> values(nodes_.size());
+  std::size_t produced = 0;
+  while (produced < total) {
+    const std::size_t n = std::min(chunk, total - produced);
+    for (std::size_t id : order) {
+      Node& node = nodes_[id];
+      if (node.is_source()) {
+        const auto s0 = clock::now();
+        values[id] = node.source->pull(n);
+        stats.source_seconds +=
+            std::chrono::duration<double>(clock::now() - s0).count();
+        stats.samples_in += values[id].size();
+        continue;
+      }
+      // Summing fan-in.
+      cvec in = values[node.inputs.front()];
+      for (std::size_t j = 1; j < node.inputs.size(); ++j) {
+        const cvec& other = values[node.inputs[j]];
+        OFDM_REQUIRE_DIM(other.size() == in.size(),
+                         "Netlist: fan-in length mismatch (rate change "
+                         "on one branch?)");
+        for (std::size_t k = 0; k < in.size(); ++k) in[k] += other[k];
+      }
+      values[id] = node.block->process(in);
+    }
+    // Count samples leaving leaf nodes (no consumers).
+    produced += n;
+  }
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    stats.samples_out += values[id].size();
+  }
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  return stats;
+}
+
+void Netlist::reset() {
+  for (Node& node : nodes_) {
+    if (node.source) node.source->reset();
+    if (node.block) node.block->reset();
+  }
+}
+
+}  // namespace ofdm::rf

@@ -1,0 +1,73 @@
+// Netlist: a directed block graph with sources, fan-out and summing
+// fan-in — the general form of the RF system simulator (Chain covers
+// the linear case). Fan-in nodes sum their inputs, matching RF combiner
+// semantics; fan-out broadcasts the same stream to every consumer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rf/block.hpp"
+#include "rf/chain.hpp"
+
+namespace ofdm::rf {
+
+class Netlist {
+ public:
+  /// Opaque node handle.
+  struct NodeId {
+    std::size_t index = SIZE_MAX;
+  };
+
+  /// Add a source node (no inputs allowed).
+  template <typename T, typename... Args>
+  NodeId add_source(Args&&... args) {
+    return add_source_ptr(
+        std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  /// Add a processing node; returns its handle. Use node<T>() to read a
+  /// sink back after a run.
+  template <typename T, typename... Args>
+  NodeId add_block(Args&&... args) {
+    return add_block_ptr(std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  NodeId add_source_ptr(std::unique_ptr<Source> src);
+  NodeId add_block_ptr(std::unique_ptr<Block> block);
+
+  /// Typed access to a node's block (e.g. reading a PowerMeter).
+  template <typename T>
+  T& node(NodeId id) {
+    return dynamic_cast<T&>(*nodes_.at(id.index).block);
+  }
+
+  /// Wire an edge from -> to. `to` must be a block node.
+  void connect(NodeId from, NodeId to);
+
+  /// Drive every source for `total` samples in chunks, propagating
+  /// through the graph in topological order. Throws on cycles, dangling
+  /// block inputs, or mismatched fan-in lengths (e.g. summing across a
+  /// rate changer).
+  RunStats run(std::size_t total, std::size_t chunk = 4096);
+
+  /// Reset every node's streaming state.
+  void reset();
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::unique_ptr<Source> source;  // exactly one of source/block set
+    std::unique_ptr<Block> block;
+    std::vector<std::size_t> inputs;
+    bool is_source() const { return source != nullptr; }
+  };
+
+  std::vector<std::size_t> topo_order() const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,67 @@
+#include "rf/pa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::rf {
+
+cvec Nonlinearity::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double r = std::abs(in[i]);
+    if (r < 1e-300) {
+      out[i] = {0.0, 0.0};
+      continue;
+    }
+    const double a = am_am(r);
+    const double dphi = am_pm(r);
+    const cplx unit = in[i] / r;
+    out[i] = unit * a * cplx{std::cos(dphi), std::sin(dphi)};
+  }
+  return out;
+}
+
+RappPa::RappPa(double smoothness, double v_sat, double gain)
+    : smoothness_(smoothness), v_sat_(v_sat), gain_(gain) {
+  OFDM_REQUIRE(smoothness > 0.0 && v_sat > 0.0 && gain > 0.0,
+               "RappPa: parameters must be positive");
+}
+
+double RappPa::am_am(double r) const {
+  const double x = gain_ * r;
+  const double ratio = std::pow(x / v_sat_, 2.0 * smoothness_);
+  return x / std::pow(1.0 + ratio, 1.0 / (2.0 * smoothness_));
+}
+
+SalehPa::SalehPa(double alpha_a, double beta_a, double alpha_p,
+                 double beta_p)
+    : alpha_a_(alpha_a), beta_a_(beta_a), alpha_p_(alpha_p),
+      beta_p_(beta_p) {}
+
+double SalehPa::am_am(double r) const {
+  return alpha_a_ * r / (1.0 + beta_a_ * r * r);
+}
+
+double SalehPa::am_pm(double r) const {
+  return alpha_p_ * r * r / (1.0 + beta_p_ * r * r);
+}
+
+SoftClipPa::SoftClipPa(double clip_level) : clip_(clip_level) {
+  OFDM_REQUIRE(clip_level > 0.0, "SoftClipPa: clip level must be positive");
+}
+
+double SoftClipPa::am_am(double r) const {
+  return r < clip_ ? r : clip_;
+}
+
+Gain::Gain(double gain_db) : lin_(std::sqrt(from_db(gain_db))) {}
+
+cvec Gain::process(std::span<const cplx> in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] * lin_;
+  return out;
+}
+
+}  // namespace ofdm::rf

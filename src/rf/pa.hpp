@@ -1,0 +1,83 @@
+// Power amplifier behavioural models — the dominant analog nonlinearity
+// in the co-simulation experiments. OFDM's high PAPR makes the PA
+// operating point the RF designer's central question; experiment E4
+// sweeps back-off through these models.
+#pragma once
+
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// Memoryless nonlinearity base: derived classes define the AM/AM and
+/// AM/PM response; process() applies it sample by sample.
+class Nonlinearity : public Block {
+ public:
+  /// Output amplitude for input amplitude r >= 0.
+  virtual double am_am(double r) const = 0;
+  /// Added phase (radians) for input amplitude r >= 0.
+  virtual double am_pm(double /*r*/) const { return 0.0; }
+
+  cvec process(std::span<const cplx> in) final;
+};
+
+/// Rapp (solid-state PA) model: smooth saturation, no AM/PM.
+/// v_out = g r / (1 + (g r / v_sat)^{2s})^{1/(2s)}.
+class RappPa : public Nonlinearity {
+ public:
+  /// `smoothness` s (typ. 2..3), `v_sat` output saturation amplitude,
+  /// `gain` small-signal amplitude gain.
+  RappPa(double smoothness, double v_sat, double gain = 1.0);
+
+  double am_am(double r) const override;
+  std::string name() const override { return "pa-rapp"; }
+
+  double v_sat() const { return v_sat_; }
+
+ private:
+  double smoothness_;
+  double v_sat_;
+  double gain_;
+};
+
+/// Saleh (TWT amplifier) model with AM/AM and AM/PM:
+/// A(r) = α_a r / (1 + β_a r²),  Φ(r) = α_p r² / (1 + β_p r²).
+class SalehPa : public Nonlinearity {
+ public:
+  SalehPa(double alpha_a = 2.1587, double beta_a = 1.1517,
+          double alpha_p = 4.0033, double beta_p = 9.1040);
+
+  double am_am(double r) const override;
+  double am_pm(double r) const override;
+  std::string name() const override { return "pa-saleh"; }
+
+ private:
+  double alpha_a_, beta_a_, alpha_p_, beta_p_;
+};
+
+/// Ideal soft limiter: linear to the clip level, flat above.
+class SoftClipPa : public Nonlinearity {
+ public:
+  explicit SoftClipPa(double clip_level);
+
+  double am_am(double r) const override;
+  std::string name() const override { return "pa-clip"; }
+
+ private:
+  double clip_;
+};
+
+/// Linear gain/attenuation (sets the PA input back-off).
+class Gain : public Block {
+ public:
+  explicit Gain(double gain_db);
+
+  cvec process(std::span<const cplx> in) override;
+  std::string name() const override { return "gain"; }
+
+  double linear() const { return lin_; }
+
+ private:
+  double lin_;
+};
+
+}  // namespace ofdm::rf

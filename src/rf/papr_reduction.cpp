@@ -1,0 +1,59 @@
+#include "rf/papr_reduction.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ofdm::rf {
+
+ClipAndFilter::ClipAndFilter(double target_papr_db, double cutoff,
+                             std::size_t iterations, std::size_t taps)
+    : target_ratio_(from_db(target_papr_db)), iterations_(iterations) {
+  OFDM_REQUIRE(target_papr_db > 0.0,
+               "ClipAndFilter: target PAPR must be positive dB");
+  OFDM_REQUIRE(iterations >= 1, "ClipAndFilter: need >= 1 iteration");
+  OFDM_REQUIRE(taps % 2 == 1,
+               "ClipAndFilter: odd tap count required so the group "
+               "delay is an integer and can be compensated");
+  for (std::size_t i = 0; i < iterations; ++i) {
+    filters_.emplace_back(dsp::design_lowpass(cutoff, taps));
+  }
+}
+
+double ClipAndFilter::clip_level_for(double avg_power) const {
+  return std::sqrt(avg_power * target_ratio_);
+}
+
+cvec ClipAndFilter::process(std::span<const cplx> in) {
+  // Burst-at-a-time semantics: each call is treated as one complete
+  // burst so the filters' group delay can be compensated exactly
+  // (the output stays time-aligned with the input).
+  cvec x(in.begin(), in.end());
+  const double avg = mean_power(x);
+  if (avg <= 0.0) return x;
+  const double level = clip_level_for(avg);
+
+  for (std::size_t it = 0; it < iterations_; ++it) {
+    for (cplx& v : x) {
+      const double mag = std::abs(v);
+      if (mag > level) v *= level / mag;
+    }
+    dsp::FirFilter& f = filters_[it];
+    f.reset();
+    const auto delay =
+        static_cast<std::size_t>(std::lround(f.group_delay()));
+    cvec padded = x;
+    padded.insert(padded.end(), delay, cplx{0.0, 0.0});
+    f.process(padded, padded);
+    x.assign(padded.begin() + static_cast<std::ptrdiff_t>(delay),
+             padded.end());
+  }
+  return x;
+}
+
+void ClipAndFilter::reset() {
+  for (auto& f : filters_) f.reset();
+}
+
+}  // namespace ofdm::rf

@@ -1,0 +1,36 @@
+// PAPR reduction by iterated clipping-and-filtering.
+//
+// OFDM's Gaussian-like envelope forces the PA back-off that experiment
+// E4 sweeps; clipping the envelope and filtering away the resulting
+// out-of-band regrowth trades a little EVM for several dB of PAPR —
+// letting the PA run closer to saturation. This block sits between the
+// Mother Model source and the PA in the TX chain.
+#pragma once
+
+#include "dsp/fir.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+class ClipAndFilter : public Block {
+ public:
+  /// `target_papr_db`: clip level relative to the running average
+  /// power. `cutoff`: normalized lowpass cutoff (cycles/sample) chosen
+  /// to match the signal's occupied bandwidth. `iterations`: repeated
+  /// clip+filter rounds (regrowth shrinks per round).
+  ClipAndFilter(double target_papr_db, double cutoff,
+                std::size_t iterations = 2, std::size_t taps = 63);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "clip-filter"; }
+
+  double clip_level_for(double avg_power) const;
+
+ private:
+  double target_ratio_;  // linear peak/average ratio
+  std::size_t iterations_;
+  std::vector<dsp::FirFilter> filters_;  // one per iteration
+};
+
+}  // namespace ofdm::rf

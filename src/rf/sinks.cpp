@@ -1,0 +1,64 @@
+#include "rf/sinks.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace ofdm::rf {
+
+cvec PowerMeter::process(std::span<const cplx> in) {
+  for (const cplx& v : in) {
+    const double p = std::norm(v);
+    acc_ += p;
+    peak_ = std::max(peak_, p);
+  }
+  count_ += in.size();
+  return cvec(in.begin(), in.end());
+}
+
+void PowerMeter::reset() {
+  acc_ = 0.0;
+  peak_ = 0.0;
+  count_ = 0;
+}
+
+double PowerMeter::average_power() const {
+  return count_ > 0 ? acc_ / static_cast<double>(count_) : 0.0;
+}
+
+double PowerMeter::papr_db() const {
+  const double avg = average_power();
+  return avg > 0.0 ? to_db(peak_ / avg) : 0.0;
+}
+
+Capture::Capture(std::size_t max_samples) : max_samples_(max_samples) {}
+
+cvec Capture::process(std::span<const cplx> in) {
+  const std::size_t room =
+      max_samples_ > buffer_.size() ? max_samples_ - buffer_.size() : 0;
+  const std::size_t take = std::min(room, in.size());
+  buffer_.insert(buffer_.end(), in.begin(),
+                 in.begin() + static_cast<std::ptrdiff_t>(take));
+  return cvec(in.begin(), in.end());
+}
+
+void Capture::reset() { buffer_.clear(); }
+
+SpectrumAnalyzer::SpectrumAnalyzer(dsp::WelchConfig cfg,
+                                   std::size_t max_samples)
+    : cfg_(cfg), max_samples_(max_samples) {}
+
+cvec SpectrumAnalyzer::process(std::span<const cplx> in) {
+  const std::size_t room =
+      max_samples_ > buffer_.size() ? max_samples_ - buffer_.size() : 0;
+  const std::size_t take = std::min(room, in.size());
+  buffer_.insert(buffer_.end(), in.begin(),
+                 in.begin() + static_cast<std::ptrdiff_t>(take));
+  return cvec(in.begin(), in.end());
+}
+
+void SpectrumAnalyzer::reset() { buffer_.clear(); }
+
+dsp::Psd SpectrumAnalyzer::psd() const { return dsp::welch_psd(buffer_, cfg_); }
+
+}  // namespace ofdm::rf

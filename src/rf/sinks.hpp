@@ -1,0 +1,65 @@
+// Measurement sinks — pass-through blocks that record what flows past,
+// mirroring an RF simulator's meters and analyzers.
+#pragma once
+
+#include "dsp/spectrum.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// Running power meter: average and peak power of everything seen.
+class PowerMeter : public Block {
+ public:
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "power-meter"; }
+
+  double average_power() const;
+  double peak_power() const { return peak_; }
+  double papr_db() const;
+  std::size_t samples() const { return count_; }
+
+ private:
+  double acc_ = 0.0;
+  double peak_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Captures all samples that flow through (bounded by `max_samples`).
+class Capture : public Block {
+ public:
+  explicit Capture(std::size_t max_samples = SIZE_MAX);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "capture"; }
+
+  const cvec& samples() const { return buffer_; }
+
+ private:
+  std::size_t max_samples_;
+  cvec buffer_;
+};
+
+/// Spectrum analyzer: accumulates samples and computes a Welch PSD on
+/// demand.
+class SpectrumAnalyzer : public Block {
+ public:
+  explicit SpectrumAnalyzer(dsp::WelchConfig cfg,
+                            std::size_t max_samples = 1u << 22);
+
+  cvec process(std::span<const cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "spectrum-analyzer"; }
+
+  /// PSD of everything captured so far.
+  dsp::Psd psd() const;
+  std::size_t samples() const { return buffer_.size(); }
+
+ private:
+  dsp::WelchConfig cfg_;
+  std::size_t max_samples_;
+  cvec buffer_;
+};
+
+}  // namespace ofdm::rf

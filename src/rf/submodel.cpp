@@ -1,0 +1,82 @@
+#include "rf/submodel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ofdm::rf {
+
+Submodel::Submodel(core::OfdmParams params, std::size_t gap_samples,
+                   std::uint64_t payload_seed)
+    : tx_(std::move(params)),
+      gap_samples_(gap_samples),
+      rng_(payload_seed),
+      payload_seed_(payload_seed) {}
+
+void Submodel::set_payload_generator(PayloadGenerator gen) {
+  generator_ = std::move(gen);
+}
+
+void Submodel::configure(core::OfdmParams params) {
+  tx_.configure(std::move(params));
+  buffer_.clear();
+  read_pos_ = 0;
+}
+
+void Submodel::refill() {
+  const std::size_t n_bits = tx_.recommended_payload_bits();
+  const bitvec payload =
+      generator_ ? generator_(n_bits) : rng_.bits(n_bits);
+  OFDM_REQUIRE(payload.size() == n_bits,
+               "Submodel: payload generator returned wrong bit count");
+  auto burst = tx_.modulate(payload);
+  buffer_ = std::move(burst.samples);
+  buffer_.insert(buffer_.end(), gap_samples_, cplx{0.0, 0.0});
+  read_pos_ = 0;
+  ++frames_;
+}
+
+cvec Submodel::pull(std::size_t n) {
+  cvec out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (read_pos_ >= buffer_.size()) refill();
+    const std::size_t take =
+        std::min(n - out.size(), buffer_.size() - read_pos_);
+    out.insert(out.end(),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_),
+               buffer_.begin() +
+                   static_cast<std::ptrdiff_t>(read_pos_ + take));
+    read_pos_ += take;
+  }
+  return out;
+}
+
+void Submodel::reset() {
+  buffer_.clear();
+  read_pos_ = 0;
+  frames_ = 0;
+  rng_ = Rng(payload_seed_);
+}
+
+std::string Submodel::name() const {
+  return "submodel[" + core::standard_name(tx_.params().standard) + "]";
+}
+
+ToneSource::ToneSource(double freq_hz, double sample_rate, double amplitude)
+    : phase_step_(kTwoPi * freq_hz / sample_rate), amplitude_(amplitude) {
+  OFDM_REQUIRE(sample_rate > 0.0, "ToneSource: sample rate must be > 0");
+}
+
+cvec ToneSource::pull(std::size_t n) {
+  cvec out(n);
+  for (cplx& v : out) {
+    v = amplitude_ * cplx{std::cos(phase_), std::sin(phase_)};
+    phase_ = std::fmod(phase_ + phase_step_, kTwoPi);
+  }
+  return out;
+}
+
+void ToneSource::reset() { phase_ = 0.0; }
+
+}  // namespace ofdm::rf

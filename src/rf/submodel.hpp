@@ -1,0 +1,75 @@
+// The Submodel wrapper — the paper's key integration artifact.
+//
+// "The model was wrapped into an APLAC® Submodel, and in the RF system
+//  simulation it appears as a signal source block that can be used in
+//  traditional RF system simulations."
+//
+// Submodel wraps a configured Mother Model (core::Transmitter) so it
+// presents the rf::Source interface: the RF designer pulls baseband
+// samples and the wrapper keeps generating frames of (pseudo-random or
+// user-provided) payload, with a configurable inter-frame idle gap.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/transmitter.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+class Submodel : public Source {
+ public:
+  /// Wrap a transmitter configuration. `gap_samples` of silence separate
+  /// consecutive frames; payload bits default to a seeded PRNG stream.
+  explicit Submodel(core::OfdmParams params, std::size_t gap_samples = 0,
+                    std::uint64_t payload_seed = 1);
+
+  /// Replace the payload generator (e.g. with recorded traffic).
+  using PayloadGenerator = std::function<bitvec(std::size_t n_bits)>;
+  void set_payload_generator(PayloadGenerator gen);
+
+  /// Reconfigure to a different standard *in place* — the Mother Model
+  /// reconfiguration exposed at the RF-simulator level.
+  void configure(core::OfdmParams params);
+
+  const core::OfdmParams& params() const { return tx_.params(); }
+  core::Transmitter& transmitter() { return tx_; }
+
+  /// Total frames generated so far.
+  std::size_t frames_generated() const { return frames_; }
+
+  cvec pull(std::size_t n) override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  void refill();
+
+  core::Transmitter tx_;
+  std::size_t gap_samples_;
+  Rng rng_;
+  std::uint64_t payload_seed_;
+  PayloadGenerator generator_;
+  cvec buffer_;
+  std::size_t read_pos_ = 0;
+  std::size_t frames_ = 0;
+};
+
+/// A plain complex exponential source (test/calibration tone).
+class ToneSource : public Source {
+ public:
+  ToneSource(double freq_hz, double sample_rate, double amplitude = 1.0);
+
+  cvec pull(std::size_t n) override;
+  void reset() override;
+  std::string name() const override { return "tone"; }
+
+ private:
+  double phase_step_;
+  double amplitude_;
+  double phase_ = 0.0;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,37 @@
+#include "rtl/components.hpp"
+
+#include <bit>
+
+namespace ofdm::rtl {
+
+RtlScrambler::RtlScrambler(Simulator& sim, Signal<bool>& clk,
+                           Signal<bool>& enable, Signal<bool>& bit_in,
+                           std::uint8_t seed)
+    : clk_(clk), enable_(enable), in_(bit_in), out_(sim, false),
+      state_(static_cast<std::uint8_t>(seed & 0x7F)) {
+  Process* p = sim.make_process("rtl_scrambler", [this]() {
+    if (!clk_.read() || !enable_.read()) return;  // posedge + enable
+    // Feedback = delay-7 XOR delay-4 cells (bits 6 and 3).
+    const std::uint8_t fb =
+        static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+    out_.write((in_.read() ? 1 : 0) ^ fb);
+    state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  });
+  clk.sensitize(p);
+}
+
+RtlConvEncoder::RtlConvEncoder(Simulator& sim, Signal<bool>& clk,
+                               Signal<bool>& enable, Signal<bool>& bit_in)
+    : clk_(clk), enable_(enable), in_(bit_in), out_a_(sim, false),
+      out_b_(sim, false) {
+  Process* p = sim.make_process("rtl_conv", [this]() {
+    if (!clk_.read() || !enable_.read()) return;
+    window_ = (window_ >> 1) |
+              (static_cast<std::uint32_t>(in_.read() ? 1u : 0u) << 6);
+    out_a_.write((std::popcount(window_ & 0133u) & 1) != 0);
+    out_b_.write((std::popcount(window_ & 0171u) & 1) != 0);
+  });
+  clk.sensitize(p);
+}
+
+}  // namespace ofdm::rtl

@@ -1,0 +1,49 @@
+// Small cycle-level RTL components. These mirror the bit-serial hardware
+// structure of an 802.11a transmitter datapath: one bit (or one butterfly,
+// or one sample) per clock edge.
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/kernel.hpp"
+
+namespace ofdm::rtl {
+
+/// Bit-serial 802.11a scrambler (x^7 + x^4 + 1). Registers one output
+/// bit per rising clock edge while `enable` is high.
+class RtlScrambler {
+ public:
+  RtlScrambler(Simulator& sim, Signal<bool>& clk, Signal<bool>& enable,
+               Signal<bool>& bit_in, std::uint8_t seed);
+
+  Signal<bool>& bit_out() { return out_; }
+  std::uint8_t state() const { return state_; }
+
+ private:
+  Signal<bool>& clk_;
+  Signal<bool>& enable_;
+  Signal<bool>& in_;
+  Signal<bool> out_;
+  std::uint8_t state_;
+};
+
+/// Bit-serial K=7 (133,171) convolutional encoder: consumes one input
+/// bit and registers both coded bits per rising clock edge.
+class RtlConvEncoder {
+ public:
+  RtlConvEncoder(Simulator& sim, Signal<bool>& clk, Signal<bool>& enable,
+                 Signal<bool>& bit_in);
+
+  Signal<bool>& out_a() { return out_a_; }
+  Signal<bool>& out_b() { return out_b_; }
+
+ private:
+  Signal<bool>& clk_;
+  Signal<bool>& enable_;
+  Signal<bool>& in_;
+  Signal<bool> out_a_;
+  Signal<bool> out_b_;
+  std::uint32_t window_ = 0;
+};
+
+}  // namespace ofdm::rtl

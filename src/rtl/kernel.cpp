@@ -1,0 +1,84 @@
+#include "rtl/kernel.hpp"
+
+namespace ofdm::rtl {
+
+void SignalBase::notify_sensitive() {
+  for (Process* p : sensitive_) sim_.schedule_delta(p);
+}
+
+void SignalBase::request_update() {
+  if (!update_pending_) {
+    update_pending_ = true;
+    sim_.request_update(this);
+  }
+}
+
+Process* Simulator::make_process(std::string name,
+                                 std::function<void()> fn) {
+  processes_.push_back(
+      std::make_unique<Process>(std::move(name), std::move(fn)));
+  return processes_.back().get();
+}
+
+void Simulator::schedule_at(SimTime t, Process* p) {
+  OFDM_REQUIRE(t >= now_, "Simulator: cannot schedule in the past");
+  timed_.emplace(t, p);
+}
+
+void Simulator::schedule_delta(Process* p) {
+  if (!p->scheduled_) {
+    p->scheduled_ = true;
+    runnable_.push_back(p);
+  }
+}
+
+void Simulator::request_update(SignalBase* s) { pending_updates_.push_back(s); }
+
+void Simulator::run_delta_cycles() {
+  while (!runnable_.empty() || !pending_updates_.empty()) {
+    ++stats_.delta_cycles;
+    // Evaluation phase.
+    std::vector<Process*> batch;
+    batch.swap(runnable_);
+    for (Process* p : batch) {
+      ++stats_.process_activations;
+      p->run();
+    }
+    // Update phase: commit signal writes, waking sensitive processes
+    // into the next delta cycle.
+    std::vector<SignalBase*> updates;
+    updates.swap(pending_updates_);
+    stats_.signal_updates += updates.size();
+    for (SignalBase* s : updates) s->update();
+  }
+}
+
+void Simulator::run(SimTime until) {
+  // Flush anything already runnable at the current time.
+  run_delta_cycles();
+  while (!timed_.empty()) {
+    const auto it = timed_.begin();
+    const SimTime t = it->first;
+    if (t > until) break;
+    now_ = t;
+    // Pop every process scheduled for this instant.
+    while (!timed_.empty() && timed_.begin()->first == now_) {
+      ++stats_.timed_events;
+      schedule_delta(timed_.begin()->second);
+      timed_.erase(timed_.begin());
+    }
+    run_delta_cycles();
+  }
+}
+
+Clock::Clock(Simulator& sim, SimTime half_period, const std::string& name)
+    : sig_(sim, false), half_period_(half_period), sim_(sim) {
+  OFDM_REQUIRE(half_period >= 1, "Clock: half period must be >= 1 tick");
+  toggler_ = sim.make_process(name + ".toggle", [this]() {
+    sig_.write(!sig_.read());
+    sim_.schedule_at(sim_.now() + half_period_, toggler_);
+  });
+  sim.schedule_at(half_period, toggler_);
+}
+
+}  // namespace ofdm::rtl

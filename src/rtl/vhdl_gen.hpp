@@ -1,0 +1,45 @@
+// VHDL generation: the HDL-domain face of the Mother Model.
+//
+// The paper (§3): "To extend the design domain specific models of the
+// OFDM standard family, Mother Models in SystemC and in VHDL have been
+// programmed". Our event-kernel datapath plays the SystemC role; this
+// generator plays the VHDL role — it emits a parameterized RTL bundle
+// (package of constants, LFSR scrambler, convolutional encoder,
+// interleaver ROM, constellation mapper ROM) for any configured family
+// member. One Mother Model, emitted per-standard, in a third design
+// domain.
+//
+// The emitted code targets synthesizable VHDL-93 structure; with no
+// VHDL toolchain in this environment it is verified structurally (and
+// its ROM contents numerically) by tests/test_vhdl_gen.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace ofdm::rtl {
+
+struct VhdlFile {
+  std::string filename;
+  std::string contents;
+};
+
+struct VhdlBundle {
+  std::vector<VhdlFile> files;
+
+  const VhdlFile* find(const std::string& filename) const;
+};
+
+/// Emit the RTL bundle for one configured standard. `fixed_bits` is the
+/// signed fixed-point width used for constellation ROM entries.
+VhdlBundle generate_vhdl(const core::OfdmParams& params,
+                         unsigned fixed_bits = 12);
+
+/// Quantize a constellation coordinate to the signed fixed-point code
+/// used in the mapper ROM (full scale = 2.0, covering every normalized
+/// constellation).
+long to_fixed(double value, unsigned fixed_bits);
+
+}  // namespace ofdm::rtl

@@ -1,0 +1,76 @@
+// Reference receiver: the exact inverse of the Mother Model's pipeline.
+//
+// Its role in the reproduction is verification — the software equivalent
+// of the vector signal analyzer an RF lab would point at the transmitter.
+// A noiseless loopback must decode with zero bit errors for every family
+// member; through the RF chain it provides EVM and BER measurements.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/transmitter.hpp"
+
+namespace ofdm::rx {
+
+class Receiver {
+ public:
+  /// Configure for a standard; must match the transmitter's parameters.
+  explicit Receiver(core::OfdmParams params);
+  ~Receiver();
+  Receiver(Receiver&&) noexcept;
+  Receiver& operator=(Receiver&&) noexcept;
+
+  const core::OfdmParams& params() const;
+
+  /// One-tap frequency-domain equalizer, one coefficient per FFT bin
+  /// (natural order). Received tones are *multiplied* by it.
+  void set_equalizer(cvec per_bin);
+  void clear_equalizer();
+
+  /// Common-phase-error tracking: per symbol, estimate the residual
+  /// phase from the pilot tones (against their known values) and
+  /// derotate the data tones. Corrects residual CFO and oscillator
+  /// phase noise; a no-op for configurations without pilots.
+  void enable_pilot_phase_tracking(bool on);
+
+  /// Soft-decision decoding: max-log LLR demapping feeding a soft
+  /// Viterbi (worth ~2 dB on AWGN). Applies to fixed-constellation
+  /// standards with an inner convolutional code; other configurations
+  /// silently keep the hard path.
+  void enable_soft_decoding(bool on);
+
+  /// Estimate an equalizer from the burst's own training section (the
+  /// 802.11a LTF or the phase-reference symbol). Returns the per-bin
+  /// coefficients; does not install them.
+  cvec estimate_equalizer(std::span<const cplx> burst) const;
+
+  struct Result {
+    bitvec payload;
+    std::size_t symbols = 0;
+    std::size_t rs_blocks_failed = 0;  ///< uncorrectable outer-code blocks
+  };
+
+  /// Demodulate and decode a burst produced by Transmitter::modulate()
+  /// for `payload_bits` payload bits.
+  Result demodulate(std::span<const cplx> burst,
+                    std::size_t payload_bits) const;
+
+  /// Equalized constellation-domain data cells per payload symbol —
+  /// the input to EVM measurements. `n_symbols` as reported by the
+  /// transmitter's Burst.
+  std::vector<cvec> extract_data_tones(std::span<const cplx> burst,
+                                       std::size_t n_symbols) const;
+
+  /// Sample offset of the first payload symbol within a burst.
+  std::size_t payload_offset() const;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace ofdm::rx

@@ -1,0 +1,35 @@
+// Burst synchronization utilities: cyclic-prefix correlation for symbol
+// timing and fractional carrier-frequency-offset estimation, plus the
+// Schmidl&Cox-style plateau metric for the 802.11a short training field.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::rx {
+
+struct TimingEstimate {
+  std::size_t offset = 0;  ///< estimated start of the OFDM symbol
+  double metric = 0.0;     ///< normalized correlation peak in [0, 1]
+  double cfo_hz = 0.0;     ///< fractional CFO estimate
+};
+
+/// Slide a CP correlator over `samples` and return the best symbol-start
+/// hypothesis. `sample_rate` only scales the CFO estimate.
+TimingEstimate cp_timing(std::span<const cplx> samples,
+                         std::size_t fft_size, std::size_t cp_len,
+                         double sample_rate);
+
+/// Schmidl&Cox metric using the 16-sample periodicity of the 802.11a STF:
+/// returns the normalized metric sequence M[d] (length samples-32).
+rvec stf_metric(std::span<const cplx> samples);
+
+/// Estimate a fractional CFO from the phase of the delayed
+/// autocorrelation with lag `period` over `span_len` samples at `offset`.
+double estimate_cfo(std::span<const cplx> samples, std::size_t offset,
+                    std::size_t period, std::size_t span_len,
+                    double sample_rate);
+
+}  // namespace ofdm::rx

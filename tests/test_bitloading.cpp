@@ -1,0 +1,113 @@
+// DMT bit-loading tests: allocation behaviour and per-tone map/demap
+// round trips across all supported loads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mapping/bitloading.hpp"
+
+namespace ofdm::mapping {
+namespace {
+
+TEST(BitAllocation, FollowsShannonGap) {
+  // SNR 30 dB with a 9.8 dB gap: b = floor(log2(1 + 10^((30-9.8)/10)))
+  //   = floor(log2(1 + 104.7)) = floor(6.72) = 6.
+  const rvec snr = {30.0};
+  const BitTable t = compute_bit_allocation(snr, 9.8);
+  EXPECT_EQ(t[0], 6);
+}
+
+TEST(BitAllocation, MonotoneInSnr) {
+  rvec snr(40);
+  for (std::size_t i = 0; i < snr.size(); ++i) {
+    snr[i] = static_cast<double>(i) * 1.5;  // 0 .. 58.5 dB
+  }
+  const BitTable t = compute_bit_allocation(snr, 6.0);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i], t[i - 1]);
+  }
+}
+
+TEST(BitAllocation, RespectsCapsAndMinimum) {
+  const rvec snr = {-10.0, 3.0, 8.0, 90.0};
+  const BitTable t = compute_bit_allocation(snr, 0.0, 15, 2);
+  EXPECT_EQ(t[0], 0);   // below minimum -> unused
+  EXPECT_EQ(t[1], 0);   // would be 1 bit < min 2 -> unused
+  EXPECT_GE(t[2], 2);
+  EXPECT_EQ(t[3], 15);  // capped
+}
+
+TEST(BitAllocation, TotalBitsAccounting) {
+  const BitTable t = {0, 2, 4, 15, 0, 7};
+  EXPECT_EQ(table_bits(t), 28u);
+}
+
+TEST(DmtMapper, MapDemapRoundTripMixedTable) {
+  BitTable table;
+  for (std::uint8_t b = 0; b <= 15; ++b) table.push_back(b);
+  DmtMapper mapper(table);
+  EXPECT_EQ(mapper.bits_per_symbol(), 120u);
+
+  Rng rng(101);
+  const bitvec bits = rng.bits(mapper.bits_per_symbol());
+  const cvec tones = mapper.map_symbol(bits);
+  ASSERT_EQ(tones.size(), table.size());
+  EXPECT_EQ(mapper.demap_symbol(tones), bits);
+}
+
+class PerToneLoad : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerToneLoad, SingleToneRoundTripAllowsNoise) {
+  const auto load = static_cast<std::uint8_t>(GetParam());
+  DmtMapper mapper(BitTable{load});
+  Rng rng(102 + GetParam());
+  // Decision distance shrinks with the constellation size; stay safely
+  // inside half the minimum axis spacing.
+  const double axis_levels =
+      std::pow(2.0, std::ceil(static_cast<double>(load) / 2.0));
+  const double margin = 0.4 / (axis_levels * 2.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const bitvec bits = rng.bits(load);
+    cvec tones = mapper.map_symbol(bits);
+    tones[0] += cplx{rng.uniform(-margin, margin),
+                     rng.uniform(-margin, margin)};
+    EXPECT_EQ(mapper.demap_symbol(tones), bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads1To15, PerToneLoad,
+                         ::testing::Range(1, 16));
+
+TEST(DmtMapper, UnusedTonesStayZero) {
+  DmtMapper mapper(BitTable{0, 4, 0, 2, 0});
+  Rng rng(103);
+  const cvec tones = mapper.map_symbol(rng.bits(6));
+  EXPECT_EQ(std::abs(tones[0]), 0.0);
+  EXPECT_EQ(std::abs(tones[2]), 0.0);
+  EXPECT_EQ(std::abs(tones[4]), 0.0);
+  EXPECT_GT(std::abs(tones[1]), 0.0);
+}
+
+TEST(DmtMapper, UnitAveragePowerPerLoadedTone) {
+  // Average over many random symbols: each loaded tone ~ unit power.
+  DmtMapper mapper(BitTable{8, 8, 8, 8});
+  Rng rng(104);
+  double p = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const cvec tones = mapper.map_symbol(rng.bits(32));
+    for (const cplx& t : tones) p += std::norm(t);
+  }
+  EXPECT_NEAR(p / (4.0 * n), 1.0, 0.05);
+}
+
+TEST(DmtMapper, RejectsOversizedLoads) {
+  EXPECT_THROW(DmtMapper(BitTable{16}), Error);
+  DmtMapper ok(BitTable{4});
+  EXPECT_THROW(ok.map_symbol(bitvec(3, 0)), DimensionError);
+}
+
+}  // namespace
+}  // namespace ofdm::mapping

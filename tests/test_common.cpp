@@ -1,0 +1,158 @@
+// Unit tests for the common foundation: bit utilities, deterministic RNG,
+// numeric helpers and error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ofdm {
+namespace {
+
+TEST(Bits, BytesToBitsMsbOrdering) {
+  const bytevec bytes = {0x1F};  // 00011111
+  EXPECT_EQ(to_string(bytes_to_bits_msb(bytes)), "00011111");
+}
+
+TEST(Bits, BytesToBitsLsbOrdering) {
+  const bytevec bytes = {0x1F};
+  EXPECT_EQ(to_string(bytes_to_bits_lsb(bytes)), "11111000");
+}
+
+TEST(Bits, PackUnpackRoundTripMsb) {
+  Rng rng(1);
+  const bytevec bytes = rng.bytes(64);
+  EXPECT_EQ(bits_to_bytes_msb(bytes_to_bits_msb(bytes)), bytes);
+}
+
+TEST(Bits, PackUnpackRoundTripLsb) {
+  Rng rng(2);
+  const bytevec bytes = rng.bytes(64);
+  EXPECT_EQ(bits_to_bytes_lsb(bytes_to_bits_lsb(bytes)), bytes);
+}
+
+TEST(Bits, PackRejectsPartialBytes) {
+  const bitvec bits(13, 1);
+  EXPECT_THROW(bits_to_bytes_msb(bits), DimensionError);
+}
+
+TEST(Bits, UintRoundTrip) {
+  bitvec bits;
+  append_uint(bits, 0x2B3, 12);
+  EXPECT_EQ(bits.size(), 12u);
+  EXPECT_EQ(bits_to_uint(bits, 0, 12), 0x2B3u);
+}
+
+TEST(Bits, FromStringSkipsSeparators) {
+  EXPECT_EQ(bits_from_string("10 11 0x1"), (bitvec{1, 0, 1, 1, 0, 1}));
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(hamming_distance(bitvec{1, 0, 1, 0}, bitvec{1, 1, 1, 1}), 2u);
+  EXPECT_THROW(hamming_distance(bitvec{1}, bitvec{1, 0}), DimensionError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(5);
+  double p = 0.0;
+  const int n = 50000;
+  const double var = 2.5;
+  for (int i = 0; i < n; ++i) p += std::norm(rng.complex_gaussian(var));
+  EXPECT_NEAR(p / n, var, 0.1);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform_int(0), ConfigError);
+}
+
+TEST(MathUtil, DbConversionsInverse) {
+  EXPECT_NEAR(from_db(to_db(3.7)), 3.7, 1e-12);
+  EXPECT_NEAR(to_db(100.0), 20.0, 1e-12);
+  EXPECT_EQ(to_db(0.0), -400.0);
+}
+
+TEST(MathUtil, MeanAndPeakPower) {
+  const cvec x = {{3.0, 4.0}, {0.0, 0.0}};  // |3+4j|^2 = 25
+  EXPECT_NEAR(mean_power(x), 12.5, 1e-12);
+  EXPECT_NEAR(peak_power(x), 25.0, 1e-12);
+  EXPECT_NEAR(rms(x), std::sqrt(12.5), 1e-12);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(MathUtil, Sinc) {
+  EXPECT_NEAR(sinc(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(sinc(0.5), 2.0 / kPi, 1e-12);
+}
+
+TEST(MathUtil, NormalizePower) {
+  cvec x = {{2.0, 0.0}, {0.0, 2.0}};
+  normalize_power(x, 1.0);
+  EXPECT_NEAR(mean_power(x), 1.0, 1e-12);
+}
+
+TEST(Error, RequireMacroCarriesMessage) {
+  try {
+    OFDM_REQUIRE(false, "descriptive message");
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("descriptive message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ofdm

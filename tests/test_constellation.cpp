@@ -1,0 +1,201 @@
+// Constellation tests: the exact 802.11a-1999 17.3.5.7 mapping tables,
+// unit average energy, Gray-neighbour property and demapping round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "mapping/constellation.hpp"
+
+namespace ofdm::mapping {
+namespace {
+
+TEST(Constellation, BpskMappingMatchesStandard) {
+  const Constellation c = Constellation::make(Scheme::kBpsk);
+  EXPECT_NEAR(c.map(bitvec{0}).real(), -1.0, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1}).real(), 1.0, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1}).imag(), 0.0, 1e-12);
+}
+
+TEST(Constellation, QpskMappingMatchesStandard) {
+  const Constellation c = Constellation::make(Scheme::kQpsk);
+  const double a = 1.0 / std::sqrt(2.0);
+  // 802.11a: first bit -> I, second -> Q; 0 -> -1, 1 -> +1.
+  EXPECT_NEAR(c.map(bitvec{0, 0}).real(), -a, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{0, 0}).imag(), -a, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1, 0}).real(), a, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1, 0}).imag(), -a, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1, 1}).imag(), a, 1e-12);
+}
+
+TEST(Constellation, Qam16MappingMatchesStandard) {
+  const Constellation c = Constellation::make(Scheme::kQam16);
+  const double s = std::sqrt(10.0);
+  // Table 17-9: b0b1 (I): 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+  EXPECT_NEAR(c.map(bitvec{0, 0, 0, 0}).real(), -3.0 / s, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{0, 1, 0, 0}).real(), -1.0 / s, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1, 1, 0, 0}).real(), 1.0 / s, 1e-12);
+  EXPECT_NEAR(c.map(bitvec{1, 0, 0, 0}).real(), 3.0 / s, 1e-12);
+  // Q bits b2b3 follow the same table.
+  EXPECT_NEAR(c.map(bitvec{0, 0, 1, 0}).imag(), 3.0 / s, 1e-12);
+}
+
+TEST(Constellation, Qam64NormalizationIsSqrt42) {
+  const Constellation c = Constellation::make(Scheme::kQam64);
+  EXPECT_NEAR(c.norm_factor(), std::sqrt(42.0), 1e-12);
+}
+
+class AllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AllSchemes, UnitAverageEnergy) {
+  const Constellation c = Constellation::make(GetParam());
+  double e = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) e += std::norm(c.point(i));
+  EXPECT_NEAR(e / static_cast<double>(c.size()), 1.0, 1e-12);
+}
+
+TEST_P(AllSchemes, MapDemapRoundTripAllPatterns) {
+  const Constellation c = Constellation::make(GetParam());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    bitvec bits;
+    append_uint(bits, i, c.bits());
+    const cplx sym = c.map(bits);
+    bitvec back;
+    c.demap(sym, back);
+    EXPECT_EQ(back, bits) << "pattern " << i;
+  }
+}
+
+TEST_P(AllSchemes, DemapToleratesHalfDecisionDistanceNoise) {
+  const Constellation c = Constellation::make(GetParam());
+  // Minimum axis spacing is 2/norm; noise below half of that in each
+  // dimension cannot cross a decision boundary.
+  const double margin = 0.9 / c.norm_factor();
+  Rng rng(81);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    bitvec bits;
+    append_uint(bits, i, c.bits());
+    const cplx noisy = c.map(bits) + cplx{rng.uniform(-margin, margin),
+                                          rng.uniform(-margin, margin)};
+    bitvec back;
+    c.demap(noisy, back);
+    EXPECT_EQ(back, bits);
+  }
+}
+
+TEST_P(AllSchemes, GrayNeighboursDifferInOneBit) {
+  const Constellation c = Constellation::make(GetParam());
+  const double step = 2.0 / c.norm_factor();
+  // For every point, its +step neighbour on the I axis (if it exists)
+  // must differ in exactly one bit.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const cplx p = c.point(i);
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      const cplx q = c.point(j);
+      if (std::abs(q.real() - p.real() - step) < 1e-9 &&
+          std::abs(q.imag() - p.imag()) < 1e-9) {
+        bitvec bi;
+        bitvec bj;
+        append_uint(bi, i, c.bits());
+        append_uint(bj, j, c.bits());
+        EXPECT_EQ(hamming_distance(bi, bj), 1u)
+            << "points " << i << " and " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllSchemes,
+                         ::testing::Values(Scheme::kBpsk, Scheme::kQpsk,
+                                           Scheme::kQam16, Scheme::kQam64,
+                                           Scheme::kQam256));
+
+TEST(Constellation, RectangularOddBitLoads) {
+  // 3 bits: 2 on I (4 levels), 1 on Q (2 levels) -> 8 points, unit energy.
+  const Constellation c = Constellation::make_rect(2, 1);
+  EXPECT_EQ(c.bits(), 3u);
+  EXPECT_EQ(c.size(), 8u);
+  double e = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) e += std::norm(c.point(i));
+  EXPECT_NEAR(e / 8.0, 1.0, 1e-12);
+}
+
+TEST(Constellation, MapAllChunksCorrectly) {
+  const Constellation c = Constellation::make(Scheme::kQpsk);
+  Rng rng(82);
+  const bitvec bits = rng.bits(64);
+  const cvec symbols = c.map_all(bits);
+  ASSERT_EQ(symbols.size(), 32u);
+  EXPECT_EQ(c.demap_all(symbols), bits);
+}
+
+TEST(Constellation, RejectsBadSizes) {
+  const Constellation c = Constellation::make(Scheme::kQam16);
+  EXPECT_THROW(c.map(bitvec{1, 0}), DimensionError);
+  EXPECT_THROW(c.map_all(bitvec(6, 0)), DimensionError);
+}
+
+}  // namespace
+}  // namespace ofdm::mapping
+
+// --- soft demapping ---------------------------------------------------------
+
+namespace ofdm::mapping {
+namespace {
+
+TEST(SoftDemap, SignsMatchHardDecisionsOnCleanSymbols) {
+  for (Scheme s : {Scheme::kBpsk, Scheme::kQpsk, Scheme::kQam16,
+                   Scheme::kQam64}) {
+    const Constellation c = Constellation::make(s);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      rvec llr;
+      c.demap_soft(c.point(i), 1.0, llr);
+      ASSERT_EQ(llr.size(), c.bits());
+      for (std::size_t b = 0; b < c.bits(); ++b) {
+        const bool bit_one = (i >> (c.bits() - 1 - b)) & 1u;
+        // llr > 0 means bit 0: sign must agree with the true bit.
+        if (bit_one) {
+          EXPECT_LT(llr[b], 0.0) << scheme_name(s) << " pt " << i;
+        } else {
+          EXPECT_GT(llr[b], 0.0) << scheme_name(s) << " pt " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SoftDemap, MagnitudeGrowsWithDistanceFromBoundary) {
+  // BPSK maps bit 0 -> -1 and bit 1 -> +1, so a positive received
+  // value implies bit 1 (negative LLR under the llr>0 => bit-0
+  // convention), with confidence growing away from the boundary.
+  const Constellation c = Constellation::make(Scheme::kBpsk);
+  rvec near_llr;
+  rvec far_llr;
+  c.demap_soft(cplx{0.1, 0.0}, 1.0, near_llr);
+  c.demap_soft(cplx{1.0, 0.0}, 1.0, far_llr);
+  EXPECT_LT(near_llr[0], 0.0);
+  EXPECT_LT(far_llr[0], near_llr[0]);
+  EXPECT_GT(std::abs(far_llr[0]), std::abs(near_llr[0]));
+}
+
+TEST(SoftDemap, NoiseVarianceScalesLlrs) {
+  const Constellation c = Constellation::make(Scheme::kQam16);
+  rvec a;
+  rvec b;
+  c.demap_soft(cplx{0.5, 0.4}, 1.0, a);
+  c.demap_soft(cplx{0.5, 0.4}, 2.0, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], 2.0 * b[i], 1e-12);
+  }
+}
+
+TEST(SoftDemap, RejectsNonPositiveNoise) {
+  const Constellation c = Constellation::make(Scheme::kQpsk);
+  rvec out;
+  EXPECT_THROW(c.demap_soft(cplx{0, 0}, 0.0, out), Error);
+}
+
+}  // namespace
+}  // namespace ofdm::mapping

@@ -1,0 +1,208 @@
+// Convolutional coding tests: generator correctness, puncturing geometry,
+// and Viterbi decoding under clean, erased and corrupted conditions.
+#include <gtest/gtest.h>
+
+#include "coding/convolutional.hpp"
+#include "coding/viterbi.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace ofdm::coding {
+namespace {
+
+TEST(ConvEncoder, ImpulseResponseMatchesGenerators) {
+  // A single 1 followed by zeros reads the generator taps out directly.
+  const ConvEncoder enc(k7_industry_code());
+  bitvec input(7, 0);
+  input[0] = 1;
+  const bitvec out = enc.encode(input);
+  // Stream A taps 133 octal = 1011011: outputs over 7 steps.
+  const bitvec a_expect = bits_from_string("1011011");
+  const bitvec b_expect = bits_from_string("1111001");  // 171 octal
+  for (std::size_t t = 0; t < 7; ++t) {
+    EXPECT_EQ(out[2 * t], a_expect[t]) << "A stream step " << t;
+    EXPECT_EQ(out[2 * t + 1], b_expect[t]) << "B stream step " << t;
+  }
+}
+
+TEST(ConvEncoder, RateOutputLengths) {
+  const ConvEncoder enc(k7_industry_code());
+  Rng rng(41);
+  const bitvec msg = rng.bits(120);
+  const bitvec coded = enc.encode_terminated(msg);
+  EXPECT_EQ(coded.size(), (msg.size() + 6) * 2);
+
+  EXPECT_EQ(puncture(coded, puncture_none()).size(), coded.size());
+  EXPECT_EQ(puncture(coded, puncture_2_3()).size(), coded.size() * 3 / 4);
+  EXPECT_EQ(puncture(coded, puncture_3_4()).size(), coded.size() * 2 / 3);
+}
+
+TEST(Puncture, DepunctureRestoresGeometryWithErasures) {
+  Rng rng(42);
+  const ConvEncoder enc(k7_industry_code());
+  const bitvec msg = rng.bits(60);
+  const bitvec coded = enc.encode_terminated(msg);
+  const PuncturePattern pat = puncture_3_4();
+  const bitvec punct = puncture(coded, pat);
+  const bitvec rest = depuncture(punct, pat, coded.size());
+  ASSERT_EQ(rest.size(), coded.size());
+  std::size_t erasures = 0;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == kErasure) {
+      ++erasures;
+    } else {
+      EXPECT_EQ(rest[i], coded[i]);
+    }
+  }
+  EXPECT_EQ(erasures, coded.size() - punct.size());
+}
+
+class ViterbiRates : public ::testing::TestWithParam<int> {
+ protected:
+  PuncturePattern pattern() const {
+    switch (GetParam()) {
+      case 0: return puncture_none();
+      case 1: return puncture_2_3();
+      default: return puncture_3_4();
+    }
+  }
+};
+
+TEST_P(ViterbiRates, CleanDecodingIsExact) {
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(43);
+  // Message sized for whole puncture periods.
+  const bitvec msg = rng.bits(240 - 6);
+  const PuncturePattern pat = pattern();
+  const bitvec coded = puncture(enc.encode_terminated(msg), pat);
+  const bitvec rest = depuncture(coded, pat, (msg.size() + 6) * 2);
+  EXPECT_EQ(dec.decode_terminated(rest), msg);
+}
+
+TEST_P(ViterbiRates, CorrectsScatteredBitErrors) {
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(44);
+  const bitvec msg = rng.bits(240 - 6);
+  const PuncturePattern pat = pattern();
+  bitvec coded = puncture(enc.encode_terminated(msg), pat);
+  // Flip well-separated bits (spacing >> constraint length).
+  for (std::size_t i = 20; i + 50 < coded.size(); i += 97) {
+    coded[i] ^= 1u;
+  }
+  const bitvec rest = depuncture(coded, pat, (msg.size() + 6) * 2);
+  EXPECT_EQ(dec.decode_terminated(rest), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ViterbiRates, ::testing::Values(0, 1, 2));
+
+TEST(Viterbi, UnterminatedDecodingWorks) {
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(45);
+  const bitvec msg = rng.bits(100);
+  const bitvec coded = enc.encode(msg);
+  const bitvec decoded = dec.decode(coded);
+  ASSERT_EQ(decoded.size(), msg.size());
+  // The tail of an unterminated decode can be ambiguous; the body must
+  // match exactly.
+  for (std::size_t i = 0; i + 8 < msg.size(); ++i) {
+    EXPECT_EQ(decoded[i], msg[i]) << "position " << i;
+  }
+}
+
+TEST(Viterbi, BurstsBeyondCapacityFail) {
+  // A long error burst must defeat the code (sanity: the decoder is not
+  // an oracle). 40 consecutive flips >> free distance.
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(46);
+  const bitvec msg = rng.bits(200);
+  bitvec coded = enc.encode_terminated(msg);
+  for (std::size_t i = 100; i < 140; ++i) coded[i] ^= 1u;
+  EXPECT_NE(dec.decode_terminated(coded), msg);
+}
+
+TEST(Viterbi, ShorterConstraintLengthCode) {
+  // K=3 (7,5) textbook code round-trips too (the decoder is generic).
+  ConvCode code;
+  code.constraint_length = 3;
+  code.generators = {05, 07};
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(47);
+  const bitvec msg = rng.bits(80);
+  EXPECT_EQ(dec.decode_terminated(enc.encode_terminated(msg)), msg);
+}
+
+}  // namespace
+}  // namespace ofdm::coding
+
+// --- soft-decision decoding -----------------------------------------------
+
+namespace ofdm::coding {
+namespace {
+
+rvec to_llr(const bitvec& bits, double confidence) {
+  rvec llr(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    llr[i] = bits[i] ? -confidence : confidence;
+  }
+  return llr;
+}
+
+TEST(ViterbiSoft, CleanLlrsDecodeExactly) {
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(48);
+  const bitvec msg = rng.bits(200);
+  const rvec llr = to_llr(enc.encode_terminated(msg), 4.0);
+  EXPECT_EQ(dec.decode_soft_terminated(llr), msg);
+}
+
+TEST(ViterbiSoft, ConfidenceWeightingBeatsHardDecisions) {
+  // Construct a case hard decisions get wrong but soft gets right:
+  // several flipped bits carry tiny confidence, the rest are strong.
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(49);
+  const bitvec msg = rng.bits(120);
+  const bitvec coded = enc.encode_terminated(msg);
+
+  bitvec hard = coded;
+  rvec llr = to_llr(coded, 4.0);
+  // Flip a dense error burst (too much for hard decisions), but mark
+  // every flipped position as low-confidence.
+  for (std::size_t i = 60; i < 72; ++i) {
+    hard[i] ^= 1u;
+    llr[i] = hard[i] ? -0.05 : 0.05;
+  }
+  EXPECT_NE(dec.decode_terminated(hard), msg);      // hard fails
+  EXPECT_EQ(dec.decode_soft_terminated(llr), msg);  // soft recovers
+}
+
+TEST(ViterbiSoft, DepunctureSoftInsertsZeroLlrs) {
+  const ConvCode code = k7_industry_code();
+  const ConvEncoder enc(code);
+  const ViterbiDecoder dec(code);
+  Rng rng(50);
+  const bitvec msg = rng.bits(120);
+  const PuncturePattern pat = puncture_3_4();
+  const bitvec punct = puncture(enc.encode_terminated(msg), pat);
+  const rvec llr =
+      depuncture_soft(to_llr(punct, 2.0), pat, (msg.size() + 6) * 2);
+  std::size_t zeros = 0;
+  for (double l : llr) zeros += l == 0.0;
+  EXPECT_EQ(zeros, (msg.size() + 6) * 2 - punct.size());
+  EXPECT_EQ(dec.decode_soft_terminated(llr), msg);
+}
+
+}  // namespace
+}  // namespace ofdm::coding

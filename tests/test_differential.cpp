@@ -1,0 +1,109 @@
+// Differential mapper tests: round trips for all kinds, rotation
+// invariance (the property DAB/HomePlug rely on), and the pi/4 grid
+// structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mapping/differential.hpp"
+
+namespace ofdm::mapping {
+namespace {
+
+class AllDiffKinds : public ::testing::TestWithParam<DiffKind> {};
+
+TEST_P(AllDiffKinds, RoundTripOverManySymbols) {
+  const std::size_t carriers = 48;
+  DifferentialMapper tx(GetParam(), carriers);
+  DifferentialMapper rx(GetParam(), carriers);
+  Rng rng(91);
+  for (int sym = 0; sym < 20; ++sym) {
+    const bitvec bits = rng.bits(tx.bits_per_ofdm_symbol());
+    const cvec mapped = tx.map_symbol(bits);
+    EXPECT_EQ(rx.demap_symbol(mapped), bits) << "symbol " << sym;
+  }
+}
+
+TEST_P(AllDiffKinds, FlatRotationIsTransparent) {
+  // A static phase rotation (carrier phase offset) must not disturb a
+  // differential link at all — the reason DAB needs no equalizer here.
+  const std::size_t carriers = 16;
+  DifferentialMapper tx(GetParam(), carriers);
+  DifferentialMapper rx(GetParam(), carriers);
+  const cplx rot{std::cos(1.234), std::sin(1.234)};
+
+  // The receiver's first reference must also be the rotated one.
+  cvec ref(carriers, cplx{1.0, 0.0});
+  for (cplx& v : ref) v *= rot;
+  rx.reset(ref);
+
+  Rng rng(92);
+  for (int sym = 0; sym < 10; ++sym) {
+    const bitvec bits = rng.bits(tx.bits_per_ofdm_symbol());
+    cvec mapped = tx.map_symbol(bits);
+    for (cplx& v : mapped) v *= rot;
+    EXPECT_EQ(rx.demap_symbol(mapped), bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllDiffKinds,
+                         ::testing::Values(DiffKind::kDbpsk,
+                                           DiffKind::kDqpsk,
+                                           DiffKind::kPi4Dqpsk));
+
+TEST(Differential, DbpskPhases) {
+  DifferentialMapper m(DiffKind::kDbpsk, 1);
+  const cvec s0 = m.map_symbol(bitvec{0});
+  EXPECT_NEAR(s0[0].real(), 1.0, 1e-12);  // no phase change
+  const cvec s1 = m.map_symbol(bitvec{1});
+  EXPECT_NEAR(s1[0].real(), -1.0, 1e-12);  // pi flip
+}
+
+TEST(Differential, DqpskGrayIncrements) {
+  DifferentialMapper m(DiffKind::kDqpsk, 1);
+  // 01 -> +pi/2 from the (1,0) reference.
+  const cvec s = m.map_symbol(bitvec{0, 1});
+  EXPECT_NEAR(s[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(s[0].imag(), 1.0, 1e-12);
+}
+
+TEST(Differential, Pi4AlternatesBetweenGrids) {
+  // pi/4-DQPSK: odd transmissions land on the 45-degree-rotated QPSK
+  // grid, even ones back on the cardinal grid.
+  DifferentialMapper m(DiffKind::kPi4Dqpsk, 1);
+  Rng rng(93);
+  for (int sym = 0; sym < 8; ++sym) {
+    const cvec s = m.map_symbol(rng.bits(2));
+    const double phase = std::arg(s[0]);
+    const long n = std::lround(phase / (kPi / 4.0));
+    EXPECT_NEAR(phase, static_cast<double>(n) * kPi / 4.0, 1e-9);
+    const bool odd_grid = (std::abs(n) % 2) == 1;
+    EXPECT_EQ(odd_grid, sym % 2 == 0) << "symbol " << sym;
+  }
+}
+
+TEST(Differential, UnitModulusAlways) {
+  DifferentialMapper m(DiffKind::kPi4Dqpsk, 4);
+  Rng rng(94);
+  for (int sym = 0; sym < 50; ++sym) {
+    for (const cplx& v : m.map_symbol(rng.bits(8))) {
+      EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Differential, ResetRestoresReference) {
+  DifferentialMapper m(DiffKind::kDqpsk, 2);
+  Rng rng(95);
+  const bitvec bits = rng.bits(4);
+  const cvec first = m.map_symbol(bits);
+  m.reset();
+  const cvec again = m.map_symbol(bits);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(std::abs(first[i] - again[i]), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ofdm::mapping

@@ -1,0 +1,217 @@
+// DSP substrate tests: windows, FIR design/filtering, resampling and the
+// Welch PSD estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+
+namespace ofdm::dsp {
+namespace {
+
+TEST(Window, HannEndpointsAndPeak) {
+  const rvec w = make_window(WindowType::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic form peaks at N/2
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const rvec w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Window, PowerIsSumOfSquares) {
+  const rvec w = make_window(WindowType::kHamming, 32);
+  double acc = 0.0;
+  for (double v : w) acc += v * v;
+  EXPECT_NEAR(window_power(w), acc, 1e-12);
+}
+
+TEST(Window, RaisedCosineRampComplementSumsToOne) {
+  const rvec r = raised_cosine_ramp(8);
+  for (double v : r) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  // Overlap-add flatness: rising + falling edge = 1 at every position.
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i] + (1.0 - r[i]), 1.0, 1e-15);
+  }
+  // Monotone rising.
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_GT(r[i], r[i - 1]);
+}
+
+TEST(Fir, LowpassHasUnityDcGain) {
+  const rvec h = design_lowpass(0.2, 63);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Fir, LowpassAttenuatesStopband) {
+  const rvec h = design_lowpass(0.1, 101);
+  // Evaluate |H| at passband (0.02) and stopband (0.3) frequencies.
+  auto mag = [&h](double f) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const double a = -kTwoPi * f * static_cast<double>(i);
+      acc += h[i] * cplx{std::cos(a), std::sin(a)};
+    }
+    return std::abs(acc);
+  };
+  EXPECT_NEAR(mag(0.02), 1.0, 0.01);
+  EXPECT_LT(mag(0.3), 0.01);
+}
+
+TEST(Fir, StreamingEqualsOneShot) {
+  Rng rng(21);
+  cvec x(256);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  const rvec h = design_lowpass(0.25, 31);
+
+  FirFilter one(h);
+  const cvec whole = one.process(x);
+
+  FirFilter chunked(h);
+  cvec pieced;
+  for (std::size_t off = 0; off < x.size(); off += 37) {
+    const std::size_t n = std::min<std::size_t>(37, x.size() - off);
+    const cvec part =
+        chunked.process(std::span<const cplx>(x).subspan(off, n));
+    pieced.insert(pieced.end(), part.begin(), part.end());
+  }
+  EXPECT_LT(max_abs_error(whole, pieced), 1e-12);
+}
+
+TEST(Fir, ImpulseResponseIsTaps) {
+  const rvec h = {0.5, -0.25, 0.125};
+  FirFilter f({0.5, -0.25, 0.125});
+  cvec impulse(8, cplx{0.0, 0.0});
+  impulse[0] = {1.0, 0.0};
+  const cvec out = f.process(impulse);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(out[i].real(), h[i], 1e-15);
+  }
+  for (std::size_t i = h.size(); i < out.size(); ++i) {
+    EXPECT_NEAR(std::abs(out[i]), 0.0, 1e-15);
+  }
+}
+
+TEST(Fir, ConvolveLength) {
+  const cvec x(10, cplx{1.0, 0.0});
+  const rvec h(4, 0.25);
+  EXPECT_EQ(convolve(x, h).size(), 13u);
+}
+
+TEST(Resample, InterpolatorPreservesToneAndRate) {
+  const std::size_t ll = 4;
+  Interpolator up(ll);
+  // A slow complex tone; after 4x interpolation the tone frequency in
+  // cycles/sample drops by 4 and amplitude is preserved.
+  const double f = 0.05;
+  cvec x(512);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = kTwoPi * f * static_cast<double>(i);
+    x[i] = {std::cos(a), std::sin(a)};
+  }
+  const cvec y = up.process(x);
+  ASSERT_EQ(y.size(), x.size() * ll);
+  // Steady-state amplitude ~1 (skip filter transient).
+  double p = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 256; i < y.size(); ++i) {
+    p += std::norm(y[i]);
+    ++count;
+  }
+  EXPECT_NEAR(p / static_cast<double>(count), 1.0, 0.02);
+}
+
+TEST(Resample, DecimatorInvertsInterpolator) {
+  const std::size_t ll = 4;
+  Interpolator up(ll);
+  Decimator down(ll);
+  Rng rng(22);
+  // Narrow-band test signal: the cascade's end-to-end group delay is
+  // 63/4 = 15.75 baseband samples (fractional), so keep the content slow
+  // enough that a 0.25-sample misalignment is negligible.
+  cvec x(1024, cplx{0.0, 0.0});
+  for (int tone = 0; tone < 5; ++tone) {
+    const double f = rng.uniform(-0.02, 0.02);
+    const cplx amp = rng.complex_gaussian(1.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double a = kTwoPi * f * static_cast<double>(i);
+      x[i] += amp * cplx{std::cos(a), std::sin(a)};
+    }
+  }
+  const cvec rt = down.process(up.process(x));
+  ASSERT_EQ(rt.size(), x.size());
+  // Compare in steady state at the nearest integer delay (true delay is
+  // (64-1)/2 + (64-1)/2 = 63 RF samples = 15.75 baseband samples).
+  const std::size_t delay = 16;
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 200; i + delay < x.size() - 200; ++i) {
+    err += std::norm(rt[i + delay] - x[i]);
+    ref += std::norm(x[i]);
+  }
+  EXPECT_LT(err / ref, 0.01);
+}
+
+TEST(Spectrum, ToneAppearsAtRightFrequency) {
+  const double fs = 1000.0;
+  const double f0 = 125.0;
+  cvec x(4096);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = kTwoPi * f0 * static_cast<double>(i) / fs;
+    x[i] = {std::cos(a), std::sin(a)};
+  }
+  WelchConfig cfg;
+  cfg.segment = 256;
+  cfg.sample_rate = fs;
+  const Psd psd = welch_psd(x, cfg);
+  // Peak bin frequency.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < psd.power.size(); ++i) {
+    if (psd.power[i] > psd.power[best]) best = i;
+  }
+  EXPECT_NEAR(psd.freq[best], f0, fs / 256.0);
+}
+
+TEST(Spectrum, TotalPowerMatchesSignalPower) {
+  Rng rng(23);
+  cvec x(8192);
+  for (cplx& v : x) v = rng.complex_gaussian(2.0);
+  WelchConfig cfg;
+  cfg.segment = 512;
+  const Psd psd = welch_psd(x, cfg);
+  EXPECT_NEAR(psd.total_power(), mean_power(x), 0.15 * mean_power(x));
+}
+
+TEST(Spectrum, BandPowerSplitsTotal) {
+  Rng rng(24);
+  cvec x(4096);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  WelchConfig cfg;
+  cfg.segment = 256;
+  cfg.sample_rate = 1.0;
+  const Psd psd = welch_psd(x, cfg);
+  const double lo = psd.band_power(-0.5, 0.0);
+  const double hi = psd.band_power(1e-9, 0.5);
+  EXPECT_NEAR(lo + hi, psd.total_power(), 1e-9);
+}
+
+TEST(Spectrum, RejectsShortInput) {
+  WelchConfig cfg;
+  cfg.segment = 256;
+  cvec x(100);
+  EXPECT_THROW(welch_psd(x, cfg), DimensionError);
+}
+
+}  // namespace
+}  // namespace ofdm::dsp

@@ -1,0 +1,134 @@
+// FFT unit & property tests: both execution paths (radix-2 and Bluestein)
+// against the O(N^2) reference DFT, round-trip identity, Parseval, and
+// the shift utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+
+namespace ofdm::dsp {
+namespace {
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec x(n);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  return x;
+}
+
+// Sizes cover every symbol length used by the family, including the DRM
+// non-power-of-two lengths that force the Bluestein path.
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, ForwardMatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, n);
+  const Fft fft(n);
+  const cvec fast = fft.forward(x);
+  const cvec ref = reference_dft(x, /*inverse=*/false);
+  EXPECT_LT(max_abs_error(fast, ref), 1e-7 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftSizes, InverseMatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, n + 1);
+  const Fft fft(n);
+  const cvec fast = fft.inverse(x);
+  const cvec ref = reference_dft(x, /*inverse=*/true);
+  EXPECT_LT(max_abs_error(fast, ref), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, n + 2);
+  const Fft fft(n);
+  const cvec back = fft.inverse(fft.forward(x));
+  EXPECT_LT(max_abs_error(back, x), 1e-9);
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, n + 3);
+  const Fft fft(n);
+  const cvec spec = fft.forward(x);
+  double et = 0.0;
+  double ef = 0.0;
+  for (const cplx& v : x) et += std::norm(v);
+  for (const cplx& v : spec) ef += std::norm(v);
+  EXPECT_NEAR(ef / static_cast<double>(n), et, 1e-6 * et + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilySymbolSizes, FftSizes,
+    ::testing::Values<std::size_t>(1, 2, 4, 16, 64, 256, 512, 1024, 2048,
+                                   8192,        // power-of-two members
+                                   448, 704, 1152,  // DRM modes D, C, A
+                                   3, 12, 100, 360));
+
+TEST(Fft, PathSelection) {
+  EXPECT_TRUE(Fft(64).is_radix2());
+  EXPECT_TRUE(Fft(8192).is_radix2());
+  EXPECT_FALSE(Fft(1152).is_radix2());
+  EXPECT_FALSE(Fft(448).is_radix2());
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k = 5;
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = kTwoPi * static_cast<double>(k * i) /
+                     static_cast<double>(n);
+    x[i] = {std::cos(a), std::sin(a)};
+  }
+  const cvec spec = Fft(n).forward(x);
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    if (bin == k) {
+      EXPECT_NEAR(std::abs(spec[bin]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_LT(std::abs(spec[bin]), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, InPlaceEqualsOutOfPlace) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{448}}) {
+    const cvec x = random_signal(n, 9);
+    const Fft fft(n);
+    const cvec out = fft.forward(x);
+    cvec inplace = x;
+    fft.forward(inplace, inplace);
+    EXPECT_LT(max_abs_error(out, inplace), 1e-12);
+  }
+}
+
+TEST(Fft, RejectsSizeMismatch) {
+  Fft fft(64);
+  cvec x(32);
+  cvec y(64);
+  EXPECT_THROW(fft.forward(x, y), DimensionError);
+}
+
+TEST(FftShift, EvenLength) {
+  const cvec x = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const cvec s = fftshift(x);
+  EXPECT_EQ(s[0].real(), 2.0);
+  EXPECT_EQ(s[1].real(), 3.0);
+  EXPECT_EQ(s[2].real(), 0.0);
+  EXPECT_EQ(s[3].real(), 1.0);
+}
+
+TEST(FftShift, ShiftInverse) {
+  const cvec x = random_signal(17, 10);  // odd length is the tricky case
+  EXPECT_LT(max_abs_error(ifftshift(fftshift(x)), x), 0.0 + 1e-15);
+  const cvec y = random_signal(16, 11);
+  EXPECT_LT(max_abs_error(ifftshift(fftshift(y)), y), 1e-15);
+}
+
+}  // namespace
+}  // namespace ofdm::dsp

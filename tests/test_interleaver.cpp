@@ -1,0 +1,155 @@
+// Interleaver tests: bijectivity, exact inverses, the 802.11a interleaver
+// against the standard's defining property, and the Forney interleaver's
+// delay structure.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "coding/interleaver.hpp"
+#include "common/rng.hpp"
+
+namespace ofdm::coding {
+namespace {
+
+TEST(PermutationInterleaver, RejectsNonPermutation) {
+  EXPECT_THROW(PermutationInterleaver({0, 0, 1}), Error);
+  EXPECT_THROW(PermutationInterleaver({0, 1, 5}), Error);
+}
+
+TEST(PermutationInterleaver, InterleaveDeinterleaveInverse) {
+  Rng rng(71);
+  const auto inter = make_random_interleaver(97, 0xABCD);
+  const bitvec data = rng.bits(97);
+  EXPECT_EQ(inter.deinterleave(std::span<const std::uint8_t>(
+                inter.interleave(std::span<const std::uint8_t>(data)))),
+            data);
+}
+
+TEST(BlockInterleaver, RowColumnSemantics) {
+  // 2x3: write rows [0 1 2; 3 4 5], read columns -> 0 3 1 4 2 5.
+  const auto inter = make_block_interleaver(2, 3);
+  const std::vector<int> in = {0, 1, 2, 3, 4, 5};
+  const std::vector<int> out = inter.interleave(std::span<const int>(in));
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 1, 4, 2, 5}));
+}
+
+TEST(BlockInterleaver, SeparatesAdjacentSymbols) {
+  const auto inter = make_block_interleaver(8, 16);
+  const auto& map = inter.mapping();
+  // Adjacent input bits land at least `rows` apart in the output.
+  for (std::size_t i = 0; i + 1 < map.size(); ++i) {
+    if (i % 16 == 15) continue;  // row wrap
+    const auto d = static_cast<long>(map[i + 1]) -
+                   static_cast<long>(map[i]);
+    EXPECT_EQ(d, 8);
+  }
+}
+
+TEST(WlanInterleaver, IsBijective) {
+  for (std::size_t n_bpsc : {1u, 2u, 4u, 6u}) {
+    const std::size_t n_cbps = 48 * n_bpsc;
+    const auto inter = make_wlan_interleaver(n_cbps, n_bpsc);
+    std::vector<std::uint8_t> seen(n_cbps, 0);
+    for (std::size_t m : inter.mapping()) {
+      EXPECT_EQ(seen[m], 0);
+      seen[m] = 1;
+    }
+  }
+}
+
+TEST(WlanInterleaver, AdjacentCodedBitsOnNonadjacentCarriers) {
+  // The standard's stated goal: adjacent coded bits map onto
+  // non-adjacent subcarriers (first permutation spreads by N_CBPS/16).
+  const std::size_t n_bpsc = 4;
+  const std::size_t n_cbps = 192;
+  const auto inter = make_wlan_interleaver(n_cbps, n_bpsc);
+  const auto& map = inter.mapping();
+  for (std::size_t k = 0; k + 1 < n_cbps; ++k) {
+    const long carrier_a = static_cast<long>(map[k] / n_bpsc);
+    const long carrier_b = static_cast<long>(map[k + 1] / n_bpsc);
+    EXPECT_NE(carrier_a, carrier_b) << "coded bits " << k << "," << k + 1;
+  }
+}
+
+TEST(WlanInterleaver, MatchesStandardFormulaSpotChecks) {
+  // Directly evaluate the two-permutation formula from 17.3.5.6 for
+  // N_CBPS=48, N_BPSC=1 (BPSK): s=1 so j==i.
+  const auto inter = make_wlan_interleaver(48, 1);
+  const auto& map = inter.mapping();
+  for (std::size_t k = 0; k < 48; ++k) {
+    const std::size_t i = (48 / 16) * (k % 16) + k / 16;
+    EXPECT_EQ(map[k], i);
+  }
+}
+
+TEST(RandomInterleaver, SeedDeterminesPermutation) {
+  const auto a = make_random_interleaver(64, 7);
+  const auto b = make_random_interleaver(64, 7);
+  const auto c = make_random_interleaver(64, 8);
+  EXPECT_EQ(a.mapping(), b.mapping());
+  EXPECT_NE(a.mapping(), c.mapping());
+}
+
+TEST(RandomInterleaver, ActuallyPermutes) {
+  const auto inter = make_random_interleaver(256, 99);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    moved += inter.mapping()[i] != i;
+  }
+  EXPECT_GT(moved, 200u);
+}
+
+TEST(ConvolutionalInterleaver, RoundTripAfterEndToEndDelay) {
+  const std::size_t branches = 12;
+  const std::size_t depth = 17;  // the DVB outer interleaver geometry
+  ConvolutionalInterleaver inter(branches, depth, false);
+  ConvolutionalInterleaver deinter(branches, depth, true);
+
+  Rng rng(72);
+  const std::size_t delay = inter.end_to_end_delay();
+  const bytevec data = rng.bytes(delay + 500);
+  const bytevec restored = deinter.process(inter.process(data));
+  ASSERT_EQ(restored.size(), data.size());
+  // After the pipe fills, output reproduces input shifted by the delay.
+  for (std::size_t i = delay; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i], data[i - delay]) << "position " << i;
+  }
+}
+
+TEST(ConvolutionalInterleaver, SpreadsBursts) {
+  const std::size_t branches = 12;
+  const std::size_t depth = 17;
+  ConvolutionalInterleaver inter(branches, depth, false);
+  // A marker burst of 12 consecutive non-zero symbols...
+  bytevec data(3000, 0);
+  for (std::size_t i = 1200; i < 1212; ++i) data[i] = 0xFF;
+  const bytevec out = inter.process(data);
+  // ...must not appear as >1 consecutive non-zero output symbols.
+  std::size_t max_run = 0;
+  std::size_t run = 0;
+  for (std::uint8_t v : out) {
+    run = (v != 0) ? run + 1 : 0;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_EQ(max_run, 1u);
+}
+
+TEST(ConvolutionalInterleaver, ChunkingInvariance) {
+  ConvolutionalInterleaver a(8, 5, false);
+  ConvolutionalInterleaver b(8, 5, false);
+  Rng rng(73);
+  const bytevec data = rng.bytes(400);
+  const bytevec whole = a.process(data);
+  bytevec pieced;
+  for (std::size_t off = 0; off < data.size(); off += 23) {
+    const std::size_t n = std::min<std::size_t>(23, data.size() - off);
+    const bytevec part =
+        b.process(std::span<const std::uint8_t>(data).subspan(off, n));
+    pieced.insert(pieced.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(whole, pieced);
+}
+
+}  // namespace
+}  // namespace ofdm::coding

@@ -1,0 +1,131 @@
+// Scrambler/LFSR and CRC tests, anchored to published vectors:
+//  * the 127-bit 802.11a scrambler sequence (IEEE 802.11a-1999 17.3.5.4)
+//  * Rocksoft check values for CRC-32 / CRC-16
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "coding/crc.hpp"
+#include "coding/lfsr.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace ofdm::coding {
+namespace {
+
+TEST(Lfsr, WlanScramblerSequenceAllOnesSeed) {
+  // IEEE 802.11a-1999 figure 16: with an all-ones initial state the
+  // generator repeats this 127-bit sequence.
+  const std::string expected_start =
+      "00001110 11110010 11001001 00000010 00100110 00101110";
+  Lfsr lfsr(7, (1u << 6) | (1u << 3), 0x7F);
+  const bitvec seq = lfsr.sequence(48);
+  EXPECT_EQ(to_string(seq), to_string(bits_from_string(expected_start)));
+}
+
+TEST(Lfsr, WlanScramblerPeriodIs127) {
+  Lfsr lfsr(7, (1u << 6) | (1u << 3), 0x7F);
+  const bitvec first = lfsr.sequence(127);
+  const bitvec second = lfsr.sequence(127);
+  EXPECT_EQ(first, second);  // maximal-length sequence repeats
+}
+
+TEST(Lfsr, MaximalLengthVisitsAllStates) {
+  // x^4 + x^3 + 1 is primitive: period 15.
+  Lfsr lfsr(4, (1u << 3) | (1u << 2), 0x1);
+  std::set<std::uint64_t> states;
+  for (int i = 0; i < 15; ++i) {
+    states.insert(lfsr.state());
+    lfsr.step();
+  }
+  EXPECT_EQ(states.size(), 15u);
+  EXPECT_EQ(lfsr.state(), 0x1u);  // back at the seed after one period
+}
+
+TEST(Lfsr, RejectsZeroSeed) {
+  EXPECT_THROW(Lfsr(7, 1u << 6, 0), Error);
+}
+
+TEST(Scrambler, IsItsOwnInverse) {
+  Rng rng(31);
+  const bitvec data = rng.bits(500);
+  Scrambler a = make_wlan_scrambler();
+  Scrambler b = make_wlan_scrambler();
+  EXPECT_EQ(b.process(a.process(data)), data);
+}
+
+TEST(Scrambler, ResetRestartsSequence) {
+  Rng rng(32);
+  const bitvec data = rng.bits(64);
+  Scrambler s = make_wlan_scrambler(0x5D);
+  const bitvec first = s.process(data);
+  s.reset();
+  EXPECT_EQ(s.process(data), first);
+}
+
+TEST(Scrambler, DvbAndHomeplugVariantsRoundTrip) {
+  Rng rng(33);
+  const bitvec data = rng.bits(300);
+  {
+    Scrambler a = make_dvb_scrambler();
+    Scrambler b = make_dvb_scrambler();
+    EXPECT_EQ(b.process(a.process(data)), data);
+  }
+  {
+    Scrambler a = make_homeplug_scrambler();
+    Scrambler b = make_homeplug_scrambler();
+    EXPECT_EQ(b.process(a.process(data)), data);
+  }
+}
+
+TEST(Scrambler, ActuallyRandomizes) {
+  const bitvec zeros(200, 0);
+  Scrambler s = make_wlan_scrambler();
+  const bitvec out = s.process(zeros);
+  std::size_t ones = 0;
+  for (std::uint8_t b : out) ones += b;
+  EXPECT_GT(ones, 60u);
+  EXPECT_LT(ones, 140u);
+}
+
+TEST(Crc, Crc32CheckValue) {
+  // Rocksoft "check": CRC-32 of ASCII "123456789" = 0xCBF43926.
+  const bytevec msg = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(make_crc32().compute(msg), 0xCBF43926ull);
+}
+
+TEST(Crc, Crc16GenibusCheckValue) {
+  // CRC-16/GENIBUS (poly 0x1021, init 0xFFFF, xorout 0xFFFF, no reflect)
+  // is the DAB FIB CRC; its check value is 0xD64E.
+  const bytevec msg = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(make_crc16_ccitt().compute(msg), 0xD64Eull);
+}
+
+TEST(Crc, Crc8CheckValue) {
+  // CRC-8/DVB-S2 (poly 0xD5): check value 0xBC.
+  const bytevec msg = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(make_crc8().compute(msg), 0xBCull);
+}
+
+TEST(Crc, DetectsSingleBitErrors) {
+  Rng rng(34);
+  const bytevec msg = rng.bytes(32);
+  const Crc crc = make_crc32();
+  const std::uint64_t good = crc.compute(msg);
+  for (std::size_t byte = 0; byte < msg.size(); byte += 5) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      bytevec bad = msg;
+      bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc.compute(bad), good);
+    }
+  }
+}
+
+TEST(Crc, BitLevelMatchesByteLevel) {
+  Rng rng(35);
+  const bytevec msg = rng.bytes(16);
+  const Crc crc = make_crc16_ccitt();
+  EXPECT_EQ(crc.compute_bits(bytes_to_bits_msb(msg)), crc.compute(msg));
+}
+
+}  // namespace
+}  // namespace ofdm::coding

@@ -1,0 +1,170 @@
+// Metrics tests: EVM, PAPR/CCDF, BER counters, spectral mask checking,
+// ACPR and occupied bandwidth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "metrics/ber.hpp"
+#include "metrics/evm.hpp"
+#include "metrics/mask.hpp"
+#include "metrics/papr.hpp"
+
+namespace ofdm::metrics {
+namespace {
+
+TEST(Evm, ZeroForIdenticalSignals) {
+  Rng rng(1);
+  cvec x(100);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  const EvmResult r = evm(x, x);
+  EXPECT_EQ(r.rms, 0.0);
+  EXPECT_EQ(r.peak, 0.0);
+}
+
+TEST(Evm, KnownErrorMagnitude) {
+  // Reference: unit symbols; received: offset by 0.1 in I.
+  const cvec ref(50, cplx{1.0, 0.0});
+  cvec rx = ref;
+  for (cplx& v : rx) v += cplx{0.1, 0.0};
+  const EvmResult r = evm(rx, ref);
+  EXPECT_NEAR(r.rms, 0.1, 1e-12);
+  EXPECT_NEAR(r.rms_db(), -20.0, 1e-9);
+  EXPECT_NEAR(r.rms_percent(), 10.0, 1e-9);
+}
+
+TEST(Evm, BlindMatchesDataAidedForSmallNoise) {
+  const auto c = mapping::Constellation::make(mapping::Scheme::kQam16);
+  Rng rng(2);
+  cvec ref;
+  cvec rx;
+  for (int i = 0; i < 500; ++i) {
+    const cplx p = c.point(rng.uniform_int(16));
+    ref.push_back(p);
+    rx.push_back(p + rng.complex_gaussian(0.001));
+  }
+  const EvmResult aided = evm(rx, ref);
+  const EvmResult blind = evm_blind(rx, c);
+  EXPECT_NEAR(blind.rms, aided.rms, 1e-6);
+}
+
+TEST(Papr, ConstantEnvelopeIsZeroDb) {
+  cvec x(256);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = kTwoPi * static_cast<double>(i) / 32.0;
+    x[i] = {std::cos(a), std::sin(a)};
+  }
+  EXPECT_NEAR(papr_db(x), 0.0, 1e-9);
+}
+
+TEST(Papr, ImpulseHasLargePapr) {
+  cvec x(100, cplx{0.0, 0.0});
+  x[10] = {1.0, 0.0};
+  EXPECT_NEAR(papr_db(x), to_db(100.0), 1e-9);
+}
+
+TEST(Papr, CcdfIsMonotoneNonIncreasing) {
+  Rng rng(3);
+  cvec x(80 * 200);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  const rvec thresholds = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const PaprCcdf ccdf = papr_ccdf(x, 80, thresholds);
+  for (std::size_t i = 1; i < ccdf.probability.size(); ++i) {
+    EXPECT_LE(ccdf.probability[i], ccdf.probability[i - 1]);
+  }
+  EXPECT_GT(ccdf.probability.front(), 0.5);  // gaussian exceeds 2 dB often
+  EXPECT_LT(ccdf.probability.back(), 0.5);
+}
+
+TEST(Ber, CountsExactly) {
+  const bitvec a = {0, 1, 1, 0, 1};
+  const bitvec b = {0, 1, 0, 0, 0};
+  const BerResult r = ber(a, b);
+  EXPECT_EQ(r.bits, 5u);
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_NEAR(r.rate(), 0.4, 1e-12);
+}
+
+TEST(Ber, CounterAccumulates) {
+  BerCounter counter;
+  counter.add(bitvec{0, 0}, bitvec{0, 1});
+  counter.add(bitvec{1, 1, 1}, bitvec{1, 1, 1});
+  EXPECT_EQ(counter.result().bits, 5u);
+  EXPECT_EQ(counter.result().errors, 1u);
+}
+
+TEST(Mask, LimitInterpolatesBetweenBreakpoints) {
+  const SpectralMask mask = wlan_mask();
+  EXPECT_EQ(mask.limit_at(0.0), 0.0);
+  EXPECT_EQ(mask.limit_at(5e6), 0.0);
+  EXPECT_NEAR(mask.limit_at(10e6), -10.0, 1e-9);  // halfway 9->11 MHz
+  EXPECT_EQ(mask.limit_at(40e6), -40.0);          // clamped beyond 30 MHz
+  EXPECT_EQ(mask.limit_at(-10e6), mask.limit_at(10e6));  // symmetric
+}
+
+TEST(Mask, CleanInBandSignalPasses) {
+  // Synthetic PSD: flat in |f|<8 MHz, -50 dBr outside.
+  dsp::Psd psd;
+  const double fs = 80e6;
+  const std::size_t n = 512;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = (static_cast<double>(i) - 256.0) * fs /
+                     static_cast<double>(n);
+    psd.freq.push_back(f);
+    psd.power.push_back(std::abs(f) < 8e6 ? 1.0 : 1e-5);
+  }
+  const MaskReport report = check_mask(psd, wlan_mask(), 8e6);
+  EXPECT_TRUE(report.pass);
+  // The flat in-band top touches the 0 dBr limit exactly.
+  EXPECT_GE(report.worst_margin_db, 0.0);
+}
+
+TEST(Mask, ShoulderViolationIsFlaggedAtTheRightOffset) {
+  dsp::Psd psd;
+  const double fs = 80e6;
+  const std::size_t n = 512;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = (static_cast<double>(i) - 256.0) * fs /
+                     static_cast<double>(n);
+    psd.freq.push_back(f);
+    double p = std::abs(f) < 8e6 ? 1.0 : 1e-5;
+    if (f > 14e6 && f < 16e6) p = 0.1;  // -10 dBr where -24 dBr is allowed
+    psd.power.push_back(p);
+  }
+  const MaskReport report = check_mask(psd, wlan_mask(), 8e6);
+  EXPECT_FALSE(report.pass);
+  EXPECT_LT(report.worst_margin_db, 0.0);
+  EXPECT_GT(report.worst_offset_hz, 13e6);
+  EXPECT_LT(report.worst_offset_hz, 17e6);
+}
+
+TEST(Mask, AcprOfBandlimitedSignal) {
+  dsp::Psd psd;
+  const double fs = 100e6;
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = (static_cast<double>(i) - 500.0) * fs /
+                     static_cast<double>(n);
+    psd.freq.push_back(f);
+    psd.power.push_back(std::abs(f) < 10e6 ? 1.0 : 0.001);
+  }
+  // Adjacent channel at 20 MHz offset: 1000x below main -> -30 dB.
+  EXPECT_NEAR(acpr_db(psd, 20e6, 20e6), -30.0, 0.5);
+}
+
+TEST(Mask, OccupiedBandwidthOfFlatBand) {
+  dsp::Psd psd;
+  const double fs = 10e6;
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = (static_cast<double>(i) - 500.0) * fs /
+                     static_cast<double>(n);
+    psd.freq.push_back(f);
+    psd.power.push_back(std::abs(f) < 1e6 ? 1.0 : 0.0);
+  }
+  EXPECT_NEAR(occupied_bandwidth_hz(psd, 0.99), 2e6, 0.1e6);
+}
+
+}  // namespace
+}  // namespace ofdm::metrics

@@ -1,0 +1,97 @@
+// Preamble tests: the 802.11a training structure (periodicities,
+// durations, power) and the generic phase-reference generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "core/preamble.hpp"
+#include "core/profiles.hpp"
+
+namespace ofdm::core {
+namespace {
+
+TEST(WlanPreamble, TotalLengthIs320Samples) {
+  // 8 us STF + 8 us LTF at 20 MS/s.
+  EXPECT_EQ(wlan_preamble(profile_wlan_80211a()).size(), 320u);
+}
+
+TEST(WlanPreamble, StfHas16SamplePeriodicity) {
+  const cvec pre = wlan_preamble(profile_wlan_80211a());
+  for (std::size_t i = 0; i + 16 < 160; ++i) {
+    EXPECT_NEAR(std::abs(pre[i] - pre[i + 16]), 0.0, 1e-9)
+        << "sample " << i;
+  }
+}
+
+TEST(WlanPreamble, LtfRepeatsWithPeriod64) {
+  const cvec pre = wlan_preamble(profile_wlan_80211a());
+  // T1 starts at 192, T2 at 256.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(pre[192 + i] - pre[256 + i]), 0.0, 1e-9);
+  }
+  // GI2 (160..192) is the tail of the long symbol.
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(pre[160 + i] - pre[224 + i]), 0.0, 1e-9);
+  }
+}
+
+TEST(WlanPreamble, StfAndLtfHaveEqualAveragePower) {
+  const cvec pre = wlan_preamble(profile_wlan_80211a());
+  const double p_stf =
+      mean_power(std::span<const cplx>(pre).subspan(0, 160));
+  const double p_ltf =
+      mean_power(std::span<const cplx>(pre).subspan(160, 160));
+  EXPECT_NEAR(p_stf / p_ltf, 1.0, 0.05);
+  EXPECT_NEAR(p_stf, 1.0, 0.15);  // matches the unit-power data section
+}
+
+TEST(WlanPreamble, Uses12And52Subcarriers) {
+  std::size_t stf_used = 0;
+  for (const cplx& v : wlan_stf_bins()) stf_used += std::abs(v) > 0.0;
+  EXPECT_EQ(stf_used, 12u);
+  std::size_t ltf_used = 0;
+  for (const cplx& v : wlan_ltf_bins()) ltf_used += std::abs(v) > 0.0;
+  EXPECT_EQ(ltf_used, 52u);
+}
+
+TEST(WlanPreamble, LtfValuesAreUnitBpsk) {
+  for (const cplx& v : wlan_ltf_bins()) {
+    if (std::abs(v) > 0.0) {
+      EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+      EXPECT_EQ(v.imag(), 0.0);
+    }
+  }
+}
+
+TEST(WlanPreamble, RejectsNonWlanGeometry) {
+  OfdmParams p = profile_wlan_80211a();
+  p.fft_size = 128;
+  EXPECT_THROW(wlan_preamble(p), Error);
+}
+
+TEST(PhaseReference, DeterministicPerSeed) {
+  OfdmParams p = profile_dab();
+  const cvec a = phase_reference_values(p, 100);
+  const cvec b = phase_reference_values(p, 100);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  p.frame.phase_ref_seed ^= 0xFF;
+  const cvec c = phase_reference_values(p, 100);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) diff += a[i] != c[i];
+  EXPECT_GT(diff, 20u);
+}
+
+TEST(PhaseReference, ValuesAreUnitQpsk) {
+  const cvec v = phase_reference_values(profile_dab(), 64);
+  for (const cplx& x : v) {
+    EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(x.real()), 1.0 / std::sqrt(2.0), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ofdm::core

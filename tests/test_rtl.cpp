@@ -1,0 +1,194 @@
+// RT-level substrate tests: kernel semantics, component behaviour against
+// the behavioural coding substrate, and the headline cross-check — the
+// cycle-level 802.11a datapath is bit-exact against the behavioural
+// Mother Model (the multi-domain Mother Model equivalence).
+#include <gtest/gtest.h>
+
+#include "coding/convolutional.hpp"
+#include "coding/lfsr.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "core/transmitter.hpp"
+#include "rtl/components.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/wlan_tx.hpp"
+
+namespace ofdm {
+namespace {
+
+// --- kernel semantics --------------------------------------------------
+
+TEST(RtlKernel, SignalWriteCommitsAtDeltaBoundary) {
+  rtl::Simulator sim;
+  rtl::Signal<int> s(sim, 0);
+  int seen_inside = -1;
+  rtl::Process* p = sim.make_process("writer", [&]() {
+    s.write(42);
+    seen_inside = s.read();  // must still see the old value
+  });
+  sim.schedule_at(1, p);
+  sim.run();
+  EXPECT_EQ(seen_inside, 0);
+  EXPECT_EQ(s.read(), 42);
+}
+
+TEST(RtlKernel, SensitiveProcessWakesOnChangeOnly) {
+  rtl::Simulator sim;
+  rtl::Signal<int> s(sim, 0);
+  int wakes = 0;
+  rtl::Process* listener =
+      sim.make_process("listener", [&]() { ++wakes; });
+  s.sensitize(listener);
+
+  rtl::Process* w1 = sim.make_process("w1", [&]() { s.write(7); });
+  rtl::Process* w2 = sim.make_process("w2", [&]() { s.write(7); });  // same
+  rtl::Process* w3 = sim.make_process("w3", [&]() { s.write(9); });
+  sim.schedule_at(1, w1);
+  sim.schedule_at(2, w2);
+  sim.schedule_at(3, w3);
+  sim.run();
+  EXPECT_EQ(wakes, 2);  // w2 writes an identical value -> no wake
+}
+
+TEST(RtlKernel, ClockTogglesAtHalfPeriod) {
+  rtl::Simulator sim;
+  rtl::Clock clk(sim, 5);
+  int edges = 0;
+  rtl::Process* counter = sim.make_process("count", [&]() { ++edges; });
+  clk.signal().sensitize(counter);
+  sim.run(100);
+  // 100 ticks / 5 per half period = 20 toggles.
+  EXPECT_EQ(edges, 20);
+}
+
+TEST(RtlKernel, StatsCountActivity) {
+  rtl::Simulator sim;
+  rtl::Clock clk(sim, 1);
+  sim.run(10);
+  const auto& st = sim.stats();
+  EXPECT_EQ(st.timed_events, 10u);
+  EXPECT_GE(st.process_activations, 10u);
+  EXPECT_EQ(st.signal_updates, 10u);
+}
+
+// --- components vs behavioural substrate --------------------------------
+
+TEST(RtlComponents, ScramblerMatchesBehaviouralScrambler) {
+  rtl::Simulator sim;
+  rtl::Clock clk(sim, 5);
+  rtl::Signal<bool> enable(sim, false);  // asserted with the first bit
+  rtl::Signal<bool> bit_in(sim, false);
+  rtl::RtlScrambler scr(sim, clk.signal(), enable, bit_in, 0x5D);
+
+  Rng rng(11);
+  const bitvec input = rng.bits(200);
+  bitvec output;
+
+  std::size_t idx = 0;
+  rtl::Process* driver = sim.make_process("driver", [&]() {
+    if (!clk.signal().read()) {  // drive on falling edge
+      if (idx > 0) output.push_back(scr.bit_out().read() ? 1 : 0);
+      if (idx < input.size()) {
+        enable.write(true);
+        bit_in.write(input[idx] != 0);
+      } else {
+        enable.write(false);
+      }
+      ++idx;
+    }
+  });
+  clk.signal().sensitize(driver);
+  sim.run(10 * 2 * (input.size() + 2));
+  output.resize(input.size());
+
+  coding::Scrambler ref = coding::make_wlan_scrambler(0x5D);
+  EXPECT_EQ(output, ref.process(input));
+}
+
+TEST(RtlComponents, ConvEncoderMatchesBehaviouralEncoder) {
+  rtl::Simulator sim;
+  rtl::Clock clk(sim, 5);
+  rtl::Signal<bool> enable(sim, true);
+  rtl::Signal<bool> bit_in(sim, false);
+  rtl::RtlConvEncoder enc(sim, clk.signal(), enable, bit_in);
+
+  Rng rng(12);
+  const bitvec input = rng.bits(100);
+  bitvec output;
+
+  std::size_t idx = 0;
+  rtl::Process* driver = sim.make_process("driver", [&]() {
+    if (!clk.signal().read()) {
+      if (idx > 0) {
+        output.push_back(enc.out_a().read() ? 1 : 0);
+        output.push_back(enc.out_b().read() ? 1 : 0);
+      }
+      if (idx < input.size()) bit_in.write(input[idx] != 0);
+      ++idx;
+    }
+  });
+  clk.signal().sensitize(driver);
+  sim.run(10 * 2 * (input.size() + 2));
+  output.resize(2 * input.size());
+
+  const coding::ConvEncoder ref(coding::k7_industry_code());
+  EXPECT_EQ(output, ref.encode(input));
+}
+
+// --- the multi-domain equivalence check ---------------------------------
+
+core::OfdmParams rtl_reference_params(mapping::Scheme scheme,
+                                      std::size_t n_symbols) {
+  core::OfdmParams p = core::profile_wlan_80211a(core::WlanRate::k6);
+  p.scheme = scheme;
+  p.fec.puncture = coding::puncture_none();
+  p.frame.preamble = core::PreambleKind::kNone;
+  p.frame.symbols_per_frame = n_symbols;
+  p.window_ramp = 0;
+  return p;
+}
+
+class RtlEquivalence : public ::testing::TestWithParam<mapping::Scheme> {};
+
+TEST_P(RtlEquivalence, RtlDatapathIsBitExactAgainstMotherModel) {
+  const mapping::Scheme scheme = GetParam();
+  const std::size_t n_symbols = 4;
+
+  core::Transmitter tx(rtl_reference_params(scheme, n_symbols));
+  Rng rng(99);
+  const bitvec payload = rng.bits(tx.recommended_payload_bits());
+
+  const auto behavioural = tx.modulate(payload);
+  const auto rtl_run = rtl::run_wlan_tx(scheme, n_symbols, payload);
+
+  ASSERT_EQ(rtl_run.samples.size(), behavioural.samples.size());
+  EXPECT_LT(max_abs_error(rtl_run.samples, behavioural.samples), 1e-15)
+      << "RT-level and behavioural Mother Model instances diverge";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rate12Modes, RtlEquivalence,
+                         ::testing::Values(mapping::Scheme::kBpsk,
+                                           mapping::Scheme::kQpsk,
+                                           mapping::Scheme::kQam16));
+
+TEST(RtlWlanTx, KernelActivityScalesWithSymbols) {
+  Rng rng(5);
+  rtl::Simulator::Stats s2;
+  rtl::Simulator::Stats s8;
+  {
+    rtl::WlanTxRun r = rtl::run_wlan_tx(
+        mapping::Scheme::kBpsk, 2, rng.bits(2 * 24 - 6));
+    s2 = r.stats;
+  }
+  {
+    rtl::WlanTxRun r = rtl::run_wlan_tx(
+        mapping::Scheme::kBpsk, 8, rng.bits(8 * 24 - 6));
+    s8 = r.stats;
+  }
+  EXPECT_GT(s8.process_activations, 3 * s2.process_activations);
+  EXPECT_GT(s8.delta_cycles, 3 * s2.delta_cycles);
+}
+
+}  // namespace
+}  // namespace ofdm

@@ -1,0 +1,129 @@
+// VHDL generator tests: structural checks on the emitted HDL-domain
+// Mother Model instances and numeric checks on the ROM contents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coding/interleaver.hpp"
+#include "common/error.hpp"
+#include "core/profiles.hpp"
+#include "mapping/constellation.hpp"
+#include "rtl/vhdl_gen.hpp"
+
+namespace ofdm::rtl {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(VhdlGen, WlanBundleHasAllUnits) {
+  const auto bundle = generate_vhdl(core::profile_wlan_80211a());
+  ASSERT_EQ(bundle.files.size(), 5u);
+  EXPECT_NE(bundle.find("ieee_802_11a_pkg.vhd"), nullptr);
+  EXPECT_NE(bundle.find("ieee_802_11a_scrambler.vhd"), nullptr);
+  EXPECT_NE(bundle.find("ieee_802_11a_conv_encoder.vhd"), nullptr);
+  EXPECT_NE(bundle.find("ieee_802_11a_interleaver_rom.vhd"), nullptr);
+  EXPECT_NE(bundle.find("ieee_802_11a_mapper_rom.vhd"), nullptr);
+}
+
+TEST(VhdlGen, PackageCarriesTheGeometry) {
+  const auto bundle = generate_vhdl(core::profile_wlan_80211a());
+  const auto* pkg = bundle.find("ieee_802_11a_pkg.vhd");
+  ASSERT_NE(pkg, nullptr);
+  EXPECT_TRUE(contains(pkg->contents, "FFT_SIZE      : natural := 64"));
+  EXPECT_TRUE(contains(pkg->contents, "CP_LEN        : natural := 16"));
+  EXPECT_TRUE(contains(pkg->contents, "DATA_TONES    : natural := 48"));
+  EXPECT_TRUE(contains(pkg->contents, "SAMPLE_RATE   : natural := "
+                                      "20000000"));
+}
+
+TEST(VhdlGen, ScramblerGenericsEncodeThePolynomial) {
+  const auto bundle = generate_vhdl(core::profile_wlan_80211a());
+  const auto* scr = bundle.find("ieee_802_11a_scrambler.vhd");
+  ASSERT_NE(scr, nullptr);
+  // x^7+x^4+1: taps (1<<6)|(1<<3) -> "1001000"; seed 0x5D -> "1011101".
+  EXPECT_TRUE(contains(scr->contents, "TAPS   : std_logic_vector(6 "
+                                      "downto 0) := \"1001000\""));
+  EXPECT_TRUE(contains(scr->contents, "SEED   : std_logic_vector(6 "
+                                      "downto 0) := \"1011101\""));
+  EXPECT_TRUE(contains(scr->contents, "rising_edge(clk)"));
+}
+
+TEST(VhdlGen, ConvEncoderGeneratorsMatchOctal) {
+  const auto bundle = generate_vhdl(core::profile_wlan_80211a());
+  const auto* enc = bundle.find("ieee_802_11a_conv_encoder.vhd");
+  ASSERT_NE(enc, nullptr);
+  // 133 octal = 1011011, 171 octal = 1111001.
+  EXPECT_TRUE(contains(enc->contents, "\"1011011\""));
+  EXPECT_TRUE(contains(enc->contents, "\"1111001\""));
+  EXPECT_TRUE(contains(enc->contents, "K  : natural := 7"));
+}
+
+TEST(VhdlGen, InterleaverRomMatchesTheLibraryPermutation) {
+  const auto params = core::profile_wlan_80211a(core::WlanRate::k6);
+  const auto bundle = generate_vhdl(params);
+  const auto* rom = bundle.find("ieee_802_11a_interleaver_rom.vhd");
+  ASSERT_NE(rom, nullptr);
+  // Spot-check: the first entries of the BPSK (N_CBPS=48) permutation
+  // are 0, 3, 6, 9 (k -> 3*(k mod 16) + floor(k/16)).
+  EXPECT_TRUE(contains(rom->contents, "constant ROM : rom_t := (\n"
+                                      "    0, 3, 6, 9"));
+}
+
+TEST(VhdlGen, MapperRomQuantizesTheConstellation) {
+  const auto params = core::profile_wlan_80211a(core::WlanRate::k24);
+  const auto bundle = generate_vhdl(params, 12);
+  const auto* rom = bundle.find("ieee_802_11a_mapper_rom.vhd");
+  ASSERT_NE(rom, nullptr);
+  // 16-QAM corner level: -3/sqrt(10) at full-scale 2.0 over 12 bits.
+  const long expect = to_fixed(-3.0 / std::sqrt(10.0), 12);
+  EXPECT_TRUE(contains(rom->contents,
+                       "to_signed(" + std::to_string(expect) + ", 12)"));
+}
+
+TEST(VhdlGen, ToFixedRoundTripsWithinHalfLsb) {
+  for (double v : {-1.99, -0.5, -1.0 / 3.0, 0.0, 0.7071, 1.25}) {
+    const long code = to_fixed(v, 12);
+    const double back =
+        static_cast<double>(code) / static_cast<double>(1 << 10);
+    EXPECT_NEAR(back, v, 1.0 / (1 << 10));
+  }
+  // Clamps at the rails instead of wrapping.
+  EXPECT_EQ(to_fixed(100.0, 12), (1l << 11) - 1);
+  EXPECT_EQ(to_fixed(-100.0, 12), -(1l << 11));
+}
+
+TEST(VhdlGen, DifferentialStandardSkipsMapperRom) {
+  core::OfdmParams params = core::profile_dab();
+  const auto bundle = generate_vhdl(params);
+  // DAB: scrambler + conv + interleaver, but no fixed-constellation ROM.
+  EXPECT_EQ(bundle.find("dab_mapper_rom.vhd"), nullptr);
+  EXPECT_NE(bundle.find("dab_scrambler.vhd"), nullptr);
+  EXPECT_NE(bundle.find("dab_conv_encoder.vhd"), nullptr);
+  EXPECT_NE(bundle.find("dab_interleaver_rom.vhd"), nullptr);
+}
+
+TEST(VhdlGen, DmtStandardEmitsPackageAndScramblerOnly) {
+  const auto bundle = generate_vhdl(core::profile_adsl());
+  EXPECT_NE(bundle.find("adsl_g_992_1_pkg.vhd"), nullptr);
+  EXPECT_NE(bundle.find("adsl_g_992_1_scrambler.vhd"), nullptr);
+  EXPECT_EQ(bundle.find("adsl_g_992_1_conv_encoder.vhd"), nullptr);
+  const auto* pkg = bundle.find("adsl_g_992_1_pkg.vhd");
+  ASSERT_NE(pkg, nullptr);
+  EXPECT_TRUE(contains(pkg->contents, "HERMITIAN     : boolean := true"));
+}
+
+TEST(VhdlGen, EveryFamilyMemberGenerates) {
+  for (core::Standard s : core::kStandardFamily) {
+    const auto bundle = generate_vhdl(core::profile_for(s));
+    EXPECT_GE(bundle.files.size(), 2u) << core::standard_name(s);
+    for (const auto& f : bundle.files) {
+      EXPECT_FALSE(f.contents.empty());
+      EXPECT_TRUE(contains(f.contents, "library ieee;"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofdm::rtl

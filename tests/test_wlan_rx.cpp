@@ -1,0 +1,151 @@
+// Acquisition receiver tests: packet detection, timing, CFO recovery
+// and full decoding of bursts at unknown offsets with realistic
+// impairments — the end-to-end realism layer on top of the generic
+// reference receiver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/preamble.hpp"
+#include "core/profiles.hpp"
+#include "core/transmitter.hpp"
+#include "metrics/ber.hpp"
+#include "rf/channel.hpp"
+#include "rf/frontend.hpp"
+#include "rf/impairments.hpp"
+#include "rx/wlan_rx.hpp"
+
+namespace ofdm {
+namespace {
+
+struct Scenario {
+  cvec stream;
+  bitvec payload;
+  std::size_t true_start;
+  core::OfdmParams params;
+};
+
+Scenario make_scenario(core::WlanRate rate, std::size_t lead_in,
+                       double cfo_hz, double snr_db,
+                       std::uint64_t seed) {
+  Scenario sc;
+  sc.params = core::profile_wlan_80211a(rate);
+  core::Transmitter tx(sc.params);
+  Rng rng(seed);
+  sc.payload = rng.bits(tx.recommended_payload_bits());
+  const auto burst = tx.modulate(sc.payload);
+
+  sc.true_start = lead_in;
+  sc.stream.assign(lead_in, cplx{0.0, 0.0});
+  sc.stream.insert(sc.stream.end(), burst.samples.begin(),
+                   burst.samples.end());
+  sc.stream.insert(sc.stream.end(), 200, cplx{0.0, 0.0});
+
+  // Apply CFO.
+  if (cfo_hz != 0.0) {
+    for (std::size_t i = 0; i < sc.stream.size(); ++i) {
+      const double a = kTwoPi * cfo_hz * static_cast<double>(i) / 20e6;
+      sc.stream[i] *= cplx{std::cos(a), std::sin(a)};
+    }
+  }
+  // Noise at the given SNR relative to unit burst power.
+  if (snr_db < 200.0) {
+    rf::AwgnChannel noise(rf::snr_to_noise_power(1.0, snr_db),
+                          seed + 1);
+    sc.stream = noise.process(sc.stream);
+  }
+  return sc;
+}
+
+TEST(WlanRx, DetectsAndDecodesCleanBurstAtOffset) {
+  const Scenario sc =
+      make_scenario(core::WlanRate::k24, 777, 0.0, 999.0, 1);
+  rx::WlanPacketReceiver rx(sc.params);
+  const auto result = rx.receive(sc.stream, sc.payload.size());
+  ASSERT_TRUE(result.detected);
+  EXPECT_NEAR(static_cast<double>(result.burst_start),
+              static_cast<double>(sc.true_start), 3.0);
+  EXPECT_EQ(metrics::ber(sc.payload, result.payload).errors, 0u);
+}
+
+TEST(WlanRx, NoDetectionOnNoiseOnly) {
+  Rng rng(2);
+  cvec noise(4000);
+  for (cplx& v : noise) v = rng.complex_gaussian(1.0);
+  rx::WlanPacketReceiver rx(core::profile_wlan_80211a());
+  const auto result = rx.receive(noise, 100);
+  EXPECT_FALSE(result.detected);
+}
+
+class WlanRxCfo : public ::testing::TestWithParam<double> {};
+
+TEST_P(WlanRxCfo, RecoversCfoAndDecodes) {
+  const double cfo = GetParam();
+  const Scenario sc =
+      make_scenario(core::WlanRate::k12, 300, cfo, 30.0, 3);
+  rx::WlanPacketReceiver rx(sc.params);
+  const auto result = rx.receive(sc.stream, sc.payload.size());
+  ASSERT_TRUE(result.detected);
+  EXPECT_NEAR(result.coarse_cfo_hz + result.fine_cfo_hz, cfo,
+              3e3);  // within 1% of subcarrier spacing
+  EXPECT_EQ(metrics::ber(sc.payload, result.payload).errors, 0u)
+      << "cfo " << cfo;
+}
+
+// 802.11a requires +-20 ppm oscillators: +-100 kHz at 5 GHz; test to
+// +-200 kHz (40 ppm, both signs).
+INSTANTIATE_TEST_SUITE_P(Offsets, WlanRxCfo,
+                         ::testing::Values(-200e3, -50e3, -5e3, 5e3,
+                                           80e3, 200e3));
+
+TEST(WlanRx, SurvivesMultipathAndNoise) {
+  Scenario sc = make_scenario(core::WlanRate::k12, 500, 30e3, 25.0, 4);
+  rf::MultipathChannel ch(cvec{cplx{0.9, 0.1}, cplx{0.0, 0.0},
+                               cplx{0.25, -0.1}, cplx{0.1, 0.05}});
+  sc.stream = ch.process(sc.stream);
+
+  rx::WlanPacketReceiver rx(sc.params);
+  const auto result = rx.receive(sc.stream, sc.payload.size());
+  ASSERT_TRUE(result.detected);
+  EXPECT_EQ(metrics::ber(sc.payload, result.payload).errors, 0u);
+}
+
+TEST(WlanRx, PilotTrackingAbsorbsPhaseNoise) {
+  Scenario sc =
+      make_scenario(core::WlanRate::k12, 400, 0.0, 35.0, 5);
+  rf::PhaseNoise pn(200.0, 20e6, 9);  // 200 Hz linewidth oscillator
+  sc.stream = pn.process(sc.stream);
+
+  rx::WlanPacketReceiver rx(sc.params);
+  const auto result = rx.receive(sc.stream, sc.payload.size());
+  ASSERT_TRUE(result.detected);
+  EXPECT_EQ(metrics::ber(sc.payload, result.payload).errors, 0u);
+}
+
+TEST(WlanRx, ChannelEstimateMatchesAppliedChannel) {
+  Scenario sc =
+      make_scenario(core::WlanRate::k12, 250, 0.0, 999.0, 6);
+  const cplx gain{0.6, -0.5};
+  for (cplx& v : sc.stream) v *= gain;
+
+  rx::WlanPacketReceiver rx(sc.params);
+  const auto result = rx.receive(sc.stream, sc.payload.size());
+  ASSERT_TRUE(result.detected);
+  // Estimated channel on used bins ~ the applied flat gain.
+  const cvec known = core::wlan_ltf_bins();
+  for (std::size_t bin = 0; bin < 64; ++bin) {
+    if (std::abs(known[bin]) == 0.0) continue;
+    EXPECT_NEAR(std::abs(result.channel[bin] - gain), 0.0, 0.05)
+        << "bin " << bin;
+  }
+}
+
+TEST(WlanRx, RejectsNonWlanProfile) {
+  EXPECT_THROW(rx::WlanPacketReceiver(core::profile_dab()), Error);
+}
+
+}  // namespace
+}  // namespace ofdm
