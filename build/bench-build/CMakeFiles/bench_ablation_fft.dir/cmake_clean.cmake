@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fft"
+  "../bench/bench_ablation_fft.pdb"
+  "CMakeFiles/bench_ablation_fft.dir/bench_ablation_fft.cpp.o"
+  "CMakeFiles/bench_ablation_fft.dir/bench_ablation_fft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rtl"
+  "../bench/bench_ablation_rtl.pdb"
+  "CMakeFiles/bench_ablation_rtl.dir/bench_ablation_rtl.cpp.o"
+  "CMakeFiles/bench_ablation_rtl.dir/bench_ablation_rtl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

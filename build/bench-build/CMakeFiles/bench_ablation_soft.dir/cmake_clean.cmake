@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_soft"
+  "../bench/bench_ablation_soft.pdb"
+  "CMakeFiles/bench_ablation_soft.dir/bench_ablation_soft.cpp.o"
+  "CMakeFiles/bench_ablation_soft.dir/bench_ablation_soft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

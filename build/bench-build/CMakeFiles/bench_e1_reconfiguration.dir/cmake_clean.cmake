@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_reconfiguration"
+  "../bench/bench_e1_reconfiguration.pdb"
+  "CMakeFiles/bench_e1_reconfiguration.dir/bench_e1_reconfiguration.cpp.o"
+  "CMakeFiles/bench_e1_reconfiguration.dir/bench_e1_reconfiguration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

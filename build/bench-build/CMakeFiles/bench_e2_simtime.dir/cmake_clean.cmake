@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_simtime"
+  "../bench/bench_e2_simtime.pdb"
+  "CMakeFiles/bench_e2_simtime.dir/bench_e2_simtime.cpp.o"
+  "CMakeFiles/bench_e2_simtime.dir/bench_e2_simtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_simtime.
+# This may be replaced when dependencies are built.

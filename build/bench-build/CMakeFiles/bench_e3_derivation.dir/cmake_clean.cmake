@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_derivation"
+  "../bench/bench_e3_derivation.pdb"
+  "CMakeFiles/bench_e3_derivation.dir/bench_e3_derivation.cpp.o"
+  "CMakeFiles/bench_e3_derivation.dir/bench_e3_derivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

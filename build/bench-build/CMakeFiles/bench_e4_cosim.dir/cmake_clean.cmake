@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_cosim"
+  "../bench/bench_e4_cosim.pdb"
+  "CMakeFiles/bench_e4_cosim.dir/bench_e4_cosim.cpp.o"
+  "CMakeFiles/bench_e4_cosim.dir/bench_e4_cosim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_family"
+  "../bench/bench_e6_family.pdb"
+  "CMakeFiles/bench_e6_family.dir/bench_e6_family.cpp.o"
+  "CMakeFiles/bench_e6_family.dir/bench_e6_family.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

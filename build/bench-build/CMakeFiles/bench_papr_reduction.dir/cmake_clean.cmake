@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_papr_reduction"
+  "../bench/bench_papr_reduction.pdb"
+  "CMakeFiles/bench_papr_reduction.dir/bench_papr_reduction.cpp.o"
+  "CMakeFiles/bench_papr_reduction.dir/bench_papr_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_papr_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

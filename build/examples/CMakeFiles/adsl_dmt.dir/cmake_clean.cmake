@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsl_dmt.dir/adsl_dmt.cpp.o"
+  "CMakeFiles/adsl_dmt.dir/adsl_dmt.cpp.o.d"
+  "adsl_dmt"
+  "adsl_dmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsl_dmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adsl_dmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dab_mobile.dir/dab_mobile.cpp.o"
+  "CMakeFiles/dab_mobile.dir/dab_mobile.cpp.o.d"
+  "dab_mobile"
+  "dab_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dab_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

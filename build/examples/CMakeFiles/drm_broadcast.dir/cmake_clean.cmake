@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drm_broadcast.dir/drm_broadcast.cpp.o"
+  "CMakeFiles/drm_broadcast.dir/drm_broadcast.cpp.o.d"
+  "drm_broadcast"
+  "drm_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drm_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

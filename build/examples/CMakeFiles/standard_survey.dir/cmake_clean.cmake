@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_survey.dir/standard_survey.cpp.o"
+  "CMakeFiles/standard_survey.dir/standard_survey.cpp.o.d"
+  "standard_survey"
+  "standard_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

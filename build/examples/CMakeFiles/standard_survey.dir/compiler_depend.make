@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for standard_survey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for standard_survey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_over_rf.dir/wlan_over_rf.cpp.o"
+  "CMakeFiles/wlan_over_rf.dir/wlan_over_rf.cpp.o.d"
+  "wlan_over_rf"
+  "wlan_over_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_over_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

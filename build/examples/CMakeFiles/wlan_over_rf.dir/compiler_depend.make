@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wlan_over_rf.
+# This may be replaced when dependencies are built.

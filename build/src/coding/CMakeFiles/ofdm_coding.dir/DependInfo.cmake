@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/convolutional.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/convolutional.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/convolutional.cpp.o.d"
+  "/root/repo/src/coding/crc.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/crc.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/crc.cpp.o.d"
+  "/root/repo/src/coding/interleaver.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/interleaver.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/interleaver.cpp.o.d"
+  "/root/repo/src/coding/lfsr.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/lfsr.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/lfsr.cpp.o.d"
+  "/root/repo/src/coding/mpeg_ts.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/mpeg_ts.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/mpeg_ts.cpp.o.d"
+  "/root/repo/src/coding/reed_solomon.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/reed_solomon.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/coding/viterbi.cpp" "src/coding/CMakeFiles/ofdm_coding.dir/viterbi.cpp.o" "gcc" "src/coding/CMakeFiles/ofdm_coding.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_coding.dir/convolutional.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/convolutional.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/crc.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/crc.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/interleaver.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/interleaver.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/lfsr.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/lfsr.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/mpeg_ts.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/mpeg_ts.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/ofdm_coding.dir/viterbi.cpp.o"
+  "CMakeFiles/ofdm_coding.dir/viterbi.cpp.o.d"
+  "libofdm_coding.a"
+  "libofdm_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bits.cpp" "src/common/CMakeFiles/ofdm_common.dir/bits.cpp.o" "gcc" "src/common/CMakeFiles/ofdm_common.dir/bits.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/ofdm_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/ofdm_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/math_util.cpp" "src/common/CMakeFiles/ofdm_common.dir/math_util.cpp.o" "gcc" "src/common/CMakeFiles/ofdm_common.dir/math_util.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/ofdm_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/ofdm_common.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_common.dir/bits.cpp.o"
+  "CMakeFiles/ofdm_common.dir/bits.cpp.o.d"
+  "CMakeFiles/ofdm_common.dir/error.cpp.o"
+  "CMakeFiles/ofdm_common.dir/error.cpp.o.d"
+  "CMakeFiles/ofdm_common.dir/math_util.cpp.o"
+  "CMakeFiles/ofdm_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/ofdm_common.dir/rng.cpp.o"
+  "CMakeFiles/ofdm_common.dir/rng.cpp.o.d"
+  "libofdm_common.a"
+  "libofdm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/modulator.cpp" "src/core/CMakeFiles/ofdm_core.dir/modulator.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/modulator.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/ofdm_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/params_io.cpp" "src/core/CMakeFiles/ofdm_core.dir/params_io.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/params_io.cpp.o.d"
+  "/root/repo/src/core/pilots.cpp" "src/core/CMakeFiles/ofdm_core.dir/pilots.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/pilots.cpp.o.d"
+  "/root/repo/src/core/preamble.cpp" "src/core/CMakeFiles/ofdm_core.dir/preamble.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/preamble.cpp.o.d"
+  "/root/repo/src/core/profiles/dab.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/dab.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/dab.cpp.o.d"
+  "/root/repo/src/core/profiles/drm.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/drm.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/drm.cpp.o.d"
+  "/root/repo/src/core/profiles/dsl.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/dsl.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/dsl.cpp.o.d"
+  "/root/repo/src/core/profiles/dvbt.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/dvbt.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/dvbt.cpp.o.d"
+  "/root/repo/src/core/profiles/homeplug.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/homeplug.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/homeplug.cpp.o.d"
+  "/root/repo/src/core/profiles/wlan.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/wlan.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/wlan.cpp.o.d"
+  "/root/repo/src/core/profiles/wman.cpp" "src/core/CMakeFiles/ofdm_core.dir/profiles/wman.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/profiles/wman.cpp.o.d"
+  "/root/repo/src/core/standard.cpp" "src/core/CMakeFiles/ofdm_core.dir/standard.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/standard.cpp.o.d"
+  "/root/repo/src/core/tone_map.cpp" "src/core/CMakeFiles/ofdm_core.dir/tone_map.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/tone_map.cpp.o.d"
+  "/root/repo/src/core/transmitter.cpp" "src/core/CMakeFiles/ofdm_core.dir/transmitter.cpp.o" "gcc" "src/core/CMakeFiles/ofdm_core.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ofdm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ofdm_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ofdm_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

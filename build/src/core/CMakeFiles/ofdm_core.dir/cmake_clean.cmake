@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_core.dir/modulator.cpp.o"
+  "CMakeFiles/ofdm_core.dir/modulator.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/params.cpp.o"
+  "CMakeFiles/ofdm_core.dir/params.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/params_io.cpp.o"
+  "CMakeFiles/ofdm_core.dir/params_io.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/pilots.cpp.o"
+  "CMakeFiles/ofdm_core.dir/pilots.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/preamble.cpp.o"
+  "CMakeFiles/ofdm_core.dir/preamble.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/dab.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/dab.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/drm.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/drm.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/dsl.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/dsl.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/dvbt.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/dvbt.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/homeplug.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/homeplug.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/wlan.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/wlan.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/profiles/wman.cpp.o"
+  "CMakeFiles/ofdm_core.dir/profiles/wman.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/standard.cpp.o"
+  "CMakeFiles/ofdm_core.dir/standard.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/tone_map.cpp.o"
+  "CMakeFiles/ofdm_core.dir/tone_map.cpp.o.d"
+  "CMakeFiles/ofdm_core.dir/transmitter.cpp.o"
+  "CMakeFiles/ofdm_core.dir/transmitter.cpp.o.d"
+  "libofdm_core.a"
+  "libofdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ofdm_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ofdm_dsp.dir/fir.cpp.o"
+  "CMakeFiles/ofdm_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/ofdm_dsp.dir/resample.cpp.o"
+  "CMakeFiles/ofdm_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/ofdm_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/ofdm_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/ofdm_dsp.dir/window.cpp.o"
+  "CMakeFiles/ofdm_dsp.dir/window.cpp.o.d"
+  "libofdm_dsp.a"
+  "libofdm_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/bitloading.cpp" "src/mapping/CMakeFiles/ofdm_mapping.dir/bitloading.cpp.o" "gcc" "src/mapping/CMakeFiles/ofdm_mapping.dir/bitloading.cpp.o.d"
+  "/root/repo/src/mapping/constellation.cpp" "src/mapping/CMakeFiles/ofdm_mapping.dir/constellation.cpp.o" "gcc" "src/mapping/CMakeFiles/ofdm_mapping.dir/constellation.cpp.o.d"
+  "/root/repo/src/mapping/differential.cpp" "src/mapping/CMakeFiles/ofdm_mapping.dir/differential.cpp.o" "gcc" "src/mapping/CMakeFiles/ofdm_mapping.dir/differential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_mapping.dir/bitloading.cpp.o"
+  "CMakeFiles/ofdm_mapping.dir/bitloading.cpp.o.d"
+  "CMakeFiles/ofdm_mapping.dir/constellation.cpp.o"
+  "CMakeFiles/ofdm_mapping.dir/constellation.cpp.o.d"
+  "CMakeFiles/ofdm_mapping.dir/differential.cpp.o"
+  "CMakeFiles/ofdm_mapping.dir/differential.cpp.o.d"
+  "libofdm_mapping.a"
+  "libofdm_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

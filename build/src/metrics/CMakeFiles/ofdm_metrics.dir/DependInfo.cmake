@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/ber.cpp" "src/metrics/CMakeFiles/ofdm_metrics.dir/ber.cpp.o" "gcc" "src/metrics/CMakeFiles/ofdm_metrics.dir/ber.cpp.o.d"
+  "/root/repo/src/metrics/evm.cpp" "src/metrics/CMakeFiles/ofdm_metrics.dir/evm.cpp.o" "gcc" "src/metrics/CMakeFiles/ofdm_metrics.dir/evm.cpp.o.d"
+  "/root/repo/src/metrics/mask.cpp" "src/metrics/CMakeFiles/ofdm_metrics.dir/mask.cpp.o" "gcc" "src/metrics/CMakeFiles/ofdm_metrics.dir/mask.cpp.o.d"
+  "/root/repo/src/metrics/papr.cpp" "src/metrics/CMakeFiles/ofdm_metrics.dir/papr.cpp.o" "gcc" "src/metrics/CMakeFiles/ofdm_metrics.dir/papr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ofdm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ofdm_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

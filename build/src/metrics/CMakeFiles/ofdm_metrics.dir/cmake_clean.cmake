@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_metrics.dir/ber.cpp.o"
+  "CMakeFiles/ofdm_metrics.dir/ber.cpp.o.d"
+  "CMakeFiles/ofdm_metrics.dir/evm.cpp.o"
+  "CMakeFiles/ofdm_metrics.dir/evm.cpp.o.d"
+  "CMakeFiles/ofdm_metrics.dir/mask.cpp.o"
+  "CMakeFiles/ofdm_metrics.dir/mask.cpp.o.d"
+  "CMakeFiles/ofdm_metrics.dir/papr.cpp.o"
+  "CMakeFiles/ofdm_metrics.dir/papr.cpp.o.d"
+  "libofdm_metrics.a"
+  "libofdm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/chain.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/chain.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/chain.cpp.o.d"
+  "/root/repo/src/rf/channel.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/channel.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/rf/fading.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/fading.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/fading.cpp.o.d"
+  "/root/repo/src/rf/frontend.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/frontend.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/frontend.cpp.o.d"
+  "/root/repo/src/rf/impairments.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/impairments.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/impairments.cpp.o.d"
+  "/root/repo/src/rf/netlist.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/netlist.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/netlist.cpp.o.d"
+  "/root/repo/src/rf/pa.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/pa.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/pa.cpp.o.d"
+  "/root/repo/src/rf/papr_reduction.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/papr_reduction.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/papr_reduction.cpp.o.d"
+  "/root/repo/src/rf/sinks.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/sinks.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/sinks.cpp.o.d"
+  "/root/repo/src/rf/submodel.cpp" "src/rf/CMakeFiles/ofdm_rf.dir/submodel.cpp.o" "gcc" "src/rf/CMakeFiles/ofdm_rf.dir/submodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ofdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ofdm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ofdm_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ofdm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

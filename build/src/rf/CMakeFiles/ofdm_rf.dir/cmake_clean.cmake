@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_rf.dir/chain.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/chain.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/channel.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/fading.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/fading.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/frontend.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/frontend.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/impairments.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/impairments.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/netlist.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/netlist.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/pa.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/pa.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/papr_reduction.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/papr_reduction.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/sinks.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/sinks.cpp.o.d"
+  "CMakeFiles/ofdm_rf.dir/submodel.cpp.o"
+  "CMakeFiles/ofdm_rf.dir/submodel.cpp.o.d"
+  "libofdm_rf.a"
+  "libofdm_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

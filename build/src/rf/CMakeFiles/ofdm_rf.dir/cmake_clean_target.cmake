@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libofdm_rf.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ofdm_rf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_rtl.dir/components.cpp.o"
+  "CMakeFiles/ofdm_rtl.dir/components.cpp.o.d"
+  "CMakeFiles/ofdm_rtl.dir/kernel.cpp.o"
+  "CMakeFiles/ofdm_rtl.dir/kernel.cpp.o.d"
+  "CMakeFiles/ofdm_rtl.dir/vhdl_gen.cpp.o"
+  "CMakeFiles/ofdm_rtl.dir/vhdl_gen.cpp.o.d"
+  "CMakeFiles/ofdm_rtl.dir/wlan_tx.cpp.o"
+  "CMakeFiles/ofdm_rtl.dir/wlan_tx.cpp.o.d"
+  "libofdm_rtl.a"
+  "libofdm_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

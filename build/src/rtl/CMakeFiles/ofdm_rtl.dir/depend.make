@@ -1,0 +1,2 @@
+# Empty dependencies file for ofdm_rtl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofdm_rx.dir/receiver.cpp.o"
+  "CMakeFiles/ofdm_rx.dir/receiver.cpp.o.d"
+  "CMakeFiles/ofdm_rx.dir/sync.cpp.o"
+  "CMakeFiles/ofdm_rx.dir/sync.cpp.o.d"
+  "CMakeFiles/ofdm_rx.dir/wlan_rx.cpp.o"
+  "CMakeFiles/ofdm_rx.dir/wlan_rx.cpp.o.d"
+  "libofdm_rx.a"
+  "libofdm_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofdm_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

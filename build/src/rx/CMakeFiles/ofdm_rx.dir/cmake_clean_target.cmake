@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libofdm_rx.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitloading.dir/test_bitloading.cpp.o"
+  "CMakeFiles/test_bitloading.dir/test_bitloading.cpp.o.d"
+  "test_bitloading"
+  "test_bitloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

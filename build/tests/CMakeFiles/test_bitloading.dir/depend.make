@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bitloading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constellation.dir/test_constellation.cpp.o"
+  "CMakeFiles/test_constellation.dir/test_constellation.cpp.o.d"
+  "test_constellation"
+  "test_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

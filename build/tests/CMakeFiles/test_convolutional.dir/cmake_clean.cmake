@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convolutional.dir/test_convolutional.cpp.o"
+  "CMakeFiles/test_convolutional.dir/test_convolutional.cpp.o.d"
+  "test_convolutional"
+  "test_convolutional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convolutional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosim.dir/test_cosim.cpp.o"
+  "CMakeFiles/test_cosim.dir/test_cosim.cpp.o.d"
+  "test_cosim"
+  "test_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interleaver.dir/test_interleaver.cpp.o"
+  "CMakeFiles/test_interleaver.dir/test_interleaver.cpp.o.d"
+  "test_interleaver"
+  "test_interleaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interleaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfsr_crc.dir/test_lfsr_crc.cpp.o"
+  "CMakeFiles/test_lfsr_crc.dir/test_lfsr_crc.cpp.o.d"
+  "test_lfsr_crc"
+  "test_lfsr_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfsr_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lfsr_crc.
+# This may be replaced when dependencies are built.

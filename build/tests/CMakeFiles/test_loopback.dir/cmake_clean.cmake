@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loopback.dir/test_loopback.cpp.o"
+  "CMakeFiles/test_loopback.dir/test_loopback.cpp.o.d"
+  "test_loopback"
+  "test_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

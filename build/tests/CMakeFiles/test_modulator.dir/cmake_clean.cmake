@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulator.dir/test_modulator.cpp.o"
+  "CMakeFiles/test_modulator.dir/test_modulator.cpp.o.d"
+  "test_modulator"
+  "test_modulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpeg_ts.dir/test_mpeg_ts.cpp.o"
+  "CMakeFiles/test_mpeg_ts.dir/test_mpeg_ts.cpp.o.d"
+  "test_mpeg_ts"
+  "test_mpeg_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpeg_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

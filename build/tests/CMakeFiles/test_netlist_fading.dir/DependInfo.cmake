@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netlist_fading.cpp" "tests/CMakeFiles/test_netlist_fading.dir/test_netlist_fading.cpp.o" "gcc" "tests/CMakeFiles/test_netlist_fading.dir/test_netlist_fading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/ofdm_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ofdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ofdm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ofdm_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ofdm_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ofdm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ofdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

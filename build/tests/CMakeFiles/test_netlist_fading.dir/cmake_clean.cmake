@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_fading.dir/test_netlist_fading.cpp.o"
+  "CMakeFiles/test_netlist_fading.dir/test_netlist_fading.cpp.o.d"
+  "test_netlist_fading"
+  "test_netlist_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

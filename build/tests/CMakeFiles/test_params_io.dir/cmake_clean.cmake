@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params_io.dir/test_params_io.cpp.o"
+  "CMakeFiles/test_params_io.dir/test_params_io.cpp.o.d"
+  "test_params_io"
+  "test_params_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

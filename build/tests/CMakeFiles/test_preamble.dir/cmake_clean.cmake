@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preamble.dir/test_preamble.cpp.o"
+  "CMakeFiles/test_preamble.dir/test_preamble.cpp.o.d"
+  "test_preamble"
+  "test_preamble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

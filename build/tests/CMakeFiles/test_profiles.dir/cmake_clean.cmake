@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiles.dir/test_profiles.cpp.o"
+  "CMakeFiles/test_profiles.dir/test_profiles.cpp.o.d"
+  "test_profiles"
+  "test_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

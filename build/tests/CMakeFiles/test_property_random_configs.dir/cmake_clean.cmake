@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_random_configs.dir/test_property_random_configs.cpp.o"
+  "CMakeFiles/test_property_random_configs.dir/test_property_random_configs.cpp.o.d"
+  "test_property_random_configs"
+  "test_property_random_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_random_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reed_solomon.dir/test_reed_solomon.cpp.o"
+  "CMakeFiles/test_reed_solomon.dir/test_reed_solomon.cpp.o.d"
+  "test_reed_solomon"
+  "test_reed_solomon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reed_solomon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

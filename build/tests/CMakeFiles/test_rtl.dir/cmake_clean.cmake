@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/test_rtl.cpp.o"
+  "CMakeFiles/test_rtl.dir/test_rtl.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

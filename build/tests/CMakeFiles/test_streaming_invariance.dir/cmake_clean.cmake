@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_invariance.dir/test_streaming_invariance.cpp.o"
+  "CMakeFiles/test_streaming_invariance.dir/test_streaming_invariance.cpp.o.d"
+  "test_streaming_invariance"
+  "test_streaming_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vhdl_gen.dir/test_vhdl_gen.cpp.o"
+  "CMakeFiles/test_vhdl_gen.dir/test_vhdl_gen.cpp.o.d"
+  "test_vhdl_gen"
+  "test_vhdl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vhdl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

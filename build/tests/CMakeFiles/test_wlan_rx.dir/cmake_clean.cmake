@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wlan_rx.dir/test_wlan_rx.cpp.o"
+  "CMakeFiles/test_wlan_rx.dir/test_wlan_rx.cpp.o.d"
+  "test_wlan_rx"
+  "test_wlan_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wlan_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
