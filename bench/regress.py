@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""E5 throughput regression runner.
+
+Runs the per-standard generation benchmark (bench_e5_throughput) with
+Google Benchmark's JSON reporter and writes the result to BENCH_e5.json
+at the repo root. If a previous BENCH_e5.json exists, each benchmark is
+compared against it first and regressions beyond --tolerance are
+reported (exit code 1), so CI can gate on generation throughput.
+
+Usage:
+    python3 bench/regress.py [--build-dir build] [--tolerance 0.15]
+                             [--min-time 1] [--check-only]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
+
+
+def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
+    exe = build_dir / "bench" / "bench_e5_throughput"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found -- build the repo first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    out = build_dir / "bench_e5_tmp.json"
+    # --benchmark_out writes clean JSON to the file; the human-readable
+    # banner and summary table stay on stdout.
+    subprocess.run(
+        [str(exe),
+         f"--benchmark_out={out}",
+         "--benchmark_out_format=json",
+         f"--benchmark_min_time={min_time}"],
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    with open(out) as f:
+        return json.load(f)
+
+
+def index(report: dict) -> dict:
+    return {b["name"]: b for b in report.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def compare(old: dict, new: dict, tolerance: float) -> bool:
+    """Print per-benchmark ratios; return True if no regression."""
+    ok = True
+    old_by_name = index(old)
+    print(f"\n{'benchmark':<20s} {'label':<20s} {'old MS/s':>10s} "
+          f"{'new MS/s':>10s} {'ratio':>7s}")
+    for name, bench in index(new).items():
+        new_ips = bench.get("items_per_second")
+        label = bench.get("label", "")
+        prev = old_by_name.get(name)
+        if prev is None or not new_ips:
+            print(f"{name:<20s} {label:<20s} {'-':>10s} "
+                  f"{new_ips / 1e6 if new_ips else 0:10.2f} {'new':>7s}")
+            continue
+        old_ips = prev.get("items_per_second", 0.0)
+        ratio = new_ips / old_ips if old_ips else float("inf")
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            flag = "  <-- REGRESSION"
+            ok = False
+        print(f"{name:<20s} {label:<20s} {old_ips / 1e6:10.2f} "
+              f"{new_ips / 1e6:10.2f} {ratio:6.2f}x{flag}")
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional slowdown before a benchmark "
+                         "counts as a regression (default: 0.15)")
+    ap.add_argument("--min-time", type=float, default=1.0,
+                    help="--benchmark_min_time per benchmark in seconds")
+    ap.add_argument("--check-only", action="store_true",
+                    help="compare against BENCH_e5.json without updating it")
+    args = ap.parse_args()
+
+    report = run_bench(REPO_ROOT / args.build_dir, args.min_time)
+
+    ok = True
+    if RESULT_FILE.exists():
+        with open(RESULT_FILE) as f:
+            baseline = json.load(f)
+        ok = compare(baseline, report, args.tolerance)
+    if not args.check_only:
+        with open(RESULT_FILE, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"\nwrote {RESULT_FILE.relative_to(REPO_ROOT)}")
+    if not ok:
+        print("throughput regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

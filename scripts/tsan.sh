@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Release + ThreadSanitizer run of the threaded symbol-pipeline tests.
+#
+# The SymbolPipeline worker pool is the only concurrent code in the
+# repo; this job builds the pipeline and transmitter tests in a separate
+# build tree with -fsanitize=thread and runs them under ctest, so data
+# races in the pool (claim cursor, batch hand-off, completion wait)
+# are caught even when the plain test suite passes.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build-tsan"
+
+cmake -B "${build}" -S "${repo}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "${build}" -j --target test_pipeline test_transmitter
+ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter' \
+  --output-on-failure "$@"

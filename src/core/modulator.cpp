@@ -1,11 +1,34 @@
 #include "core/modulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "dsp/window.hpp"
 
 namespace ofdm::core {
+
+void assemble_spectrum(const OfdmParams& p, const ToneLayout& layout,
+                       std::span<const cplx> data_values,
+                       std::span<const cplx> pilot_values, cvec& freq) {
+  OFDM_REQUIRE_DIM(data_values.size() == layout.data_bins.size(),
+                   "Modulator::assemble: data value count mismatch");
+  OFDM_REQUIRE_DIM(pilot_values.size() == layout.pilot_bins.size(),
+                   "Modulator::assemble: pilot value count mismatch");
+  freq.assign(p.fft_size, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < data_values.size(); ++i) {
+    freq[layout.data_bins[i]] = data_values[i];
+  }
+  for (std::size_t i = 0; i < pilot_values.size(); ++i) {
+    freq[layout.pilot_bins[i]] = pilot_values[i];
+  }
+  if (p.hermitian) {
+    const std::size_t n = p.fft_size;
+    for (std::size_t k = 1; k < n / 2; ++k) {
+      freq[n - k] = std::conj(freq[k]);
+    }
+  }
+}
 
 Modulator::Modulator(const OfdmParams& params, const ToneLayout& layout)
     : params_(params),
@@ -21,59 +44,63 @@ Modulator::Modulator(const OfdmParams& params, const ToneLayout& layout)
   OFDM_REQUIRE(used > 0, "Modulator: no used tones");
   scale_ = static_cast<double>(params_.fft_size) /
            std::sqrt(static_cast<double>(used));
+  body_.resize(params_.fft_size);
 }
 
 cvec Modulator::assemble(std::span<const cplx> data_values,
                          std::span<const cplx> pilot_values) const {
-  OFDM_REQUIRE_DIM(data_values.size() == layout_.data_bins.size(),
-                   "Modulator::assemble: data value count mismatch");
-  OFDM_REQUIRE_DIM(pilot_values.size() == layout_.pilot_bins.size(),
-                   "Modulator::assemble: pilot value count mismatch");
-  cvec freq(params_.fft_size, cplx{0.0, 0.0});
-  for (std::size_t i = 0; i < data_values.size(); ++i) {
-    freq[layout_.data_bins[i]] = data_values[i];
-  }
-  for (std::size_t i = 0; i < pilot_values.size(); ++i) {
-    freq[layout_.pilot_bins[i]] = pilot_values[i];
-  }
-  if (params_.hermitian) {
-    const std::size_t n = params_.fft_size;
-    for (std::size_t k = 1; k < n / 2; ++k) {
-      freq[n - k] = std::conj(freq[k]);
-    }
-  }
+  cvec freq;
+  assemble_spectrum(params_, layout_, data_values, pilot_values, freq);
   return freq;
 }
 
+void Modulator::transform(std::span<const cplx> freq_bins,
+                          cvec& body) const {
+  OFDM_REQUIRE_DIM(freq_bins.size() == params_.fft_size,
+                   "Modulator::emit: frequency vector size mismatch");
+  body.resize(params_.fft_size);
+  // The tone scale rides along inside the IFFT's own output pass; the
+  // Hermitian (real-output) configurations take the half-size fast path.
+  if (params_.hermitian) {
+    fft_.inverse_hermitian(freq_bins, body, scale_);
+  } else {
+    fft_.inverse(freq_bins, body, scale_);
+  }
+}
+
 void Modulator::emit(std::span<const cplx> freq_bins, cvec& out) {
+  transform(freq_bins, body_);
+  emit_body(body_, out);
+}
+
+void Modulator::emit_body(std::span<const cplx> body, cvec& out) {
   const std::size_t n = params_.fft_size;
   const std::size_t cp = params_.cp_len;
   const std::size_t ramp = params_.window_ramp;
-  OFDM_REQUIRE_DIM(freq_bins.size() == n,
-                   "Modulator::emit: frequency vector size mismatch");
+  OFDM_REQUIRE_DIM(body.size() == n,
+                   "Modulator::emit_body: body size mismatch");
 
-  cvec body = fft_.inverse(freq_bins);
-  for (cplx& v : body) v *= scale_;
-
-  // Extended symbol: cyclic prefix + body + cyclic suffix (ramp).
-  cvec ext;
-  ext.reserve(cp + n + ramp);
-  for (std::size_t i = 0; i < cp; ++i) ext.push_back(body[n - cp + i]);
-  ext.insert(ext.end(), body.begin(), body.end());
-  for (std::size_t i = 0; i < ramp; ++i) ext.push_back(body[i]);
+  // Extended symbol, written straight into the output vector: cyclic
+  // prefix + body. The cyclic suffix (ramp) never materializes in `out`;
+  // it goes directly into the overlap-add tail below.
+  const std::size_t start = out.size();
+  out.insert(out.end(), body.end() - static_cast<std::ptrdiff_t>(cp),
+             body.end());
+  out.insert(out.end(), body.begin(), body.end());
 
   if (ramp > 0) {
+    cplx* ext = out.data() + start;
     for (std::size_t i = 0; i < ramp; ++i) {
       ext[i] *= ramp_[i];                        // rising edge
-      ext[cp + n + i] *= 1.0 - ramp_[i];         // falling edge (suffix)
     }
     // Overlap-add the previous symbol's suffix into our rising edge.
     for (std::size_t i = 0; i < tail_.size(); ++i) ext[i] += tail_[i];
-    tail_.assign(ext.begin() + static_cast<std::ptrdiff_t>(cp + n),
-                 ext.end());
-    ext.resize(cp + n);
+    // Our own windowed suffix becomes the next symbol's tail.
+    tail_.resize(ramp);
+    for (std::size_t i = 0; i < ramp; ++i) {
+      tail_[i] = body[i] * (1.0 - ramp_[i]);     // falling edge (suffix)
+    }
   }
-  out.insert(out.end(), ext.begin(), ext.end());
 }
 
 void Modulator::emit_silence(std::size_t n, cvec& out) {

@@ -4,6 +4,11 @@
 // Output scaling is chosen so the time-domain signal has unit average
 // power independent of the configuration — convenient for the RF chain,
 // whose operating point is then set purely by its own gain blocks.
+//
+// The hot path is allocation-free in steady state: the IFFT body and the
+// window tail live in reusable member buffers, the cyclic extension is
+// written straight into the caller's output vector, and Hermitian (real
+// output) configurations take the half-size IFFT fast path.
 #pragma once
 
 #include <span>
@@ -12,6 +17,15 @@
 #include "dsp/fft.hpp"
 
 namespace ofdm::core {
+
+/// Build the full FFT-size frequency vector from data and pilot tone
+/// values (ascending logical-frequency order each) into `freq`, resizing
+/// it to p.fft_size. Applies Hermitian mirroring when the configuration
+/// asks for a real output signal. Shared by Modulator::assemble and the
+/// parallel SymbolPipeline so both produce bit-identical spectra.
+void assemble_spectrum(const OfdmParams& p, const ToneLayout& layout,
+                       std::span<const cplx> data_values,
+                       std::span<const cplx> pilot_values, cvec& freq);
 
 class Modulator {
  public:
@@ -29,6 +43,16 @@ class Modulator {
   /// Modulate one assembled frequency vector, appending exactly
   /// cp_len + fft_size samples to `out`.
   void emit(std::span<const cplx> freq_bins, cvec& out);
+
+  /// IFFT one assembled frequency vector into the scaled time-domain
+  /// body (fft_size samples), without the cyclic extension. This is the
+  /// per-symbol work the SymbolPipeline farms out to worker threads.
+  void transform(std::span<const cplx> freq_bins, cvec& body) const;
+
+  /// Append the cyclic extension + windowed body for an already
+  /// transformed symbol (exactly what emit() does after its IFFT).
+  /// Sequential: carries the overlap-add tail from symbol to symbol.
+  void emit_body(std::span<const cplx> body, cvec& out);
 
   /// Append n zero samples (DAB null symbol), overlap-adding any pending
   /// window tail.
@@ -51,6 +75,7 @@ class Modulator {
   double scale_;
   rvec ramp_;   // raised-cosine up-ramp, window_ramp samples
   cvec tail_;   // pending overlap from the previous symbol
+  cvec body_;   // reusable IFFT output buffer
 };
 
 }  // namespace ofdm::core

@@ -1,0 +1,144 @@
+#include "core/symbol_pipeline.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/modulator.hpp"
+#include "dsp/fft.hpp"
+
+namespace ofdm::core {
+
+// Per-worker state: Fft plans keep mutable scratch, so every worker owns
+// a private plan (and spectrum buffer) — identical plan parameters keep
+// the results bit-identical across workers.
+struct SymbolPipeline::Workspace {
+  dsp::Fft fft;
+  cvec freq;
+  explicit Workspace(std::size_t n) : fft(n) {}
+};
+
+struct SymbolPipeline::Impl {
+  std::mutex m;
+  std::condition_variable cv;       // workers: a batch was posted
+  std::condition_variable done_cv;  // transform(): batch drained
+  std::vector<Symbol>* batch = nullptr;  // guarded by m
+  std::uint64_t generation = 0;          // guarded by m
+  std::size_t active = 0;  // workers currently inside work(); guarded by m
+  bool stopping = false;                 // guarded by m
+  std::exception_ptr error;              // first failure; guarded by m
+  std::atomic<std::size_t> next{0};       // work-stealing item cursor
+  std::atomic<std::size_t> remaining{0};  // items not yet completed
+  std::vector<std::jthread> threads;
+};
+
+SymbolPipeline::SymbolPipeline(const OfdmParams& params,
+                               const ToneLayout& layout, double tone_scale,
+                               std::size_t threads)
+    : params_(params),
+      layout_(layout),
+      scale_(tone_scale),
+      impl_(std::make_unique<Impl>()) {
+  OFDM_REQUIRE(threads >= 1, "SymbolPipeline: need at least one thread");
+  workspaces_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workspaces_.push_back(std::make_unique<Workspace>(params_.fft_size));
+  }
+  for (std::size_t w = 1; w < threads; ++w) {
+    impl_->threads.emplace_back([this, w] {
+      Impl& s = *impl_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::vector<Symbol>* batch = nullptr;
+        {
+          std::unique_lock lk(s.m);
+          s.cv.wait(lk, [&] {
+            return s.stopping ||
+                   (s.generation != seen && s.batch != nullptr);
+          });
+          if (s.stopping) return;
+          seen = s.generation;
+          batch = s.batch;
+          ++s.active;
+        }
+        work(*batch, *workspaces_[w]);
+        {
+          std::lock_guard lk(s.m);
+          --s.active;
+          s.done_cv.notify_all();
+        }
+      }
+    });
+  }
+}
+
+SymbolPipeline::~SymbolPipeline() {
+  {
+    std::lock_guard lk(impl_->m);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void SymbolPipeline::work(std::vector<Symbol>& symbols, Workspace& ws) {
+  Impl& s = *impl_;
+  const std::size_t count = symbols.size();
+  for (;;) {
+    const std::size_t i = s.next.fetch_add(1);
+    if (i >= count) return;
+    try {
+      Symbol& sym = symbols[i];
+      assemble_spectrum(params_, layout_, sym.data, sym.pilots, ws.freq);
+      sym.body.resize(params_.fft_size);
+      if (params_.hermitian) {
+        ws.fft.inverse_hermitian(ws.freq, sym.body, scale_);
+      } else {
+        ws.fft.inverse(ws.freq, sym.body, scale_);
+      }
+    } catch (...) {
+      std::lock_guard lk(s.m);
+      if (!s.error) s.error = std::current_exception();
+    }
+    if (s.remaining.fetch_sub(1) == 1) {
+      std::lock_guard lk(s.m);
+      s.done_cv.notify_all();
+    }
+  }
+}
+
+void SymbolPipeline::transform(std::vector<Symbol>& symbols) {
+  if (symbols.empty()) return;
+  Impl& s = *impl_;
+  {
+    std::lock_guard lk(s.m);
+    s.batch = &symbols;
+    s.next.store(0);
+    s.remaining.store(symbols.size());
+    s.error = nullptr;
+    ++s.generation;
+  }
+  s.cv.notify_all();
+  // The calling thread is a full member of the pool.
+  work(symbols, *workspaces_[0]);
+  {
+    std::unique_lock lk(s.m);
+    // Wait for completion AND for every worker to have left work() —
+    // only then is it safe to hand the batch back (or post a new one).
+    s.done_cv.wait(lk, [&] {
+      return s.remaining.load() == 0 && s.active == 0;
+    });
+    s.batch = nullptr;
+    if (s.error) {
+      std::exception_ptr e = s.error;
+      s.error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace ofdm::core

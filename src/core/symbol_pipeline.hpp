@@ -1,0 +1,64 @@
+// SymbolPipeline — parallel per-symbol IFFT for the Mother Model.
+//
+// Consecutive OFDM symbols are independent up to the overlap-add window
+// tail: the frequency-domain assembly and the (dominant) IFFT of symbol
+// k never read symbol k-1. The pipeline exploits that by farming
+// assemble+IFFT+scale out to a small worker pool, while the strictly
+// sequential parts — bit interleaving, (differential) mapping, the pilot
+// PRBS and the overlap-add tail — stay on the calling thread.
+//
+// Determinism: every worker runs the exact same code (assemble_spectrum +
+// Fft::inverse[_hermitian] with the same plan parameters) on a private
+// plan, so the transformed bodies are bit-identical regardless of thread
+// count or scheduling. threads == 1 configurations never construct a
+// pipeline at all and keep the fully inline path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace ofdm::core {
+
+class SymbolPipeline {
+ public:
+  /// One OFDM symbol travelling through the pipeline: tone values in,
+  /// scaled time-domain body out.
+  struct Symbol {
+    cvec data;    ///< data tone values, ascending logical frequency
+    cvec pilots;  ///< pilot tone values
+    cvec body;    ///< filled by transform(): fft_size scaled samples
+  };
+
+  /// `threads` >= 1 total workers (the calling thread counts as one, so
+  /// threads - 1 std::jthread workers are spawned). The referenced
+  /// params/layout must outlive the pipeline.
+  SymbolPipeline(const OfdmParams& params, const ToneLayout& layout,
+                 double tone_scale, std::size_t threads);
+  ~SymbolPipeline();
+
+  SymbolPipeline(const SymbolPipeline&) = delete;
+  SymbolPipeline& operator=(const SymbolPipeline&) = delete;
+
+  std::size_t threads() const { return workspaces_.size(); }
+
+  /// Assemble + IFFT + scale every symbol of the batch in parallel;
+  /// returns when all bodies are filled. The caller then feeds them in
+  /// order through the sequential overlap-add tail.
+  void transform(std::vector<Symbol>& symbols);
+
+ private:
+  struct Impl;
+  struct Workspace;
+  void work(std::vector<Symbol>& symbols, Workspace& ws);
+
+  const OfdmParams& params_;
+  const ToneLayout& layout_;
+  double scale_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ofdm::core

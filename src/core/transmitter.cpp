@@ -9,6 +9,7 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "core/preamble.hpp"
+#include "core/symbol_pipeline.hpp"
 
 namespace ofdm::core {
 
@@ -16,6 +17,7 @@ struct Transmitter::State {
   OfdmParams params;
   ToneLayout layout;
   std::optional<Modulator> modulator;
+  std::optional<SymbolPipeline> pipeline;  ///< only when params.threads > 1
   std::optional<mapping::Constellation> constellation;
   std::optional<mapping::DmtMapper> dmt;
   std::optional<mapping::DifferentialMapper> diff;
@@ -75,6 +77,10 @@ void Transmitter::configure(OfdmParams params) {
   if (p.fec.conv_enabled) s->conv.emplace(p.fec.conv);
   if (p.fec.rs_enabled) s->rs.emplace(p.fec.rs_n, p.fec.rs_k);
   s->pilots.emplace(p.pilots, s->layout.pilot_bins.size());
+  if (p.threads > 1) {
+    s->pipeline.emplace(s->params, s->layout,
+                        s->modulator->tone_scale(), p.threads);
+  }
 
   state_ = std::move(s);  // commit only after everything succeeded
 }
@@ -275,8 +281,11 @@ Transmitter::Burst Transmitter::modulate(
     }
   }
 
-  // 3. Payload symbols.
-  for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
+  // 3. Payload symbols. Bits -> tone values is inherently sequential
+  // (differential mapping and the pilot PRBS carry state from symbol to
+  // symbol); the assemble+IFFT step is not, and goes through the
+  // SymbolPipeline when threads > 1 — bit-exact with the inline path.
+  auto map_symbol = [&](std::size_t sym) -> cvec {
     const auto sym_bits = std::span<const std::uint8_t>(coded).subspan(
         sym * s.cbps, s.cbps);
 
@@ -307,10 +316,26 @@ Transmitter::Burst Transmitter::modulate(
       data_values = s.cell_interleaver->interleave(
           std::span<const cplx>(data_values));
     }
+    return data_values;
+  };
 
-    const cvec pilot_values = s.pilots->next_symbol();
-    s.modulator->emit(s.modulator->assemble(data_values, pilot_values),
-                      out);
+  if (s.pipeline && burst.data_symbols > 1) {
+    std::vector<SymbolPipeline::Symbol> jobs(burst.data_symbols);
+    for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
+      jobs[sym].data = map_symbol(sym);
+      jobs[sym].pilots = s.pilots->next_symbol();
+    }
+    s.pipeline->transform(jobs);
+    for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
+      s.modulator->emit_body(jobs[sym].body, out);
+    }
+  } else {
+    for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
+      const cvec data_values = map_symbol(sym);
+      const cvec pilot_values = s.pilots->next_symbol();
+      s.modulator->emit(s.modulator->assemble(data_values, pilot_values),
+                        out);
+    }
   }
 
   s.modulator->flush(out);

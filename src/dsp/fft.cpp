@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -10,13 +11,15 @@ namespace ofdm::dsp {
 
 namespace {
 
-// Iterative radix-2 DIT on data whose twiddles are precomputed for the
-// forward direction; the inverse runs the same network with conjugated
-// twiddles and applies 1/N outside.
+// Iterative radix-2 DIT. Forward and inverse twiddle tables are both
+// precomputed so the butterfly loop carries no direction branch, and an
+// output scale factor is folded into the final stage so the inverse's
+// 1/N never costs a separate sweep over the buffer.
 struct Radix2Plan {
   std::size_t n = 0;
   std::vector<std::size_t> bitrev;   // bit-reversal permutation
   cvec twiddle;                      // e^{-j2πk/n}, k in [0, n/2)
+  cvec twiddle_inv;                  // conjugate table for the inverse
 
   explicit Radix2Plan(std::size_t size) : n(size) {
     bitrev.resize(n);
@@ -30,30 +33,62 @@ struct Radix2Plan {
       bitrev[i] = r;
     }
     twiddle.resize(n / 2);
+    twiddle_inv.resize(n / 2);
     for (std::size_t k = 0; k < n / 2; ++k) {
       const double a = -kTwoPi * static_cast<double>(k) /
                        static_cast<double>(n);
       twiddle[k] = {std::cos(a), std::sin(a)};
+      twiddle_inv[k] = std::conj(twiddle[k]);
     }
   }
 
-  void execute(std::span<cplx> data, bool inverse) const {
+  void execute(std::span<cplx> data, bool inverse,
+               double scale = 1.0) const {
+    if (n < 2) {
+      if (scale != 1.0) {
+        for (cplx& v : data) v *= scale;
+      }
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t j = bitrev[i];
       if (i < j) std::swap(data[i], data[j]);
     }
-    for (std::size_t len = 2; len <= n; len <<= 1) {
+    // Hoisted raw pointers: going through span/vector operator[] keeps
+    // the compiler from proving the table loads loop-invariant, which
+    // costs ~3x on this loop at -O3.
+    const cplx* const tw = (inverse ? twiddle_inv : twiddle).data();
+    cplx* const d = data.data();
+    for (std::size_t len = 2; len < n; len <<= 1) {
       const std::size_t half = len / 2;
       const std::size_t step = n / len;
       for (std::size_t base = 0; base < n; base += len) {
         for (std::size_t k = 0; k < half; ++k) {
-          cplx w = twiddle[k * step];
-          if (inverse) w = std::conj(w);
-          const cplx u = data[base + k];
-          const cplx t = data[base + k + half] * w;
-          data[base + k] = u + t;
-          data[base + k + half] = u - t;
+          const cplx w = tw[k * step];
+          const cplx u = d[base + k];
+          const cplx t = d[base + k + half] * w;
+          d[base + k] = u + t;
+          d[base + k + half] = u - t;
         }
+      }
+    }
+    // Final stage (len == n, one block): fold the output scale in here.
+    // (result * scale after the add/sub -- bit-identical to a separate
+    // post-multiply sweep, just without the extra pass.)
+    const std::size_t half = n / 2;
+    if (scale == 1.0) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx u = d[k];
+        const cplx t = d[k + half] * tw[k];
+        d[k] = u + t;
+        d[k + half] = u - t;
+      }
+    } else {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx u = d[k];
+        const cplx t = d[k + half] * tw[k];
+        d[k] = (u + t) * scale;
+        d[k + half] = (u - t) * scale;
       }
     }
   }
@@ -61,7 +96,8 @@ struct Radix2Plan {
 
 // Bluestein expresses an N-point DFT as a convolution of length >= 2N-1,
 // evaluated with a power-of-two FFT. The chirp and the transformed kernel
-// are precomputed per direction.
+// are precomputed per direction; the m-point convolution scratch is a
+// reusable plan member so execution never allocates.
 struct BluesteinPlan {
   std::size_t n = 0;
   std::size_t m = 0;  // convolution FFT size (power of two)
@@ -69,6 +105,7 @@ struct BluesteinPlan {
   cvec chirp_fwd;        // e^{-jπk²/n}
   cvec kernel_fft_fwd;   // FFT of conjugate chirp, forward direction
   cvec kernel_fft_inv;   // same for the inverse direction
+  mutable cvec work;     // m-point convolution scratch
 
   explicit BluesteinPlan(std::size_t size)
       : n(size), m(next_pow2(2 * size - 1)), conv(m) {
@@ -82,6 +119,7 @@ struct BluesteinPlan {
     }
     kernel_fft_fwd = make_kernel(false);
     kernel_fft_inv = make_kernel(true);
+    work.resize(m);
   }
 
   cvec make_kernel(bool inverse) const {
@@ -95,21 +133,24 @@ struct BluesteinPlan {
     return kern;
   }
 
-  void execute(std::span<const cplx> in, std::span<cplx> out,
-               bool inverse) const {
-    cvec a(m, cplx{0.0, 0.0});
+  // `out` may alias `in`: the input is consumed before anything is
+  // written back.
+  void execute(std::span<const cplx> in, std::span<cplx> out, bool inverse,
+               double scale = 1.0) const {
     for (std::size_t k = 0; k < n; ++k) {
       const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
-      a[k] = in[k] * c;
+      work[k] = in[k] * c;
     }
-    conv.execute(a, /*inverse=*/false);
+    std::fill(work.begin() + static_cast<std::ptrdiff_t>(n), work.end(),
+              cplx{0.0, 0.0});
+    conv.execute(work, /*inverse=*/false);
     const cvec& kern = inverse ? kernel_fft_inv : kernel_fft_fwd;
-    for (std::size_t k = 0; k < m; ++k) a[k] *= kern[k];
-    conv.execute(a, /*inverse=*/true);
-    const double scale = 1.0 / static_cast<double>(m);
+    for (std::size_t k = 0; k < m; ++k) work[k] *= kern[k];
+    conv.execute(work, /*inverse=*/true);
+    const double s = scale / static_cast<double>(m);
     for (std::size_t k = 0; k < n; ++k) {
       const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
-      out[k] = a[k] * c * scale;
+      out[k] = work[k] * c * s;
     }
   }
 };
@@ -120,6 +161,14 @@ struct Fft::Impl {
   std::size_t n = 0;
   std::unique_ptr<Radix2Plan> radix2;
   std::unique_ptr<BluesteinPlan> bluestein;
+
+  // Hermitian-inverse fast path (even n only): one n/2-point complex
+  // plan plus the pack twiddles e^{+j2πk/n}. Built lazily on first use
+  // so plans that never emit real signals pay nothing.
+  std::once_flag herm_once;
+  std::unique_ptr<Fft> herm_half;
+  cvec herm_twiddle;
+  cvec herm_work;
 };
 
 Fft::Fft(std::size_t n) : impl_(std::make_unique<Impl>()) {
@@ -148,33 +197,61 @@ void Fft::forward(std::span<const cplx> in, std::span<cplx> out) const {
     }
     impl_->radix2->execute(out, /*inverse=*/false);
   } else {
-    if (out.data() == in.data()) {
-      cvec tmp(in.begin(), in.end());
-      impl_->bluestein->execute(tmp, out, /*inverse=*/false);
-    } else {
-      impl_->bluestein->execute(in, out, /*inverse=*/false);
-    }
+    impl_->bluestein->execute(in, out, /*inverse=*/false);
   }
 }
 
-void Fft::inverse(std::span<const cplx> in, std::span<cplx> out) const {
+void Fft::inverse(std::span<const cplx> in, std::span<cplx> out,
+                  double scale) const {
   OFDM_REQUIRE_DIM(in.size() == impl_->n && out.size() == impl_->n,
                    "Fft::inverse: buffer size mismatch");
+  const double s = scale / static_cast<double>(impl_->n);
   if (impl_->radix2) {
     if (out.data() != in.data()) {
       std::copy(in.begin(), in.end(), out.begin());
     }
-    impl_->radix2->execute(out, /*inverse=*/true);
+    impl_->radix2->execute(out, /*inverse=*/true, s);
   } else {
-    if (out.data() == in.data()) {
-      cvec tmp(in.begin(), in.end());
-      impl_->bluestein->execute(tmp, out, /*inverse=*/true);
-    } else {
-      impl_->bluestein->execute(in, out, /*inverse=*/true);
-    }
+    impl_->bluestein->execute(in, out, /*inverse=*/true, s);
   }
-  const double scale = 1.0 / static_cast<double>(impl_->n);
-  for (cplx& v : out) v *= scale;
+}
+
+void Fft::inverse_hermitian(std::span<const cplx> in, std::span<cplx> out,
+                            double scale) const {
+  const std::size_t n = impl_->n;
+  OFDM_REQUIRE_DIM(in.size() == n && out.size() == n,
+                   "Fft::inverse_hermitian: buffer size mismatch");
+  if (n < 2 || n % 2 != 0) {
+    inverse(in, out, scale);
+    return;
+  }
+  const std::size_t m = n / 2;
+  std::call_once(impl_->herm_once, [this, n, m] {
+    impl_->herm_half = std::make_unique<Fft>(m);
+    impl_->herm_twiddle.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double a = kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+      impl_->herm_twiddle[k] = {std::cos(a), std::sin(a)};
+    }
+    impl_->herm_work.resize(m);
+  });
+
+  // Pack the Hermitian spectrum into an m-point complex spectrum whose
+  // IFFT z satisfies z[i] = x[2i] + j x[2i+1] for the real output x:
+  //   W[k] = (X[k] + X[k+m]) + j e^{+j2πk/n} (X[k] - X[k+m]).
+  cvec& w = impl_->herm_work;
+  for (std::size_t k = 0; k < m; ++k) {
+    const cplx e = in[k] + in[k + m];
+    const cplx o = (in[k] - in[k + m]) * impl_->herm_twiddle[k];
+    w[k] = {e.real() - o.imag(), e.imag() + o.real()};
+  }
+  // z = IFFT_m(W) / 2 (the 1/n of the full transform is 1/(2m)).
+  impl_->herm_half->inverse(w, w, 0.5 * scale);
+  for (std::size_t i = 0; i < m; ++i) {
+    out[2 * i] = {w[i].real(), 0.0};
+    out[2 * i + 1] = {w[i].imag(), 0.0};
+  }
 }
 
 cvec Fft::forward(std::span<const cplx> in) const {

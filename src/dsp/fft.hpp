@@ -8,6 +8,12 @@
 //
 // Conventions: forward() computes X[k] = sum_n x[n] e^{-j2πkn/N} (no
 // scaling); inverse() includes the 1/N factor so inverse(forward(x)) == x.
+//
+// Plans own reusable workspaces (Bluestein convolution scratch, the
+// half-size plan behind the Hermitian fast path), so executing a transform
+// performs no heap allocation in steady state. The flip side: a single
+// plan must not be executed from two threads concurrently — give each
+// worker its own plan (they are cheap relative to a burst).
 #pragma once
 
 #include <cstddef>
@@ -18,8 +24,8 @@
 
 namespace ofdm::dsp {
 
-/// A transform plan for a fixed size N. Plans are immutable after
-/// construction and cheap to reuse; construct once per symbol size.
+/// A transform plan for a fixed size N. Construct once per symbol size and
+/// reuse; execution is allocation-free after the first call of each kind.
 class Fft {
  public:
   /// Build a plan for size n (n >= 1). Chooses radix-2 or Bluestein.
@@ -39,8 +45,21 @@ class Fft {
   /// Forward DFT. in.size() == out.size() == size(). In-place allowed.
   void forward(std::span<const cplx> in, std::span<cplx> out) const;
 
-  /// Inverse DFT with 1/N scaling. In-place allowed.
-  void inverse(std::span<const cplx> in, std::span<cplx> out) const;
+  /// Inverse DFT with 1/N scaling, times an optional extra amplitude
+  /// factor fused into the transform's own output pass (no separate
+  /// sweep over the buffer). In-place allowed.
+  void inverse(std::span<const cplx> in, std::span<cplx> out,
+               double scale = 1.0) const;
+
+  /// Inverse DFT of a Hermitian-symmetric spectrum (X[N-k] == conj(X[k]),
+  /// real X[0] and X[N/2]) — the DMT/powerline real-output case. For even
+  /// N this runs one N/2-point complex IFFT instead of an N-point one
+  /// (~2x faster) and writes an exactly-real result (imaginary parts are
+  /// 0.0 by construction). Odd N falls back to the general inverse. The
+  /// input must actually be Hermitian; the fast path silently discards
+  /// any non-Hermitian component. In-place allowed.
+  void inverse_hermitian(std::span<const cplx> in, std::span<cplx> out,
+                         double scale = 1.0) const;
 
   /// Convenience allocating overloads.
   cvec forward(std::span<const cplx> in) const;

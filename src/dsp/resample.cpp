@@ -24,15 +24,24 @@ Interpolator::Interpolator(std::size_t factor, std::size_t taps_per_phase)
   OFDM_REQUIRE(factor >= 1, "Interpolator: factor must be >= 1");
 }
 
-cvec Interpolator::process(std::span<const cplx> in) {
+void Interpolator::process(std::span<const cplx> in, cvec& out) {
   if (factor_ == 1) {
-    return filter_.process(in);
+    out.resize(in.size());
+    filter_.process(in, out);
+    return;
   }
-  cvec stuffed(in.size() * factor_, cplx{0.0, 0.0});
+  stuffed_.assign(in.size() * factor_, cplx{0.0, 0.0});
   for (std::size_t i = 0; i < in.size(); ++i) {
-    stuffed[i * factor_] = in[i];
+    stuffed_[i * factor_] = in[i];
   }
-  return filter_.process(stuffed);
+  out.resize(stuffed_.size());
+  filter_.process(stuffed_, out);
+}
+
+cvec Interpolator::process(std::span<const cplx> in) {
+  cvec out;
+  process(in, out);
+  return out;
 }
 
 void Interpolator::reset() { filter_.reset(); }
@@ -43,14 +52,20 @@ Decimator::Decimator(std::size_t factor, std::size_t taps_per_phase)
   OFDM_REQUIRE(factor >= 1, "Decimator: factor must be >= 1");
 }
 
-cvec Decimator::process(std::span<const cplx> in) {
-  const cvec filtered = filter_.process(in);
-  cvec out;
-  out.reserve(filtered.size() / factor_ + 1);
-  for (const cplx& v : filtered) {
+void Decimator::process(std::span<const cplx> in, cvec& out) {
+  filtered_.resize(in.size());
+  filter_.process(in, filtered_);  // consumes `in` before out is touched
+  out.clear();
+  out.reserve(filtered_.size() / factor_ + 1);
+  for (const cplx& v : filtered_) {
     if (phase_ == 0) out.push_back(v);
     phase_ = (phase_ + 1) % factor_;
   }
+}
+
+cvec Decimator::process(std::span<const cplx> in) {
+  cvec out;
+  process(in, out);
   return out;
 }
 

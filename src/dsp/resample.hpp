@@ -21,7 +21,9 @@ class Interpolator {
 
   std::size_t factor() const { return factor_; }
 
-  /// Produces factor()*in.size() samples.
+  /// Produces factor()*in.size() samples into `out` (resized); `in`
+  /// must not overlap `out`. Allocation-free after warm-up.
+  void process(std::span<const cplx> in, cvec& out);
   cvec process(std::span<const cplx> in);
 
   void reset();
@@ -29,6 +31,7 @@ class Interpolator {
  private:
   std::size_t factor_;
   FirFilter filter_;
+  cvec stuffed_;  // reusable zero-stuffing buffer
 };
 
 /// Downsample by an integer factor M: lowpass at 1/(2M) then keep every
@@ -40,7 +43,9 @@ class Decimator {
   std::size_t factor() const { return factor_; }
 
   /// Produces floor((phase + in.size())/M) - floor(phase/M) samples,
-  /// streaming-safe across chunk boundaries.
+  /// streaming-safe across chunk boundaries. The buffered form is
+  /// allocation-free after warm-up; `out` may alias `in`.
+  void process(std::span<const cplx> in, cvec& out);
   cvec process(std::span<const cplx> in);
 
   void reset();
@@ -49,6 +54,7 @@ class Decimator {
   std::size_t factor_;
   std::size_t phase_ = 0;
   FirFilter filter_;
+  cvec filtered_;  // reusable anti-alias output buffer
 };
 
 }  // namespace ofdm::dsp

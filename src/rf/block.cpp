@@ -1,0 +1,26 @@
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+// Default shims: each overload funnels into the other, so a subclass
+// only has to implement one (overriding neither recurses forever).
+
+void Block::process(std::span<const cplx> in, cvec& out) {
+  out = process(in);
+}
+
+cvec Block::process(std::span<const cplx> in) {
+  cvec out;
+  process(in, out);
+  return out;
+}
+
+void Source::pull(std::size_t n, cvec& out) { out = pull(n); }
+
+cvec Source::pull(std::size_t n) {
+  cvec out;
+  pull(n, out);
+  return out;
+}
+
+}  // namespace ofdm::rf

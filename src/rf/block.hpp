@@ -4,6 +4,10 @@
 // simulator into which the digital Mother Model is embedded as a signal
 // source. Blocks stream chunks of complex baseband (or real passband,
 // carried in the real part) samples; sources produce them on demand.
+//
+// Streaming is allocation-free in steady state: the buffered overloads
+// write into caller-owned vectors that are reused chunk after chunk, so
+// after warm-up no block on the hot path touches the heap.
 #pragma once
 
 #include <memory>
@@ -17,13 +21,23 @@ namespace ofdm::rf {
 
 /// A signal-processing block. Implementations keep their own streaming
 /// state so that chunked processing equals one-shot processing.
+///
+/// Exactly one of the two process() overloads must be overridden (each
+/// default forwards to the other): the buffered form is the hot path,
+/// the allocating form a convenience. Sample-wise 1:1 blocks accept `in`
+/// aliasing `out`'s storage exactly (in.data() == out.data()); rate
+/// changers and Chain require distinct buffers.
 class Block {
  public:
   virtual ~Block() = default;
 
-  /// Transform one chunk. Most blocks are 1:1 in sample count; rate
-  /// changers (DAC interpolation, decimation) are not.
-  virtual cvec process(std::span<const cplx> in) = 0;
+  /// Transform one chunk into `out`, resizing it to the output length.
+  /// Most blocks are 1:1 in sample count; rate changers (DAC
+  /// interpolation, decimation) are not.
+  virtual void process(std::span<const cplx> in, cvec& out);
+
+  /// Allocating convenience form (legacy API).
+  virtual cvec process(std::span<const cplx> in);
 
   /// Clear streaming state.
   virtual void reset() {}
@@ -33,13 +47,17 @@ class Block {
 };
 
 /// A signal source: produces samples on demand (the paper's "signal
-/// source block" role, filled by the wrapped Mother Model).
+/// source block" role, filled by the wrapped Mother Model). As with
+/// Block, override exactly one pull() overload.
 class Source {
  public:
   virtual ~Source() = default;
 
-  /// Produce exactly n samples.
-  virtual cvec pull(std::size_t n) = 0;
+  /// Produce exactly n samples into `out` (resized).
+  virtual void pull(std::size_t n, cvec& out);
+
+  /// Allocating convenience form (legacy API).
+  virtual cvec pull(std::size_t n);
 
   virtual void reset() {}
   virtual std::string name() const = 0;

@@ -4,12 +4,23 @@
 
 namespace ofdm::rf {
 
-cvec Chain::process(std::span<const cplx> in) {
-  cvec buf(in.begin(), in.end());
-  for (auto& block : blocks_) {
-    buf = block->process(buf);
+void Chain::process(std::span<const cplx> in, cvec& out) {
+  if (blocks_.empty()) {
+    // Pass-through without the historical extra copy: the input lands
+    // in the output buffer directly.
+    out.assign(in.begin(), in.end());
+    return;
   }
-  return buf;
+  // The first block consumes the caller's span directly; after that the
+  // stream ping-pongs between `out` and `scratch_`. Parity is chosen so
+  // the last block writes into `out`.
+  cvec* bufs[2] = {&out, &scratch_};
+  std::size_t cur = blocks_.size() % 2 == 1 ? 0 : 1;
+  blocks_.front()->process(in, *bufs[cur]);
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    blocks_[i]->process(*bufs[cur], *bufs[cur ^ 1]);
+    cur ^= 1;
+  }
 }
 
 void Chain::reset() {
@@ -21,14 +32,16 @@ RunStats run(Source& source, Chain& chain, std::size_t total,
   using clock = std::chrono::steady_clock;
   RunStats stats;
   const auto t0 = clock::now();
+  cvec in;
+  cvec out;
   std::size_t produced = 0;
   while (produced < total) {
     const std::size_t n = std::min(chunk, total - produced);
     const auto s0 = clock::now();
-    const cvec in = source.pull(n);
+    source.pull(n, in);
     stats.source_seconds +=
         std::chrono::duration<double>(clock::now() - s0).count();
-    const cvec out = chain.process(in);
+    chain.process(in, out);
     stats.samples_in += in.size();
     stats.samples_out += out.size();
     produced += n;

@@ -10,7 +10,10 @@
 
 namespace ofdm::rf {
 
-/// An ordered chain of blocks; itself a Block.
+/// An ordered chain of blocks; itself a Block. Intermediate results
+/// ping-pong between `out` and one reusable scratch buffer, so a chain
+/// of allocation-free blocks is itself allocation-free in steady state.
+/// `in` must not overlap `out`.
 class Chain : public Block {
  public:
   Chain() = default;
@@ -25,7 +28,8 @@ class Chain : public Block {
     return ref;
   }
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "chain"; }
 
@@ -33,6 +37,7 @@ class Chain : public Block {
 
  private:
   std::vector<std::unique_ptr<Block>> blocks_;
+  cvec scratch_;  // ping-pong partner of the caller's output buffer
 };
 
 /// Simulation statistics returned by run().
@@ -44,8 +49,9 @@ struct RunStats {
 };
 
 /// Pull `total` samples from `source`, push them through `chain` in
-/// chunks of `chunk` samples. The split of wall-clock time between the
-/// source and the rest of the chain is what experiment E2 measures ("the
+/// chunks of `chunk` samples, reusing one input and one output buffer
+/// for the whole run. The split of wall-clock time between the source
+/// and the rest of the chain is what experiment E2 measures ("the
 /// digital block had only negligible influence on the total simulation
 /// time").
 RunStats run(Source& source, Chain& chain, std::size_t total,

@@ -13,12 +13,11 @@ AwgnChannel::AwgnChannel(double noise_power, std::uint64_t seed)
                "AwgnChannel: noise power must be non-negative");
 }
 
-cvec AwgnChannel::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void AwgnChannel::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     out[i] = in[i] + rng_.complex_gaussian(noise_power_);
   }
-  return out;
 }
 
 void AwgnChannel::reset() { rng_ = Rng(seed_); }
@@ -34,9 +33,9 @@ MultipathChannel::MultipathChannel(cvec taps) : taps_(std::move(taps)) {
   delay_.assign(taps_.size(), cplx{0.0, 0.0});
 }
 
-cvec MultipathChannel::process(std::span<const cplx> in) {
+void MultipathChannel::process(std::span<const cplx> in, cvec& out) {
   const std::size_t n_taps = taps_.size();
-  cvec out(in.size());
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     head_ = (head_ + n_taps - 1) % n_taps;
     delay_[head_] = in[i];
@@ -48,7 +47,6 @@ cvec MultipathChannel::process(std::span<const cplx> in) {
     }
     out[i] = acc;
   }
-  return out;
 }
 
 void MultipathChannel::reset() {

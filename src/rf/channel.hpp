@@ -14,7 +14,8 @@ class AwgnChannel : public Block {
  public:
   AwgnChannel(double noise_power, std::uint64_t seed = 303);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "awgn"; }
 
@@ -33,7 +34,8 @@ class MultipathChannel : public Block {
  public:
   explicit MultipathChannel(cvec taps);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "multipath"; }
 

@@ -75,9 +75,9 @@ cvec FadingChannel::current_gains() const {
   return g;
 }
 
-cvec FadingChannel::process(std::span<const cplx> in) {
+void FadingChannel::process(std::span<const cplx> in, cvec& out) {
   const std::size_t line = delay_line_.size();
-  cvec out(in.size());
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     head_ = (head_ + line - 1) % line;
     delay_line_[head_] = in[i];
@@ -89,7 +89,6 @@ cvec FadingChannel::process(std::span<const cplx> in) {
     out[i] = acc;
     advance();
   }
-  return out;
 }
 
 void FadingChannel::reset() {
@@ -111,8 +110,8 @@ ImpulseNoise::ImpulseNoise(double burst_rate, double mean_len,
                "ImpulseNoise: impulse power must be non-negative");
 }
 
-cvec ImpulseNoise::process(std::span<const cplx> in) {
-  cvec out(in.begin(), in.end());
+void ImpulseNoise::process(std::span<const cplx> in, cvec& out) {
+  if (out.data() != in.data()) out.assign(in.begin(), in.end());
   for (cplx& v : out) {
     if (remaining_ == 0 && rng_.uniform() < burst_rate_) {
       ++bursts_;
@@ -125,7 +124,6 @@ cvec ImpulseNoise::process(std::span<const cplx> in) {
       --remaining_;
     }
   }
-  return out;
 }
 
 void ImpulseNoise::reset() {

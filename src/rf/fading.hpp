@@ -26,7 +26,8 @@ class FadingChannel : public Block {
                 double sample_rate, std::uint64_t seed = 1234,
                 std::size_t n_sinusoids = 16);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "fading"; }
 
@@ -65,7 +66,8 @@ class ImpulseNoise : public Block {
   ImpulseNoise(double burst_rate, double mean_len, double impulse_power,
                std::uint64_t seed = 555);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "impulse-noise"; }
 

@@ -24,12 +24,12 @@ double Dac::quantize(double v) const {
   return std::round(clipped / lsb) * lsb;
 }
 
-cvec Dac::process(std::span<const cplx> in) {
-  cvec q(in.size());
+void Dac::process(std::span<const cplx> in, cvec& out) {
+  quant_.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
-    q[i] = {quantize(in[i].real()), quantize(in[i].imag())};
+    quant_[i] = {quantize(in[i].real()), quantize(in[i].imag())};
   }
-  return interp_.process(q);
+  interp_.process(quant_, out);
 }
 
 void Dac::reset() { interp_.reset(); }
@@ -63,14 +63,13 @@ void Oscillator::reset() {
 
 IqModulator::IqModulator(Oscillator lo) : lo_(lo) {}
 
-cvec IqModulator::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void IqModulator::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const cplx lo = lo_.next();
     // Re{x * e^{jωt}} = I cos - Q sin, carried in the real part.
     out[i] = {in[i].real() * lo.real() - in[i].imag() * lo.imag(), 0.0};
   }
-  return out;
 }
 
 void IqModulator::reset() { lo_.reset(); }
@@ -80,29 +79,25 @@ IqDemodulator::IqDemodulator(Oscillator lo, double cutoff, std::size_t taps)
       filter_i_(dsp::design_lowpass(cutoff, taps)),
       filter_q_(dsp::design_lowpass(cutoff, taps)) {}
 
-cvec IqDemodulator::process(std::span<const cplx> in) {
-  cvec mixed(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
+void IqDemodulator::process(std::span<const cplx> in, cvec& out) {
+  const std::size_t n = in.size();
+  tmp_i_.resize(n);
+  tmp_q_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const cplx lo = lo_.next();
     // 2 x(t) e^{-jωt}: the factor 2 restores baseband amplitude after
     // the lowpass removes the 2ω image.
     const double x = in[i].real();
-    mixed[i] = {2.0 * x * lo.real(), -2.0 * x * lo.imag()};
+    tmp_i_[i] = {2.0 * x * lo.real(), 0.0};
+    tmp_q_[i] = {-2.0 * x * lo.imag(), 0.0};
   }
   // Lowpass I and Q (identical linear-phase filters keep them aligned).
-  cvec out(mixed.size());
-  cvec tmp_i(mixed.size());
-  cvec tmp_q(mixed.size());
-  for (std::size_t i = 0; i < mixed.size(); ++i) {
-    tmp_i[i] = {mixed[i].real(), 0.0};
-    tmp_q[i] = {mixed[i].imag(), 0.0};
+  filter_i_.process(tmp_i_, tmp_i_);
+  filter_q_.process(tmp_q_, tmp_q_);
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = {tmp_i_[i].real(), tmp_q_[i].real()};
   }
-  filter_i_.process(tmp_i, tmp_i);
-  filter_q_.process(tmp_q, tmp_q);
-  for (std::size_t i = 0; i < mixed.size(); ++i) {
-    out[i] = {tmp_i[i].real(), tmp_q[i].real()};
-  }
-  return out;
 }
 
 void IqDemodulator::reset() {
@@ -117,21 +112,20 @@ FrequencyShift::FrequencyShift(double freq_hz, double sample_rate)
                "FrequencyShift: sample rate must be > 0");
 }
 
-cvec FrequencyShift::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void FrequencyShift::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     out[i] = in[i] * cplx{std::cos(phase_), std::sin(phase_)};
     phase_ = std::fmod(phase_ + step_, kTwoPi);
   }
-  return out;
 }
 
 void FrequencyShift::reset() { phase_ = 0.0; }
 
 DecimatorBlock::DecimatorBlock(std::size_t factor) : dec_(factor) {}
 
-cvec DecimatorBlock::process(std::span<const cplx> in) {
-  return dec_.process(in);
+void DecimatorBlock::process(std::span<const cplx> in, cvec& out) {
+  dec_.process(in, out);
 }
 
 void DecimatorBlock::reset() { dec_.reset(); }

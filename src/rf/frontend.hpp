@@ -18,7 +18,8 @@ class Dac : public Block {
  public:
   Dac(unsigned bits, std::size_t oversample, double full_scale = 4.0);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "dac"; }
 
@@ -31,6 +32,7 @@ class Dac : public Block {
   std::size_t oversample_;
   double full_scale_;
   dsp::Interpolator interp_;
+  cvec quant_;  // reusable quantized-sample buffer
 };
 
 /// Local oscillator: nominal frequency plus optional frequency offset
@@ -62,7 +64,8 @@ class IqModulator : public Block {
  public:
   explicit IqModulator(Oscillator lo);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "iq-mod"; }
 
@@ -76,7 +79,8 @@ class IqDemodulator : public Block {
  public:
   IqDemodulator(Oscillator lo, double cutoff, std::size_t taps = 127);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "iq-demod"; }
 
@@ -87,6 +91,8 @@ class IqDemodulator : public Block {
   Oscillator lo_;
   dsp::FirFilter filter_i_;
   dsp::FirFilter filter_q_;
+  cvec tmp_i_;  // reusable I-branch buffer
+  cvec tmp_q_;  // reusable Q-branch buffer
 };
 
 /// Complex frequency shift (digital IF mixing in baseband simulations).
@@ -94,7 +100,8 @@ class FrequencyShift : public Block {
  public:
   FrequencyShift(double freq_hz, double sample_rate);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "freq-shift"; }
 
@@ -108,7 +115,8 @@ class DecimatorBlock : public Block {
  public:
   explicit DecimatorBlock(std::size_t factor);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "decimator"; }
 

@@ -14,12 +14,11 @@ IqImbalance::IqImbalance(double gain_error_db, double phase_error_deg) {
   nu_ = (1.0 - ge) / 2.0;
 }
 
-cvec IqImbalance::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void IqImbalance::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     out[i] = mu_ * in[i] + nu_ * std::conj(in[i]);
   }
-  return out;
 }
 
 double IqImbalance::image_rejection_db() const {
@@ -28,20 +27,18 @@ double IqImbalance::image_rejection_db() const {
 
 DcOffset::DcOffset(cplx offset) : offset_(offset) {}
 
-cvec DcOffset::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void DcOffset::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] + offset_;
-  return out;
 }
 
 PhaseNoise::PhaseNoise(double linewidth_hz, double sample_rate,
                        std::uint64_t seed)
     : lo_(0.0, sample_rate, 0.0, linewidth_hz, seed) {}
 
-cvec PhaseNoise::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void PhaseNoise::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] * lo_.next();
-  return out;
 }
 
 void PhaseNoise::reset() { lo_.reset(); }

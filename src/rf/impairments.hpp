@@ -15,7 +15,8 @@ class IqImbalance : public Block {
  public:
   IqImbalance(double gain_error_db, double phase_error_deg);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   std::string name() const override { return "iq-imbalance"; }
 
   /// Image rejection ratio implied by the parameters, dB.
@@ -31,7 +32,8 @@ class DcOffset : public Block {
  public:
   explicit DcOffset(cplx offset);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   std::string name() const override { return "dc-offset"; }
 
  private:
@@ -45,7 +47,8 @@ class PhaseNoise : public Block {
   PhaseNoise(double linewidth_hz, double sample_rate,
              std::uint64_t seed = 101);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "phase-noise"; }
 

@@ -72,7 +72,10 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
 
   RunStats stats;
   const auto t0 = clock::now();
+  // Per-node output buffers plus one fan-in summing scratch, all reused
+  // across chunks so the steady-state loop never allocates.
   std::vector<cvec> values(nodes_.size());
+  cvec fanin;
   std::size_t produced = 0;
   while (produced < total) {
     const std::size_t n = std::min(chunk, total - produced);
@@ -80,22 +83,31 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
       Node& node = nodes_[id];
       if (node.is_source()) {
         const auto s0 = clock::now();
-        values[id] = node.source->pull(n);
+        node.source->pull(n, values[id]);
         stats.source_seconds +=
             std::chrono::duration<double>(clock::now() - s0).count();
         stats.samples_in += values[id].size();
         continue;
       }
-      // Summing fan-in.
-      cvec in = values[node.inputs.front()];
-      for (std::size_t j = 1; j < node.inputs.size(); ++j) {
-        const cvec& other = values[node.inputs[j]];
-        OFDM_REQUIRE_DIM(other.size() == in.size(),
-                         "Netlist: fan-in length mismatch (rate change "
-                         "on one branch?)");
-        for (std::size_t k = 0; k < in.size(); ++k) in[k] += other[k];
+      if (node.inputs.size() == 1) {
+        // Single input: feed the upstream buffer straight through
+        // (distinct from values[id]; self-loops are rejected).
+        node.block->process(values[node.inputs.front()], values[id]);
+      } else {
+        // Summing fan-in.
+        const cvec& first = values[node.inputs.front()];
+        fanin.assign(first.begin(), first.end());
+        for (std::size_t j = 1; j < node.inputs.size(); ++j) {
+          const cvec& other = values[node.inputs[j]];
+          OFDM_REQUIRE_DIM(other.size() == fanin.size(),
+                           "Netlist: fan-in length mismatch (rate change "
+                           "on one branch?)");
+          for (std::size_t k = 0; k < fanin.size(); ++k) {
+            fanin[k] += other[k];
+          }
+        }
+        node.block->process(fanin, values[id]);
       }
-      values[id] = node.block->process(in);
     }
     // Count samples leaving leaf nodes (no consumers).
     produced += n;

@@ -7,8 +7,8 @@
 
 namespace ofdm::rf {
 
-cvec Nonlinearity::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void Nonlinearity::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const double r = std::abs(in[i]);
     if (r < 1e-300) {
@@ -20,7 +20,6 @@ cvec Nonlinearity::process(std::span<const cplx> in) {
     const cplx unit = in[i] / r;
     out[i] = unit * a * cplx{std::cos(dphi), std::sin(dphi)};
   }
-  return out;
 }
 
 RappPa::RappPa(double smoothness, double v_sat, double gain)
@@ -58,10 +57,9 @@ double SoftClipPa::am_am(double r) const {
 
 Gain::Gain(double gain_db) : lin_(std::sqrt(from_db(gain_db))) {}
 
-cvec Gain::process(std::span<const cplx> in) {
-  cvec out(in.size());
+void Gain::process(std::span<const cplx> in, cvec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] * lin_;
-  return out;
 }
 
 }  // namespace ofdm::rf

@@ -17,7 +17,8 @@ class Nonlinearity : public Block {
   /// Added phase (radians) for input amplitude r >= 0.
   virtual double am_pm(double /*r*/) const { return 0.0; }
 
-  cvec process(std::span<const cplx> in) final;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) final;
 };
 
 /// Rapp (solid-state PA) model: smooth saturation, no AM/PM.
@@ -71,7 +72,8 @@ class Gain : public Block {
  public:
   explicit Gain(double gain_db);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   std::string name() const override { return "gain"; }
 
   double linear() const { return lin_; }

@@ -25,17 +25,17 @@ double ClipAndFilter::clip_level_for(double avg_power) const {
   return std::sqrt(avg_power * target_ratio_);
 }
 
-cvec ClipAndFilter::process(std::span<const cplx> in) {
+void ClipAndFilter::process(std::span<const cplx> in, cvec& out) {
   // Burst-at-a-time semantics: each call is treated as one complete
   // burst so the filters' group delay can be compensated exactly
   // (the output stays time-aligned with the input).
-  cvec x(in.begin(), in.end());
-  const double avg = mean_power(x);
-  if (avg <= 0.0) return x;
+  if (out.data() != in.data()) out.assign(in.begin(), in.end());
+  const double avg = mean_power(out);
+  if (avg <= 0.0) return;
   const double level = clip_level_for(avg);
 
   for (std::size_t it = 0; it < iterations_; ++it) {
-    for (cplx& v : x) {
+    for (cplx& v : out) {
       const double mag = std::abs(v);
       if (mag > level) v *= level / mag;
     }
@@ -43,13 +43,12 @@ cvec ClipAndFilter::process(std::span<const cplx> in) {
     f.reset();
     const auto delay =
         static_cast<std::size_t>(std::lround(f.group_delay()));
-    cvec padded = x;
-    padded.insert(padded.end(), delay, cplx{0.0, 0.0});
-    f.process(padded, padded);
-    x.assign(padded.begin() + static_cast<std::ptrdiff_t>(delay),
-             padded.end());
+    padded_.assign(out.begin(), out.end());
+    padded_.insert(padded_.end(), delay, cplx{0.0, 0.0});
+    f.process(padded_, padded_);
+    out.assign(padded_.begin() + static_cast<std::ptrdiff_t>(delay),
+               padded_.end());
   }
-  return x;
 }
 
 void ClipAndFilter::reset() {

@@ -21,7 +21,8 @@ class ClipAndFilter : public Block {
   ClipAndFilter(double target_papr_db, double cutoff,
                 std::size_t iterations = 2, std::size_t taps = 63);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "clip-filter"; }
 
@@ -31,6 +32,7 @@ class ClipAndFilter : public Block {
   double target_ratio_;  // linear peak/average ratio
   std::size_t iterations_;
   std::vector<dsp::FirFilter> filters_;  // one per iteration
+  cvec padded_;  // reusable group-delay-padded work buffer
 };
 
 }  // namespace ofdm::rf

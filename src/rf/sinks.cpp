@@ -6,14 +6,14 @@
 
 namespace ofdm::rf {
 
-cvec PowerMeter::process(std::span<const cplx> in) {
+void PowerMeter::process(std::span<const cplx> in, cvec& out) {
   for (const cplx& v : in) {
     const double p = std::norm(v);
     acc_ += p;
     peak_ = std::max(peak_, p);
   }
   count_ += in.size();
-  return cvec(in.begin(), in.end());
+  if (out.data() != in.data()) out.assign(in.begin(), in.end());
 }
 
 void PowerMeter::reset() {
@@ -33,13 +33,13 @@ double PowerMeter::papr_db() const {
 
 Capture::Capture(std::size_t max_samples) : max_samples_(max_samples) {}
 
-cvec Capture::process(std::span<const cplx> in) {
+void Capture::process(std::span<const cplx> in, cvec& out) {
   const std::size_t room =
       max_samples_ > buffer_.size() ? max_samples_ - buffer_.size() : 0;
   const std::size_t take = std::min(room, in.size());
   buffer_.insert(buffer_.end(), in.begin(),
                  in.begin() + static_cast<std::ptrdiff_t>(take));
-  return cvec(in.begin(), in.end());
+  if (out.data() != in.data()) out.assign(in.begin(), in.end());
 }
 
 void Capture::reset() { buffer_.clear(); }
@@ -48,13 +48,13 @@ SpectrumAnalyzer::SpectrumAnalyzer(dsp::WelchConfig cfg,
                                    std::size_t max_samples)
     : cfg_(cfg), max_samples_(max_samples) {}
 
-cvec SpectrumAnalyzer::process(std::span<const cplx> in) {
+void SpectrumAnalyzer::process(std::span<const cplx> in, cvec& out) {
   const std::size_t room =
       max_samples_ > buffer_.size() ? max_samples_ - buffer_.size() : 0;
   const std::size_t take = std::min(room, in.size());
   buffer_.insert(buffer_.end(), in.begin(),
                  in.begin() + static_cast<std::ptrdiff_t>(take));
-  return cvec(in.begin(), in.end());
+  if (out.data() != in.data()) out.assign(in.begin(), in.end());
 }
 
 void SpectrumAnalyzer::reset() { buffer_.clear(); }

@@ -10,7 +10,8 @@ namespace ofdm::rf {
 /// Running power meter: average and peak power of everything seen.
 class PowerMeter : public Block {
  public:
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "power-meter"; }
 
@@ -30,7 +31,8 @@ class Capture : public Block {
  public:
   explicit Capture(std::size_t max_samples = SIZE_MAX);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "capture"; }
 
@@ -48,7 +50,8 @@ class SpectrumAnalyzer : public Block {
   explicit SpectrumAnalyzer(dsp::WelchConfig cfg,
                             std::size_t max_samples = 1u << 22);
 
-  cvec process(std::span<const cplx> in) override;
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "spectrum-analyzer"; }
 

@@ -36,8 +36,8 @@ void Submodel::refill() {
   ++frames_;
 }
 
-cvec Submodel::pull(std::size_t n) {
-  cvec out;
+void Submodel::pull(std::size_t n, cvec& out) {
+  out.clear();
   out.reserve(n);
   while (out.size() < n) {
     if (read_pos_ >= buffer_.size()) refill();
@@ -49,7 +49,6 @@ cvec Submodel::pull(std::size_t n) {
                    static_cast<std::ptrdiff_t>(read_pos_ + take));
     read_pos_ += take;
   }
-  return out;
 }
 
 void Submodel::reset() {
@@ -68,13 +67,12 @@ ToneSource::ToneSource(double freq_hz, double sample_rate, double amplitude)
   OFDM_REQUIRE(sample_rate > 0.0, "ToneSource: sample rate must be > 0");
 }
 
-cvec ToneSource::pull(std::size_t n) {
-  cvec out(n);
+void ToneSource::pull(std::size_t n, cvec& out) {
+  out.resize(n);
   for (cplx& v : out) {
     v = amplitude_ * cplx{std::cos(phase_), std::sin(phase_)};
     phase_ = std::fmod(phase_ + phase_step_, kTwoPi);
   }
-  return out;
 }
 
 void ToneSource::reset() { phase_ = 0.0; }

@@ -40,7 +40,8 @@ class Submodel : public Source {
   /// Total frames generated so far.
   std::size_t frames_generated() const { return frames_; }
 
-  cvec pull(std::size_t n) override;
+  using Source::pull;
+  void pull(std::size_t n, cvec& out) override;
   void reset() override;
   std::string name() const override;
 
@@ -62,7 +63,8 @@ class ToneSource : public Source {
  public:
   ToneSource(double freq_hz, double sample_rate, double amplitude = 1.0);
 
-  cvec pull(std::size_t n) override;
+  using Source::pull;
+  void pull(std::size_t n, cvec& out) override;
   void reset() override;
   std::string name() const override { return "tone"; }
 

@@ -1,0 +1,204 @@
+// The parallel symbol pipeline and the FFT fast paths it leans on.
+//
+// The tentpole guarantee is bit-exactness: a Transmitter configured with
+// threads > 1 must produce *identical* samples to the single-threaded
+// path for every family standard, because the pipeline runs the exact
+// same assemble+IFFT code on private per-worker plans. The Hermitian
+// inverse fast path and the in-place transforms are checked against the
+// reference DFT the same way the seed FFT tests are.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+#include "core/profiles.hpp"
+#include "core/symbol_pipeline.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/fft.hpp"
+
+namespace ofdm::core {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1u);
+  return bits;
+}
+
+TEST(SymbolPipeline, ThreadedModulateIsBitExactAcrossFamily) {
+  for (Standard std_id : kStandardFamily) {
+    OfdmParams p = profile_for(std_id);
+    Transmitter tx1(p);
+    const auto bits = random_bits(tx1.recommended_payload_bits(), 42);
+    const Transmitter::Burst ref = tx1.modulate(bits);
+
+    for (std::size_t threads : {2, 3}) {
+      p.threads = threads;
+      Transmitter txn(p);
+      const Transmitter::Burst got = txn.modulate(bits);
+      ASSERT_EQ(ref.samples.size(), got.samples.size())
+          << standard_name(std_id) << " threads=" << threads;
+      for (std::size_t i = 0; i < ref.samples.size(); ++i) {
+        ASSERT_EQ(ref.samples[i], got.samples[i])
+            << standard_name(std_id) << " threads=" << threads
+            << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(SymbolPipeline, RepeatedBurstsStayBitExact) {
+  // The pool is reused across bursts; stale-batch bugs would show up on
+  // the second and later transforms, not the first.
+  OfdmParams p = profile_adsl();
+  Transmitter tx1(p);
+  p.threads = 4;
+  Transmitter tx4(p);
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    const auto bits = random_bits(tx1.recommended_payload_bits(), seed);
+    const auto a = tx1.modulate(bits);
+    const auto b = tx4.modulate(bits);
+    ASSERT_EQ(a.samples.size(), b.samples.size()) << "burst " << seed;
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+      ASSERT_EQ(a.samples[i], b.samples[i])
+          << "burst " << seed << " sample " << i;
+    }
+  }
+}
+
+TEST(SymbolPipeline, ThreadsKnobIsNotAModelParameter) {
+  OfdmParams a = profile_adsl();
+  OfdmParams b = a;
+  b.threads = 8;
+  EXPECT_EQ(parameter_count(a), parameter_count(b));
+  EXPECT_EQ(parameter_distance(a, b), 0u);
+  b.threads = 0;
+  EXPECT_THROW(validate(b), ConfigError);
+}
+
+cvec random_hermitian_spectrum(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  cvec x(n, cplx{0.0, 0.0});
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    x[k] = {dist(rng), dist(rng)};
+    x[n - k] = std::conj(x[k]);
+  }
+  // DC and Nyquist must be real for a real output signal.
+  x[0] = {dist(rng), 0.0};
+  if (n % 2 == 0) x[n / 2] = {dist(rng), 0.0};
+  return x;
+}
+
+TEST(HermitianIfft, MatchesReferenceDft) {
+  // 512/1024/8192 are the ADSL/ADSL++/VDSL sizes; 36 exercises the
+  // even-but-not-power-of-two path (half size 18 -> Bluestein).
+  for (std::size_t n : {8u, 36u, 512u, 1024u}) {
+    const cvec x = random_hermitian_spectrum(n, 7u + n);
+    const cvec ref = dsp::reference_dft(x, /*inverse=*/true);
+    cvec out(n);
+    dsp::Fft fft(n);
+    fft.inverse_hermitian(x, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i].real(), ref[i].real(), 1e-9 * n) << n << ":" << i;
+      // The fast path produces exact zeros in the imaginary part.
+      EXPECT_EQ(out[i].imag(), 0.0) << n << ":" << i;
+      EXPECT_NEAR(ref[i].imag(), 0.0, 1e-9 * n) << n << ":" << i;
+    }
+  }
+}
+
+TEST(HermitianIfft, ScaleFactorRidesAlong) {
+  const std::size_t n = 64;
+  const cvec x = random_hermitian_spectrum(n, 3);
+  dsp::Fft fft(n);
+  cvec plain(n);
+  cvec scaled(n);
+  fft.inverse_hermitian(x, plain);
+  fft.inverse_hermitian(x, scaled, 2.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(scaled[i].real(), 2.5 * plain[i].real(), 1e-12);
+  }
+}
+
+TEST(Ifft, InPlaceEqualsOutOfPlace) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t n : {16u, 60u, 256u}) {
+    cvec x(n);
+    for (auto& v : x) v = {dist(rng), dist(rng)};
+    dsp::Fft fft(n);
+    cvec out(n);
+    fft.inverse(x, out, 1.7);
+    cvec inplace = x;
+    fft.inverse(inplace, inplace, 1.7);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], inplace[i]) << n << ":" << i;
+    }
+  }
+}
+
+TEST(Ifft, HermitianInPlaceEqualsOutOfPlace) {
+  for (std::size_t n : {64u, 512u}) {
+    const cvec x = random_hermitian_spectrum(n, 5u + n);
+    dsp::Fft fft(n);
+    cvec out(n);
+    fft.inverse_hermitian(x, out, 0.5);
+    cvec inplace = x;
+    fft.inverse_hermitian(inplace, inplace, 0.5);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], inplace[i]) << n << ":" << i;
+    }
+  }
+}
+
+TEST(Ifft, FusedScaleMatchesSeparateScaling) {
+  // Folding the 1/N + tone scale into the last butterfly stage must be
+  // bit-identical to scaling the unscaled output afterwards (the same
+  // floating-point operations in the same order).
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t n : {64u, 1024u}) {
+    cvec x(n);
+    for (auto& v : x) v = {dist(rng), dist(rng)};
+    dsp::Fft fft(n);
+    cvec fused(n);
+    fft.inverse(x, fused, 3.25);
+    cvec plain(n);
+    fft.inverse(x, plain);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(fused[i], plain[i] * 3.25) << n << ":" << i;
+    }
+  }
+}
+
+TEST(SymbolPipeline, TransformMatchesModulator) {
+  const OfdmParams p = profile_adsl();
+  const ToneLayout layout = make_tone_layout(p);
+  Modulator mod(p, layout);
+  SymbolPipeline pipe(p, layout, mod.tone_scale(), 2);
+
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<SymbolPipeline::Symbol> jobs(5);
+  for (auto& job : jobs) {
+    job.data.resize(layout.data_bins.size());
+    for (auto& v : job.data) v = {dist(rng), dist(rng)};
+    job.pilots.resize(layout.pilot_bins.size());
+    for (auto& v : job.pilots) v = {dist(rng), dist(rng)};
+  }
+  pipe.transform(jobs);
+
+  for (const auto& job : jobs) {
+    cvec body;
+    mod.transform(mod.assemble(job.data, job.pilots), body);
+    ASSERT_EQ(body.size(), job.body.size());
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      ASSERT_EQ(body[i], job.body[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofdm::core

@@ -1,0 +1,152 @@
+// Steady-state allocation audit for the streaming RF datapath.
+//
+// The simulation loop (rf::run and Netlist::run) is supposed to be
+// allocation-free once every reusable buffer has reached its final
+// capacity: process-into APIs, ping-pong chain buffers, per-plan FFT
+// scratch. This test replaces global operator new with a counting hook,
+// warms the chain up, then asserts that further chunks perform zero
+// heap allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/fading.hpp"
+#include "rf/frontend.hpp"
+#include "rf/impairments.hpp"
+#include "rf/netlist.hpp"
+#include "rf/pa.hpp"
+#include "rf/papr_reduction.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ofdm::rf {
+namespace {
+
+/// Allocations performed by `fn` (counting scoped to the call).
+template <typename Fn>
+std::size_t count_allocs(Fn&& fn) {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  fn();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(ZeroAlloc, SteadyStateChainRunDoesNotAllocate) {
+  ToneSource source(1e6, 20e6, 0.7);
+  Chain chain;
+  chain.add<Gain>(-6.0);
+  chain.add<IqImbalance>(0.4, 2.0);
+  chain.add<DcOffset>(cplx{0.01, -0.02});
+  chain.add<PhaseNoise>(50.0, 20e6);
+  chain.add<RappPa>(2.0, 1.0);
+  chain.add<MultipathChannel>(exponential_pdp_taps(2.0, 8, 99));
+  chain.add<AwgnChannel>(1e-3);
+  chain.add<PowerMeter>();
+
+  // Warm-up: every reusable buffer reaches its final capacity.
+  run(source, chain, 4 * 4096);
+
+  cvec in;
+  cvec out;
+  source.pull(4096, in);  // warm the local buffers too
+  chain.process(in, out);
+  const std::size_t allocs = count_allocs([&] {
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      source.pull(4096, in);
+      chain.process(in, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.size(), 4096u);
+}
+
+TEST(ZeroAlloc, RateChangersReuseTheirBuffers) {
+  ToneSource source(1e6, 20e6, 0.5);
+  Chain chain;
+  chain.add<Dac>(10, 4);            // 4x interpolation
+  chain.add<FrequencyShift>(2e6, 80e6);
+  chain.add<DecimatorBlock>(4);     // back to the input rate
+
+  run(source, chain, 4 * 2048, 2048);
+
+  cvec in;
+  cvec out;
+  source.pull(2048, in);  // warm the local buffers too
+  chain.process(in, out);
+  const std::size_t allocs = count_allocs([&] {
+    for (int chunk = 0; chunk < 6; ++chunk) {
+      source.pull(2048, in);
+      chain.process(in, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.size(), 2048u);
+}
+
+TEST(ZeroAlloc, NetlistSteadyStateDoesNotAllocate) {
+  Netlist net;
+  const auto src_a = net.add_source<ToneSource>(1e6, 20e6, 0.5);
+  const auto src_b = net.add_source<ToneSource>(3e6, 20e6, 0.25);
+  const auto sum = net.add_block<Gain>(0.0);
+  const auto pa = net.add_block<SoftClipPa>(0.9);
+  const auto meter = net.add_block<PowerMeter>();
+  net.connect(src_a, sum);
+  net.connect(src_b, sum);   // summing fan-in
+  net.connect(sum, pa);
+  net.connect(pa, meter);
+
+  net.run(4 * 4096);  // warm-up (buffers live inside run(), so the
+                      // second run starts cold again -- measure the
+                      // tail of one longer run instead)
+
+  // Netlist::run owns its buffers per call; steady state means the tail
+  // of a long run allocates nothing beyond the first few chunks. Proxy:
+  // a fresh run of N chunks and a fresh run of 2N chunks must allocate
+  // the same amount.
+  net.reset();
+  const std::size_t short_run = count_allocs([&] { net.run(4 * 4096); });
+  net.reset();
+  const std::size_t long_run = count_allocs([&] { net.run(16 * 4096); });
+  EXPECT_EQ(short_run, long_run);
+}
+
+TEST(ZeroAlloc, EmptyChainPassesThroughWithOneAssign) {
+  Chain chain;
+  cvec in(1024, cplx{0.5, -0.5});
+  cvec out;
+  chain.process(in, out);  // warm-up: out reaches capacity
+  const std::size_t allocs = count_allocs([&] {
+    for (int i = 0; i < 4; ++i) chain.process(in, out);
+  });
+  EXPECT_EQ(allocs, 0u);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+}  // namespace
+}  // namespace ofdm::rf
