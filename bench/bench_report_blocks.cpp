@@ -1,0 +1,131 @@
+// Per-block throughput attribution over the whole standard family.
+//
+// For each of the ten standards this drives a Submodel source through a
+// representative RF impairment chain with probes attached, then emits
+// the obs::Report for the run: per-block throughput (Msps), share of
+// wall time, peak magnitude and clip counts. bench/regress.py --blocks
+// consumes the JSON to attribute an E5-level throughput regression to a
+// specific block instead of a whole benchmark.
+//
+// Usage:
+//   bench_report_blocks [--samples N] [--chunk N] [--out FILE] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/profiles.hpp"
+#include "obs/probe.hpp"
+#include "obs/report.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/fading.hpp"
+#include "rf/impairments.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
+
+namespace {
+
+using namespace ofdm;
+
+/// The reference impairment line-up used for attribution: one of each
+/// block family that shows up in the paper's RF system experiments.
+void build_chain(rf::Chain& chain) {
+  chain.add<rf::Gain>(-3.0);
+  chain.add<rf::IqImbalance>(0.3, 1.5);
+  chain.add<rf::PhaseNoise>(40.0, 20e6, 12345);
+  chain.add<rf::RappPa>(2.0, 1.0);
+  chain.add<rf::MultipathChannel>(rf::exponential_pdp_taps(2.0, 8, 77));
+  chain.add<rf::AwgnChannel>(1e-3, 99);
+  chain.add<rf::PowerMeter>();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 1u << 20;
+  std::size_t chunk = 4096;
+  std::string out_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") {
+      total = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--chunk") {
+      chunk = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "usage: bench_report_blocks [--samples N] [--chunk N]"
+                   " [--out FILE] [--quiet]\n";
+      return 2;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n \"samples_per_standard\": " << total << ",\n"
+       << " \"standards\": {\n";
+  bool first = true;
+  for (const core::Standard standard : core::kStandardFamily) {
+    rf::Submodel source(core::profile_for(standard));
+    rf::Chain chain;
+    build_chain(chain);
+
+    obs::ProbeSet probes;
+    chain.attach_probes(probes);
+    source.set_probe(&probes.add(source.name()));
+
+    // Warm-up pass so buffer growth does not pollute the timings, then
+    // the measured run.
+    rf::run(source, chain, 4 * chunk, chunk);
+    probes.reset();
+    const rf::RunStats stats = rf::run(source, chain, total, chunk);
+
+    const obs::Report report =
+        obs::Report::from(probes, stats.elapsed_seconds);
+    if (!quiet) {
+      std::cout << "=== " << core::standard_name(standard) << " ===\n"
+                << report.table() << "\n";
+    }
+    if (!first) json << ",\n";
+    json << "  \"" << json_escape(core::standard_name(standard))
+         << "\": " << report.to_json();
+    first = false;
+  }
+  json << "\n }\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    f << json.str();
+    if (!quiet) std::cout << "wrote " << out_path << "\n";
+  } else if (quiet) {
+    std::cout << json.str();
+  }
+  return 0;
+}

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""E5 throughput regression runner.
+"""E5 throughput regression runner with per-block attribution.
 
-Runs the per-standard generation benchmark (bench_e5_throughput) with
-Google Benchmark's JSON reporter and writes the result to BENCH_e5.json
-at the repo root. If a previous BENCH_e5.json exists, each benchmark is
-compared against it first and regressions beyond --tolerance are
-reported (exit code 1), so CI can gate on generation throughput.
+Default mode runs the per-standard generation benchmark
+(bench_e5_throughput) with Google Benchmark's JSON reporter and writes
+the result to BENCH_e5.json at the repo root. If a previous
+BENCH_e5.json exists, each benchmark is compared against it first and
+regressions beyond --tolerance are reported (exit code 1), so CI can
+gate on generation throughput.
+
+--blocks switches to the observability-layer attribution mode: it runs
+bench_report_blocks (a probed Submodel -> impairment-chain sweep over
+all ten standards) and compares each block's throughput against the
+BENCH_blocks.json baseline, so a regression is pinned to the exact
+block (e.g. "multipath in DVB-T") instead of a whole benchmark.
 
 Usage:
     python3 bench/regress.py [--build-dir build] [--tolerance 0.15]
                              [--min-time 1] [--check-only]
+    python3 bench/regress.py --blocks [--tolerance 0.35] [--check-only]
 """
 
 import argparse
@@ -20,6 +28,7 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
+BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
 
 
 def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
@@ -72,6 +81,58 @@ def compare(old: dict, new: dict, tolerance: float) -> bool:
     return ok
 
 
+def run_blocks(build_dir: pathlib.Path, samples: int) -> dict:
+    exe = build_dir / "bench" / "bench_report_blocks"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found -- build the repo first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    out = build_dir / "bench_blocks_tmp.json"
+    subprocess.run(
+        [str(exe), "--samples", str(samples), "--out", str(out), "--quiet"],
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    with open(out) as f:
+        return json.load(f)
+
+
+def compare_blocks(old: dict, new: dict, tolerance: float) -> bool:
+    """Per-block throughput ratios across all standards; True if clean.
+
+    Only blocks that carried a meaningful share of the baseline run's
+    wall time gate the result: a block at <5% wall share finishes in
+    well under a millisecond here, its timing is scheduler noise, and a
+    regression that small cannot explain an end-to-end slowdown anyway.
+    """
+    min_wall_fraction = 0.05
+    ok = True
+    old_standards = old.get("standards", {})
+    print(f"\n{'standard':<22s} {'block':<22s} {'old Msps':>10s} "
+          f"{'new Msps':>10s} {'ratio':>7s}")
+    for standard, report in new.get("standards", {}).items():
+        old_rows = {r["name"]: r
+                    for r in old_standards.get(standard, {}).get("blocks", [])}
+        for row in report.get("blocks", []):
+            new_msps = row.get("throughput_msps", 0.0)
+            prev = old_rows.get(row["name"])
+            if prev is None or not new_msps:
+                print(f"{standard:<22s} {row['name']:<22s} {'-':>10s} "
+                      f"{new_msps:10.2f} {'new':>7s}")
+                continue
+            old_msps = prev.get("throughput_msps", 0.0)
+            ratio = new_msps / old_msps if old_msps else float("inf")
+            flag = ""
+            if ratio < 1.0 - tolerance:
+                if prev.get("wall_fraction", 0.0) >= min_wall_fraction:
+                    flag = "  <-- REGRESSION"
+                    ok = False
+                else:
+                    flag = "  (noise: <5% wall share, not gated)"
+            print(f"{standard:<22s} {row['name']:<22s} {old_msps:10.2f} "
+                  f"{new_msps:10.2f} {ratio:6.2f}x{flag}")
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -82,21 +143,39 @@ def main() -> int:
     ap.add_argument("--min-time", type=float, default=1.0,
                     help="--benchmark_min_time per benchmark in seconds")
     ap.add_argument("--check-only", action="store_true",
-                    help="compare against BENCH_e5.json without updating it")
+                    help="compare against the baseline without updating it")
+    ap.add_argument("--blocks", action="store_true",
+                    help="per-block attribution mode: run "
+                         "bench_report_blocks and compare each block's "
+                         "throughput against BENCH_blocks.json")
+    ap.add_argument("--samples", type=int, default=1 << 20,
+                    help="samples per standard in --blocks mode "
+                         "(default: 1048576)")
     args = ap.parse_args()
 
-    report = run_bench(REPO_ROOT / args.build_dir, args.min_time)
+    if args.blocks:
+        report = run_blocks(REPO_ROOT / args.build_dir, args.samples)
+        baseline_file = BLOCKS_FILE
+        compare_fn = compare_blocks
+        # Single-run per-block timings are noisier than Google
+        # Benchmark's min-time loop; widen the default gate.
+        tolerance = max(args.tolerance, 0.35)
+    else:
+        report = run_bench(REPO_ROOT / args.build_dir, args.min_time)
+        baseline_file = RESULT_FILE
+        compare_fn = compare
+        tolerance = args.tolerance
 
     ok = True
-    if RESULT_FILE.exists():
-        with open(RESULT_FILE) as f:
+    if baseline_file.exists():
+        with open(baseline_file) as f:
             baseline = json.load(f)
-        ok = compare(baseline, report, args.tolerance)
+        ok = compare_fn(baseline, report, tolerance)
     if not args.check_only:
-        with open(RESULT_FILE, "w") as f:
+        with open(baseline_file, "w") as f:
             json.dump(report, f, indent=1)
             f.write("\n")
-        print(f"\nwrote {RESULT_FILE.relative_to(REPO_ROOT)}")
+        print(f"\nwrote {baseline_file.relative_to(REPO_ROOT)}")
     if not ok:
         print("throughput regression detected", file=sys.stderr)
         return 1

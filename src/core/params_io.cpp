@@ -9,6 +9,59 @@ namespace ofdm::core {
 
 namespace {
 
+// Numeric conversion wrappers: the std::sto* family reports problems as
+// std::invalid_argument / std::out_of_range, which would leak out of
+// from_text() as generic exceptions. A parameter deck is user input, so
+// every malformed value must surface as a ConfigError naming the field.
+
+std::uint64_t parse_u64(const std::string& field, const std::string& s) {
+  try {
+    OFDM_REQUIRE(s.find('-') == std::string::npos,
+                 "params_io: " + field + " must be non-negative, got '" +
+                     s + "'");
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos, 0);
+    OFDM_REQUIRE(pos == s.size(), "params_io: trailing junk in " + field +
+                                      ": '" + s + "'");
+    return static_cast<std::uint64_t>(v);
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("params_io: bad integer for " + field + ": '" + s +
+                      "'");
+  }
+}
+
+int parse_int(const std::string& field, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    OFDM_REQUIRE(pos == s.size(), "params_io: trailing junk in " + field +
+                                      ": '" + s + "'");
+    return v;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("params_io: bad integer for " + field + ": '" + s +
+                      "'");
+  }
+}
+
+double parse_double(const std::string& field, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    OFDM_REQUIRE(pos == s.size(), "params_io: trailing junk in " + field +
+                                      ": '" + s + "'");
+    return v;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("params_io: bad number for " + field + ": '" + s +
+                      "'");
+  }
+}
+
 char tone_code(ToneType t) {
   switch (t) {
     case ToneType::kNull: return 'n';
@@ -52,7 +105,7 @@ std::vector<ToneType> decode_tone_map(const std::string& text) {
   while (std::getline(is, item, ',')) {
     OFDM_REQUIRE(item.size() >= 2, "params_io: malformed tone_map run");
     const ToneType t = tone_from_code(item[0]);
-    const unsigned long run = std::stoul(item.substr(1));
+    const std::uint64_t run = parse_u64("tone_map", item.substr(1));
     map.insert(map.end(), run, t);
   }
   return map;
@@ -82,8 +135,8 @@ mapping::BitTable decode_bit_table(const std::string& text) {
     const std::size_t x = item.find('x');
     OFDM_REQUIRE(x != std::string::npos,
                  "params_io: malformed bit_table run");
-    const unsigned long load = std::stoul(item.substr(0, x));
-    const unsigned long run = std::stoul(item.substr(x + 1));
+    const std::uint64_t load = parse_u64("bit_table", item.substr(0, x));
+    const std::uint64_t run = parse_u64("bit_table", item.substr(x + 1));
     table.insert(table.end(), run, static_cast<std::uint8_t>(load));
   }
   return table;
@@ -108,8 +161,8 @@ cvec decode_cvec(const std::string& text) {
     const std::size_t colon = item.find(':');
     OFDM_REQUIRE(colon != std::string::npos,
                  "params_io: malformed complex value");
-    v.emplace_back(std::stod(item.substr(0, colon)),
-                   std::stod(item.substr(colon + 1)));
+    v.emplace_back(parse_double("pilots.base_values", item.substr(0, colon)),
+                   parse_double("pilots.base_values", item.substr(colon + 1)));
   }
   return v;
 }
@@ -153,8 +206,8 @@ std::vector<std::uint32_t> decode_generators(const std::string& text) {
   std::istringstream is(text);
   std::string item;
   while (std::getline(is, item, ',')) {
-    gens.push_back(
-        static_cast<std::uint32_t>(std::stoul(item, nullptr, 0)));
+    gens.push_back(static_cast<std::uint32_t>(
+        parse_u64("fec.conv.generators", item)));
   }
   return gens;
 }
@@ -231,6 +284,7 @@ OfdmParams from_text(const std::string& text) {
     const std::size_t eq = line.find('=');
     OFDM_REQUIRE(eq != std::string::npos,
                  "params_io: expected key=value, got: " + line);
+    OFDM_REQUIRE(eq > 0, "params_io: empty key in line: " + line);
     kv[line.substr(0, eq)] = line.substr(eq + 1);
   }
 
@@ -242,53 +296,58 @@ OfdmParams from_text(const std::string& text) {
     kv.erase(it);
     return v;
   };
-  auto to_u64 = [](const std::string& s) {
-    return static_cast<std::uint64_t>(std::stoull(s, nullptr, 0));
+  auto take_u64 = [&](const std::string& key) {
+    return parse_u64(key, take(key));
+  };
+  auto take_int = [&](const std::string& key) {
+    return parse_int(key, take(key));
+  };
+  auto take_double = [&](const std::string& key) {
+    return parse_double(key, take(key));
   };
 
-  p.standard = static_cast<Standard>(std::stoi(take("standard")));
+  p.standard = static_cast<Standard>(take_int("standard"));
   p.variant = take("variant");
-  p.sample_rate = std::stod(take("sample_rate"));
-  p.fft_size = to_u64(take("fft_size"));
-  p.cp_len = to_u64(take("cp_len"));
-  p.window_ramp = to_u64(take("window_ramp"));
-  p.hermitian = to_u64(take("hermitian")) != 0;
+  p.sample_rate = take_double("sample_rate");
+  p.fft_size = take_u64("fft_size");
+  p.cp_len = take_u64("cp_len");
+  p.window_ramp = take_u64("window_ramp");
+  p.hermitian = take_u64("hermitian") != 0;
   p.tone_map = decode_tone_map(take("tone_map"));
-  p.mapping = static_cast<MappingKind>(std::stoi(take("mapping")));
-  p.scheme = static_cast<mapping::Scheme>(std::stoi(take("scheme")));
-  p.diff_kind =
-      static_cast<mapping::DiffKind>(std::stoi(take("diff_kind")));
+  p.mapping = static_cast<MappingKind>(take_int("mapping"));
+  p.scheme = static_cast<mapping::Scheme>(take_int("scheme"));
+  p.diff_kind = static_cast<mapping::DiffKind>(take_int("diff_kind"));
   p.bit_table = decode_bit_table(take("bit_table"));
-  p.scrambler.enabled = to_u64(take("scrambler.enabled")) != 0;
+  p.scrambler.enabled = take_u64("scrambler.enabled") != 0;
   p.scrambler.degree =
-      static_cast<unsigned>(to_u64(take("scrambler.degree")));
-  p.scrambler.taps = to_u64(take("scrambler.taps"));
-  p.scrambler.seed = to_u64(take("scrambler.seed"));
-  p.fec.rs_enabled = to_u64(take("fec.rs_enabled")) != 0;
-  p.fec.rs_n = to_u64(take("fec.rs_n"));
-  p.fec.rs_k = to_u64(take("fec.rs_k"));
-  p.fec.conv_enabled = to_u64(take("fec.conv_enabled")) != 0;
+      static_cast<unsigned>(take_u64("scrambler.degree"));
+  p.scrambler.taps = take_u64("scrambler.taps");
+  p.scrambler.seed = take_u64("scrambler.seed");
+  p.fec.rs_enabled = take_u64("fec.rs_enabled") != 0;
+  p.fec.rs_n = take_u64("fec.rs_n");
+  p.fec.rs_k = take_u64("fec.rs_k");
+  p.fec.conv_enabled = take_u64("fec.conv_enabled") != 0;
   p.fec.conv.constraint_length =
-      static_cast<unsigned>(to_u64(take("fec.conv.k")));
+      static_cast<unsigned>(take_u64("fec.conv.k"));
   p.fec.conv.generators = decode_generators(take("fec.conv.generators"));
   p.fec.puncture = decode_puncture(take("fec.puncture"));
   p.interleaver.kind =
-      static_cast<InterleaverKind>(std::stoi(take("interleaver.kind")));
-  p.interleaver.rows = to_u64(take("interleaver.rows"));
-  p.interleaver.seed = to_u64(take("interleaver.seed"));
+      static_cast<InterleaverKind>(take_int("interleaver.kind"));
+  p.interleaver.rows = take_u64("interleaver.rows");
+  p.interleaver.seed = take_u64("interleaver.seed");
   p.pilots.base_values = decode_cvec(take("pilots.base_values"));
-  p.pilots.polarity_prbs = to_u64(take("pilots.polarity_prbs")) != 0;
+  p.pilots.polarity_prbs = take_u64("pilots.polarity_prbs") != 0;
   p.pilots.prbs_degree =
-      static_cast<unsigned>(to_u64(take("pilots.prbs_degree")));
-  p.pilots.prbs_taps = to_u64(take("pilots.prbs_taps"));
-  p.pilots.prbs_seed = to_u64(take("pilots.prbs_seed"));
-  p.pilots.boost = std::stod(take("pilots.boost"));
-  p.frame.symbols_per_frame = to_u64(take("frame.symbols_per_frame"));
+      static_cast<unsigned>(take_u64("pilots.prbs_degree"));
+  p.pilots.prbs_taps = take_u64("pilots.prbs_taps");
+  p.pilots.prbs_seed = take_u64("pilots.prbs_seed");
+  p.pilots.boost = take_double("pilots.boost");
+  p.frame.symbols_per_frame = take_u64("frame.symbols_per_frame");
   p.frame.preamble =
-      static_cast<PreambleKind>(std::stoi(take("frame.preamble")));
-  p.frame.null_samples = to_u64(take("frame.null_samples"));
-  p.frame.phase_ref_seed = to_u64(take("frame.phase_ref_seed"));
-  p.nominal_rf_hz = std::stod(take("nominal_rf_hz"));
+      static_cast<PreambleKind>(take_int("frame.preamble"));
+  p.frame.null_samples = take_u64("frame.null_samples");
+  p.frame.phase_ref_seed = take_u64("frame.phase_ref_seed");
+  p.nominal_rf_hz = take_double("nominal_rf_hz");
 
   OFDM_REQUIRE(kv.empty(),
                "params_io: unknown key " +

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "core/modulator.hpp"
 #include "dsp/fft.hpp"
+#include "obs/trace.hpp"
 
 namespace ofdm::core {
 
@@ -86,6 +87,9 @@ SymbolPipeline::~SymbolPipeline() {
 }
 
 void SymbolPipeline::work(std::vector<Symbol>& symbols, Workspace& ws) {
+  // One span per worker per batch: the fan-out/joint structure of the
+  // pipeline shows up directly in the Chrome trace.
+  obs::ScopedSpan span("SymbolPipeline::work");
   Impl& s = *impl_;
   const std::size_t count = symbols.size();
   for (;;) {

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "core/preamble.hpp"
 #include "core/symbol_pipeline.hpp"
+#include "obs/trace.hpp"
 
 namespace ofdm::core {
 
@@ -236,6 +237,7 @@ cvec Transmitter::preamble_samples() const {
 Transmitter::Burst Transmitter::modulate(
     std::span<const std::uint8_t> payload_bits) {
   OFDM_REQUIRE(state_, kUnconfigured);
+  obs::ScopedSpan span("Transmitter::modulate");
   State& s = *state_;
   const OfdmParams& p = s.params;
 

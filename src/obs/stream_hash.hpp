@@ -1,0 +1,72 @@
+// 64-bit rolling stream hash over complex baseband samples — the cheap
+// bit-exactness oracle behind the golden-trace regression suite.
+//
+// The mixer is the xxhash/murmur finalizer family: every incoming double
+// is taken by bit pattern (so +0.0 and -0.0 hash differently, which is
+// exactly the discrimination a bit-exactness oracle wants), avalanched,
+// and folded into the running state together with a position counter so
+// permuted streams do not collide. Updates are allocation-free and
+// branch-free per sample; hashing a chunk is one pass over the data.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::obs {
+
+class StreamHash {
+ public:
+  /// xxhash-style 64-bit avalanche mixer (splitmix64 finalizer).
+  static constexpr std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  void update(double v) {
+    const std::uint64_t k = std::bit_cast<std::uint64_t>(v);
+    state_ = mix(state_ ^ mix(k + kGolden * ++count_));
+  }
+
+  void update(cplx v) {
+    update(v.real());
+    update(v.imag());
+  }
+
+  void update(std::span<const cplx> samples) {
+    for (const cplx& s : samples) update(s);
+  }
+
+  /// Digest of everything fed so far (length-dependent; the empty stream
+  /// has its own stable digest).
+  std::uint64_t digest() const { return mix(state_ ^ count_); }
+
+  /// Total doubles consumed (two per complex sample).
+  std::uint64_t count() const { return count_; }
+
+  void reset() {
+    state_ = kSeed;
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+  static constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t state_ = kSeed;
+  std::uint64_t count_ = 0;
+};
+
+/// One-shot convenience: digest of a sample run.
+inline std::uint64_t hash_samples(std::span<const cplx> samples) {
+  StreamHash h;
+  h.update(samples);
+  return h.digest();
+}
+
+}  // namespace ofdm::obs

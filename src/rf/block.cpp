@@ -1,5 +1,7 @@
 #include "rf/block.hpp"
 
+#include "obs/trace.hpp"
+
 namespace ofdm::rf {
 
 // Default shims: each overload funnels into the other, so a subclass
@@ -21,6 +23,38 @@ cvec Source::pull(std::size_t n) {
   cvec out;
   pull(n, out);
   return out;
+}
+
+void Block::process_observed(std::span<const cplx> in, cvec& out) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = tracer.enabled();
+  if (probe_ == nullptr && !tracing) {
+    process(in, out);
+    return;
+  }
+  // The label is cached on first observed use (one allocation, outside
+  // the steady state) so span names stay valid for the trace's lifetime.
+  if (tracing && trace_label_.empty()) trace_label_ = name();
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  process(in, out);
+  const std::uint64_t dt = obs::Tracer::now_ns() - t0;
+  if (probe_ != nullptr) probe_->record(in, out, dt);
+  if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
+}
+
+void Source::pull_observed(std::size_t n, cvec& out) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = tracer.enabled();
+  if (probe_ == nullptr && !tracing) {
+    pull(n, out);
+    return;
+  }
+  if (tracing && trace_label_.empty()) trace_label_ = name();
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  pull(n, out);
+  const std::uint64_t dt = obs::Tracer::now_ns() - t0;
+  if (probe_ != nullptr) probe_->record({}, out, dt);
+  if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
 }
 
 }  // namespace ofdm::rf

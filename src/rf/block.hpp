@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/probe.hpp"
 
 namespace ofdm::rf {
 
@@ -44,6 +45,23 @@ class Block {
 
   /// Display name for simulation reports.
   virtual std::string name() const = 0;
+
+  /// Attach (nullptr detaches) an observability probe. The probe — and
+  /// the obs::ProbeSet that owns it — must outlive the block, or be
+  /// detached first. Chain/Netlist::attach_probes() wires whole graphs.
+  void set_probe(obs::BlockProbe* probe) { probe_ = probe; }
+  obs::BlockProbe* probe() const { return probe_; }
+
+  /// Instrumented entry point used by Chain/Netlist and other drivers:
+  /// forwards to process(), and when a probe is attached or the global
+  /// tracer is enabled, also times the call and updates the counters /
+  /// emits a trace span. With neither, the extra cost is two predictable
+  /// branches — the datapath stays allocation-free either way.
+  void process_observed(std::span<const cplx> in, cvec& out);
+
+ private:
+  obs::BlockProbe* probe_ = nullptr;
+  std::string trace_label_;  // cached name() for stable span naming
 };
 
 /// A signal source: produces samples on demand (the paper's "signal
@@ -61,6 +79,18 @@ class Source {
 
   virtual void reset() {}
   virtual std::string name() const = 0;
+
+  /// As Block::set_probe: samples_in stays 0 (a source consumes sample
+  /// requests, not a stream).
+  void set_probe(obs::BlockProbe* probe) { probe_ = probe; }
+  obs::BlockProbe* probe() const { return probe_; }
+
+  /// Instrumented pull; see Block::process_observed.
+  void pull_observed(std::size_t n, cvec& out);
+
+ private:
+  obs::BlockProbe* probe_ = nullptr;
+  std::string trace_label_;
 };
 
 }  // namespace ofdm::rf

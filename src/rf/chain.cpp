@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/error.hpp"
+
 namespace ofdm::rf {
 
 void Chain::process(std::span<const cplx> in, cvec& out) {
@@ -16,9 +18,9 @@ void Chain::process(std::span<const cplx> in, cvec& out) {
   // the last block writes into `out`.
   cvec* bufs[2] = {&out, &scratch_};
   std::size_t cur = blocks_.size() % 2 == 1 ? 0 : 1;
-  blocks_.front()->process(in, *bufs[cur]);
+  blocks_.front()->process_observed(in, *bufs[cur]);
   for (std::size_t i = 1; i < blocks_.size(); ++i) {
-    blocks_[i]->process(*bufs[cur], *bufs[cur ^ 1]);
+    blocks_[i]->process_observed(*bufs[cur], *bufs[cur ^ 1]);
     cur ^= 1;
   }
 }
@@ -27,9 +29,27 @@ void Chain::reset() {
   for (auto& block : blocks_) block->reset();
 }
 
+Block& Chain::add_ptr(std::unique_ptr<Block> block) {
+  OFDM_REQUIRE(block != nullptr, "Chain: null block");
+  blocks_.push_back(std::move(block));
+  return *blocks_.back();
+}
+
+void Chain::attach_probes(obs::ProbeSet& probes) {
+  for (auto& block : blocks_) {
+    block->set_probe(&probes.add(block->name()));
+  }
+}
+
+void Chain::detach_probes() {
+  for (auto& block : blocks_) block->set_probe(nullptr);
+}
+
 RunStats run(Source& source, Chain& chain, std::size_t total,
              std::size_t chunk) {
   using clock = std::chrono::steady_clock;
+  OFDM_REQUIRE(chunk > 0 || total == 0,
+               "rf::run: chunk size must be positive");
   RunStats stats;
   const auto t0 = clock::now();
   cvec in;
@@ -38,7 +58,7 @@ RunStats run(Source& source, Chain& chain, std::size_t total,
   while (produced < total) {
     const std::size_t n = std::min(chunk, total - produced);
     const auto s0 = clock::now();
-    source.pull(n, in);
+    source.pull_observed(n, in);
     stats.source_seconds +=
         std::chrono::duration<double>(clock::now() - s0).count();
     chain.process(in, out);

@@ -28,12 +28,23 @@ class Chain : public Block {
     return ref;
   }
 
+  /// Append an already-constructed block (e.g. from a factory).
+  Block& add_ptr(std::unique_ptr<Block> block);
+
   using Block::process;
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "chain"; }
 
   std::size_t size() const { return blocks_.size(); }
+
+  /// Register one probe per contained block (named after block->name(),
+  /// duplicates suffixed #k) and attach them. The set must outlive the
+  /// chain or detach_probes() must run first.
+  void attach_probes(obs::ProbeSet& probes);
+
+  /// Detach every contained block's probe.
+  void detach_probes();
 
  private:
   std::vector<std::unique_ptr<Block>> blocks_;

@@ -68,6 +68,8 @@ std::vector<std::size_t> Netlist::topo_order() const {
 
 RunStats Netlist::run(std::size_t total, std::size_t chunk) {
   using clock = std::chrono::steady_clock;
+  OFDM_REQUIRE(chunk > 0 || total == 0,
+               "Netlist::run: chunk size must be positive");
   const std::vector<std::size_t> order = topo_order();
 
   RunStats stats;
@@ -83,7 +85,7 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
       Node& node = nodes_[id];
       if (node.is_source()) {
         const auto s0 = clock::now();
-        node.source->pull(n, values[id]);
+        node.source->pull_observed(n, values[id]);
         stats.source_seconds +=
             std::chrono::duration<double>(clock::now() - s0).count();
         stats.samples_in += values[id].size();
@@ -92,7 +94,8 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
       if (node.inputs.size() == 1) {
         // Single input: feed the upstream buffer straight through
         // (distinct from values[id]; self-loops are rejected).
-        node.block->process(values[node.inputs.front()], values[id]);
+        node.block->process_observed(values[node.inputs.front()],
+                                     values[id]);
       } else {
         // Summing fan-in.
         const cvec& first = values[node.inputs.front()];
@@ -106,7 +109,7 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
             fanin[k] += other[k];
           }
         }
-        node.block->process(fanin, values[id]);
+        node.block->process_observed(fanin, values[id]);
       }
     }
     // Count samples leaving leaf nodes (no consumers).
@@ -124,6 +127,23 @@ void Netlist::reset() {
   for (Node& node : nodes_) {
     if (node.source) node.source->reset();
     if (node.block) node.block->reset();
+  }
+}
+
+void Netlist::attach_probes(obs::ProbeSet& probes) {
+  for (Node& node : nodes_) {
+    if (node.source) {
+      node.source->set_probe(&probes.add(node.source->name()));
+    } else {
+      node.block->set_probe(&probes.add(node.block->name()));
+    }
+  }
+}
+
+void Netlist::detach_probes() {
+  for (Node& node : nodes_) {
+    if (node.source) node.source->set_probe(nullptr);
+    if (node.block) node.block->set_probe(nullptr);
   }
 }
 

@@ -55,6 +55,14 @@ class Netlist {
   /// Reset every node's streaming state.
   void reset();
 
+  /// Register and attach one probe per node (sources included), in node
+  /// insertion order. The set must outlive the netlist or
+  /// detach_probes() must run first.
+  void attach_probes(obs::ProbeSet& probes);
+
+  /// Detach every node's probe.
+  void detach_probes();
+
   std::size_t node_count() const { return nodes_.size(); }
 
  private:

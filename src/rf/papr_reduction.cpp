@@ -30,6 +30,7 @@ void ClipAndFilter::process(std::span<const cplx> in, cvec& out) {
   // burst so the filters' group delay can be compensated exactly
   // (the output stays time-aligned with the input).
   if (out.data() != in.data()) out.assign(in.begin(), in.end());
+  if (out.empty()) return;  // mean_power of nothing is NaN, not a level
   const double avg = mean_power(out);
   if (avg <= 0.0) return;
   const double level = clip_level_for(avg);

@@ -1,0 +1,136 @@
+// Shared test helper: draw a random-but-valid OfdmParams from the full
+// reconfiguration space (geometry, tone plan, mapping kind, FEC,
+// interleaving, windowing, framing). Used by the property round-trip
+// suite and the params_io serialization fuzz — one generator, so both
+// suites explore the same space.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "core/tone_map.hpp"
+
+namespace ofdm::test {
+
+inline core::OfdmParams random_params(Rng& rng) {
+  using core::OfdmParams;
+  OfdmParams p;
+  p.standard = core::Standard::kWlan80211a;  // tag only
+  p.variant = "randomized";
+
+  const std::size_t fft_choices[] = {32, 64, 128, 256, 448, 512, 704};
+  p.fft_size = fft_choices[rng.uniform_int(7)];
+  p.cp_len = 1 + rng.uniform_int(p.fft_size / 4);
+  p.sample_rate = 1e6 * (1.0 + static_cast<double>(rng.uniform_int(40)));
+  p.window_ramp = rng.uniform_int(std::min<std::size_t>(p.cp_len, 8) + 1);
+
+  p.hermitian = rng.uniform() < 0.25;
+
+  // Tone plan: a contiguous band with a few pilots sprinkled in.
+  p.tone_map = core::null_tone_map(p.fft_size);
+  std::size_t n_pilots = 0;
+  if (p.hermitian) {
+    const long max_tone = static_cast<long>(p.fft_size / 2) - 1;
+    const long hi =
+        2 + static_cast<long>(rng.uniform_int(
+                static_cast<std::uint64_t>(max_tone - 2)));
+    for (long k = 1; k <= hi; ++k) {
+      core::set_tone(p.tone_map, k, core::ToneType::kData);
+    }
+    if (hi >= 4 && rng.uniform() < 0.5) {
+      core::set_tone(p.tone_map, hi / 2, core::ToneType::kPilot);
+      n_pilots = 1;
+    }
+  } else {
+    const long half_max = static_cast<long>(p.fft_size / 2) - 1;
+    const long half =
+        2 + static_cast<long>(rng.uniform_int(
+                static_cast<std::uint64_t>(half_max - 2)));
+    core::fill_data_range(p.tone_map, -half, half);
+    if (rng.uniform() < 0.5) {
+      core::set_tone(p.tone_map, half / 2, core::ToneType::kPilot);
+      core::set_tone(p.tone_map, -half / 2, core::ToneType::kPilot);
+      n_pilots = 2;
+    }
+  }
+  p.pilots.base_values.assign(n_pilots, cplx{1.0, 0.0});
+  if (n_pilots > 0 && rng.uniform() < 0.5) {
+    p.pilots.polarity_prbs = true;
+    p.pilots.prbs_degree = 7;
+    p.pilots.prbs_taps = (1u << 6) | (1u << 3);
+    p.pilots.prbs_seed = 0x7F;
+  }
+
+  // Mapping kind. Hermitian + differential is legal (HomePlug-style);
+  // bit tables need one entry per data tone.
+  const core::ToneLayout layout = core::make_tone_layout(p);
+  const double mapping_draw = rng.uniform();
+  if (mapping_draw < 0.5) {
+    p.mapping = core::MappingKind::kFixed;
+    const mapping::Scheme schemes[] = {
+        mapping::Scheme::kBpsk, mapping::Scheme::kQpsk,
+        mapping::Scheme::kQam16, mapping::Scheme::kQam64};
+    p.scheme = schemes[rng.uniform_int(4)];
+  } else if (mapping_draw < 0.75) {
+    p.mapping = core::MappingKind::kDifferential;
+    p.diff_kind = rng.bit() ? mapping::DiffKind::kDqpsk
+                            : mapping::DiffKind::kPi4Dqpsk;
+    p.frame.preamble = core::PreambleKind::kPhaseReference;
+    p.frame.phase_ref_seed = rng.next_u64() | 1u;
+  } else {
+    p.mapping = core::MappingKind::kBitTable;
+    p.bit_table.resize(layout.data_bins.size());
+    for (auto& b : p.bit_table) {
+      b = static_cast<std::uint8_t>(2 + rng.uniform_int(10));
+    }
+  }
+
+  // Scrambler.
+  if (rng.uniform() < 0.7) {
+    p.scrambler.enabled = true;
+    p.scrambler.degree = 7 + static_cast<unsigned>(rng.uniform_int(9));
+    p.scrambler.taps = (std::uint64_t{1} << (p.scrambler.degree - 1)) |
+                       (std::uint64_t{1} << (p.scrambler.degree / 2));
+    p.scrambler.seed =
+        (rng.next_u64() & ((std::uint64_t{1} << p.scrambler.degree) - 1)) |
+        1u;
+  }
+
+  // FEC (inner conv; RS occasionally on top).
+  if (rng.uniform() < 0.5) {
+    p.fec.conv_enabled = true;
+    p.fec.conv = coding::k7_industry_code();
+    const double r = rng.uniform();
+    p.fec.puncture = r < 0.33   ? coding::puncture_none()
+                     : r < 0.66 ? coding::puncture_2_3()
+                                : coding::puncture_3_4();
+    if (rng.uniform() < 0.3) {
+      p.fec.rs_enabled = true;
+      p.fec.rs_n = 64;
+      p.fec.rs_k = 48;
+    }
+  }
+
+  // Interleaving that divides the coded bits per symbol.
+  const std::size_t cbps = core::coded_bits_per_symbol(p);
+  const double il = rng.uniform();
+  if (il < 0.3) {
+    for (std::size_t rows : {8, 4, 3, 2}) {
+      if (cbps % rows == 0) {
+        p.interleaver.kind = core::InterleaverKind::kBlock;
+        p.interleaver.rows = rows;
+        break;
+      }
+    }
+  } else if (il < 0.5) {
+    p.interleaver.kind = core::InterleaverKind::kCell;
+    p.interleaver.seed = rng.next_u64() | 1u;
+  }
+
+  p.frame.symbols_per_frame = 2 + rng.uniform_int(6);
+  if (rng.uniform() < 0.2) p.frame.null_samples = rng.uniform_int(200);
+  return p;
+}
+
+}  // namespace ofdm::test

@@ -1,6 +1,7 @@
 // Parameter-deck serialization tests: every family member round-trips
 // through the text format exactly, edited decks parse, malformed decks
-// are rejected with diagnostics.
+// are rejected with diagnostics, and a fixed-seed fuzz sweep drives
+// parse -> serialize -> parse over the whole random configuration space.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -8,6 +9,7 @@
 #include "core/params_io.hpp"
 #include "core/profiles.hpp"
 #include "core/transmitter.hpp"
+#include "random_params.hpp"
 #include "rx/receiver.hpp"
 
 namespace ofdm::core {
@@ -93,6 +95,61 @@ TEST(ParamsIo, DeckIsHumanReadable) {
             std::string::npos);
   EXPECT_NE(deck.find("fft_size=1024"), std::string::npos);
   EXPECT_NE(deck.find("sample_rate=48000"), std::string::npos);
+}
+
+// --- Fixed-seed fuzz: the whole random configuration space must
+// round-trip parse -> serialize -> parse with the second serialization a
+// fixed point (byte-identical deck).
+
+class DeckFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeckFuzz, RandomConfigRoundTripsToAFixedPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  const OfdmParams original = ofdm::test::random_params(rng);
+  const std::string deck = to_text(original);
+  OfdmParams back;
+  ASSERT_NO_THROW(back = from_text(deck)) << deck;
+  EXPECT_EQ(parameter_distance(original, back), 0u) << deck;
+  EXPECT_EQ(back.tone_map, original.tone_map);
+  EXPECT_EQ(back.bit_table, original.bit_table);
+  // Serialize the reparsed set: byte-identical (canonical form).
+  EXPECT_EQ(to_text(back), deck);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeckFuzz, ::testing::Range(0, 30));
+
+// --- Malformed decks must be rejected with ConfigError diagnostics, not
+// accepted, crash, or hang.
+
+class MalformedDeck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedDeck, MutatedLineIsRejected) {
+  std::string deck = to_text(profile_wlan_80211a());
+  deck += GetParam();
+  deck += "\n";
+  EXPECT_THROW(from_text(deck), ConfigError) << "appended: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, MalformedDeck,
+    ::testing::Values("fft_size=banana",       // non-numeric value
+                      "fft_size=",             // truncated value
+                      "fft_size",              // missing '='
+                      "fft_size=-64",          // negative size
+                      "fft_size=0",            // degenerate size
+                      "cp_len=999999999999999999999999",  // overflow
+                      "sample_rate=nan",       // non-finite rate
+                      "=42",                   // empty key
+                      "mystery_knob=1"));      // unknown key
+
+TEST(ParamsIo, GarbageBytesAreRejected) {
+  EXPECT_THROW(from_text("\x01\x02\xff not a deck"), ConfigError);
+  EXPECT_THROW(from_text("fft_size=64"), ConfigError);  // lone key
+}
+
+TEST(ParamsIo, EmptyAndCommentOnlyDecksAreRejected) {
+  EXPECT_THROW(from_text(""), ConfigError);
+  EXPECT_THROW(from_text("# nothing but comments\n\n"), ConfigError);
 }
 
 }  // namespace

@@ -4,139 +4,36 @@
 // tone plan, mapping kind, FEC, interleaving, windowing, framing),
 // validates it, and requires a lossless loopback — the generalization
 // of experiment E6 from ten points to the whole design space.
+//
+// A second property hardens the observability layer: for *any* randomly
+// assembled RF chain, the attached probe counters must be mutually
+// consistent — what block k emits is exactly what block k+1 consumes,
+// chunk after chunk, rate changers included.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "core/profiles.hpp"
 #include "core/tone_map.hpp"
 #include "core/transmitter.hpp"
+#include "random_params.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/fading.hpp"
+#include "rf/frontend.hpp"
+#include "rf/impairments.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
 #include "rx/receiver.hpp"
 
 namespace ofdm {
 namespace {
 
 using core::OfdmParams;
-
-OfdmParams random_params(Rng& rng) {
-  OfdmParams p;
-  p.standard = core::Standard::kWlan80211a;  // tag only
-  p.variant = "randomized";
-
-  const std::size_t fft_choices[] = {32, 64, 128, 256, 448, 512, 704};
-  p.fft_size = fft_choices[rng.uniform_int(7)];
-  p.cp_len = 1 + rng.uniform_int(p.fft_size / 4);
-  p.sample_rate = 1e6 * (1.0 + static_cast<double>(rng.uniform_int(40)));
-  p.window_ramp = rng.uniform_int(std::min<std::size_t>(p.cp_len, 8) + 1);
-
-  p.hermitian = rng.uniform() < 0.25;
-
-  // Tone plan: a contiguous band with a few pilots sprinkled in.
-  p.tone_map = core::null_tone_map(p.fft_size);
-  std::size_t n_pilots = 0;
-  if (p.hermitian) {
-    const long max_tone = static_cast<long>(p.fft_size / 2) - 1;
-    const long hi =
-        2 + static_cast<long>(rng.uniform_int(
-                static_cast<std::uint64_t>(max_tone - 2)));
-    for (long k = 1; k <= hi; ++k) {
-      core::set_tone(p.tone_map, k, core::ToneType::kData);
-    }
-    if (hi >= 4 && rng.uniform() < 0.5) {
-      core::set_tone(p.tone_map, hi / 2, core::ToneType::kPilot);
-      n_pilots = 1;
-    }
-  } else {
-    const long half_max = static_cast<long>(p.fft_size / 2) - 1;
-    const long half =
-        2 + static_cast<long>(rng.uniform_int(
-                static_cast<std::uint64_t>(half_max - 2)));
-    core::fill_data_range(p.tone_map, -half, half);
-    if (rng.uniform() < 0.5) {
-      core::set_tone(p.tone_map, half / 2, core::ToneType::kPilot);
-      core::set_tone(p.tone_map, -half / 2, core::ToneType::kPilot);
-      n_pilots = 2;
-    }
-  }
-  p.pilots.base_values.assign(n_pilots, cplx{1.0, 0.0});
-  if (n_pilots > 0 && rng.uniform() < 0.5) {
-    p.pilots.polarity_prbs = true;
-    p.pilots.prbs_degree = 7;
-    p.pilots.prbs_taps = (1u << 6) | (1u << 3);
-    p.pilots.prbs_seed = 0x7F;
-  }
-
-  // Mapping kind. Hermitian + differential is legal (HomePlug-style);
-  // bit tables need one entry per data tone.
-  const core::ToneLayout layout = core::make_tone_layout(p);
-  const double mapping_draw = rng.uniform();
-  if (mapping_draw < 0.5) {
-    p.mapping = core::MappingKind::kFixed;
-    const mapping::Scheme schemes[] = {
-        mapping::Scheme::kBpsk, mapping::Scheme::kQpsk,
-        mapping::Scheme::kQam16, mapping::Scheme::kQam64};
-    p.scheme = schemes[rng.uniform_int(4)];
-  } else if (mapping_draw < 0.75) {
-    p.mapping = core::MappingKind::kDifferential;
-    p.diff_kind = rng.bit() ? mapping::DiffKind::kDqpsk
-                            : mapping::DiffKind::kPi4Dqpsk;
-    p.frame.preamble = core::PreambleKind::kPhaseReference;
-    p.frame.phase_ref_seed = rng.next_u64() | 1u;
-  } else {
-    p.mapping = core::MappingKind::kBitTable;
-    p.bit_table.resize(layout.data_bins.size());
-    for (auto& b : p.bit_table) {
-      b = static_cast<std::uint8_t>(2 + rng.uniform_int(10));
-    }
-  }
-
-  // Scrambler.
-  if (rng.uniform() < 0.7) {
-    p.scrambler.enabled = true;
-    p.scrambler.degree = 7 + static_cast<unsigned>(rng.uniform_int(9));
-    p.scrambler.taps = (std::uint64_t{1} << (p.scrambler.degree - 1)) |
-                       (std::uint64_t{1} << (p.scrambler.degree / 2));
-    p.scrambler.seed =
-        (rng.next_u64() & ((std::uint64_t{1} << p.scrambler.degree) - 1)) |
-        1u;
-  }
-
-  // FEC (inner conv; RS occasionally on top).
-  if (rng.uniform() < 0.5) {
-    p.fec.conv_enabled = true;
-    p.fec.conv = coding::k7_industry_code();
-    const double r = rng.uniform();
-    p.fec.puncture = r < 0.33   ? coding::puncture_none()
-                     : r < 0.66 ? coding::puncture_2_3()
-                                : coding::puncture_3_4();
-    if (rng.uniform() < 0.3) {
-      p.fec.rs_enabled = true;
-      p.fec.rs_n = 64;
-      p.fec.rs_k = 48;
-    }
-  }
-
-  // Interleaving that divides the coded bits per symbol.
-  const std::size_t cbps = core::coded_bits_per_symbol(p);
-  const double il = rng.uniform();
-  if (il < 0.3) {
-    for (std::size_t rows : {8, 4, 3, 2}) {
-      if (cbps % rows == 0) {
-        p.interleaver.kind = core::InterleaverKind::kBlock;
-        p.interleaver.rows = rows;
-        break;
-      }
-    }
-  } else if (il < 0.5) {
-    p.interleaver.kind = core::InterleaverKind::kCell;
-    p.interleaver.seed = rng.next_u64() | 1u;
-  }
-
-  p.frame.symbols_per_frame = 2 + rng.uniform_int(6);
-  if (rng.uniform() < 0.2) p.frame.null_samples = rng.uniform_int(200);
-  return p;
-}
+using test::random_params;
 
 class RandomConfig : public ::testing::TestWithParam<int> {};
 
@@ -165,6 +62,83 @@ TEST_P(RandomConfig, ValidatesAndRoundTrips) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfig, ::testing::Range(0, 40));
+
+/// One random block drawn from the whole RF library, rate changers
+/// included.
+std::unique_ptr<rf::Block> random_block(Rng& rng) {
+  switch (rng.uniform_int(12)) {
+    case 0: return std::make_unique<rf::Gain>(rng.uniform(-10.0, 10.0));
+    case 1: return std::make_unique<rf::IqImbalance>(rng.uniform(0.0, 1.0),
+                                                     rng.uniform(0.0, 5.0));
+    case 2:
+      return std::make_unique<rf::DcOffset>(
+          cplx{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05)});
+    case 3: return std::make_unique<rf::PhaseNoise>(
+          rng.uniform(1.0, 200.0), 20e6, rng.next_u64() | 1u);
+    case 4: return std::make_unique<rf::RappPa>(
+          rng.uniform(1.0, 4.0), rng.uniform(0.5, 2.0));
+    case 5: return std::make_unique<rf::SoftClipPa>(rng.uniform(0.5, 2.0));
+    case 6: return std::make_unique<rf::MultipathChannel>(
+          rf::exponential_pdp_taps(rng.uniform(1.0, 4.0),
+                                   1 + rng.uniform_int(12),
+                                   rng.next_u64() | 1u));
+    case 7: return std::make_unique<rf::AwgnChannel>(
+          rng.uniform(0.0, 1e-2), rng.next_u64() | 1u);
+    case 8: return std::make_unique<rf::FrequencyShift>(
+          rng.uniform(-5e6, 5e6), 20e6);
+    case 9: return std::make_unique<rf::PowerMeter>();
+    case 10:  // interpolating rate changer
+      return std::make_unique<rf::Dac>(
+          static_cast<unsigned>(8 + rng.uniform_int(5)),
+          1 + rng.uniform_int(4));
+    default:  // decimating rate changer
+      return std::make_unique<rf::DecimatorBlock>(1 + rng.uniform_int(4));
+  }
+}
+
+class RandomChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomChain, ProbeCountersAreSelfConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  rf::ToneSource source(rng.uniform(0.2e6, 5e6), 20e6,
+                        rng.uniform(0.2, 1.0));
+  rf::Chain chain;
+  const std::size_t n_blocks = 1 + rng.uniform_int(8);
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    chain.add_ptr(random_block(rng));
+  }
+
+  obs::ProbeSet probes;
+  chain.attach_probes(probes);
+  source.set_probe(&probes.add(source.name()));
+  ASSERT_EQ(probes.size(), n_blocks + 1);
+  const obs::BlockProbe& src_probe = probes.at(n_blocks);
+
+  const std::size_t chunks = 2 + rng.uniform_int(6);
+  const std::size_t chunk = 256 + 256 * rng.uniform_int(8);
+  const rf::RunStats stats = rf::run(source, chain, chunks * chunk, chunk);
+
+  // Source -> first block: every pulled sample enters the chain.
+  EXPECT_EQ(src_probe.samples_out(), chunks * chunk);
+  EXPECT_EQ(src_probe.samples_out(), probes.at(0).samples_in());
+
+  // Block k -> block k+1: conservation across every link, whatever the
+  // mix of 1:1 blocks and rate changers in between.
+  for (std::size_t k = 0; k + 1 < n_blocks; ++k) {
+    EXPECT_EQ(probes.at(k).samples_out(), probes.at(k + 1).samples_in())
+        << "link " << k << " -> " << k + 1 << " of " << n_blocks;
+  }
+
+  // Every block saw every chunk, and the driver's own accounting agrees
+  // with the probes at both ends of the chain.
+  for (std::size_t k = 0; k < n_blocks; ++k) {
+    EXPECT_EQ(probes.at(k).invocations(), chunks) << "block " << k;
+  }
+  EXPECT_EQ(stats.samples_in, src_probe.samples_out());
+  EXPECT_EQ(probes.at(n_blocks - 1).samples_out(), stats.samples_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChain, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace ofdm

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
 #include "rf/fading.hpp"
@@ -83,6 +85,43 @@ TEST(ZeroAlloc, SteadyStateChainRunDoesNotAllocate) {
   });
   EXPECT_EQ(allocs, 0u);
   EXPECT_EQ(out.size(), 4096u);
+}
+
+TEST(ZeroAlloc, ProbedAndTracedSteadyStateDoesNotAllocate) {
+  // The observability layer must be allocation-free in steady state even
+  // when fully on: counters, output hashing, and span recording into the
+  // preallocated trace ring. Only the warm-up may allocate (buffers plus
+  // each block's cached trace label).
+  ToneSource source(1e6, 20e6, 0.7);
+  Chain chain;
+  chain.add<Gain>(-3.0);
+  chain.add<RappPa>(2.0, 1.0);
+  chain.add<AwgnChannel>(1e-3);
+  chain.add<PowerMeter>();
+
+  obs::ProbeSet probes({.measure_signal = true, .hash_output = true});
+  chain.attach_probes(probes);
+  source.set_probe(&probes.add(source.name()));
+  obs::Tracer::instance().enable(1u << 12);
+
+  run(source, chain, 4 * 4096);  // warm-up
+
+  cvec in;
+  cvec out;
+  source.pull_observed(4096, in);
+  chain.process(in, out);
+  const std::size_t allocs = count_allocs([&] {
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      source.pull_observed(4096, in);
+      chain.process(in, out);
+    }
+  });
+  obs::Tracer::instance().disable();
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.size(), 4096u);
+  // The probes really were live while we measured.
+  EXPECT_GE(probes.at(0).invocations(), 9u);
+  EXPECT_GT(obs::Tracer::instance().recorded(), 0u);
 }
 
 TEST(ZeroAlloc, RateChangersReuseTheirBuffers) {
