@@ -133,8 +133,33 @@ def compare_blocks(old: dict, new: dict, tolerance: float) -> bool:
     return ok
 
 
+def load_baseline(path: pathlib.Path) -> dict:
+    """Read a baseline JSON file, exiting with a one-line error (no
+    traceback) when it is unreadable or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read baseline {path.name}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: baseline {path.name} is not valid JSON "
+                 f"(line {e.lineno}: {e.msg}) -- delete it or rerun "
+                 f"without --check-only to regenerate")
+
+
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+gating:
+  Default mode gates on whole-benchmark throughput vs BENCH_e5.json.
+  --blocks gates per block per standard vs BENCH_blocks.json: a block
+  regresses the run (exit 1) only when it slows beyond --tolerance AND
+  carried >= 5% of the baseline's wall time; slimmer blocks are printed
+  as "(noise ...)" but never gate, since their single-run timings are
+  scheduler noise. Baselines rewrite on every run unless --check-only
+  is given; --check-only requires the baseline to exist.""")
     ap.add_argument("--build-dir", default="build",
                     help="CMake build directory (default: build)")
     ap.add_argument("--tolerance", type=float, default=0.15,
@@ -168,9 +193,12 @@ def main() -> int:
 
     ok = True
     if baseline_file.exists():
-        with open(baseline_file) as f:
-            baseline = json.load(f)
+        baseline = load_baseline(baseline_file)
         ok = compare_fn(baseline, report, tolerance)
+    elif args.check_only:
+        sys.exit(f"error: --check-only needs a baseline, but "
+                 f"{baseline_file.relative_to(REPO_ROOT)} does not exist "
+                 f"-- run once without --check-only to create it")
     if not args.check_only:
         with open(baseline_file, "w") as f:
             json.dump(report, f, indent=1)

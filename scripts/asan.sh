@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Release + Address/UndefinedBehaviorSanitizer run of the fault-
+# containment tests.
+#
+# The fault-injection blocks deliberately drive the graph through its
+# ugliest paths — NaN/Inf repair in place, mid-stream snapshot/restore
+# into freshly built graphs, exceptions unwinding out of a running
+# chain — exactly where lifetime and aliasing bugs hide. This job builds
+# those tests in a separate tree with -fsanitize=address,undefined and
+# runs them under ctest, so a use-after-free or UB in the containment
+# machinery fails loudly even when the plain suite passes.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build-asan"
+
+cmake -B "${build}" -S "${repo}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "${build}" -j \
+  --target test_guard test_fault test_snapshot test_rf
+ctest --test-dir "${build}" \
+  -R 'test_guard|test_fault|test_snapshot|test_rf' \
+  --output-on-failure "$@"

@@ -2,6 +2,8 @@
 // configuration errors surface as ofdm::Error exceptions.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -24,6 +26,37 @@ class ConfigError : public Error {
 class DimensionError : public Error {
  public:
   explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by fault containment when a numerically poisoned stream is
+/// detected (or produced) inside a running graph. Carries enough context
+/// to pin the fault: the offending block's name, its position in the
+/// graph's attach order, and the absolute offset of the first bad sample
+/// in that block's output stream.
+class StreamError : public Error {
+ public:
+  StreamError(std::string block, std::size_t graph_position,
+              std::uint64_t sample_offset, const std::string& what)
+      : Error(what),
+        block_(std::move(block)),
+        graph_position_(graph_position),
+        sample_offset_(sample_offset) {}
+
+  const std::string& block() const { return block_; }
+  std::size_t graph_position() const { return graph_position_; }
+  std::uint64_t sample_offset() const { return sample_offset_; }
+
+ private:
+  std::string block_;
+  std::size_t graph_position_;
+  std::uint64_t sample_offset_;
+};
+
+/// Raised by checkpoint/restore when a snapshot is truncated, malformed,
+/// or taken from a differently shaped graph.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm {
 
@@ -90,6 +91,18 @@ bytevec Rng::bytes(std::size_t n) {
   bytevec out(n);
   for (auto& b : out) b = static_cast<std::uint8_t>(next_u64() & 0xFFu);
   return out;
+}
+
+void Rng::save(StateWriter& w) const {
+  for (std::uint64_t word : s_) w.u64(word);
+  w.u8(have_cached_gaussian_ ? 1 : 0);
+  w.f64(cached_gaussian_);
+}
+
+void Rng::load(StateReader& r) {
+  for (std::uint64_t& word : s_) word = r.u64();
+  have_cached_gaussian_ = r.u8() != 0;
+  cached_gaussian_ = r.f64();
 }
 
 }  // namespace ofdm

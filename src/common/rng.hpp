@@ -11,6 +11,9 @@
 
 namespace ofdm {
 
+class StateWriter;
+class StateReader;
+
 /// xoshiro256++ generator: small, fast, and fully reproducible.
 class Rng {
  public:
@@ -43,6 +46,12 @@ class Rng {
 
   /// `n` fresh bytes.
   bytevec bytes(std::size_t n);
+
+  /// Checkpoint/restore: serialize the full generator state (xoshiro
+  /// words plus the Box-Muller cache) so a restored stream continues
+  /// bit-identically.
+  void save(StateWriter& w) const;
+  void load(StateReader& r);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,134 @@
+#include "common/serial.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace ofdm {
+
+void StateWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void StateWriter::u64(std::uint64_t v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + sizeof v);
+  std::memcpy(buf_.data() + at, &v, sizeof v);
+}
+
+void StateWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void StateWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void StateWriter::vec_c(const cvec& v) {
+  u64(v.size());
+  for (const cplx& x : v) {
+    f64(x.real());
+    f64(x.imag());
+  }
+}
+
+void StateWriter::vec_r(const rvec& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void StateWriter::begin_node(const std::string& name) {
+  str(name);
+  open_.push_back(buf_.size());
+  u64(0);  // length placeholder, patched by end_node()
+}
+
+void StateWriter::end_node() {
+  if (open_.empty()) {
+    throw StateError("StateWriter::end_node without begin_node");
+  }
+  const std::size_t at = open_.back();
+  open_.pop_back();
+  const std::uint64_t len = buf_.size() - (at + sizeof(std::uint64_t));
+  std::memcpy(buf_.data() + at, &len, sizeof len);
+}
+
+void StateReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw StateError("snapshot truncated: need " + std::to_string(n) +
+                     " bytes at offset " + std::to_string(pos_) +
+                     " of " + std::to_string(buf_.size()));
+  }
+  if (!frames_.empty() && pos_ + n > frames_.back().end) {
+    throw StateError("snapshot node '" + frames_.back().name +
+                     "' overread: the restored graph expects more state "
+                     "than the snapshot recorded");
+  }
+}
+
+std::uint8_t StateReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint64_t StateReader::u64() {
+  need(sizeof(std::uint64_t));
+  std::uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+double StateReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string StateReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void StateReader::vec_c(cvec& v) {
+  const std::uint64_t n = u64();
+  need(n * 2 * sizeof(double));
+  v.resize(n);
+  for (cplx& x : v) {
+    const double re = f64();
+    const double im = f64();
+    x = {re, im};
+  }
+}
+
+void StateReader::vec_r(rvec& v) {
+  const std::uint64_t n = u64();
+  need(n * sizeof(double));
+  v.resize(n);
+  for (double& x : v) x = f64();
+}
+
+void StateReader::enter_node(const std::string& expected) {
+  const std::string name = str();
+  if (name != expected) {
+    throw StateError("snapshot node mismatch: graph expects '" + expected +
+                     "' but snapshot recorded '" + name +
+                     "' -- restore requires an identically built graph");
+  }
+  const std::uint64_t len = u64();
+  need(len);
+  frames_.push_back({name, pos_ + len});
+}
+
+void StateReader::exit_node() {
+  if (frames_.empty()) {
+    throw StateError("StateReader::exit_node without enter_node");
+  }
+  const Frame f = frames_.back();
+  frames_.pop_back();
+  if (pos_ != f.end) {
+    throw StateError("snapshot node '" + f.name + "' size mismatch: " +
+                     std::to_string(f.end - pos_) +
+                     " unread bytes -- the restored block reads less "
+                     "state than the snapshot recorded");
+  }
+}
+
+}  // namespace ofdm

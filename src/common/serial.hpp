@@ -1,0 +1,76 @@
+// Snapshot serialization primitives for checkpoint/restore.
+//
+// A StateWriter accumulates a flat byte buffer; a StateReader replays it.
+// Values are fixed-width host-endian (snapshots are same-process /
+// same-machine artifacts, not an interchange format). Composite graph
+// state is framed into named, length-prefixed nodes so a restore into a
+// mismatched graph fails with a message naming the offending node rather
+// than silently misreading the stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofdm {
+
+class StateWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void vec_c(const cvec& v);
+  void vec_r(const rvec& v);
+
+  /// Open a named, length-prefixed frame; every begin_node() must be
+  /// matched by end_node(), which patches the frame length in place.
+  void begin_node(const std::string& name);
+  void end_node();
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::size_t> open_;  // offsets of unpatched length fields
+};
+
+class StateReader {
+ public:
+  /// The buffer must outlive the reader.
+  explicit StateReader(std::span<const std::uint8_t> bytes) : buf_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  void vec_c(cvec& v);
+  void vec_r(rvec& v);
+
+  /// Enter a frame written by begin_node(); throws ofdm::StateError when
+  /// the recorded name differs from `expected` (graph mismatch).
+  void enter_node(const std::string& expected);
+
+  /// Leave the current frame; throws if it was not consumed exactly.
+  void exit_node();
+
+  /// True when every byte has been consumed (top level only).
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  struct Frame {
+    std::string name;
+    std::size_t end;
+  };
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace ofdm

@@ -32,6 +32,7 @@ struct SymbolPipeline::Impl {
   std::size_t active = 0;  // workers currently inside work(); guarded by m
   bool stopping = false;                 // guarded by m
   std::exception_ptr error;              // first failure; guarded by m
+  std::size_t error_index = 0;           // symbol of first failure; ditto
   std::atomic<std::size_t> next{0};       // work-stealing item cursor
   std::atomic<std::size_t> remaining{0};  // items not yet completed
   std::vector<std::jthread> threads;
@@ -106,7 +107,10 @@ void SymbolPipeline::work(std::vector<Symbol>& symbols, Workspace& ws) {
       }
     } catch (...) {
       std::lock_guard lk(s.m);
-      if (!s.error) s.error = std::current_exception();
+      if (!s.error) {
+        s.error = std::current_exception();
+        s.error_index = i;
+      }
     }
     if (s.remaining.fetch_sub(1) == 1) {
       std::lock_guard lk(s.m);
@@ -139,8 +143,17 @@ void SymbolPipeline::transform(std::vector<Symbol>& symbols) {
     s.batch = nullptr;
     if (s.error) {
       std::exception_ptr e = s.error;
+      const std::size_t index = s.error_index;
       s.error = nullptr;
-      std::rethrow_exception(e);
+      // Rethrow with the failing symbol's index attached — a worker
+      // exception loses its position in the batch otherwise.
+      try {
+        std::rethrow_exception(e);
+      } catch (const std::exception& ex) {
+        throw StreamError("symbol-pipeline", index, 0,
+                          std::string("symbol transform failed: ") +
+                              ex.what());
+      }
     }
   }
 }

@@ -1,9 +1,11 @@
 #include "dsp/fir.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "common/serial.hpp"
 #include "dsp/window.hpp"
 
 namespace ofdm::dsp {
@@ -63,6 +65,23 @@ cvec FirFilter::process(std::span<const cplx> in) {
 void FirFilter::reset() {
   delay_.assign(taps_.size(), cplx{0.0, 0.0});
   head_ = 0;
+}
+
+void FirFilter::save_state(StateWriter& w) const {
+  w.vec_c(delay_);
+  w.u64(head_);
+}
+
+void FirFilter::load_state(StateReader& r) {
+  cvec delay;
+  r.vec_c(delay);
+  if (delay.size() != taps_.size()) {
+    throw StateError("FirFilter: snapshot delay line has " +
+                     std::to_string(delay.size()) + " taps, filter has " +
+                     std::to_string(taps_.size()));
+  }
+  delay_ = std::move(delay);
+  head_ = r.u64();
 }
 
 cvec convolve(std::span<const cplx> x, std::span<const double> taps) {

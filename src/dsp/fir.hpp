@@ -6,6 +6,11 @@
 
 #include "common/types.hpp"
 
+namespace ofdm {
+class StateWriter;
+class StateReader;
+}  // namespace ofdm
+
 namespace ofdm::dsp {
 
 /// Design a linear-phase lowpass by the windowed-sinc method.
@@ -32,6 +37,11 @@ class FirFilter {
 
   /// Clear the delay line.
   void reset();
+
+  /// Checkpoint/restore of the delay line (taps are configuration, not
+  /// state, and are not serialized).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   rvec taps_;

@@ -1,6 +1,7 @@
 #include "dsp/resample.hpp"
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::dsp {
 
@@ -46,6 +47,12 @@ cvec Interpolator::process(std::span<const cplx> in) {
 
 void Interpolator::reset() { filter_.reset(); }
 
+void Interpolator::save_state(StateWriter& w) const {
+  filter_.save_state(w);
+}
+
+void Interpolator::load_state(StateReader& r) { filter_.load_state(r); }
+
 Decimator::Decimator(std::size_t factor, std::size_t taps_per_phase)
     : factor_(factor),
       filter_(anti_alias_taps(factor, taps_per_phase, 1.0)) {
@@ -72,6 +79,16 @@ cvec Decimator::process(std::span<const cplx> in) {
 void Decimator::reset() {
   filter_.reset();
   phase_ = 0;
+}
+
+void Decimator::save_state(StateWriter& w) const {
+  filter_.save_state(w);
+  w.u64(phase_);
+}
+
+void Decimator::load_state(StateReader& r) {
+  filter_.load_state(r);
+  phase_ = r.u64();
 }
 
 }  // namespace ofdm::dsp

@@ -7,7 +7,7 @@
 #include <span>
 
 #include "common/types.hpp"
-#include "dsp/fir.hpp"
+#include "dsp/fir.hpp"  // also forward-declares StateWriter/StateReader
 
 namespace ofdm::dsp {
 
@@ -27,6 +27,9 @@ class Interpolator {
   cvec process(std::span<const cplx> in);
 
   void reset();
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   std::size_t factor_;
@@ -49,6 +52,9 @@ class Decimator {
   cvec process(std::span<const cplx> in);
 
   void reset();
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   std::size_t factor_;

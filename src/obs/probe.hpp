@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/scan.hpp"
 #include "obs/stream_hash.hpp"
 
 namespace ofdm::obs {
@@ -56,14 +57,7 @@ class BlockProbe {
     using clock = std::chrono::steady_clock;
     const auto scan0 = clock::now();
     if (cfg_->measure_signal) {
-      const double clip = cfg_->clip_threshold;
-      for (const cplx& s : out) {
-        const double re = s.real();
-        const double im = s.imag();
-        const double p = re * re + im * im;
-        if (p > peak_power_) peak_power_ = p;
-        if (p > clip * clip) ++clip_events_;
-      }
+      scan_peak_clip(out, cfg_->clip_threshold, peak_power_, clip_events_);
     }
     if (cfg_->hash_output) hash_.update(out);
     overhead_ns_ += static_cast<std::uint64_t>(

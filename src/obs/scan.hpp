@@ -1,0 +1,46 @@
+// Shared single-pass chunk scans over complex baseband samples.
+//
+// The BlockProbe's peak/clip measurement and the rf::NumericGuard's
+// numerical-health sweep are the same kind of loop: one allocation-free
+// pass over an output chunk. This header holds the common primitives so
+// both layers scan the same way and stay cheap enough for the hot path.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ofdm::obs {
+
+/// Fold one chunk into a running peak |sample|^2 and clip counter:
+/// samples with |s| > clip_threshold count as clip events.
+inline void scan_peak_clip(std::span<const cplx> out, double clip_threshold,
+                           double& peak_power, std::uint64_t& clip_events) {
+  const double clip2 = clip_threshold * clip_threshold;
+  for (const cplx& s : out) {
+    const double re = s.real();
+    const double im = s.imag();
+    const double p = re * re + im * im;
+    if (p > peak_power) peak_power = p;
+    if (p > clip2) ++clip_events;
+  }
+}
+
+/// True when both components are finite (no NaN, no Inf).
+inline bool finite_sample(const cplx& s) {
+  return std::isfinite(s.real()) && std::isfinite(s.imag());
+}
+
+/// Index of the first non-finite sample, or SIZE_MAX when the chunk is
+/// numerically clean. This is the guard's fast path: a clean chunk costs
+/// one branchy-but-predictable pass and nothing else.
+inline std::size_t first_nonfinite(std::span<const cplx> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!finite_sample(out[i])) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace ofdm::obs

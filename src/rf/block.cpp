@@ -1,6 +1,7 @@
 #include "rf/block.hpp"
 
 #include "obs/trace.hpp"
+#include "rf/guard.hpp"
 
 namespace ofdm::rf {
 
@@ -30,16 +31,20 @@ void Block::process_observed(std::span<const cplx> in, cvec& out) {
   const bool tracing = tracer.enabled();
   if (probe_ == nullptr && !tracing) {
     process(in, out);
-    return;
+  } else {
+    // The label is cached on first observed use (one allocation, outside
+    // the steady state) so span names stay valid for the trace's
+    // lifetime.
+    if (tracing && trace_label_.empty()) trace_label_ = name();
+    const std::uint64_t t0 = obs::Tracer::now_ns();
+    process(in, out);
+    const std::uint64_t dt = obs::Tracer::now_ns() - t0;
+    if (probe_ != nullptr) probe_->record(in, out, dt);
+    if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
   }
-  // The label is cached on first observed use (one allocation, outside
-  // the steady state) so span names stay valid for the trace's lifetime.
-  if (tracing && trace_label_.empty()) trace_label_ = name();
-  const std::uint64_t t0 = obs::Tracer::now_ns();
-  process(in, out);
-  const std::uint64_t dt = obs::Tracer::now_ns() - t0;
-  if (probe_ != nullptr) probe_->record(in, out, dt);
-  if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
+  // The guard sweeps after the counters are folded in, so a Throw still
+  // leaves the probes/trace describing the faulting call.
+  if (guard_ != nullptr) guard_->scan(out);
 }
 
 void Source::pull_observed(std::size_t n, cvec& out) {
@@ -47,14 +52,15 @@ void Source::pull_observed(std::size_t n, cvec& out) {
   const bool tracing = tracer.enabled();
   if (probe_ == nullptr && !tracing) {
     pull(n, out);
-    return;
+  } else {
+    if (tracing && trace_label_.empty()) trace_label_ = name();
+    const std::uint64_t t0 = obs::Tracer::now_ns();
+    pull(n, out);
+    const std::uint64_t dt = obs::Tracer::now_ns() - t0;
+    if (probe_ != nullptr) probe_->record({}, out, dt);
+    if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
   }
-  if (tracing && trace_label_.empty()) trace_label_ = name();
-  const std::uint64_t t0 = obs::Tracer::now_ns();
-  pull(n, out);
-  const std::uint64_t dt = obs::Tracer::now_ns() - t0;
-  if (probe_ != nullptr) probe_->record({}, out, dt);
-  if (tracing) tracer.record(trace_label_.c_str(), t0, dt);
+  if (guard_ != nullptr) guard_->scan(out);
 }
 
 }  // namespace ofdm::rf

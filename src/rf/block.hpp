@@ -18,7 +18,14 @@
 #include "common/types.hpp"
 #include "obs/probe.hpp"
 
+namespace ofdm {
+class StateWriter;
+class StateReader;
+}  // namespace ofdm
+
 namespace ofdm::rf {
+
+class NumericGuard;
 
 /// A signal-processing block. Implementations keep their own streaming
 /// state so that chunked processing equals one-shot processing.
@@ -46,21 +53,39 @@ class Block {
   /// Display name for simulation reports.
   virtual std::string name() const = 0;
 
+  /// Checkpoint/restore: serialize the block's streaming state (RNG
+  /// cursors, delay lines, phase accumulators) so a long run can
+  /// snapshot and later resume bit-identically in a freshly built,
+  /// identically configured graph. Stateless blocks inherit the no-op
+  /// defaults; stateful overrides must read back exactly what they
+  /// wrote, in the same order.
+  virtual void save_state(StateWriter& /*w*/) const {}
+  virtual void load_state(StateReader& /*r*/) {}
+
   /// Attach (nullptr detaches) an observability probe. The probe — and
   /// the obs::ProbeSet that owns it — must outlive the block, or be
   /// detached first. Chain/Netlist::attach_probes() wires whole graphs.
   void set_probe(obs::BlockProbe* probe) { probe_ = probe; }
   obs::BlockProbe* probe() const { return probe_; }
 
+  /// Attach (nullptr detaches) a numerical-health guard; lifetime rules
+  /// are as for probes (the owning GuardSet must outlive the block).
+  /// Chain/Netlist::attach_guards() wires whole graphs.
+  void set_guard(NumericGuard* guard) { guard_ = guard; }
+  NumericGuard* guard() const { return guard_; }
+
   /// Instrumented entry point used by Chain/Netlist and other drivers:
   /// forwards to process(), and when a probe is attached or the global
   /// tracer is enabled, also times the call and updates the counters /
-  /// emits a trace span. With neither, the extra cost is two predictable
+  /// emits a trace span. An attached guard then sweeps the output chunk
+  /// (and may repair it or throw ofdm::StreamError, per its policy).
+  /// With nothing attached, the extra cost is a few predictable
   /// branches — the datapath stays allocation-free either way.
   void process_observed(std::span<const cplx> in, cvec& out);
 
  private:
   obs::BlockProbe* probe_ = nullptr;
+  NumericGuard* guard_ = nullptr;
   std::string trace_label_;  // cached name() for stable span naming
 };
 
@@ -80,16 +105,25 @@ class Source {
   virtual void reset() {}
   virtual std::string name() const = 0;
 
+  /// Checkpoint/restore; see Block::save_state.
+  virtual void save_state(StateWriter& /*w*/) const {}
+  virtual void load_state(StateReader& /*r*/) {}
+
   /// As Block::set_probe: samples_in stays 0 (a source consumes sample
   /// requests, not a stream).
   void set_probe(obs::BlockProbe* probe) { probe_ = probe; }
   obs::BlockProbe* probe() const { return probe_; }
+
+  /// As Block::set_guard: the guard sweeps what the source produces.
+  void set_guard(NumericGuard* guard) { guard_ = guard; }
+  NumericGuard* guard() const { return guard_; }
 
   /// Instrumented pull; see Block::process_observed.
   void pull_observed(std::size_t n, cvec& out);
 
  private:
   obs::BlockProbe* probe_ = nullptr;
+  NumericGuard* guard_ = nullptr;
   std::string trace_label_;
 };
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -43,6 +44,39 @@ void Chain::attach_probes(obs::ProbeSet& probes) {
 
 void Chain::detach_probes() {
   for (auto& block : blocks_) block->set_probe(nullptr);
+}
+
+void Chain::attach_guards(GuardSet& guards) {
+  for (auto& block : blocks_) {
+    block->set_guard(&guards.add(block->name()));
+  }
+}
+
+void Chain::detach_guards() {
+  for (auto& block : blocks_) block->set_guard(nullptr);
+}
+
+void Chain::save_state(StateWriter& w) const {
+  w.u64(blocks_.size());
+  for (const auto& block : blocks_) {
+    w.begin_node(block->name());
+    block->save_state(w);
+    w.end_node();
+  }
+}
+
+void Chain::load_state(StateReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count != blocks_.size()) {
+    throw StateError("Chain: snapshot has " + std::to_string(count) +
+                     " blocks, chain has " +
+                     std::to_string(blocks_.size()));
+  }
+  for (auto& block : blocks_) {
+    r.enter_node(block->name());
+    block->load_state(r);
+    r.exit_node();
+  }
 }
 
 RunStats run(Source& source, Chain& chain, std::size_t total,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rf/block.hpp"
+#include "rf/guard.hpp"
 
 namespace ofdm::rf {
 
@@ -36,6 +37,12 @@ class Chain : public Block {
   void reset() override;
   std::string name() const override { return "chain"; }
 
+  /// Checkpoint/restore: saves every contained block's streaming state
+  /// as a named frame, so restoring into a differently composed chain
+  /// fails loudly (ofdm::StateError) instead of misreading bytes.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   std::size_t size() const { return blocks_.size(); }
 
   /// Register one probe per contained block (named after block->name(),
@@ -45,6 +52,13 @@ class Chain : public Block {
 
   /// Detach every contained block's probe.
   void detach_probes();
+
+  /// Register one numerical-health guard per contained block and attach
+  /// them; lifetime rules are as for attach_probes().
+  void attach_guards(GuardSet& guards);
+
+  /// Detach every contained block's guard.
+  void detach_guards();
 
  private:
   std::vector<std::unique_ptr<Block>> blocks_;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -21,6 +22,10 @@ void AwgnChannel::process(std::span<const cplx> in, cvec& out) {
 }
 
 void AwgnChannel::reset() { rng_ = Rng(seed_); }
+
+void AwgnChannel::save_state(StateWriter& w) const { rng_.save(w); }
+
+void AwgnChannel::load_state(StateReader& r) { rng_.load(r); }
 
 double snr_to_noise_power(double signal_power, double snr_db) {
   OFDM_REQUIRE(signal_power >= 0.0,
@@ -52,6 +57,24 @@ void MultipathChannel::process(std::span<const cplx> in, cvec& out) {
 void MultipathChannel::reset() {
   delay_.assign(taps_.size(), cplx{0.0, 0.0});
   head_ = 0;
+}
+
+void MultipathChannel::save_state(StateWriter& w) const {
+  w.vec_c(delay_);
+  w.u64(head_);
+}
+
+void MultipathChannel::load_state(StateReader& r) {
+  cvec delay;
+  r.vec_c(delay);
+  if (delay.size() != taps_.size()) {
+    throw StateError("MultipathChannel::load_state: snapshot has " +
+                     std::to_string(delay.size()) +
+                     " delay-line entries, channel has " +
+                     std::to_string(taps_.size()) + " taps");
+  }
+  delay_ = std::move(delay);
+  head_ = r.u64();
 }
 
 cvec exponential_pdp_taps(double rms_delay_samples, std::size_t n_taps,

@@ -19,6 +19,9 @@ class AwgnChannel : public Block {
   void reset() override;
   std::string name() const override { return "awgn"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   double noise_power_;
   Rng rng_;
@@ -38,6 +41,9 @@ class MultipathChannel : public Block {
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "multipath"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   const cvec& taps() const { return taps_; }
 

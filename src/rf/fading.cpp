@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -97,6 +98,45 @@ void FadingChannel::reset() {
   init_states();
 }
 
+void FadingChannel::save_state(StateWriter& w) const {
+  w.u64(taps_.size());
+  for (const TapState& t : taps_) {
+    w.vec_r(t.phase);
+    w.vec_r(t.phase_q);
+  }
+  w.vec_c(delay_line_);
+  w.u64(head_);
+}
+
+void FadingChannel::load_state(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != taps_.size()) {
+    throw StateError("FadingChannel::load_state: snapshot has " +
+                     std::to_string(n) + " taps, channel has " +
+                     std::to_string(taps_.size()));
+  }
+  for (TapState& t : taps_) {
+    rvec phase;
+    rvec phase_q;
+    r.vec_r(phase);
+    r.vec_r(phase_q);
+    if (phase.size() != n_sinusoids_ || phase_q.size() != n_sinusoids_) {
+      throw StateError("FadingChannel::load_state: sinusoid count "
+                       "mismatch");
+    }
+    t.phase = std::move(phase);
+    t.phase_q = std::move(phase_q);
+  }
+  cvec line;
+  r.vec_c(line);
+  if (line.size() != delay_line_.size()) {
+    throw StateError("FadingChannel::load_state: delay-line length "
+                     "mismatch");
+  }
+  delay_line_ = std::move(line);
+  head_ = r.u64();
+}
+
 ImpulseNoise::ImpulseNoise(double burst_rate, double mean_len,
                            double impulse_power, std::uint64_t seed)
     : burst_rate_(burst_rate),
@@ -130,6 +170,18 @@ void ImpulseNoise::reset() {
   rng_ = Rng(seed_);
   remaining_ = 0;
   bursts_ = 0;
+}
+
+void ImpulseNoise::save_state(StateWriter& w) const {
+  rng_.save(w);
+  w.u64(remaining_);
+  w.u64(bursts_);
+}
+
+void ImpulseNoise::load_state(StateReader& r) {
+  rng_.load(r);
+  remaining_ = r.u64();
+  bursts_ = r.u64();
 }
 
 }  // namespace ofdm::rf

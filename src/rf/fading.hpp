@@ -31,6 +31,12 @@ class FadingChannel : public Block {
   void reset() override;
   std::string name() const override { return "fading"; }
 
+  /// Checkpoint the oscillator phases and the delay line (Doppler
+  /// frequencies are derived from the seed at construction, so they are
+  /// not part of the streaming state).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   /// Instantaneous tap gains at the current stream position.
   cvec current_gains() const;
 
@@ -70,6 +76,9 @@ class ImpulseNoise : public Block {
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "impulse-noise"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   std::size_t bursts_seen() const { return bursts_; }
 

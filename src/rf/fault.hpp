@@ -1,0 +1,144 @@
+// Fault-injection blocks: deterministic, seeded ways to break a graph
+// on purpose, so guard policies, error paths, and recovery logic are
+// exercised by real runs instead of trusted on faith.
+//
+//   FlakyBlock     — wraps any block and corrupts one output sample
+//                    every N chunks (NaN, Inf, or a huge finite spike).
+//   BurstNoise     — periodic high-power noise bursts at fixed stream
+//                    positions (chunking-invariant).
+//   SampleDropper  — deletes (or zero-fills) every Nth sample; the
+//                    deleting mode breaks the 1:1 rate contract and
+//                    drives the graph's fan-in containment checks.
+//   StallingSource — wraps a source and stalls the wall clock every N
+//                    pulls, emulating a co-simulation partner that
+//                    stops answering promptly.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "rf/block.hpp"
+
+namespace ofdm::rf {
+
+/// Wraps any block; after every `every_n_chunks`-th process() call one
+/// output sample (at a deterministically seeded position) is replaced
+/// by the configured fault value. every_n_chunks == 0 never fires.
+class FlakyBlock : public Block {
+ public:
+  enum class Fault { kNaN, kInf, kHuge };
+
+  FlakyBlock(std::unique_ptr<Block> inner, std::size_t every_n_chunks,
+             Fault fault = Fault::kNaN, std::uint64_t seed = 0xF417);
+
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
+  void reset() override;
+  std::string name() const override;
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  std::size_t faults_injected() const { return faults_; }
+  /// Absolute output-stream offset of the most recent injected fault
+  /// (meaningful once faults_injected() > 0) — what a Throw-policy
+  /// guard must report back.
+  std::uint64_t last_fault_offset() const { return last_offset_; }
+
+  Block& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Block> inner_;
+  std::size_t every_;
+  Fault fault_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::size_t chunks_ = 0;
+  std::uint64_t samples_out_ = 0;
+  std::size_t faults_ = 0;
+  std::uint64_t last_offset_ = 0;
+};
+
+/// Adds strong white noise for `burst_len` samples at the start of
+/// every `period`-sample window. Burst positions depend only on the
+/// stream position, so chunk boundaries do not move them.
+class BurstNoise : public Block {
+ public:
+  BurstNoise(std::size_t period, std::size_t burst_len, double power,
+             std::uint64_t seed = 0xB125);
+
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
+  void reset() override;
+  std::string name() const override { return "burst-noise"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  std::size_t bursts() const { return bursts_; }
+
+ private:
+  std::size_t period_;
+  std::size_t burst_len_;
+  double power_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t pos_ = 0;
+  std::size_t bursts_ = 0;
+};
+
+/// Deletes every `drop_every`-th sample. With zero_fill the dropped
+/// sample is replaced by silence (rate preserved); without it the
+/// output chunk is shorter than the input — the sample-loss fault that
+/// summing fan-in must reject rather than silently misalign.
+class SampleDropper : public Block {
+ public:
+  explicit SampleDropper(std::size_t drop_every, bool zero_fill = false);
+
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
+  void reset() override;
+  std::string name() const override { return "sample-dropper"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t drop_every_;
+  bool zero_fill_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Wraps a source; every `every_n_pulls`-th pull() blocks the calling
+/// thread for `stall` before producing, emulating a slow or wedged
+/// co-simulation partner. The sample stream itself is untouched.
+class StallingSource : public Source {
+ public:
+  StallingSource(std::unique_ptr<Source> inner, std::size_t every_n_pulls,
+                 std::chrono::microseconds stall);
+
+  using Source::pull;
+  void pull(std::size_t n, cvec& out) override;
+  void reset() override;
+  std::string name() const override;
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  std::size_t stalls() const { return stalls_; }
+
+  Source& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Source> inner_;
+  std::size_t every_;
+  std::chrono::microseconds stall_;
+  std::size_t pulls_ = 0;
+  std::size_t stalls_ = 0;
+};
+
+}  // namespace ofdm::rf

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -34,6 +35,10 @@ void Dac::process(std::span<const cplx> in, cvec& out) {
 
 void Dac::reset() { interp_.reset(); }
 
+void Dac::save_state(StateWriter& w) const { interp_.save_state(w); }
+
+void Dac::load_state(StateReader& r) { interp_.load_state(r); }
+
 Oscillator::Oscillator(double freq_hz, double sample_rate, double cfo_hz,
                        double linewidth_hz, std::uint64_t noise_seed)
     : step_(kTwoPi * (freq_hz + cfo_hz) / sample_rate),
@@ -61,6 +66,18 @@ void Oscillator::reset() {
   rng_ = Rng(seed_);
 }
 
+void Oscillator::save(StateWriter& w) const {
+  w.f64(phase_);
+  w.f64(noise_phase_);
+  rng_.save(w);
+}
+
+void Oscillator::load(StateReader& r) {
+  phase_ = r.f64();
+  noise_phase_ = r.f64();
+  rng_.load(r);
+}
+
 IqModulator::IqModulator(Oscillator lo) : lo_(lo) {}
 
 void IqModulator::process(std::span<const cplx> in, cvec& out) {
@@ -73,6 +90,10 @@ void IqModulator::process(std::span<const cplx> in, cvec& out) {
 }
 
 void IqModulator::reset() { lo_.reset(); }
+
+void IqModulator::save_state(StateWriter& w) const { lo_.save(w); }
+
+void IqModulator::load_state(StateReader& r) { lo_.load(r); }
 
 IqDemodulator::IqDemodulator(Oscillator lo, double cutoff, std::size_t taps)
     : lo_(lo),
@@ -106,6 +127,18 @@ void IqDemodulator::reset() {
   filter_q_.reset();
 }
 
+void IqDemodulator::save_state(StateWriter& w) const {
+  lo_.save(w);
+  filter_i_.save_state(w);
+  filter_q_.save_state(w);
+}
+
+void IqDemodulator::load_state(StateReader& r) {
+  lo_.load(r);
+  filter_i_.load_state(r);
+  filter_q_.load_state(r);
+}
+
 FrequencyShift::FrequencyShift(double freq_hz, double sample_rate)
     : step_(kTwoPi * freq_hz / sample_rate) {
   OFDM_REQUIRE(sample_rate > 0.0,
@@ -122,6 +155,10 @@ void FrequencyShift::process(std::span<const cplx> in, cvec& out) {
 
 void FrequencyShift::reset() { phase_ = 0.0; }
 
+void FrequencyShift::save_state(StateWriter& w) const { w.f64(phase_); }
+
+void FrequencyShift::load_state(StateReader& r) { phase_ = r.f64(); }
+
 DecimatorBlock::DecimatorBlock(std::size_t factor) : dec_(factor) {}
 
 void DecimatorBlock::process(std::span<const cplx> in, cvec& out) {
@@ -129,5 +166,11 @@ void DecimatorBlock::process(std::span<const cplx> in, cvec& out) {
 }
 
 void DecimatorBlock::reset() { dec_.reset(); }
+
+void DecimatorBlock::save_state(StateWriter& w) const {
+  dec_.save_state(w);
+}
+
+void DecimatorBlock::load_state(StateReader& r) { dec_.load_state(r); }
 
 }  // namespace ofdm::rf

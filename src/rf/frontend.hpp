@@ -23,6 +23,9 @@ class Dac : public Block {
   void reset() override;
   std::string name() const override { return "dac"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   std::size_t oversample() const { return oversample_; }
 
  private:
@@ -45,6 +48,9 @@ class Oscillator {
   /// Next LO sample e^{j(2π f t + φ_n)}.
   cplx next();
   void reset();
+
+  void save(StateWriter& w) const;
+  void load(StateReader& r);
 
   double sample_rate() const { return sample_rate_; }
 
@@ -69,6 +75,9 @@ class IqModulator : public Block {
   void reset() override;
   std::string name() const override { return "iq-mod"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   Oscillator lo_;
 };
@@ -83,6 +92,9 @@ class IqDemodulator : public Block {
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "iq-demod"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   /// Filter group delay in samples (callers align against this).
   double group_delay() const { return filter_i_.group_delay(); }
@@ -105,6 +117,9 @@ class FrequencyShift : public Block {
   void reset() override;
   std::string name() const override { return "freq-shift"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   double step_;
   double phase_ = 0.0;
@@ -119,6 +134,9 @@ class DecimatorBlock : public Block {
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "decimator"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   dsp::Decimator dec_;

@@ -1,0 +1,151 @@
+#include "rf/guard.hpp"
+
+#include <cfloat>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/scan.hpp"
+
+namespace ofdm::rf {
+
+namespace {
+
+bool is_denormal(double v) {
+  return v != 0.0 && std::fabs(v) < DBL_MIN;
+}
+
+/// Clamp policy repair of one non-finite component: NaN carries no
+/// usable information and becomes 0; ±Inf is a blown-up but directed
+/// value and lands on the saturation rail.
+double clamp_component(double v, double rail) {
+  if (std::isnan(v)) return 0.0;
+  if (std::isinf(v)) return v > 0.0 ? rail : -rail;
+  return v;
+}
+
+}  // namespace
+
+void NumericGuard::raise(std::uint64_t offset) const {
+  throw StreamError(
+      name_, position_, offset,
+      "numeric guard: non-finite sample in output of block '" + name_ +
+          "' (graph position " + std::to_string(position_) +
+          ") at absolute sample offset " + std::to_string(offset));
+}
+
+void NumericGuard::scan(cvec& out) {
+  const std::uint64_t base = samples_seen_;
+  samples_seen_ += out.size();
+  // Fast path: one clean pass (shared with the obs layer). Only a chunk
+  // that actually contains a non-finite sample — or a config that asks
+  // for the saturation/denormal sweeps — pays for the detailed loop.
+  if (!cfg_->check_denormals && cfg_->saturation_threshold <= 0.0) {
+    const std::size_t bad = obs::first_nonfinite(out);
+    if (bad == SIZE_MAX) return;
+    slow_scan(out, bad, base);
+    return;
+  }
+  slow_scan(out, 0, base);
+}
+
+void NumericGuard::slow_scan(cvec& out, std::size_t from,
+                             std::uint64_t base) {
+  const GuardPolicy policy = cfg_->policy;
+  const double sat = cfg_->saturation_threshold;
+  const double sat2 = sat * sat;
+  for (std::size_t i = from; i < out.size(); ++i) {
+    cplx& s = out[i];
+    double re = s.real();
+    double im = s.imag();
+    if (!std::isfinite(re) || !std::isfinite(im)) {
+      if (std::isnan(re) || std::isnan(im)) {
+        ++nan_;
+      } else {
+        ++inf_;
+      }
+      switch (policy) {
+        case GuardPolicy::kThrow:
+          raise(base + i);
+        case GuardPolicy::kZero:
+          s = cplx{0.0, 0.0};
+          ++repairs_;
+          break;
+        case GuardPolicy::kClamp:
+          s = cplx{clamp_component(re, sat), clamp_component(im, sat)};
+          ++repairs_;
+          break;
+        case GuardPolicy::kReport:
+          break;
+      }
+      continue;
+    }
+    if (cfg_->check_denormals &&
+        (is_denormal(re) || is_denormal(im))) {
+      ++denormal_;
+      if (policy == GuardPolicy::kZero || policy == GuardPolicy::kClamp) {
+        s = cplx{is_denormal(re) ? 0.0 : re, is_denormal(im) ? 0.0 : im};
+        re = s.real();
+        im = s.imag();
+        ++repairs_;
+      }
+    }
+    if (sat > 0.0) {
+      const double p = re * re + im * im;
+      if (p > sat2) {
+        ++saturated_;
+        if (policy == GuardPolicy::kClamp) {
+          const double scale = sat / std::sqrt(p);
+          s *= scale;
+          ++repairs_;
+        }
+      }
+    }
+  }
+}
+
+GuardSet::GuardSet(GuardConfig cfg) : cfg_(cfg) {
+  OFDM_REQUIRE(cfg.policy != GuardPolicy::kClamp ||
+                   cfg.saturation_threshold > 0.0,
+               "GuardSet: the Clamp policy needs a positive saturation "
+               "threshold to clamp onto");
+  OFDM_REQUIRE(cfg.saturation_threshold >= 0.0,
+               "GuardSet: saturation threshold must be non-negative");
+}
+
+NumericGuard& GuardSet::add(std::string name) {
+  std::size_t copies = 0;
+  for (const NumericGuard& g : guards_) {
+    if (g.name() == name ||
+        g.name().compare(0, name.size() + 1, name + "#") == 0) {
+      ++copies;
+    }
+  }
+  if (copies > 0) name += "#" + std::to_string(copies + 1);
+  guards_.emplace_back(std::move(name), guards_.size(), &cfg_);
+  return guards_.back();
+}
+
+const NumericGuard* GuardSet::find(const std::string& name) const {
+  for (const NumericGuard& g : guards_) {
+    if (g.name() == name) return &g;
+  }
+  return nullptr;
+}
+
+void GuardSet::reset() {
+  for (NumericGuard& g : guards_) g.reset();
+}
+
+std::uint64_t GuardSet::total_faults() const {
+  std::uint64_t total = 0;
+  for (const NumericGuard& g : guards_) total += g.faults();
+  return total;
+}
+
+std::uint64_t GuardSet::total_repairs() const {
+  std::uint64_t total = 0;
+  for (const NumericGuard& g : guards_) total += g.repairs();
+  return total;
+}
+
+}  // namespace ofdm::rf

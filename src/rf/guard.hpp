@@ -1,0 +1,134 @@
+// NumericGuard — fault containment for the streaming RF graph.
+//
+// A single NaN escaping a misconfigured PA or channel block silently
+// poisons every downstream measurement of a long co-simulation. The
+// guard closes that hole: attached to a block (the same way a BlockProbe
+// is), it sweeps every output chunk at the chunk boundary and applies a
+// per-graph policy:
+//
+//   Report — count NaN/Inf/denormal/saturated samples, touch nothing.
+//   Throw  — raise ofdm::StreamError at the first non-finite sample,
+//            carrying the block name, its graph position, and the
+//            absolute offset of the bad sample in the block's output
+//            stream. The fault is pinned to the block that produced it,
+//            not to whatever downstream sink finally chokes.
+//   Zero   — graceful degradation: non-finite samples are replaced by
+//            zero (and denormals flushed) so downstream blocks keep
+//            seeing healthy numbers; every repair is counted.
+//   Clamp  — as Zero, but ±Inf components are clamped to the saturation
+//            threshold instead of zeroed, and finite samples beyond the
+//            threshold are rescaled onto it (a numerical limiter).
+//
+// Cost model: detached, the observed call path gains one pointer test
+// and nothing else. Attached, a clean chunk costs one allocation-free
+// pass (obs::first_nonfinite — the same scan machinery the probes use);
+// the repair/throw paths only run on actual faults. Saturation and
+// denormal checks are opt-in because they cost a second pass.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ofdm::rf {
+
+enum class GuardPolicy { kReport, kThrow, kZero, kClamp };
+
+struct GuardConfig {
+  GuardPolicy policy = GuardPolicy::kReport;
+  /// |sample| above which an output sample counts as saturated; 0
+  /// disables the saturation check. Must be > 0 for Clamp.
+  double saturation_threshold = 0.0;
+  /// Also count (and under Zero/Clamp flush) denormal components.
+  bool check_denormals = false;
+};
+
+/// Per-block guard state: the health counters plus the identity the
+/// Throw policy reports. Addresses are stable for the lifetime of the
+/// owning GuardSet.
+class NumericGuard {
+ public:
+  NumericGuard(std::string name, std::size_t position,
+               const GuardConfig* cfg)
+      : name_(std::move(name)), position_(position), cfg_(cfg) {}
+
+  /// Sweep one output chunk at a chunk boundary, applying the policy.
+  /// May modify `out` (Zero/Clamp) or throw ofdm::StreamError (Throw).
+  void scan(cvec& out);
+
+  const std::string& name() const { return name_; }
+  std::size_t position() const { return position_; }
+
+  /// Absolute output-stream offset of the next sample this guard will
+  /// see (== total samples swept so far).
+  std::uint64_t samples_seen() const { return samples_seen_; }
+
+  std::uint64_t nan_samples() const { return nan_; }
+  std::uint64_t inf_samples() const { return inf_; }
+  std::uint64_t nonfinite_samples() const { return nan_ + inf_; }
+  std::uint64_t denormal_samples() const { return denormal_; }
+  std::uint64_t saturated_samples() const { return saturated_; }
+  /// Samples modified by the Zero/Clamp policies.
+  std::uint64_t repairs() const { return repairs_; }
+  /// Everything the guard has flagged, repaired or not.
+  std::uint64_t faults() const {
+    return nan_ + inf_ + denormal_ + saturated_;
+  }
+
+  void reset() {
+    samples_seen_ = nan_ = inf_ = denormal_ = saturated_ = repairs_ = 0;
+  }
+
+ private:
+  [[noreturn]] void raise(std::uint64_t offset) const;
+  void slow_scan(cvec& out, std::size_t from, std::uint64_t base);
+
+  std::string name_;
+  std::size_t position_;
+  const GuardConfig* cfg_;
+  std::uint64_t samples_seen_ = 0;
+  std::uint64_t nan_ = 0;
+  std::uint64_t inf_ = 0;
+  std::uint64_t denormal_ = 0;
+  std::uint64_t saturated_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+/// Owns the guards for one protected graph, mirroring obs::ProbeSet: a
+/// deque keeps guard addresses stable as blocks register, so rf::Block
+/// holds a raw pointer. The set must outlive the guarded blocks (or the
+/// blocks must detach first).
+class GuardSet {
+ public:
+  explicit GuardSet(GuardConfig cfg = {});
+
+  GuardSet(const GuardSet&) = delete;
+  GuardSet& operator=(const GuardSet&) = delete;
+
+  /// Register a guard under `name`; its position is the attach order.
+  /// Duplicate names get a #k suffix, as probes do.
+  NumericGuard& add(std::string name);
+
+  const GuardConfig& config() const { return cfg_; }
+  std::size_t size() const { return guards_.size(); }
+  const NumericGuard& at(std::size_t i) const { return guards_.at(i); }
+  NumericGuard& at(std::size_t i) { return guards_.at(i); }
+
+  /// Guard by exact (possibly suffixed) name; nullptr when absent.
+  const NumericGuard* find(const std::string& name) const;
+
+  /// Zero every guard's counters (registrations stay).
+  void reset();
+
+  std::uint64_t total_faults() const;
+  std::uint64_t total_repairs() const;
+
+ private:
+  GuardConfig cfg_;
+  std::deque<NumericGuard> guards_;
+};
+
+}  // namespace ofdm::rf

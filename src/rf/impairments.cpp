@@ -43,4 +43,8 @@ void PhaseNoise::process(std::span<const cplx> in, cvec& out) {
 
 void PhaseNoise::reset() { lo_.reset(); }
 
+void PhaseNoise::save_state(StateWriter& w) const { lo_.save(w); }
+
+void PhaseNoise::load_state(StateReader& r) { lo_.load(r); }
+
 }  // namespace ofdm::rf

@@ -52,6 +52,9 @@ class PhaseNoise : public Block {
   void reset() override;
   std::string name() const override { return "phase-noise"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   Oscillator lo_;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -144,6 +145,90 @@ void Netlist::detach_probes() {
   for (Node& node : nodes_) {
     if (node.source) node.source->set_probe(nullptr);
     if (node.block) node.block->set_probe(nullptr);
+  }
+}
+
+void Netlist::attach_guards(GuardSet& guards) {
+  for (Node& node : nodes_) {
+    if (node.source) {
+      node.source->set_guard(&guards.add(node.source->name()));
+    } else {
+      node.block->set_guard(&guards.add(node.block->name()));
+    }
+  }
+}
+
+void Netlist::detach_guards() {
+  for (Node& node : nodes_) {
+    if (node.source) node.source->set_guard(nullptr);
+    if (node.block) node.block->set_guard(nullptr);
+  }
+}
+
+namespace {
+// "OFDMSNAP" as a little-endian u64, plus the format version.
+constexpr std::uint64_t kSnapshotMagic = 0x50414E534D44464FULL;
+constexpr std::uint64_t kSnapshotVersion = 1;
+}  // namespace
+
+void Netlist::snapshot(StateWriter& w) const {
+  w.u64(kSnapshotMagic);
+  w.u64(kSnapshotVersion);
+  w.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    const std::string name =
+        node.is_source() ? node.source->name() : node.block->name();
+    w.begin_node(name);
+    if (node.is_source()) {
+      node.source->save_state(w);
+    } else {
+      node.block->save_state(w);
+    }
+    w.end_node();
+  }
+}
+
+std::vector<std::uint8_t> Netlist::snapshot() const {
+  StateWriter w;
+  snapshot(w);
+  return w.bytes();
+}
+
+void Netlist::restore(StateReader& r) {
+  if (r.u64() != kSnapshotMagic) {
+    throw StateError("Netlist::restore: not a netlist snapshot "
+                     "(bad magic)");
+  }
+  const std::uint64_t version = r.u64();
+  if (version != kSnapshotVersion) {
+    throw StateError("Netlist::restore: unsupported snapshot version " +
+                     std::to_string(version));
+  }
+  const std::uint64_t count = r.u64();
+  if (count != nodes_.size()) {
+    throw StateError("Netlist::restore: snapshot has " +
+                     std::to_string(count) + " nodes, graph has " +
+                     std::to_string(nodes_.size()));
+  }
+  for (Node& node : nodes_) {
+    const std::string name =
+        node.is_source() ? node.source->name() : node.block->name();
+    r.enter_node(name);
+    if (node.is_source()) {
+      node.source->load_state(r);
+    } else {
+      node.block->load_state(r);
+    }
+    r.exit_node();
+  }
+}
+
+void Netlist::restore(std::span<const std::uint8_t> bytes) {
+  StateReader r(bytes);
+  restore(r);
+  if (!r.done()) {
+    throw StateError("Netlist::restore: trailing bytes after the last "
+                     "node -- snapshot from a different graph?");
   }
 }
 

@@ -4,7 +4,9 @@
 // semantics; fan-out broadcasts the same stream to every consumer.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,24 @@ class Netlist {
 
   /// Detach every node's probe.
   void detach_probes();
+
+  /// Register and attach one numerical-health guard per node (sources
+  /// included), in node insertion order; lifetime rules as for probes.
+  void attach_guards(GuardSet& guards);
+
+  /// Detach every node's guard.
+  void detach_guards();
+
+  /// Checkpoint: serialize every node's streaming state into a named,
+  /// length-prefixed frame (plus a magic/version header), so a long run
+  /// can be resumed bit-identically by restore().
+  void snapshot(StateWriter& w) const;
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Restore a snapshot into this (identically built) graph; throws
+  /// ofdm::StateError on a header/shape/name mismatch or truncation.
+  void restore(StateReader& r);
+  void restore(std::span<const std::uint8_t> bytes);
 
   std::size_t node_count() const { return nodes_.size(); }
 

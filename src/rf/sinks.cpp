@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -31,6 +32,18 @@ double PowerMeter::papr_db() const {
   return avg > 0.0 ? to_db(peak_ / avg) : 0.0;
 }
 
+void PowerMeter::save_state(StateWriter& w) const {
+  w.f64(acc_);
+  w.f64(peak_);
+  w.u64(count_);
+}
+
+void PowerMeter::load_state(StateReader& r) {
+  acc_ = r.f64();
+  peak_ = r.f64();
+  count_ = r.u64();
+}
+
 Capture::Capture(std::size_t max_samples) : max_samples_(max_samples) {}
 
 void Capture::process(std::span<const cplx> in, cvec& out) {
@@ -43,6 +56,10 @@ void Capture::process(std::span<const cplx> in, cvec& out) {
 }
 
 void Capture::reset() { buffer_.clear(); }
+
+void Capture::save_state(StateWriter& w) const { w.vec_c(buffer_); }
+
+void Capture::load_state(StateReader& r) { r.vec_c(buffer_); }
 
 SpectrumAnalyzer::SpectrumAnalyzer(dsp::WelchConfig cfg,
                                    std::size_t max_samples)
@@ -58,6 +75,12 @@ void SpectrumAnalyzer::process(std::span<const cplx> in, cvec& out) {
 }
 
 void SpectrumAnalyzer::reset() { buffer_.clear(); }
+
+void SpectrumAnalyzer::save_state(StateWriter& w) const {
+  w.vec_c(buffer_);
+}
+
+void SpectrumAnalyzer::load_state(StateReader& r) { r.vec_c(buffer_); }
 
 dsp::Psd SpectrumAnalyzer::psd() const { return dsp::welch_psd(buffer_, cfg_); }
 

@@ -15,6 +15,9 @@ class PowerMeter : public Block {
   void reset() override;
   std::string name() const override { return "power-meter"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   double average_power() const;
   double peak_power() const { return peak_; }
   double papr_db() const;
@@ -36,6 +39,9 @@ class Capture : public Block {
   void reset() override;
   std::string name() const override { return "capture"; }
 
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
   const cvec& samples() const { return buffer_; }
 
  private:
@@ -54,6 +60,9 @@ class SpectrumAnalyzer : public Block {
   void process(std::span<const cplx> in, cvec& out) override;
   void reset() override;
   std::string name() const override { return "spectrum-analyzer"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   /// PSD of everything captured so far.
   dsp::Psd psd() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
 
 namespace ofdm::rf {
 
@@ -19,8 +20,14 @@ void Submodel::set_payload_generator(PayloadGenerator gen) {
 
 void Submodel::configure(core::OfdmParams params) {
   tx_.configure(std::move(params));
+  // Flush *all* streaming state, not just the buffered tail: the frame
+  // counter restarts and the payload PRNG is reseeded, so the stream
+  // from here on is exactly what a freshly built Submodel of the new
+  // standard would emit.
   buffer_.clear();
   read_pos_ = 0;
+  frames_ = 0;
+  rng_ = Rng(payload_seed_);
 }
 
 void Submodel::refill() {
@@ -62,6 +69,30 @@ std::string Submodel::name() const {
   return "submodel[" + core::standard_name(tx_.params().standard) + "]";
 }
 
+void Submodel::save_state(StateWriter& w) const {
+  // Record the standard so a restore into a differently configured
+  // Submodel fails loudly instead of resuming the wrong waveform.
+  w.str(core::standard_name(tx_.params().standard));
+  rng_.save(w);
+  w.u64(frames_);
+  w.u64(read_pos_);
+  w.vec_c(buffer_);
+}
+
+void Submodel::load_state(StateReader& r) {
+  const std::string standard = r.str();
+  const std::string mine = core::standard_name(tx_.params().standard);
+  if (standard != mine) {
+    throw StateError("Submodel::load_state: snapshot was taken from '" +
+                     standard + "' but this submodel is configured for '" +
+                     mine + "'");
+  }
+  rng_.load(r);
+  frames_ = r.u64();
+  read_pos_ = r.u64();
+  r.vec_c(buffer_);
+}
+
 ToneSource::ToneSource(double freq_hz, double sample_rate, double amplitude)
     : phase_step_(kTwoPi * freq_hz / sample_rate), amplitude_(amplitude) {
   OFDM_REQUIRE(sample_rate > 0.0, "ToneSource: sample rate must be > 0");
@@ -76,5 +107,9 @@ void ToneSource::pull(std::size_t n, cvec& out) {
 }
 
 void ToneSource::reset() { phase_ = 0.0; }
+
+void ToneSource::save_state(StateWriter& w) const { w.f64(phase_); }
+
+void ToneSource::load_state(StateReader& r) { phase_ = r.f64(); }
 
 }  // namespace ofdm::rf

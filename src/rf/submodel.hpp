@@ -31,7 +31,11 @@ class Submodel : public Source {
   void set_payload_generator(PayloadGenerator gen);
 
   /// Reconfigure to a different standard *in place* — the Mother Model
-  /// reconfiguration exposed at the RF-simulator level.
+  /// reconfiguration exposed at the RF-simulator level. All streaming
+  /// state is flushed (buffered samples from the previous standard, the
+  /// frame/gap position, the frame counter) and the payload PRNG is
+  /// reseeded, so the stream continues exactly as a freshly constructed
+  /// Submodel of the new standard would start.
   void configure(core::OfdmParams params);
 
   const core::OfdmParams& params() const { return tx_.params(); }
@@ -44,6 +48,13 @@ class Submodel : public Source {
   void pull(std::size_t n, cvec& out) override;
   void reset() override;
   std::string name() const override;
+
+  /// Checkpoint/restore: captures the payload PRNG, the buffered frame
+  /// tail and read position, and the frame counter. A custom payload
+  /// generator's own state is NOT captured — with one attached, resume
+  /// is bit-identical only if the generator is itself reproducible.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   void refill();
@@ -67,6 +78,9 @@ class ToneSource : public Source {
   void pull(std::size_t n, cvec& out) override;
   void reset() override;
   std::string name() const override { return "tone"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   double phase_step_;

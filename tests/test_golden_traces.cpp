@@ -20,10 +20,13 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "core/profiles.hpp"
 #include "core/transmitter.hpp"
 #include "obs/stream_hash.hpp"
 #include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
 #include "rf/pa.hpp"
 #include "rf/submodel.hpp"
@@ -33,7 +36,8 @@ namespace {
 
 struct GoldenEntry {
   const char* standard;
-  std::uint64_t hash;
+  std::uint64_t hash;        // single modulated burst (tx only)
+  std::uint64_t graph_hash;  // burst streamed through the golden graph
 };
 
 constexpr GoldenEntry kGoldenTraces[] = {
@@ -52,6 +56,70 @@ cvec golden_burst(core::Standard standard, std::size_t threads) {
   const bitvec payload = rng.bits(std::clamp<std::size_t>(
       tx.recommended_payload_bits(), 200, 4000));
   return tx.modulate(payload).samples;
+}
+
+/// The golden RF graph: a Submodel streaming into a small stateful chain
+/// (gain, static multipath, digital IF shift, soft-clip PA). Every block
+/// carries streaming state across chunk boundaries, which is exactly what
+/// the snapshot-resume test must preserve bit-identically.
+struct GoldenGraph {
+  rf::Submodel source;
+  rf::Chain chain;
+
+  explicit GoldenGraph(core::Standard standard)
+      : source(core::profile_for(standard), 31, kPayloadSeed) {
+    chain.add<rf::Gain>(-3.0);
+    chain.add<rf::MultipathChannel>(rf::exponential_pdp_taps(1.5, 4, 7));
+    chain.add<rf::FrequencyShift>(1e4, 1e6);
+    chain.add<rf::SoftClipPa>(0.9);
+  }
+
+  /// Stream `chunks` chunks of kGraphChunk samples, folding the chain
+  /// output into `hash`.
+  void run(std::size_t chunks, obs::StreamHash& hash) {
+    cvec in;
+    cvec out;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      source.pull(kGraphChunk, in);
+      chain.process(in, out);
+      hash.update(out);
+    }
+  }
+
+  /// Serialize source + chain as two named frames.
+  std::vector<std::uint8_t> checkpoint() const {
+    StateWriter w;
+    w.begin_node(source.name());
+    source.save_state(w);
+    w.end_node();
+    w.begin_node(chain.name());
+    chain.save_state(w);
+    w.end_node();
+    return w.bytes();
+  }
+
+  void restore(std::span<const std::uint8_t> bytes) {
+    StateReader r(bytes);
+    r.enter_node(source.name());
+    source.load_state(r);
+    r.exit_node();
+    r.enter_node(chain.name());
+    chain.load_state(r);
+    r.exit_node();
+    ASSERT_TRUE(r.done());
+  }
+
+  // Deliberately not a divisor of any frame length: chunk boundaries cut
+  // through frames, gaps, and filter delay lines.
+  static constexpr std::size_t kGraphChunk = 997;
+  static constexpr std::size_t kGraphChunks = 6;
+};
+
+std::uint64_t golden_graph_hash(core::Standard standard) {
+  GoldenGraph g(standard);
+  obs::StreamHash hash;
+  g.run(GoldenGraph::kGraphChunks, hash);
+  return hash.digest();
 }
 
 const GoldenEntry* find_golden(const std::string& name) {
@@ -81,6 +149,41 @@ TEST_P(GoldenTraces, ThreadedPipelineIsBitExact) {
   ASSERT_EQ(sequential.size(), threaded.size());
   EXPECT_EQ(obs::hash_samples(sequential), obs::hash_samples(threaded))
       << core::standard_name(GetParam());
+}
+
+TEST_P(GoldenTraces, GraphRunMatchesCheckedInHash) {
+  const std::string name = core::standard_name(GetParam());
+  const GoldenEntry* golden = find_golden(name);
+  ASSERT_NE(golden, nullptr)
+      << name << " missing from golden_traces.inc -- rerun with --regen";
+  EXPECT_EQ(golden_graph_hash(GetParam()), golden->graph_hash)
+      << name << ": RF-graph stream changed at the bit level. If "
+      << "intentional, regenerate with: test_golden_traces --regen";
+}
+
+// The checkpoint/restore acceptance test: interrupt the golden graph at
+// a chunk boundary, snapshot it, restore the snapshot into a *freshly
+// built* graph, finish the run there — and require the concatenated
+// stream to hash to the same golden digest as the uninterrupted run.
+TEST_P(GoldenTraces, SnapshotResumeIsBitIdentical) {
+  const std::string name = core::standard_name(GetParam());
+  const GoldenEntry* golden = find_golden(name);
+  ASSERT_NE(golden, nullptr)
+      << name << " missing from golden_traces.inc -- rerun with --regen";
+
+  obs::StreamHash hash;
+  std::vector<std::uint8_t> snapshot;
+  {
+    GoldenGraph first(GetParam());
+    first.run(3, hash);
+    snapshot = first.checkpoint();
+    // `first` is destroyed here: resume must work from bytes alone.
+  }
+  GoldenGraph resumed(GetParam());
+  resumed.restore(snapshot);
+  resumed.run(GoldenGraph::kGraphChunks - 3, hash);
+  EXPECT_EQ(hash.digest(), golden->graph_hash)
+      << name << ": snapshot-resume diverged from the uninterrupted run";
 }
 
 INSTANTIATE_TEST_SUITE_P(Family, GoldenTraces,
@@ -127,16 +230,18 @@ int regenerate() {
     return 1;
   }
   std::fprintf(f,
-               "// Golden output-stream hashes, one per family member.\n"
+               "// Golden output-stream hashes, one per family member:\n"
+               "// {standard, tx burst hash, RF-graph stream hash}.\n"
                "// Generated by: test_golden_traces --regen -- do not "
                "edit by hand.\n");
   for (core::Standard s : core::kStandardFamily) {
     const cvec samples = golden_burst(s, 1);
-    std::fprintf(f, "{\"%s\", 0x%016" PRIx64 "ULL},\n",
-                 core::standard_name(s).c_str(),
-                 obs::hash_samples(samples));
-    std::printf("%-20s %016" PRIx64 "\n", core::standard_name(s).c_str(),
-                obs::hash_samples(samples));
+    const std::uint64_t tx_hash = obs::hash_samples(samples);
+    const std::uint64_t graph_hash = golden_graph_hash(s);
+    std::fprintf(f, "{\"%s\", 0x%016" PRIx64 "ULL, 0x%016" PRIx64 "ULL},\n",
+                 core::standard_name(s).c_str(), tx_hash, graph_hash);
+    std::printf("%-20s %016" PRIx64 "  %016" PRIx64 "\n",
+                core::standard_name(s).c_str(), tx_hash, graph_hash);
   }
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());

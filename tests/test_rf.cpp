@@ -233,6 +233,31 @@ TEST(Submodel, ReconfigurationChangesTheStream) {
   for (const cplx& v : head) EXPECT_EQ(std::abs(v), 0.0);
 }
 
+TEST(Submodel, ReconfigurationFlushesAllStreamingState) {
+  // Mid-stream reconfiguration through three standards: after every
+  // configure() the stream must be exactly what a freshly constructed
+  // Submodel of that standard emits — no buffered tail from the old
+  // standard, no advanced payload PRNG, no stale frame counter.
+  Submodel src(core::profile_wlan_80211a(), 64, 17);
+  src.pull(777);  // stop mid-frame so there is a tail to flush
+
+  for (const auto& make : {+[] { return core::profile_adsl(); },
+                           +[] { return core::profile_drm(); }}) {
+    src.configure(make());
+    EXPECT_EQ(src.frames_generated(), 0u);
+    const cvec got = src.pull(1500);
+    Submodel fresh(make(), 64, 17);
+    const cvec want = fresh.pull(1500);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "sample " << i << " after switch to "
+                                 << core::standard_name(
+                                        src.params().standard);
+    }
+    src.pull(333);  // advance mid-frame again before the next switch
+  }
+}
+
 TEST(Chain, ComposesBlocksInOrder) {
   Chain chain;
   chain.add<Gain>(6.0);

@@ -15,6 +15,7 @@
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "rf/chain.hpp"
+#include "rf/guard.hpp"
 #include "rf/channel.hpp"
 #include "rf/fading.hpp"
 #include "rf/frontend.hpp"
@@ -122,6 +123,42 @@ TEST(ZeroAlloc, ProbedAndTracedSteadyStateDoesNotAllocate) {
   // The probes really were live while we measured.
   EXPECT_GE(probes.at(0).invocations(), 9u);
   EXPECT_GT(obs::Tracer::instance().recorded(), 0u);
+}
+
+TEST(ZeroAlloc, GuardedSteadyStateDoesNotAllocate) {
+  // Numerical-health guards ride the same observed call path as probes;
+  // with a clean signal the per-chunk cost is one finiteness pass and no
+  // heap traffic — even under the mutating Zero policy.
+  ToneSource source(1e6, 20e6, 0.7);
+  Chain chain;
+  chain.add<Gain>(-3.0);
+  chain.add<RappPa>(2.0, 1.0);
+  chain.add<AwgnChannel>(1e-3);
+  chain.add<PowerMeter>();
+
+  GuardSet guards({.policy = GuardPolicy::kZero});
+  chain.attach_guards(guards);
+  source.set_guard(&guards.add(source.name()));
+
+  run(source, chain, 4 * 4096);  // warm-up
+
+  cvec in;
+  cvec out;
+  source.pull_observed(4096, in);
+  chain.process(in, out);
+  const std::size_t allocs = count_allocs([&] {
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      source.pull_observed(4096, in);
+      chain.process(in, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.size(), 4096u);
+  // The guards really were live while we measured...
+  EXPECT_GE(guards.at(0).samples_seen(), 9u * 4096u);
+  // ...and a healthy graph needed no repairs.
+  EXPECT_EQ(guards.total_faults(), 0u);
+  EXPECT_EQ(guards.total_repairs(), 0u);
 }
 
 TEST(ZeroAlloc, RateChangersReuseTheirBuffers) {
