@@ -1,0 +1,146 @@
+// End-to-end RF-graph throughput: sequential driver vs the
+// pipeline-parallel executor at 2/4/8 stages.
+//
+// One representative graph (Submodel source into the reference
+// impairment chain) is driven for a fixed sample budget under each
+// executor configuration; every configuration gets a fresh graph and a
+// warm-up pass so buffer growth and cold caches stay out of the
+// numbers. The JSON goes to BENCH_graph.json at the repo root and is
+// gated by bench/regress.py --graph.
+//
+// Note the speedup column is relative to the sequential run on the
+// *same* machine: on a single hardware thread the pipeline cannot beat
+// sequential (the stages time-slice one core and pay the queue
+// hand-off), which is why regress.py compares against a checked-in
+// baseline from the same environment rather than an absolute ratio.
+//
+// Usage:
+//   bench_graph [--samples N] [--chunk N] [--out FILE] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/profiles.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/impairments.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
+
+namespace {
+
+using namespace ofdm;
+
+/// Same line-up as bench_report_blocks: one of each impairment family,
+/// so per-stage cost is roughly balanced across the pipeline split.
+void build_chain(rf::Chain& chain) {
+  chain.add<rf::Gain>(-3.0);
+  chain.add<rf::IqImbalance>(0.3, 1.5);
+  chain.add<rf::PhaseNoise>(40.0, 20e6, 12345);
+  chain.add<rf::RappPa>(2.0, 1.0);
+  chain.add<rf::MultipathChannel>(rf::exponential_pdp_taps(2.0, 8, 77));
+  chain.add<rf::AwgnChannel>(1e-3, 99);
+  chain.add<rf::PowerMeter>();
+}
+
+struct Config {
+  const char* name;
+  rf::RunOptions opts;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 1u << 21;
+  std::size_t chunk = 4096;
+  std::string out_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") {
+      total = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--chunk") {
+      chunk = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "usage: bench_graph [--samples N] [--chunk N]"
+                   " [--out FILE] [--quiet]\n";
+      return 2;
+    }
+  }
+
+  const Config configs[] = {
+      {"sequential", {.threads = 1, .queue_depth = 4}},
+      {"stages2", {.threads = 2, .queue_depth = 4}},
+      {"stages4", {.threads = 4, .queue_depth = 4}},
+      {"stages8", {.threads = 8, .queue_depth = 4}},
+  };
+
+  std::ostringstream json;
+  json << "{\n \"samples\": " << total << ",\n \"chunk\": " << chunk
+       << ",\n \"configs\": [\n";
+  double sequential_msps = 0.0;
+  bool first = true;
+  for (const Config& cfg : configs) {
+    rf::Submodel source(
+        core::profile_for(core::Standard::kWlan80211a));
+    rf::Chain chain;
+    build_chain(chain);
+
+    rf::run(source, chain, 4 * chunk, chunk, cfg.opts);  // warm-up
+    const rf::RunStats stats =
+        rf::run(source, chain, total, chunk, cfg.opts);
+
+    const double msps =
+        static_cast<double>(stats.samples_in) / stats.elapsed_seconds / 1e6;
+    if (cfg.opts.threads == 1) sequential_msps = msps;
+    const double speedup =
+        sequential_msps > 0.0 ? msps / sequential_msps : 0.0;
+    if (!quiet) {
+      std::printf("%-12s threads=%zu  %8.2f Msps  speedup %5.2fx  "
+                  "(elapsed %.3fs, block %.3fs",
+                  cfg.name, cfg.opts.threads, msps, speedup,
+                  stats.elapsed_seconds, stats.block_seconds);
+      for (const obs::StageStats& st : stats.stages) {
+        std::printf(", %s busy %.0fms stall %.0fms", st.name.c_str(),
+                    st.busy_seconds * 1e3, st.stall_seconds * 1e3);
+      }
+      std::printf(")\n");
+    }
+    if (!first) json << ",\n";
+    json << "  {\"name\": \"" << cfg.name
+         << "\", \"threads\": " << cfg.opts.threads
+         << ", \"stages\": " << stats.stages.size()
+         << ", \"msps\": " << msps << ", \"speedup\": " << speedup << "}";
+    first = false;
+  }
+  json << "\n ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    f << json.str();
+    if (!quiet) std::cout << "wrote " << out_path << "\n";
+  } else if (quiet) {
+    std::cout << json.str();
+  }
+  return 0;
+}

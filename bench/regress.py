@@ -14,10 +14,19 @@ all ten standards) and compares each block's throughput against the
 BENCH_blocks.json baseline, so a regression is pinned to the exact
 block (e.g. "multipath in DVB-T") instead of a whole benchmark.
 
+--graph runs bench_graph (end-to-end RF-graph throughput, sequential
+driver vs the pipeline-parallel executor at 2/4/8 stages) and compares
+each configuration's throughput against the BENCH_graph.json baseline.
+The gate is machine-relative on purpose: absolute pipeline speedup
+depends on the host's core count, so what CI enforces is that neither
+the sequential driver nor any executor configuration got slower
+relative to the checked-in numbers from the same environment.
+
 Usage:
     python3 bench/regress.py [--build-dir build] [--tolerance 0.15]
                              [--min-time 1] [--check-only]
     python3 bench/regress.py --blocks [--tolerance 0.35] [--check-only]
+    python3 bench/regress.py --graph [--tolerance 0.35] [--check-only]
 """
 
 import argparse
@@ -29,6 +38,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
 BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
+GRAPH_FILE = REPO_ROOT / "BENCH_graph.json"
 
 
 def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
@@ -133,6 +143,47 @@ def compare_blocks(old: dict, new: dict, tolerance: float) -> bool:
     return ok
 
 
+def run_graph(build_dir: pathlib.Path, samples: int) -> dict:
+    exe = build_dir / "bench" / "bench_graph"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found -- build the repo first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    out = build_dir / "bench_graph_tmp.json"
+    subprocess.run(
+        [str(exe), "--samples", str(samples), "--out", str(out), "--quiet"],
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    with open(out) as f:
+        return json.load(f)
+
+
+def compare_graph(old: dict, new: dict, tolerance: float) -> bool:
+    """Per-configuration throughput ratios vs the baseline; True if
+    clean. Ratios are machine-relative -- the baseline must come from
+    the same environment for the gate to mean anything."""
+    ok = True
+    old_by_name = {c["name"]: c for c in old.get("configs", [])}
+    print(f"\n{'config':<14s} {'threads':>7s} {'old Msps':>10s} "
+          f"{'new Msps':>10s} {'ratio':>7s}")
+    for cfg in new.get("configs", []):
+        new_msps = cfg.get("msps", 0.0)
+        prev = old_by_name.get(cfg["name"])
+        if prev is None or not new_msps:
+            print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
+                  f"{'-':>10s} {new_msps:10.2f} {'new':>7s}")
+            continue
+        old_msps = prev.get("msps", 0.0)
+        ratio = new_msps / old_msps if old_msps else float("inf")
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            flag = "  <-- REGRESSION"
+            ok = False
+        print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
+              f"{old_msps:10.2f} {new_msps:10.2f} {ratio:6.2f}x{flag}")
+    return ok
+
+
 def load_baseline(path: pathlib.Path) -> dict:
     """Read a baseline JSON file, exiting with a one-line error (no
     traceback) when it is unreadable or malformed."""
@@ -173,12 +224,27 @@ gating:
                     help="per-block attribution mode: run "
                          "bench_report_blocks and compare each block's "
                          "throughput against BENCH_blocks.json")
+    ap.add_argument("--graph", action="store_true",
+                    help="graph-executor mode: run bench_graph "
+                         "(sequential vs 2/4/8 pipeline stages) and "
+                         "compare each configuration's throughput "
+                         "against BENCH_graph.json")
     ap.add_argument("--samples", type=int, default=1 << 20,
-                    help="samples per standard in --blocks mode "
-                         "(default: 1048576)")
+                    help="samples per standard in --blocks mode / total "
+                         "samples in --graph mode (default: 1048576)")
     args = ap.parse_args()
 
-    if args.blocks:
+    if args.blocks and args.graph:
+        ap.error("--blocks and --graph are mutually exclusive")
+
+    if args.graph:
+        report = run_graph(REPO_ROOT / args.build_dir, args.samples)
+        baseline_file = GRAPH_FILE
+        compare_fn = compare_graph
+        # Single-run end-to-end timings under thread scheduling: widen
+        # the default gate the same way --blocks does.
+        tolerance = max(args.tolerance, 0.35)
+    elif args.blocks:
         report = run_blocks(REPO_ROOT / args.build_dir, args.samples)
         baseline_file = BLOCKS_FILE
         compare_fn = compare_blocks

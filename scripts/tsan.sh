@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Release + ThreadSanitizer run of the threaded symbol-pipeline tests.
+# Release + ThreadSanitizer run of the repo's concurrent code paths.
 #
-# The SymbolPipeline worker pool is the only concurrent code in the
-# repo; this job builds the pipeline and transmitter tests in a separate
-# build tree with -fsanitize=thread and runs them under ctest, so data
-# races in the pool (claim cursor, batch hand-off, completion wait)
-# are caught even when the plain test suite passes.
+# Two worker pools exist: the SymbolPipeline (threaded transmitter) and
+# the pipeline-parallel graph executor (SPSC chunk queues + recycling
+# slot pools, rf/executor/). This job builds their test suites in a
+# separate build tree with -fsanitize=thread and runs them under ctest,
+# so data races in the claim cursor / batch hand-off / completion wait
+# (pipeline) and queue indices / slot recycling / pass-through swaps /
+# observed calls from worker stages (executor — test_executor drives a
+# deep netlist with fan-in, guards and probes under 4 stages) are
+# caught even when the plain test suite passes.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,6 +19,6 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "${build}" -j --target test_pipeline test_transmitter
-ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter' \
+cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor
+ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter|test_executor' \
   --output-on-failure "$@"

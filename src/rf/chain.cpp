@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "rf/executor/executor.hpp"
 
 namespace ofdm::rf {
 
@@ -80,10 +81,22 @@ void Chain::load_state(StateReader& r) {
 }
 
 RunStats run(Source& source, Chain& chain, std::size_t total,
-             std::size_t chunk) {
+             std::size_t chunk, const RunOptions& opts) {
   using clock = std::chrono::steady_clock;
   OFDM_REQUIRE(chunk > 0 || total == 0,
                "rf::run: chunk size must be positive");
+  if (opts.threads > 1 && chain.size() >= 1 && total > 0) {
+    // Pipeline-parallel path: source + blocks as a linear topo order.
+    std::vector<exec::WorkItem> items(chain.size() + 1);
+    items.front().source = &source;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      items[i + 1].block = &chain.at(i);
+      items[i + 1].inputs.push_back(i);
+    }
+    items.back().leaf = true;
+    exec::PipelineExecutor executor(std::move(items), opts);
+    return executor.run(total, chunk);
+  }
   RunStats stats;
   const auto t0 = clock::now();
   cvec in;
@@ -93,9 +106,11 @@ RunStats run(Source& source, Chain& chain, std::size_t total,
     const std::size_t n = std::min(chunk, total - produced);
     const auto s0 = clock::now();
     source.pull_observed(n, in);
-    stats.source_seconds +=
-        std::chrono::duration<double>(clock::now() - s0).count();
+    const auto s1 = clock::now();
+    stats.source_seconds += std::chrono::duration<double>(s1 - s0).count();
     chain.process(in, out);
+    stats.block_seconds +=
+        std::chrono::duration<double>(clock::now() - s1).count();
     stats.samples_in += in.size();
     stats.samples_out += out.size();
     produced += n;

@@ -1,0 +1,69 @@
+// Recycling chunk-slot pool for one stage boundary.
+//
+// Every value that crosses a stage boundary travels inside a Slot: a
+// fixed set of sample buffers (one per crossing edge) that ping-pongs
+// between the producer and consumer stages through two SPSC rings —
+// the executor's "filled" queue carries ready slots downstream, and the
+// pool's free ring carries drained slots back upstream. The pool owns
+// `depth` slots, so at most `depth` chunks are ever in flight across a
+// boundary (that bound *is* the backpressure), and after each buffer has
+// grown to its steady-state capacity the recycling loop never touches
+// the heap again.
+//
+// Ownership protocol (single-owner at every instant):
+//   producer: acquire() -> fill bufs -> hand to the filled queue
+//   consumer: pop filled -> read/steal bufs -> release()
+// acquire() is called only by the producer stage and release() only by
+// the consumer stage, so the free ring is SPSC too.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rf/executor/spsc_queue.hpp"
+
+namespace ofdm::rf::exec {
+
+/// One in-flight chunk crossing a stage boundary: buffer k holds the
+/// output of the k-th crossing edge, in ascending topo-position order.
+struct Slot {
+  std::vector<cvec> bufs;
+};
+
+class ChunkPool {
+ public:
+  /// `depth` slots of `width` buffers each; every buffer reserves
+  /// `reserve_samples` up front so a nominal chunk never reallocates.
+  ChunkPool(std::size_t depth, std::size_t width,
+            std::size_t reserve_samples)
+      : slots_(depth), free_(depth) {
+    for (Slot& slot : slots_) {
+      slot.bufs.resize(width);
+      for (cvec& buf : slot.bufs) buf.reserve(reserve_samples);
+      // Pre-threading fill: the pool is built before any worker starts,
+      // so this is the one place both queue roles run on one thread.
+      free_.try_push(&slot);
+    }
+  }
+
+  /// Producer side: take a free slot; nullptr when none is available
+  /// (the consumer still owns all `depth` slots — backpressure).
+  Slot* try_acquire() {
+    Slot* slot = nullptr;
+    free_.try_pop(slot);
+    return slot;
+  }
+
+  /// Consumer side: hand a drained slot back. Never fails — the pool
+  /// ring holds exactly as many slots as exist.
+  void release(Slot* slot) { free_.try_push(slot); }
+
+  std::size_t depth() const { return slots_.size(); }
+
+ private:
+  std::vector<Slot> slots_;
+  SpscQueue<Slot*> free_;
+};
+
+}  // namespace ofdm::rf::exec

@@ -1,0 +1,332 @@
+#include "rf/executor/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+#include "rf/executor/chunk_pool.hpp"
+#include "rf/executor/spsc_queue.hpp"
+
+namespace ofdm::rf::exec {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           t0)
+          .count());
+}
+
+// Tracer span names must outlive any snapshot, so stage labels are
+// static literals; graphs deeper than the table share the last one.
+constexpr const char* kStageLabels[] = {
+    "rf-stage0",  "rf-stage1",  "rf-stage2",  "rf-stage3",
+    "rf-stage4",  "rf-stage5",  "rf-stage6",  "rf-stage7",
+    "rf-stage8",  "rf-stage9",  "rf-stage10", "rf-stage11",
+    "rf-stage12", "rf-stage13", "rf-stage14", "rf-stage15+"};
+
+const char* stage_label(std::size_t s) {
+  constexpr std::size_t n = sizeof(kStageLabels) / sizeof(kStageLabels[0]);
+  return kStageLabels[std::min(s, n - 1)];
+}
+
+}  // namespace
+
+/// Everything one stage thread owns. Every field is written only by the
+/// stage's own thread while the pipeline runs; the driver reads the
+/// counters after the join (thread::join gives the happens-before).
+struct PipelineExecutor::Stage {
+  std::size_t index = 0;
+  std::size_t begin = 0;  // owned item positions [begin, end)
+  std::size_t end = 0;
+
+  // Boundary wiring (queues/pools owned by run(), shared with exactly
+  // one neighbour each, in the SPSC roles the types require).
+  SpscQueue<Slot*>* in_filled = nullptr;  // consumer side
+  ChunkPool* in_pool = nullptr;           // release side
+  SpscQueue<Slot*>* out_filled = nullptr;  // producer side
+  ChunkPool* out_pool = nullptr;           // acquire side
+  std::vector<std::size_t> in_positions;  // crossing positions entering
+  // Per owned item: index into the out slot's buffers, or SIZE_MAX for
+  // a stage-local destination.
+  std::vector<std::size_t> dest_out;
+  // Values produced before this stage and consumed after it: pairs of
+  // (in-slot buffer index, out-slot buffer index) forwarded by an O(1)
+  // buffer swap — capacities circulate among slots, never reallocate.
+  std::vector<std::pair<std::size_t, std::size_t>> passthrough;
+
+  // Reused storage, allocation-free once warm.
+  std::vector<cvec> local;          // per owned item without a slot dest
+  cvec fanin;                       // summing fan-in scratch
+  std::vector<const cvec*> value;   // position -> this chunk's buffer
+
+  // Counters (folded into RunStats after the join).
+  std::uint64_t samples_in = 0;
+  std::uint64_t samples_out = 0;
+  std::uint64_t source_ns = 0;
+  std::uint64_t block_ns = 0;
+  std::uint64_t stall_ns = 0;
+  std::uint64_t chunks_done = 0;
+};
+
+PipelineExecutor::PipelineExecutor(std::vector<WorkItem> items,
+                                   const RunOptions& opts)
+    : items_(std::move(items)) {
+  OFDM_REQUIRE(!items_.empty(), "PipelineExecutor: empty graph");
+  OFDM_REQUIRE(opts.threads >= 1, "RunOptions: threads must be >= 1");
+  OFDM_REQUIRE(opts.queue_depth >= 1,
+               "RunOptions: queue_depth must be >= 1");
+  n_stages_ = std::min(opts.threads, items_.size());
+  queue_depth_ = opts.queue_depth;
+  for (std::size_t p = 0; p < items_.size(); ++p) {
+    const WorkItem& item = items_[p];
+    OFDM_REQUIRE((item.source != nullptr) != (item.block != nullptr),
+                 "WorkItem: exactly one of source/block must be set");
+    OFDM_REQUIRE(item.source == nullptr || item.inputs.empty(),
+                 "WorkItem: a source cannot have inputs");
+    for (std::size_t q : item.inputs) {
+      OFDM_REQUIRE(q < p,
+                   "PipelineExecutor: item inputs must precede the item "
+                   "(not a topological order)");
+    }
+  }
+}
+
+RunStats PipelineExecutor::run(std::size_t total, std::size_t chunk) {
+  OFDM_REQUIRE(chunk > 0 || total == 0,
+               "PipelineExecutor: chunk size must be positive");
+  RunStats stats;
+  const auto t0 = clock::now();
+  if (total == 0) {
+    stats.elapsed_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
+    return stats;
+  }
+  const std::size_t chunks = (total + chunk - 1) / chunk;
+  const std::size_t n_items = items_.size();
+  const std::size_t n_stages = n_stages_;
+
+  // ---- Plan: contiguous equal-count partition of the topo order.
+  std::vector<std::size_t> stage_of(n_items);
+  std::vector<Stage> stages(n_stages);
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    stages[s].index = s;
+    stages[s].begin = n_items * s / n_stages;
+    stages[s].end = n_items * (s + 1) / n_stages;
+    for (std::size_t p = stages[s].begin; p < stages[s].end; ++p) {
+      stage_of[p] = s;
+    }
+  }
+  // Last stage that consumes each position (its own stage when unused).
+  std::vector<std::size_t> last_cons(n_items);
+  for (std::size_t p = 0; p < n_items; ++p) last_cons[p] = stage_of[p];
+  for (std::size_t p = 0; p < n_items; ++p) {
+    for (std::size_t q : items_[p].inputs) {
+      last_cons[q] = std::max(last_cons[q], stage_of[p]);
+    }
+  }
+  // Boundary b sits between stage b and b+1; its crossing set is every
+  // position produced at or before b and consumed after b (ascending).
+  std::vector<std::vector<std::size_t>> crossing(
+      n_stages > 0 ? n_stages - 1 : 0);
+  for (std::size_t b = 0; b + 1 < n_stages; ++b) {
+    for (std::size_t p = 0; p < n_items; ++p) {
+      if (stage_of[p] <= b && b < last_cons[p]) crossing[b].push_back(p);
+    }
+  }
+  std::vector<std::unique_ptr<SpscQueue<Slot*>>> filled;
+  std::vector<std::unique_ptr<ChunkPool>> pools;
+  for (std::size_t b = 0; b + 1 < n_stages; ++b) {
+    filled.push_back(std::make_unique<SpscQueue<Slot*>>(queue_depth_));
+    pools.push_back(std::make_unique<ChunkPool>(
+        queue_depth_, crossing[b].size(), chunk));
+  }
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    Stage& st = stages[s];
+    st.value.assign(n_items, nullptr);
+    st.local.resize(st.end - st.begin);
+    st.dest_out.assign(st.end - st.begin, SIZE_MAX);
+    if (s > 0) {
+      st.in_filled = filled[s - 1].get();
+      st.in_pool = pools[s - 1].get();
+      st.in_positions = crossing[s - 1];
+    }
+    if (s + 1 < n_stages) {
+      st.out_filled = filled[s].get();
+      st.out_pool = pools[s].get();
+      for (std::size_t k = 0; k < crossing[s].size(); ++k) {
+        const std::size_t p = crossing[s][k];
+        if (stage_of[p] == s) {
+          st.dest_out[p - st.begin] = k;
+        } else {
+          // Produced upstream, still needed downstream: forward it.
+          const auto& in_set = crossing[s - 1];
+          const std::size_t j = static_cast<std::size_t>(
+              std::lower_bound(in_set.begin(), in_set.end(), p) -
+              in_set.begin());
+          st.passthrough.emplace_back(j, k);
+        }
+      }
+    }
+  }
+
+  // ---- Fault slot: earliest (chunk, stage) wins, matching what the
+  // sequential loop would have surfaced first.
+  std::mutex err_mutex;
+  std::exception_ptr error;
+  std::size_t err_chunk = SIZE_MAX;
+  std::size_t err_stage = SIZE_MAX;
+  std::atomic<bool> stop{false};
+  auto record_error = [&](std::size_t c, std::size_t s) {
+    std::lock_guard lk(err_mutex);
+    if (!error || c < err_chunk || (c == err_chunk && s < err_stage)) {
+      error = std::current_exception();
+      err_chunk = c;
+      err_stage = s;
+    }
+    stop.store(true, std::memory_order_release);
+  };
+
+  // Spin-then-yield wait with stall accounting; false means the
+  // pipeline is aborting.
+  auto wait_for = [&stop](Stage& st, auto&& ready) -> bool {
+    if (ready()) return true;
+    const auto w0 = clock::now();
+    bool ok = false;
+    for (;;) {
+      if (stop.load(std::memory_order_acquire)) break;
+      if (ready()) {
+        ok = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    st.stall_ns += ns_since(w0);
+    return ok;
+  };
+
+  auto process_chunk = [&](Stage& st, std::size_t n, Slot* in,
+                           Slot* out) {
+    for (std::size_t k = 0; k < st.in_positions.size(); ++k) {
+      st.value[st.in_positions[k]] = &in->bufs[k];
+    }
+    for (std::size_t p = st.begin; p < st.end; ++p) {
+      WorkItem& item = items_[p];
+      const std::size_t i = p - st.begin;
+      cvec& dst = st.dest_out[i] == SIZE_MAX ? st.local[i]
+                                             : out->bufs[st.dest_out[i]];
+      if (item.source != nullptr) {
+        const auto s0 = clock::now();
+        item.source->pull_observed(n, dst);
+        st.source_ns += ns_since(s0);
+        st.samples_in += dst.size();
+      } else {
+        const auto b0 = clock::now();
+        if (item.inputs.size() == 1) {
+          item.block->process_observed(*st.value[item.inputs.front()],
+                                       dst);
+        } else {
+          // Summing fan-in, same semantics as the sequential Netlist
+          // loop (including the rate-contract check).
+          const cvec& first = *st.value[item.inputs.front()];
+          st.fanin.assign(first.begin(), first.end());
+          for (std::size_t j = 1; j < item.inputs.size(); ++j) {
+            const cvec& other = *st.value[item.inputs[j]];
+            OFDM_REQUIRE_DIM(other.size() == st.fanin.size(),
+                             "Netlist: fan-in length mismatch (rate "
+                             "change on one branch?)");
+            for (std::size_t x = 0; x < st.fanin.size(); ++x) {
+              st.fanin[x] += other[x];
+            }
+          }
+          item.block->process_observed(st.fanin, dst);
+        }
+        st.block_ns += ns_since(b0);
+      }
+      if (item.leaf) st.samples_out += dst.size();
+      st.value[p] = &dst;
+    }
+    // Forward pass-through values after all local consumers have read
+    // them; the swap hands the filled buffer downstream and keeps the
+    // out slot's old capacity circulating.
+    for (const auto& [j, k] : st.passthrough) {
+      std::swap(in->bufs[j], out->bufs[k]);
+    }
+  };
+
+  auto stage_main = [&](Stage& st) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (stop.load(std::memory_order_acquire)) return;
+      Slot* in = nullptr;
+      Slot* out = nullptr;
+      if (st.in_filled != nullptr &&
+          !wait_for(st, [&] { return st.in_filled->try_pop(in); })) {
+        return;
+      }
+      if (st.out_pool != nullptr && !wait_for(st, [&] {
+            out = st.out_pool->try_acquire();
+            return out != nullptr;
+          })) {
+        return;
+      }
+      const std::size_t n = std::min(chunk, total - c * chunk);
+      obs::ScopedSpan span(stage_label(st.index));
+      try {
+        process_chunk(st, n, in, out);
+      } catch (...) {
+        record_error(c, st.index);
+        return;
+      }
+      // Filled-queue capacity equals the pool depth, so a push of an
+      // acquired slot can never find the ring full.
+      if (st.out_filled != nullptr) st.out_filled->try_push(out);
+      if (st.in_pool != nullptr) st.in_pool->release(in);
+      ++st.chunks_done;
+    }
+  };
+
+  // ---- Run: one worker per stage except the last, which the calling
+  // thread drives itself. The joins below are the quiesce barrier: when
+  // run() returns, no thread holds any block or slot, and every block's
+  // state equals the sequential loop's after the same samples.
+  std::vector<std::thread> workers;
+  workers.reserve(n_stages - 1);
+  for (std::size_t s = 0; s + 1 < n_stages; ++s) {
+    workers.emplace_back([&stage_main, &stages, s] {
+      stage_main(stages[s]);
+    });
+  }
+  stage_main(stages[n_stages - 1]);
+  for (std::thread& w : workers) w.join();
+
+  if (error) std::rethrow_exception(error);
+
+  for (Stage& st : stages) {
+    stats.samples_in += st.samples_in;
+    stats.samples_out += st.samples_out;
+    stats.source_seconds += static_cast<double>(st.source_ns) * 1e-9;
+    stats.block_seconds += static_cast<double>(st.block_ns) * 1e-9;
+    obs::StageStats row;
+    row.name = "stage" + std::to_string(st.index);
+    row.blocks = st.end - st.begin;
+    row.chunks = st.chunks_done;
+    row.busy_seconds =
+        static_cast<double>(st.source_ns + st.block_ns) * 1e-9;
+    row.stall_seconds = static_cast<double>(st.stall_ns) * 1e-9;
+    stats.stages.push_back(std::move(row));
+  }
+  stats.elapsed_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
+  return stats;
+}
+
+}  // namespace ofdm::rf::exec

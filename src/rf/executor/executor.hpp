@@ -1,0 +1,80 @@
+// Pipeline-parallel executor for the RF block graph.
+//
+// rf::run and Netlist::run walk a topological order of blocks chunk by
+// chunk; on a deep graph that serializes every block onto one core. The
+// executor partitions that same topo order into contiguous *stages*,
+// runs each stage on its own thread, and connects consecutive stages
+// with bounded SPSC chunk queues (spsc_queue.hpp) whose slots come from
+// a recycling pool (chunk_pool.hpp). Chunk c flows through stage 0,
+// then stage 1, ... — so while stage 1 processes chunk c, stage 0 is
+// already producing chunk c+1: classic software pipelining, with
+// backpressure when a consumer falls behind (`queue_depth` slots per
+// boundary, no more).
+//
+// Determinism: each block is owned by exactly one stage and sees its
+// input stream in chunk order, so block state evolves exactly as in the
+// sequential loop and the output is bit-identical for any thread count
+// or queue depth (the golden-trace suite pins this for all ten
+// standards). Probes, guards and the tracer ride along unchanged —
+// process_observed() is called by the owning stage's thread only.
+//
+// Faults: an exception thrown inside any stage (e.g. a Throw-policy
+// NumericGuard raising ofdm::StreamError) stops the pipeline, joins all
+// workers, and is rethrown to the caller with the original block name /
+// graph position / sample offset intact. When several stages fault, the
+// earliest (chunk, stage) wins — the same fault the sequential loop
+// would have surfaced first.
+//
+// Quiesce: run() returns only after every stage has drained and every
+// worker has joined (on success and on fault alike), so the instant it
+// returns all block state equals the sequential loop's state after the
+// same samples — Netlist::snapshot()/restore() taken between runs stay
+// bit-identical, which the snapshot suite enforces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/block.hpp"
+#include "rf/chain.hpp"
+#include "rf/executor/run_options.hpp"
+
+namespace ofdm::rf::exec {
+
+/// One entry of the topological order handed to the executor: exactly
+/// one of source/block is set; `inputs` are *positions* in that order
+/// (not netlist node ids). `leaf` marks nodes with no consumers, whose
+/// output counts toward RunStats::samples_out.
+struct WorkItem {
+  Source* source = nullptr;
+  Block* block = nullptr;
+  std::vector<std::size_t> inputs;
+  bool leaf = false;
+};
+
+class PipelineExecutor {
+ public:
+  /// The items must be a valid topological order (every input position
+  /// < the item's own position). Stage count = min(threads, items).
+  PipelineExecutor(std::vector<WorkItem> items, const RunOptions& opts);
+
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  /// Drive the graph for `total` samples in chunks of `chunk`,
+  /// spawning stage_count()-1 workers (the calling thread runs the
+  /// final stage). Blocks until the pipeline drains; rethrows the
+  /// earliest worker fault after all threads have joined.
+  RunStats run(std::size_t total, std::size_t chunk);
+
+  std::size_t stage_count() const { return n_stages_; }
+
+ private:
+  struct Stage;
+
+  std::vector<WorkItem> items_;
+  std::size_t n_stages_;
+  std::size_t queue_depth_;
+};
+
+}  // namespace ofdm::rf::exec

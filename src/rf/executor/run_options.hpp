@@ -1,0 +1,30 @@
+// Execution options for the RF graph drivers (rf::run, Netlist::run).
+//
+// The default is the historical strictly sequential loop. threads > 1
+// switches to the pipeline-parallel executor (rf/executor/executor.hpp):
+// the topo order is partitioned into up to `threads` contiguous stages,
+// each stage runs on its own thread, and stage boundaries are bounded
+// single-producer/single-consumer chunk queues — `queue_depth` chunk
+// slots per boundary, so a fast producer can run at most `queue_depth`
+// chunks ahead of a slow consumer before backpressure stalls it.
+//
+// Output is bit-identical to the sequential loop regardless of threads
+// or queue_depth: every block still consumes its stream in chunk order
+// on exactly one thread.
+#pragma once
+
+#include <cstddef>
+
+namespace ofdm::rf {
+
+struct RunOptions {
+  /// Total worker threads (the calling thread counts as one). 1 keeps
+  /// the sequential driver; values above the stage count are clamped.
+  std::size_t threads = 1;
+  /// Chunk slots per stage boundary (>= 1). Depth 1 is fully
+  /// synchronous hand-off (maximal backpressure); larger depths let
+  /// stages ride out cost jitter.
+  std::size_t queue_depth = 4;
+};
+
+}  // namespace ofdm::rf

@@ -1,0 +1,66 @@
+// Bounded lock-free single-producer/single-consumer ring queue.
+//
+// The pipeline executor's stage boundaries are strictly one producer
+// stage and one consumer stage, so the classic two-index ring suffices:
+// the producer owns `tail_`, the consumer owns `head_`, and each side
+// publishes its index with a release store that the other side reads
+// with an acquire load. No locks, no CAS loops, no allocation after
+// construction — a push or pop is two atomic operations and one slot
+// write/read.
+//
+// try_push/try_pop never block; the executor layers its own
+// spin-then-yield wait (with stall-time accounting and a stop flag) on
+// top, because how long to wait — and what counts as a stall — is a
+// scheduling decision, not a queue property.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace ofdm::rf::exec {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// A queue that holds up to `capacity` elements (ring of capacity+1,
+  /// one slot sacrificed to distinguish full from empty).
+  explicit SpscQueue(std::size_t capacity) : ring_(capacity + 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side only. False when the queue is full.
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    ring_[tail] = value;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only. False when the queue is empty.
+  bool try_pop(T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    value = ring_[head];
+    head_.store(advance(head), std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return ring_.size() - 1; }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return i + 1 == ring_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> ring_;
+  // The indices live on their own cache lines so the producer's tail
+  // stores do not invalidate the consumer's head line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace ofdm::rf::exec

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "rf/executor/executor.hpp"
 
 namespace ofdm::rf {
 
@@ -67,11 +68,42 @@ std::vector<std::size_t> Netlist::topo_order() const {
   return order;
 }
 
-RunStats Netlist::run(std::size_t total, std::size_t chunk) {
+RunStats Netlist::run(std::size_t total, std::size_t chunk,
+                      const RunOptions& opts) {
   using clock = std::chrono::steady_clock;
   OFDM_REQUIRE(chunk > 0 || total == 0,
                "Netlist::run: chunk size must be positive");
   const std::vector<std::size_t> order = topo_order();
+
+  // Consumer counts: nodes nobody reads are the graph's leaves, whose
+  // output is what samples_out accounts for.
+  std::vector<std::size_t> consumers(nodes_.size(), 0);
+  for (const Node& node : nodes_) {
+    for (std::size_t src : node.inputs) ++consumers[src];
+  }
+
+  if (opts.threads > 1 && nodes_.size() > 1 && total > 0) {
+    // Pipeline-parallel path: hand the topo order to the executor with
+    // node ids remapped to topo positions.
+    std::vector<std::size_t> pos_of(nodes_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) pos_of[order[i]] = i;
+    std::vector<exec::WorkItem> items(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      Node& node = nodes_[order[i]];
+      if (node.is_source()) {
+        items[i].source = node.source.get();
+      } else {
+        items[i].block = node.block.get();
+        items[i].inputs.reserve(node.inputs.size());
+        for (std::size_t src : node.inputs) {
+          items[i].inputs.push_back(pos_of[src]);
+        }
+      }
+      items[i].leaf = consumers[order[i]] == 0;
+    }
+    exec::PipelineExecutor executor(std::move(items), opts);
+    return executor.run(total, chunk);
+  }
 
   RunStats stats;
   const auto t0 = clock::now();
@@ -90,15 +122,17 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
         stats.source_seconds +=
             std::chrono::duration<double>(clock::now() - s0).count();
         stats.samples_in += values[id].size();
-        continue;
-      }
-      if (node.inputs.size() == 1) {
+      } else if (node.inputs.size() == 1) {
         // Single input: feed the upstream buffer straight through
         // (distinct from values[id]; self-loops are rejected).
+        const auto b0 = clock::now();
         node.block->process_observed(values[node.inputs.front()],
                                      values[id]);
+        stats.block_seconds +=
+            std::chrono::duration<double>(clock::now() - b0).count();
       } else {
         // Summing fan-in.
+        const auto b0 = clock::now();
         const cvec& first = values[node.inputs.front()];
         fanin.assign(first.begin(), first.end());
         for (std::size_t j = 1; j < node.inputs.size(); ++j) {
@@ -111,13 +145,13 @@ RunStats Netlist::run(std::size_t total, std::size_t chunk) {
           }
         }
         node.block->process_observed(fanin, values[id]);
+        stats.block_seconds +=
+            std::chrono::duration<double>(clock::now() - b0).count();
       }
+      // Count samples leaving leaf nodes (no consumers) every chunk.
+      if (consumers[id] == 0) stats.samples_out += values[id].size();
     }
-    // Count samples leaving leaf nodes (no consumers).
     produced += n;
-  }
-  for (std::size_t id = 0; id < nodes_.size(); ++id) {
-    stats.samples_out += values[id].size();
   }
   stats.elapsed_seconds =
       std::chrono::duration<double>(clock::now() - t0).count();

@@ -1,0 +1,351 @@
+// Pipeline-parallel graph executor: bit-identity with the sequential
+// drivers, queue-edge behaviour (maximal backpressure, thread clamp),
+// fault propagation out of worker stages, snapshot/restore under the
+// parallel executor, and the RunStats accounting the executor makes
+// meaningful (leaf samples_out, block_seconds, per-stage busy/stall).
+//
+// The deep fan-in cases double as the ThreadSanitizer target
+// (scripts/tsan.sh builds this suite with -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/profiles.hpp"
+#include "obs/probe.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/fault.hpp"
+#include "rf/frontend.hpp"
+#include "rf/guard.hpp"
+#include "rf/impairments.hpp"
+#include "rf/netlist.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
+
+namespace ofdm::rf {
+namespace {
+
+// Chunk size chosen to cut through frame/gap/delay-line boundaries.
+constexpr std::size_t kChunk = 997;
+constexpr std::size_t kChunks = 8;
+constexpr std::size_t kTotal = kChunk * kChunks;
+
+/// A stateful reference graph: every block carries streaming state
+/// across chunk boundaries, so any executor reordering would move bits.
+struct ChainGraph {
+  Submodel source;
+  Chain chain;
+  obs::ProbeSet probes{{.measure_signal = false, .hash_output = true}};
+
+  ChainGraph()
+      : source(core::profile_for(core::Standard::kHomePlug),
+               /*gap_samples=*/31, /*payload_seed=*/7) {
+    chain.add<Gain>(-3.0);
+    chain.add<MultipathChannel>(exponential_pdp_taps(1.5, 4, 7));
+    chain.add<FrequencyShift>(1e4, 1e6);
+    chain.add<SoftClipPa>(0.9);
+    chain.attach_probes(probes);
+  }
+
+  std::vector<std::uint64_t> hashes() const {
+    std::vector<std::uint64_t> h;
+    for (const obs::BlockProbe& p : probes) h.push_back(p.output_hash());
+    return h;
+  }
+};
+
+/// Fan-out + summing fan-in netlist, all paths stateful.
+struct NetGraph {
+  Netlist net;
+  obs::ProbeSet probes{{.measure_signal = false, .hash_output = true}};
+  Netlist::NodeId meter_a;
+  Netlist::NodeId meter_b;
+
+  NetGraph() {
+    const auto tone_a = net.add_source<ToneSource>(1e6, 20e6, 0.5);
+    const auto tone_b = net.add_source<ToneSource>(3e6, 20e6, 0.25);
+    const auto mix = net.add_block<Gain>(0.0);
+    net.connect(tone_a, mix);
+    net.connect(tone_b, mix);  // summing fan-in
+    const auto shift = net.add_block<FrequencyShift>(2e4, 20e6);
+    net.connect(mix, shift);
+    const auto pa = net.add_block<SoftClipPa>(0.8);
+    net.connect(shift, pa);
+    meter_a = net.add_block<PowerMeter>();
+    net.connect(pa, meter_a);
+    // Fan-out: the mixed stream also feeds a second branch, whose
+    // fan-in with the PA output crosses stage boundaries.
+    const auto echo = net.add_block<MultipathChannel>(
+        exponential_pdp_taps(2.0, 6, 11));
+    net.connect(mix, echo);
+    const auto sum2 = net.add_block<Gain>(-1.0);
+    net.connect(echo, sum2);
+    net.connect(pa, sum2);  // fan-in across branches
+    meter_b = net.add_block<PowerMeter>();
+    net.connect(sum2, meter_b);
+    net.attach_probes(probes);
+  }
+
+  std::vector<std::uint64_t> hashes() const {
+    std::vector<std::uint64_t> h;
+    for (const obs::BlockProbe& p : probes) h.push_back(p.output_hash());
+    return h;
+  }
+};
+
+TEST(Executor, ChainParallelMatchesSequentialBitExact) {
+  ChainGraph seq;
+  const RunStats s0 = run(seq.source, seq.chain, kTotal, kChunk);
+
+  ChainGraph par;
+  const RunStats s1 = run(par.source, par.chain, kTotal, kChunk,
+                          {.threads = 4, .queue_depth = 4});
+
+  EXPECT_EQ(seq.hashes(), par.hashes());
+  EXPECT_EQ(s0.samples_in, s1.samples_in);
+  EXPECT_EQ(s0.samples_out, s1.samples_out);
+  EXPECT_EQ(s1.samples_out, kTotal);
+  EXPECT_TRUE(s0.stages.empty());
+  EXPECT_EQ(s1.stages.size(), 4u);
+}
+
+TEST(Executor, NetlistParallelMatchesSequential) {
+  NetGraph seq;
+  const RunStats s0 = seq.net.run(kTotal, kChunk);
+
+  NetGraph par;
+  const RunStats s1 = par.net.run(kTotal, kChunk,
+                                  {.threads = 4, .queue_depth = 2});
+
+  EXPECT_EQ(seq.hashes(), par.hashes());
+  EXPECT_EQ(s0.samples_in, s1.samples_in);
+  EXPECT_EQ(s0.samples_out, s1.samples_out);
+  // Two leaves (the meters), each 1:1 with the source rate.
+  EXPECT_EQ(s1.samples_out, 2 * kTotal);
+}
+
+TEST(Executor, QueueDepthOneIsMaximalBackpressureAndStillBitExact) {
+  ChainGraph seq;
+  run(seq.source, seq.chain, kTotal, kChunk);
+
+  ChainGraph par;
+  const RunStats stats = run(par.source, par.chain, kTotal, kChunk,
+                             {.threads = 4, .queue_depth = 1});
+  EXPECT_EQ(seq.hashes(), par.hashes());
+  for (const obs::StageStats& st : stats.stages) {
+    EXPECT_EQ(st.chunks, kChunks) << st.name;
+  }
+}
+
+TEST(Executor, ThreadsClampToStageCount) {
+  // Source + 2 blocks = 3 work items; 16 threads must clamp to 3
+  // stages and still drain the whole run.
+  ToneSource seq_src(1e6, 20e6, 0.5);
+  Chain seq_chain;
+  seq_chain.add<Gain>(-2.0);
+  seq_chain.add<SoftClipPa>(0.9);
+  obs::ProbeSet seq_probes({.measure_signal = false, .hash_output = true});
+  seq_chain.attach_probes(seq_probes);
+  run(seq_src, seq_chain, kTotal, kChunk);
+
+  ToneSource src(1e6, 20e6, 0.5);
+  Chain chain;
+  chain.add<Gain>(-2.0);
+  chain.add<SoftClipPa>(0.9);
+  obs::ProbeSet probes({.measure_signal = false, .hash_output = true});
+  chain.attach_probes(probes);
+  const RunStats stats =
+      run(src, chain, kTotal, kChunk, {.threads = 16, .queue_depth = 4});
+
+  EXPECT_EQ(stats.stages.size(), 3u);
+  for (std::size_t b = 0; b < probes.size(); ++b) {
+    EXPECT_EQ(probes.at(b).output_hash(), seq_probes.at(b).output_hash());
+  }
+}
+
+/// Interior-stage fault: a Throw-policy guard fires inside a worker;
+/// the caller must see the original block name and sample offset, and
+/// every worker must have joined by the time the exception lands.
+TEST(Executor, MidStreamStreamErrorKeepsBlockNameAndOffset) {
+  auto build = [](GuardSet& guards) {
+    auto graph = std::make_unique<Chain>();
+    graph->add<Gain>(-3.0);
+    graph->add_ptr(std::make_unique<FlakyBlock>(
+        std::make_unique<Gain>(0.0), /*every_n_chunks=*/3,
+        FlakyBlock::Fault::kNaN));
+    graph->add<SoftClipPa>(0.9);
+    graph->add<PowerMeter>();
+    graph->attach_guards(guards);
+    return graph;
+  };
+
+  // Sequential oracle for the fault identity.
+  std::string seq_block;
+  std::uint64_t seq_offset = 0;
+  {
+    GuardSet guards({.policy = GuardPolicy::kThrow});
+    auto chain = build(guards);
+    ToneSource src(1e6, 20e6, 0.5);
+    try {
+      run(src, *chain, kTotal, kChunk);
+      FAIL() << "sequential run should have faulted";
+    } catch (const StreamError& e) {
+      seq_block = e.block();
+      seq_offset = e.sample_offset();
+    }
+  }
+  ASSERT_NE(seq_block.find("flaky"), std::string::npos) << seq_block;
+
+  GuardSet guards({.policy = GuardPolicy::kThrow});
+  auto chain = build(guards);
+  ToneSource src(1e6, 20e6, 0.5);
+  try {
+    run(src, *chain, kTotal, kChunk, {.threads = 4, .queue_depth = 2});
+    FAIL() << "parallel run should have faulted";
+  } catch (const StreamError& e) {
+    EXPECT_EQ(e.block(), seq_block);
+    EXPECT_EQ(e.sample_offset(), seq_offset);
+  }
+  // Workers joined cleanly: the same graph keeps working sequentially
+  // from where its state ended up.
+  ToneSource src2(1e6, 20e6, 0.5);
+  GuardSet relaxed({.policy = GuardPolicy::kZero});
+  chain->detach_guards();
+  chain->attach_guards(relaxed);
+  const RunStats stats = run(src2, *chain, 4 * kChunk, kChunk);
+  EXPECT_EQ(stats.samples_out, 4 * kChunk);
+}
+
+/// Quiesce: a parallel run must leave *exactly* the sequential state
+/// behind — the snapshots have to be byte-identical — and resuming
+/// under the parallel executor must continue the same bit stream.
+TEST(Executor, SnapshotRestoreResumeBitIdenticalUnderParallelExecutor) {
+  auto build = [] {
+    struct Graph {
+      Netlist net;
+      Graph() {
+        const auto src = net.add_source<Submodel>(
+            core::profile_for(core::Standard::kWlan80211a),
+            /*gap_samples=*/31, /*payload_seed=*/7);
+        const auto gain = net.add_block<Gain>(-3.0);
+        net.connect(src, gain);
+        const auto mp = net.add_block<MultipathChannel>(
+            exponential_pdp_taps(1.5, 4, 7));
+        net.connect(gain, mp);
+        const auto pa = net.add_block<SoftClipPa>(0.9);
+        net.connect(mp, pa);
+        const auto meter = net.add_block<PowerMeter>();
+        net.connect(pa, meter);
+      }
+    };
+    return std::make_unique<Graph>();
+  };
+  const RunOptions par{.threads = 4, .queue_depth = 2};
+  const std::size_t half = kTotal / 2;
+
+  auto seq = build();
+  seq->net.run(half, kChunk);
+  const std::vector<std::uint8_t> seq_snap = seq->net.snapshot();
+
+  auto pipelined = build();
+  pipelined->net.run(half, kChunk, par);
+  EXPECT_EQ(pipelined->net.snapshot(), seq_snap)
+      << "parallel executor did not quiesce to the sequential state";
+
+  // Resume both from the *parallel* snapshot and finish the run, one
+  // sequentially and one under the executor: same bits either way.
+  auto finish = [&](const RunOptions& opts) {
+    auto resumed = build();
+    resumed->net.restore(seq_snap);
+    obs::ProbeSet probes({.measure_signal = false, .hash_output = true});
+    resumed->net.attach_probes(probes);
+    resumed->net.run(kTotal - half, kChunk, opts);
+    std::vector<std::uint64_t> h;
+    for (const obs::BlockProbe& p : probes) h.push_back(p.output_hash());
+    return h;
+  };
+  EXPECT_EQ(finish(RunOptions{}), finish(par));
+}
+
+/// Regression for the samples_out accounting bug: the old code summed
+/// every node's buffer once after the loop, reporting only the final
+/// chunk and counting interior nodes.
+TEST(Executor, NetlistSamplesOutAccumulatesLeafOutputPerChunk) {
+  Netlist net;
+  const auto src = net.add_source<ToneSource>(1e6, 20e6, 0.5);
+  const auto gain = net.add_block<Gain>(-3.0);
+  net.connect(src, gain);
+  const auto meter = net.add_block<PowerMeter>();
+  net.connect(gain, meter);
+
+  const std::size_t total = 4 * 1024;  // total > chunk
+  const RunStats stats = net.run(total, 1024);
+  // One leaf (the meter), 1:1 rate: all chunks accumulate, interior
+  // nodes (gain) and the source do not count.
+  EXPECT_EQ(stats.samples_out, total);
+  EXPECT_EQ(stats.samples_in, total);
+}
+
+TEST(Executor, BlockSecondsAndStageStatsAreAttributed) {
+  ChainGraph seq;
+  const RunStats s0 = run(seq.source, seq.chain, kTotal, kChunk);
+  EXPECT_GT(s0.block_seconds, 0.0);
+  EXPECT_GT(s0.source_seconds, 0.0);
+
+  ChainGraph par;
+  const RunStats s1 = run(par.source, par.chain, kTotal, kChunk,
+                          {.threads = 2, .queue_depth = 4});
+  EXPECT_GT(s1.block_seconds, 0.0);
+  ASSERT_EQ(s1.stages.size(), 2u);
+  double busy = 0.0;
+  for (const obs::StageStats& st : s1.stages) {
+    EXPECT_EQ(st.chunks, kChunks);
+    EXPECT_GT(st.blocks, 0u);
+    busy += st.busy_seconds;
+  }
+  EXPECT_GT(busy, 0.0);
+
+  // Netlist sequential path attributes block time too.
+  NetGraph net;
+  const RunStats s2 = net.net.run(kTotal, kChunk);
+  EXPECT_GT(s2.block_seconds, 0.0);
+}
+
+TEST(Executor, ZeroTotalIsANoOp) {
+  ChainGraph g;
+  const RunStats stats =
+      run(g.source, g.chain, 0, kChunk, {.threads = 4, .queue_depth = 2});
+  EXPECT_EQ(stats.samples_in, 0u);
+  EXPECT_EQ(stats.samples_out, 0u);
+}
+
+/// The ThreadSanitizer workhorse: a deep netlist with fan-out, summing
+/// fan-in, guards *and* probes attached, driven under four stages with
+/// a shallow queue so producers hit backpressure and consumers starve —
+/// the full concurrent surface (SPSC queues, slot recycling,
+/// pass-through forwarding, observed calls from worker threads).
+TEST(Executor, TsanDeepNetlistFanInUnderFourStages) {
+  NetGraph seq;
+  GuardSet seq_guards({.policy = GuardPolicy::kZero});
+  seq.net.attach_guards(seq_guards);
+  seq.net.run(32 * kChunk, kChunk);
+
+  NetGraph par;
+  GuardSet guards({.policy = GuardPolicy::kZero});
+  par.net.attach_guards(guards);
+  const RunStats stats =
+      par.net.run(32 * kChunk, kChunk, {.threads = 4, .queue_depth = 2});
+
+  EXPECT_EQ(seq.hashes(), par.hashes());
+  EXPECT_EQ(guards.total_faults(), 0u);
+  ASSERT_EQ(stats.stages.size(), 4u);
+  for (const obs::StageStats& st : stats.stages) {
+    EXPECT_EQ(st.chunks, 32u);
+  }
+}
+
+}  // namespace
+}  // namespace ofdm::rf
