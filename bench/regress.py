@@ -22,11 +22,19 @@ depends on the host's core count, so what CI enforces is that neither
 the sequential driver nor any executor configuration got slower
 relative to the checked-in numbers from the same environment.
 
+--sim runs bench_sim (the Monte-Carlo campaign engine sweeping a fixed
+802.11a AWGN workload at 1 worker vs all cores) and compares each
+configuration's trials-per-second against the BENCH_sim.json baseline.
+Like --graph, the gate is machine-relative: it enforces that neither
+the single-threaded link simulation nor the work-stealing scheduler
+got slower relative to the checked-in numbers from the same host.
+
 Usage:
     python3 bench/regress.py [--build-dir build] [--tolerance 0.15]
                              [--min-time 1] [--check-only]
     python3 bench/regress.py --blocks [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --graph [--tolerance 0.35] [--check-only]
+    python3 bench/regress.py --sim [--tolerance 0.35] [--check-only]
 """
 
 import argparse
@@ -39,6 +47,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
 BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
 GRAPH_FILE = REPO_ROOT / "BENCH_graph.json"
+SIM_FILE = REPO_ROOT / "BENCH_sim.json"
 
 
 def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
@@ -184,6 +193,46 @@ def compare_graph(old: dict, new: dict, tolerance: float) -> bool:
     return ok
 
 
+def run_sim(build_dir: pathlib.Path, trials: int) -> dict:
+    exe = build_dir / "bench" / "bench_sim"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found -- build the repo first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    out = build_dir / "bench_sim_tmp.json"
+    subprocess.run(
+        [str(exe), "--trials", str(trials), "--out", str(out), "--quiet"],
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    with open(out) as f:
+        return json.load(f)
+
+
+def compare_sim(old: dict, new: dict, tolerance: float) -> bool:
+    """Per-configuration trials/s ratios vs the baseline; True if
+    clean. Machine-relative, like --graph."""
+    ok = True
+    old_by_name = {c["name"]: c for c in old.get("configs", [])}
+    print(f"\n{'config':<14s} {'threads':>7s} {'old tr/s':>10s} "
+          f"{'new tr/s':>10s} {'ratio':>7s}")
+    for cfg in new.get("configs", []):
+        new_tps = cfg.get("trials_per_second", 0.0)
+        prev = old_by_name.get(cfg["name"])
+        if prev is None or not new_tps:
+            print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
+                  f"{'-':>10s} {new_tps:10.1f} {'new':>7s}")
+            continue
+        old_tps = prev.get("trials_per_second", 0.0)
+        ratio = new_tps / old_tps if old_tps else float("inf")
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            flag = "  <-- REGRESSION"
+            ok = False
+        print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
+              f"{old_tps:10.1f} {new_tps:10.1f} {ratio:6.2f}x{flag}")
+    return ok
+
+
 def load_baseline(path: pathlib.Path) -> dict:
     """Read a baseline JSON file, exiting with a one-line error (no
     traceback) when it is unreadable or malformed."""
@@ -229,15 +278,30 @@ gating:
                          "(sequential vs 2/4/8 pipeline stages) and "
                          "compare each configuration's throughput "
                          "against BENCH_graph.json")
+    ap.add_argument("--sim", action="store_true",
+                    help="campaign-engine mode: run bench_sim (fixed "
+                         "802.11a AWGN sweep, 1 worker vs all cores) and "
+                         "compare each configuration's trials/s against "
+                         "BENCH_sim.json")
     ap.add_argument("--samples", type=int, default=1 << 20,
                     help="samples per standard in --blocks mode / total "
                          "samples in --graph mode (default: 1048576)")
+    ap.add_argument("--trials", type=int, default=96,
+                    help="Monte-Carlo trials per grid point in --sim "
+                         "mode (default: 96)")
     args = ap.parse_args()
 
-    if args.blocks and args.graph:
-        ap.error("--blocks and --graph are mutually exclusive")
+    if sum([args.blocks, args.graph, args.sim]) > 1:
+        ap.error("--blocks, --graph, and --sim are mutually exclusive")
 
-    if args.graph:
+    if args.sim:
+        report = run_sim(REPO_ROOT / args.build_dir, args.trials)
+        baseline_file = SIM_FILE
+        compare_fn = compare_sim
+        # Single-run wall times under thread scheduling: widen the
+        # default gate the same way --blocks and --graph do.
+        tolerance = max(args.tolerance, 0.35)
+    elif args.graph:
         report = run_graph(REPO_ROOT / args.build_dir, args.samples)
         baseline_file = GRAPH_FILE
         compare_fn = compare_graph

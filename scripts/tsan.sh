@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Release + ThreadSanitizer run of the repo's concurrent code paths.
 #
-# Two worker pools exist: the SymbolPipeline (threaded transmitter) and
+# Three worker pools exist: the SymbolPipeline (threaded transmitter),
 # the pipeline-parallel graph executor (SPSC chunk queues + recycling
-# slot pools, rf/executor/). This job builds their test suites in a
+# slot pools, rf/executor/), and the campaign engine's work-stealing
+# scheduler (sim/scheduler). This job builds their test suites in a
 # separate build tree with -fsanitize=thread and runs them under ctest,
 # so data races in the claim cursor / batch hand-off / completion wait
-# (pipeline) and queue indices / slot recycling / pass-through swaps /
+# (pipeline), queue indices / slot recycling / pass-through swaps /
 # observed calls from worker stages (executor — test_executor drives a
-# deep netlist with fan-in, guards and probes under 4 stages) are
-# caught even when the plain test suite passes.
+# deep netlist with fan-in, guards and probes under 4 stages), and deque
+# stealing / round reduction / checkpoint writes (test_sim runs
+# campaigns at 1–4 threads) are caught even when the plain test suite
+# passes.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,6 +22,6 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor
-ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter|test_executor' \
+cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim
+ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter|test_executor|test_sim' \
   --output-on-failure "$@"

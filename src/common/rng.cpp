@@ -28,6 +28,20 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng Rng::substream(std::uint64_t campaign_seed, std::uint64_t point_index,
+                   std::uint64_t trial_index) {
+  // Chain the splitmix64 finalizer over the counters: each stage fully
+  // avalanches before the next counter is folded in, so neighbouring
+  // (point, trial) pairs land on unrelated xoshiro states.
+  std::uint64_t st = campaign_seed;
+  std::uint64_t h = splitmix64(st);
+  st = h ^ point_index;
+  h = splitmix64(st);
+  st = h ^ trial_index;
+  h = splitmix64(st);
+  return Rng(h);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

@@ -19,6 +19,17 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+  /// Counter-based substream derivation for Monte-Carlo campaigns: the
+  /// returned generator is a pure function of (campaign_seed,
+  /// point_index, trial_index) — no shared ancestor stream is advanced —
+  /// so any trial's stream can be constructed directly, in any order,
+  /// from any thread, and a resumed sweep re-derives exactly the streams
+  /// an uninterrupted one would have used. (SplitMix64 finalizer chained
+  /// over the three counters.)
+  static Rng substream(std::uint64_t campaign_seed,
+                       std::uint64_t point_index,
+                       std::uint64_t trial_index);
+
   /// Next raw 64-bit draw.
   std::uint64_t next_u64();
 

@@ -1,8 +1,80 @@
 #include "metrics/ber.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace ofdm::metrics {
+
+double normal_quantile_two_sided(double confidence) {
+  OFDM_REQUIRE(confidence > 0.0 && confidence < 1.0,
+               "binomial_ci: confidence must be in (0, 1)");
+  // Acklam's rational approximation of the probit function, |err| <
+  // 1.15e-9 — far below the Monte-Carlo noise any CI here describes.
+  const double p = 0.5 + confidence / 2.0;  // upper-tail quantile point
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  if (p > 1.0 - p_low) {
+    // Upper region: the tail formula yields the (negative) lower-tail
+    // quantile of 1 - p; negate it for the upper tail.
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // confidence < 1 - 2*p_low keeps p in the central branch.
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+BinomialCi binomial_ci(std::size_t bits, std::size_t errors,
+                       double confidence) {
+  OFDM_REQUIRE(errors <= bits, "binomial_ci: errors exceed bits");
+  if (bits == 0) return {0.0, 1.0};
+
+  const double n = static_cast<double>(bits);
+  const double alpha = 1.0 - confidence;
+
+  // Boundary counts: exact Clopper-Pearson, which has closed forms at
+  // k = 0 and k = n (the Beta quantile degenerates to a power). Wilson
+  // would report a non-degenerate but systematically short interval
+  // here, and a 0-error point's upper bound is exactly what early
+  // stopping must not underestimate.
+  if (errors == 0) {
+    return {0.0, 1.0 - std::pow(alpha / 2.0, 1.0 / n)};
+  }
+  if (errors == bits) {
+    return {std::pow(alpha / 2.0, 1.0 / n), 1.0};
+  }
+
+  // Wilson score interval.
+  const double z = normal_quantile_two_sided(confidence);
+  const double z2 = z * z;
+  const double p_hat = static_cast<double>(errors) / n;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z *
+      std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  BinomialCi ci{center - half, center + half};
+  if (ci.lo < 0.0) ci.lo = 0.0;
+  if (ci.hi > 1.0) ci.hi = 1.0;
+  return ci;
+}
 
 BerResult ber(std::span<const std::uint8_t> tx,
               std::span<const std::uint8_t> rx) {
@@ -12,6 +84,9 @@ BerResult ber(std::span<const std::uint8_t> tx,
   for (std::size_t i = 0; i < tx.size(); ++i) {
     r.errors += (tx[i] & 1u) != (rx[i] & 1u);
   }
+  const BinomialCi ci = binomial_ci(r.bits, r.errors);
+  r.ci_lo = ci.lo;
+  r.ci_hi = ci.hi;
   return r;
 }
 
@@ -20,6 +95,20 @@ void BerCounter::add(std::span<const std::uint8_t> tx,
   const BerResult r = ber(tx, rx);
   acc_.bits += r.bits;
   acc_.errors += r.errors;
+}
+
+void BerCounter::add_counts(std::size_t bits, std::size_t errors) {
+  OFDM_REQUIRE(errors <= bits, "BerCounter: errors exceed bits");
+  acc_.bits += bits;
+  acc_.errors += errors;
+}
+
+BerResult BerCounter::result() const {
+  BerResult r = acc_;
+  const BinomialCi ci = binomial_ci(r.bits, r.errors);
+  r.ci_lo = ci.lo;
+  r.ci_hi = ci.hi;
+  return r;
 }
 
 }  // namespace ofdm::metrics

@@ -1,4 +1,5 @@
-// Bit-error bookkeeping for the loopback and co-simulation experiments.
+// Bit-error bookkeeping for the loopback, co-simulation and Monte-Carlo
+// campaign experiments.
 #pragma once
 
 #include <span>
@@ -7,13 +8,45 @@
 
 namespace ofdm::metrics {
 
+/// Two-sided confidence interval on a binomial proportion.
+struct BinomialCi {
+  double lo = 0.0;
+  double hi = 1.0;
+  double width() const { return hi - lo; }
+};
+
+/// Confidence interval for `errors` successes in `bits` Bernoulli
+/// trials at the given confidence level (default 95%). Uses the Wilson
+/// score interval, replaced by the exact Clopper-Pearson closed forms at
+/// the boundary counts errors == 0 and errors == bits, where Wilson is
+/// known to be off (a zero-error point must not report a zero-width
+/// interval). bits == 0 returns the vacuous [0, 1].
+BinomialCi binomial_ci(std::size_t bits, std::size_t errors,
+                       double confidence = 0.95);
+
+/// Two-sided normal quantile z with P(|N(0,1)| <= z) = confidence
+/// (e.g. 0.95 -> 1.95996...). Exposed for the early-stop math.
+double normal_quantile_two_sided(double confidence);
+
 struct BerResult {
   std::size_t bits = 0;
   std::size_t errors = 0;
+  /// 95% confidence bound on the error rate (Wilson / Clopper-Pearson,
+  /// see binomial_ci). Filled by ber() and BerCounter::result(); the
+  /// vacuous [0, 1] for an empty measurement.
+  double ci_lo = 0.0;
+  double ci_hi = 1.0;
+
+  /// False when no bits were compared: such a result carries no
+  /// information and must not flow into a BER curve as a silent 0.
+  bool valid() const { return bits > 0; }
+
+  /// Error rate; NaN-free by construction (0.0 when empty — check
+  /// valid() before trusting it).
   double rate() const {
-    return bits > 0 ? static_cast<double>(errors) /
-                          static_cast<double>(bits)
-                    : 0.0;
+    return valid() ? static_cast<double>(errors) /
+                         static_cast<double>(bits)
+                   : 0.0;
   }
 };
 
@@ -26,7 +59,10 @@ class BerCounter {
  public:
   void add(std::span<const std::uint8_t> tx,
            std::span<const std::uint8_t> rx);
-  BerResult result() const { return acc_; }
+  /// Merge raw counts (e.g. a worker's partial tally).
+  void add_counts(std::size_t bits, std::size_t errors);
+  /// Totals with the 95% confidence bound attached.
+  BerResult result() const;
   void reset() { acc_ = {}; }
 
  private:

@@ -1,0 +1,131 @@
+#include "sim/aggregator.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/ber.hpp"
+
+namespace ofdm::sim {
+
+namespace {
+
+// Fixed, locale-free double rendering: shortest round-trip-exact form
+// would do too, but %.17g is simple and stable for byte-diffing.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct PointView {
+  const PointResult& p;
+  double ber;
+  double ci_lo;
+  double ci_hi;
+  double evm_rms;
+};
+
+PointView view_of(const ScenarioDeck& deck, const PointResult& p) {
+  const auto ci =
+      metrics::binomial_ci(p.state.bits, p.state.errors, deck.confidence);
+  return {p, p.state.ber(), ci.lo, ci.hi, p.state.evm_rms()};
+}
+
+void append_point_json(std::ostringstream& os, const ScenarioDeck& deck,
+                       const PointResult& p) {
+  const PointView v = view_of(deck, p);
+  os << "{\"snr_db\":" << fmt(p.spec.snr_db)
+     << ",\"trials\":" << p.state.trials << ",\"bits\":" << p.state.bits
+     << ",\"errors\":" << p.state.errors << ",\"ber\":" << fmt(v.ber)
+     << ",\"ci_lo\":" << fmt(v.ci_lo) << ",\"ci_hi\":" << fmt(v.ci_hi)
+     << ",\"evm_rms\":" << fmt(v.evm_rms)
+     << ",\"valid\":" << (p.state.bits > 0 ? "true" : "false")
+     << ",\"stop\":\"" << stop_reason_name(p.state.reason) << "\"}";
+}
+
+}  // namespace
+
+std::string curves_json(const ScenarioDeck& deck,
+                        const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\"campaign\":\"" << deck.name << "\",\"seed\":" << deck.seed
+     << ",\"confidence\":" << fmt(deck.confidence) << ",\"curves\":[";
+  bool first_curve = true;
+  // Grid order is standard-major then channel, so one linear scan per
+  // (standard, channel) pair collects each curve's SNR points in order.
+  for (std::size_t s = 0; s < deck.standards.size(); ++s) {
+    for (std::size_t c = 0; c < deck.channels.size(); ++c) {
+      if (!first_curve) os << ",";
+      first_curve = false;
+      os << "{\"standard\":\"" << deck.standards[s].token
+         << "\",\"channel\":\"" << deck.channels[c].token
+         << "\",\"points\":[";
+      bool first_point = true;
+      for (const PointResult& p : result.points) {
+        if (p.spec.standard_index != s || p.spec.channel_index != c) {
+          continue;
+        }
+        if (!first_point) os << ",";
+        first_point = false;
+        append_point_json(os, deck, p);
+      }
+      os << "]}";
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string curves_csv(const ScenarioDeck& deck,
+                       const CampaignResult& result) {
+  std::ostringstream os;
+  os << "standard,channel,snr_db,trials,bits,errors,ber,ci_lo,ci_hi,"
+        "evm_rms,valid,stop\n";
+  for (const PointResult& p : result.points) {
+    const PointView v = view_of(deck, p);
+    os << p.standard << "," << p.channel << "," << fmt(p.spec.snr_db)
+       << "," << p.state.trials << "," << p.state.bits << ","
+       << p.state.errors << "," << fmt(v.ber) << "," << fmt(v.ci_lo)
+       << "," << fmt(v.ci_hi) << "," << fmt(v.evm_rms) << ","
+       << (p.state.bits > 0 ? 1 : 0) << ","
+       << stop_reason_name(p.state.reason) << "\n";
+  }
+  return os.str();
+}
+
+std::string timing_table(const CampaignResult& result) {
+  std::ostringstream os;
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "%-5s %-18s %-13s %7s %7s %9s %11s %9s %9s\n", "point",
+                "standard", "channel", "snr_dB", "trials", "errors",
+                "ber", "wall_s", "trials/s");
+  os << line;
+  double total_seconds = 0.0;
+  std::size_t total_trials = 0;
+  for (const PointResult& p : result.points) {
+    const double tps =
+        p.state.seconds > 0.0
+            ? static_cast<double>(p.state.trials) / p.state.seconds
+            : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-5zu %-18s %-13s %7.1f %7zu %9zu %11.3e %9.3f %9.1f\n",
+                  p.spec.index, p.standard.c_str(), p.channel.c_str(),
+                  p.spec.snr_db, p.state.trials, p.state.errors,
+                  p.state.ber(), p.state.seconds, tps);
+    os << line;
+    total_seconds += p.state.seconds;
+    total_trials += p.state.trials;
+  }
+  std::snprintf(line, sizeof line,
+                "total: %zu trials, %.3f trial-seconds (sum over "
+                "workers), %.3f s wall, %zu rounds%s\n",
+                total_trials, total_seconds, result.elapsed_seconds,
+                result.rounds_completed,
+                result.halted ? " [HALTED]" : "");
+  os << line;
+  return os.str();
+}
+
+}  // namespace ofdm::sim

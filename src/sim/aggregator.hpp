@@ -1,0 +1,33 @@
+// Campaign result export: BER/EVM-vs-SNR curves as JSON and CSV, plus
+// an obs::Report-style per-point wall-time table.
+//
+// curves_json()/curves_csv() are DETERMINISTIC: they render only the
+// campaign's counter state (never wall times), with fixed formatting,
+// so the identical deck run with any thread count — or killed and
+// resumed from a checkpoint — produces byte-identical files. The CI
+// smoke test and the resume tests diff these bytes directly.
+#pragma once
+
+#include <string>
+
+#include "sim/campaign.hpp"
+
+namespace ofdm::sim {
+
+/// Curves grouped by (standard, channel), points in SNR (grid) order:
+/// {"campaign":..,"seed":..,"confidence":..,"curves":[{"standard":..,
+/// "channel":..,"points":[{"snr_db":..,"trials":..,"bits":..,
+/// "errors":..,"ber":..,"ci_lo":..,"ci_hi":..,"evm_rms":..,
+/// "valid":..,"stop":..}]}]}
+std::string curves_json(const ScenarioDeck& deck,
+                        const CampaignResult& result);
+
+/// Flat CSV, one row per grid point, same fields as the JSON.
+std::string curves_csv(const ScenarioDeck& deck,
+                       const CampaignResult& result);
+
+/// Human-readable per-point wall-time attribution (NOT deterministic —
+/// contains measured seconds; report-only, never diffed).
+std::string timing_table(const CampaignResult& result);
+
+}  // namespace ofdm::sim

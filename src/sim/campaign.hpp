@@ -1,0 +1,69 @@
+// The Monte-Carlo campaign engine: scenario deck -> job matrix ->
+// parallel BER/EVM link sweeps with early stopping and
+// checkpoint/resume.
+//
+// Execution model: each grid point advances in *rounds* (min_trials
+// first, then batch_trials at a time). A round's trials are split into
+// batch tasks on the work-stealing pool; the last batch to finish
+// reduces the round's results IN TRIAL ORDER into the point's counters,
+// evaluates the early-stop rule, checkpoints, and schedules the point's
+// next round. Trials are pure functions of (seed, point, trial)
+// (Rng::substream), reduction order is fixed, and stop decisions happen
+// only at round boundaries — so every estimate is bit-identical for any
+// thread count and across any checkpoint/resume cut.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/deck.hpp"
+#include "sim/estimator.hpp"
+
+namespace ofdm::sim {
+
+struct RunOptions {
+  std::size_t threads = 1;
+  /// Checkpoint file maintained at every round boundary (atomic
+  /// temp+rename); empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Load checkpoint_path before running (missing file = fresh start).
+  bool resume = false;
+  /// Testing/CI kill switch: stop scheduling new rounds once this many
+  /// rounds have completed, drain, checkpoint and return with
+  /// CampaignResult::halted set. 0 = run to completion.
+  std::size_t halt_after_rounds = 0;
+};
+
+/// One finished (or halted) grid point with its resolved labels.
+struct PointResult {
+  PointSpec spec;
+  std::string standard;  ///< deck token, e.g. "wlan_80211a@24"
+  std::string channel;   ///< preset token, e.g. "awgn"
+  PointState state;
+};
+
+struct CampaignResult {
+  std::vector<PointResult> points;  ///< grid order
+  double elapsed_seconds = 0.0;
+  std::size_t rounds_completed = 0;
+  bool halted = false;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(ScenarioDeck deck);
+
+  const ScenarioDeck& deck() const { return deck_; }
+  const std::vector<PointSpec>& grid() const { return grid_; }
+
+  /// Run (or resume) the campaign. Throws the first trial error, or
+  /// ofdm::StateError on a checkpoint mismatch.
+  CampaignResult run(const RunOptions& opts = {});
+
+ private:
+  ScenarioDeck deck_;
+  std::vector<PointSpec> grid_;
+};
+
+}  // namespace ofdm::sim

@@ -1,0 +1,120 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+
+namespace ofdm::sim {
+
+namespace {
+constexpr std::uint64_t kVersion = 1;
+}
+
+void save_checkpoint(StateWriter& w, const ScenarioDeck& deck,
+                     const std::vector<PointState>& points) {
+  w.begin_node("OFDMCAMP");
+  w.u64(kVersion);
+  w.u64(deck_digest(deck));
+  w.u64(points.size());
+  for (const PointState& p : points) {
+    w.begin_node("point");
+    w.u64(p.trials);
+    w.u64(p.bits);
+    w.u64(p.errors);
+    w.f64(p.evm_err2);
+    w.f64(p.evm_ref2);
+    w.f64(p.seconds);
+    w.u8(p.done ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(p.reason));
+    w.end_node();
+  }
+  w.end_node();
+}
+
+std::vector<std::uint8_t> save_checkpoint(
+    const ScenarioDeck& deck, const std::vector<PointState>& points) {
+  StateWriter w;
+  save_checkpoint(w, deck, points);
+  return w.bytes();
+}
+
+void load_checkpoint(std::span<const std::uint8_t> bytes,
+                     const ScenarioDeck& deck,
+                     std::vector<PointState>& points) {
+  StateReader r(bytes);
+  r.enter_node("OFDMCAMP");
+  const std::uint64_t version = r.u64();
+  if (version != kVersion) {
+    throw StateError("campaign checkpoint: unsupported version " +
+                     std::to_string(version));
+  }
+  const std::uint64_t digest = r.u64();
+  if (digest != deck_digest(deck)) {
+    throw StateError(
+        "campaign checkpoint: deck mismatch — the checkpoint was taken "
+        "under a different scenario deck");
+  }
+  const std::uint64_t n = r.u64();
+  if (n != points.size()) {
+    throw StateError("campaign checkpoint: grid has " +
+                     std::to_string(points.size()) +
+                     " points, checkpoint has " + std::to_string(n));
+  }
+  for (PointState& p : points) {
+    r.enter_node("point");
+    p.trials = r.u64();
+    p.bits = r.u64();
+    p.errors = r.u64();
+    p.evm_err2 = r.f64();
+    p.evm_ref2 = r.f64();
+    p.seconds = r.f64();
+    p.done = r.u8() != 0;
+    p.reason = static_cast<StopReason>(r.u8());
+    r.exit_node();
+  }
+  r.exit_node();
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw StateError("campaign checkpoint: cannot open " + tmp +
+                     " for writing");
+  }
+  const std::size_t written =
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw StateError("campaign checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StateError("campaign checkpoint: cannot rename " + tmp +
+                     " to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw StateError("campaign checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  unsigned char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw StateError("campaign checkpoint: read error on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace ofdm::sim

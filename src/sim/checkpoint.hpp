@@ -1,0 +1,46 @@
+// Campaign checkpoint/restore over common/serial StateWriter frames.
+//
+// A checkpoint is the campaign's per-point counters at a round
+// boundary, plus the deck digest and grid shape, framed as
+// "OFDMCAMP" / per-point nodes (magic + version first, like
+// Netlist::snapshot's "OFDMSNAP"). Because trial streams are
+// counter-derived, restoring these counters and continuing the round
+// schedule reproduces the uninterrupted campaign bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/deck.hpp"
+#include "sim/estimator.hpp"
+
+namespace ofdm {
+class StateWriter;
+}  // namespace ofdm
+
+namespace ofdm::sim {
+
+/// Serialize the campaign state (deck digest + every point's counters).
+void save_checkpoint(StateWriter& w, const ScenarioDeck& deck,
+                     const std::vector<PointState>& points);
+std::vector<std::uint8_t> save_checkpoint(
+    const ScenarioDeck& deck, const std::vector<PointState>& points);
+
+/// Restore into `points` (resized to the recorded grid). Throws
+/// ofdm::StateError when the bytes are malformed, from a different
+/// deck (digest mismatch), or from a different grid shape.
+void load_checkpoint(std::span<const std::uint8_t> bytes,
+                     const ScenarioDeck& deck,
+                     std::vector<PointState>& points);
+
+/// Write checkpoint bytes to `path` atomically (temp file + rename), so
+/// a kill mid-write can never leave a torn checkpoint behind.
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> bytes);
+
+/// Read a checkpoint file; throws ofdm::StateError when unreadable.
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path);
+
+}  // namespace ofdm::sim

@@ -1,0 +1,369 @@
+#include "sim/deck.hpp"
+
+#include <bit>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/profiles.hpp"
+
+namespace ofdm::sim {
+
+namespace {
+
+// Numeric wrappers mirroring core/params_io: a scenario deck is user
+// input, so every malformed value surfaces as a ConfigError naming the
+// field instead of a bare std::sto* exception.
+
+std::uint64_t parse_u64(const std::string& field, const std::string& s) {
+  try {
+    OFDM_REQUIRE(s.find('-') == std::string::npos,
+                 "sim_deck: " + field + " must be non-negative, got '" + s +
+                     "'");
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos, 0);
+    OFDM_REQUIRE(pos == s.size(),
+                 "sim_deck: trailing junk in " + field + ": '" + s + "'");
+    return static_cast<std::uint64_t>(v);
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("sim_deck: bad integer for " + field + ": '" + s +
+                      "'");
+  }
+}
+
+double parse_double(const std::string& field, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    OFDM_REQUIRE(pos == s.size(),
+                 "sim_deck: trailing junk in " + field + ": '" + s + "'");
+    return v;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("sim_deck: bad number for " + field + ": '" + s +
+                      "'");
+  }
+}
+
+bool parse_bool(const std::string& field, const std::string& s) {
+  return parse_u64(field, s) != 0;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep)) out.push_back(item);
+  return out;
+}
+
+core::WlanRate wlan_rate_from(const std::string& field,
+                              const std::string& v) {
+  if (v == "6") return core::WlanRate::k6;
+  if (v == "9") return core::WlanRate::k9;
+  if (v == "12") return core::WlanRate::k12;
+  if (v == "18") return core::WlanRate::k18;
+  if (v == "24") return core::WlanRate::k24;
+  if (v == "36") return core::WlanRate::k36;
+  if (v == "48") return core::WlanRate::k48;
+  if (v == "54") return core::WlanRate::k54;
+  throw ConfigError("sim_deck: " + field + ": unknown WLAN rate '" + v +
+                    "' (expect 6|9|12|18|24|36|48|54)");
+}
+
+StandardSpec standard_from_token(const std::string& token) {
+  std::string base = token;
+  std::string variant;
+  const std::size_t at = token.find('@');
+  if (at != std::string::npos) {
+    base = token.substr(0, at);
+    variant = token.substr(at + 1);
+  }
+  const std::string field = "standard (token '" + token + "')";
+  auto no_variant = [&](core::OfdmParams p) {
+    OFDM_REQUIRE(variant.empty(),
+                 "sim_deck: " + field + ": '" + base +
+                     "' takes no @variant");
+    return p;
+  };
+
+  StandardSpec spec;
+  spec.token = token;
+  if (base == "wlan_80211a") {
+    spec.params = core::profile_wlan_80211a(
+        variant.empty() ? core::WlanRate::k36
+                        : wlan_rate_from(field, variant));
+  } else if (base == "wlan_80211g") {
+    spec.params = core::profile_wlan_80211g(
+        variant.empty() ? core::WlanRate::k36
+                        : wlan_rate_from(field, variant));
+  } else if (base == "adsl") {
+    spec.params = no_variant(core::profile_adsl());
+  } else if (base == "adsl2+") {
+    spec.params = no_variant(core::profile_adsl_plus_plus());
+  } else if (base == "vdsl") {
+    spec.params = no_variant(core::profile_vdsl());
+  } else if (base == "homeplug") {
+    spec.params = no_variant(core::profile_homeplug());
+  } else if (base == "wman_80216a") {
+    spec.params = no_variant(core::profile_wman_80216a());
+  } else if (base == "drm") {
+    core::DrmMode mode = core::DrmMode::kB;
+    if (variant == "A") mode = core::DrmMode::kA;
+    else if (variant == "B" || variant.empty()) mode = core::DrmMode::kB;
+    else if (variant == "C") mode = core::DrmMode::kC;
+    else if (variant == "D") mode = core::DrmMode::kD;
+    else
+      throw ConfigError("sim_deck: " + field + ": unknown DRM mode '" +
+                        variant + "' (expect A|B|C|D)");
+    spec.params = core::profile_drm(mode);
+  } else if (base == "dab") {
+    core::DabMode mode = core::DabMode::kI;
+    if (variant == "1" || variant.empty()) mode = core::DabMode::kI;
+    else if (variant == "2") mode = core::DabMode::kII;
+    else if (variant == "3") mode = core::DabMode::kIII;
+    else if (variant == "4") mode = core::DabMode::kIV;
+    else
+      throw ConfigError("sim_deck: " + field + ": unknown DAB mode '" +
+                        variant + "' (expect 1|2|3|4)");
+    spec.params = core::profile_dab(mode);
+  } else if (base == "dvbt") {
+    core::DvbtMode mode = core::DvbtMode::k2k;
+    if (variant == "2k" || variant.empty()) mode = core::DvbtMode::k2k;
+    else if (variant == "8k") mode = core::DvbtMode::k8k;
+    else
+      throw ConfigError("sim_deck: " + field + ": unknown DVB-T mode '" +
+                        variant + "' (expect 2k|8k)");
+    spec.params = core::profile_dvbt(mode);
+  } else {
+    throw ConfigError(
+        "sim_deck: standard: unknown standard '" + base +
+        "' (expect wlan_80211a|wlan_80211g|adsl|adsl2+|vdsl|drm|dab|"
+        "dvbt|wman_80216a|homeplug)");
+  }
+  return spec;
+}
+
+// "0:2:14" (start:step:stop, inclusive) or a plain comma list.
+std::vector<double> parse_snr_grid(const std::string& text) {
+  std::vector<double> out;
+  for (const std::string& item : split(text, ',')) {
+    const auto parts = split(item, ':');
+    if (parts.size() == 3) {
+      const double start = parse_double("snr_db", parts[0]);
+      const double step = parse_double("snr_db", parts[1]);
+      const double stop = parse_double("snr_db", parts[2]);
+      OFDM_REQUIRE(step > 0.0,
+                   "sim_deck: snr_db range step must be positive");
+      OFDM_REQUIRE(stop >= start,
+                   "sim_deck: snr_db range stop must be >= start");
+      for (double v = start; v <= stop + step * 1e-9; v += step) {
+        out.push_back(v);
+      }
+    } else if (parts.size() == 1) {
+      out.push_back(parse_double("snr_db", item));
+    } else {
+      throw ConfigError("sim_deck: snr_db expects values or "
+                        "start:step:stop ranges, got '" +
+                        item + "'");
+    }
+  }
+  OFDM_REQUIRE(!out.empty(), "sim_deck: snr_db is empty");
+  return out;
+}
+
+}  // namespace
+
+ScenarioDeck parse_deck(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    const std::size_t eq = line.find('=');
+    OFDM_REQUIRE(eq != std::string::npos,
+                 "sim_deck: expected key=value, got: " + line);
+    OFDM_REQUIRE(eq > 0, "sim_deck: empty key in line: " + line);
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+
+  auto take = [&kv](const std::string& key,
+                    const std::string& fallback) -> std::string {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    const std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+  auto require = [&kv](const std::string& key) {
+    const auto it = kv.find(key);
+    OFDM_REQUIRE(it != kv.end(), "sim_deck: missing key " + key);
+    const std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+
+  ScenarioDeck d;
+  d.name = take("name", d.name);
+
+  for (const std::string& token : split(require("standard"), ',')) {
+    d.standards.push_back(standard_from_token(token));
+  }
+  OFDM_REQUIRE(!d.standards.empty(), "sim_deck: standard list is empty");
+
+  d.snr_db = parse_snr_grid(require("snr_db"));
+
+  // Channel presets: shared parameters read first so the per-token
+  // presets below can embed them.
+  ChannelPreset mp;
+  mp.kind = ChannelPreset::Kind::kMultipath;
+  mp.token = "multipath";
+  mp.rms_delay_samples =
+      parse_double("multipath.rms_delay",
+                   take("multipath.rms_delay", "3"));
+  mp.n_taps = parse_u64("multipath.taps", take("multipath.taps", "8"));
+  mp.taps_seed = parse_u64("multipath.seed", take("multipath.seed", "77"));
+  OFDM_REQUIRE(mp.n_taps > 0, "sim_deck: multipath.taps must be > 0");
+
+  ChannelPreset tp;
+  tp.kind = ChannelPreset::Kind::kTwistedPair;
+  tp.token = "twisted_pair";
+  tp.cutoff_norm = parse_double("twisted_pair.cutoff",
+                                take("twisted_pair.cutoff", "0.2"));
+  tp.attenuation_db =
+      parse_double("twisted_pair.attenuation_db",
+                   take("twisted_pair.attenuation_db", "6"));
+
+  for (const std::string& token : split(take("channel", "awgn"), ',')) {
+    if (token == "awgn") {
+      ChannelPreset p;
+      p.kind = ChannelPreset::Kind::kAwgn;
+      p.token = "awgn";
+      d.channels.push_back(p);
+    } else if (token == "multipath") {
+      d.channels.push_back(mp);
+    } else if (token == "twisted_pair") {
+      d.channels.push_back(tp);
+    } else {
+      throw ConfigError("sim_deck: channel: unknown preset '" + token +
+                        "' (expect awgn|multipath|twisted_pair)");
+    }
+  }
+
+  if (kv.count("pa.backoff_db")) {
+    d.pa_enabled = true;
+    d.pa_backoff_db =
+        parse_double("pa.backoff_db", require("pa.backoff_db"));
+  }
+  d.pa_smoothness =
+      parse_double("pa.smoothness", take("pa.smoothness", "2"));
+  d.phase_noise_hz = parse_double("phase_noise.linewidth_hz",
+                                  take("phase_noise.linewidth_hz", "0"));
+
+  d.rx_equalize = parse_bool("rx.equalize", take("rx.equalize", "1"));
+  d.rx_pilot_tracking =
+      parse_bool("rx.pilot_tracking", take("rx.pilot_tracking", "0"));
+  d.rx_soft = parse_bool("rx.soft", take("rx.soft", "0"));
+
+  d.min_trials = parse_u64("trials.min", take("trials.min", "8"));
+  d.max_trials = parse_u64("trials.max", take("trials.max", "256"));
+  d.batch_trials = parse_u64("trials.batch", take("trials.batch", "8"));
+  d.min_errors = parse_u64("stop.min_errors", take("stop.min_errors", "20"));
+  d.stop_rel_ci =
+      parse_double("stop.rel_ci", take("stop.rel_ci", "0.25"));
+  d.confidence =
+      parse_double("stop.confidence", take("stop.confidence", "0.95"));
+  d.measure_evm = parse_bool("measure_evm", take("measure_evm", "1"));
+  d.payload_bits = parse_u64("payload_bits", take("payload_bits", "0"));
+  d.seed = parse_u64("seed", take("seed", "1"));
+
+  OFDM_REQUIRE(d.min_trials > 0, "sim_deck: trials.min must be > 0");
+  OFDM_REQUIRE(d.max_trials >= d.min_trials,
+               "sim_deck: trials.max must be >= trials.min");
+  OFDM_REQUIRE(d.batch_trials > 0, "sim_deck: trials.batch must be > 0");
+  OFDM_REQUIRE(d.stop_rel_ci > 0.0,
+               "sim_deck: stop.rel_ci must be positive");
+  OFDM_REQUIRE(d.confidence > 0.0 && d.confidence < 1.0,
+               "sim_deck: stop.confidence must be in (0, 1)");
+
+  OFDM_REQUIRE(kv.empty(),
+               "sim_deck: unknown key " +
+                   (kv.empty() ? std::string() : kv.begin()->first));
+  return d;
+}
+
+std::vector<PointSpec> expand_grid(const ScenarioDeck& deck) {
+  std::vector<PointSpec> grid;
+  grid.reserve(deck.standards.size() * deck.channels.size() *
+               deck.snr_db.size());
+  std::size_t index = 0;
+  for (std::size_t s = 0; s < deck.standards.size(); ++s) {
+    for (std::size_t c = 0; c < deck.channels.size(); ++c) {
+      for (double snr : deck.snr_db) {
+        grid.push_back({index++, s, c, snr});
+      }
+    }
+  }
+  return grid;
+}
+
+std::uint64_t deck_digest(const ScenarioDeck& deck) {
+  // FNV-1a over a canonical field walk: stable across comment edits and
+  // key reordering, different for any grid-relevant change.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix_bytes = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001B3ull;
+    }
+  };
+  auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof v); };
+  auto mix_f64 = [&](double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); };
+  auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+  };
+
+  mix_str(deck.name);
+  mix_u64(deck.standards.size());
+  for (const auto& s : deck.standards) mix_str(s.token);
+  mix_u64(deck.snr_db.size());
+  for (double v : deck.snr_db) mix_f64(v);
+  mix_u64(deck.channels.size());
+  for (const auto& c : deck.channels) {
+    mix_u64(static_cast<std::uint64_t>(c.kind));
+    mix_f64(c.rms_delay_samples);
+    mix_u64(c.n_taps);
+    mix_u64(c.taps_seed);
+    mix_f64(c.cutoff_norm);
+    mix_f64(c.attenuation_db);
+  }
+  mix_u64(deck.pa_enabled);
+  mix_f64(deck.pa_backoff_db);
+  mix_f64(deck.pa_smoothness);
+  mix_f64(deck.phase_noise_hz);
+  mix_u64(deck.rx_equalize);
+  mix_u64(deck.rx_pilot_tracking);
+  mix_u64(deck.rx_soft);
+  mix_u64(deck.min_trials);
+  mix_u64(deck.max_trials);
+  mix_u64(deck.batch_trials);
+  mix_u64(deck.min_errors);
+  mix_f64(deck.stop_rel_ci);
+  mix_f64(deck.confidence);
+  mix_u64(deck.measure_evm);
+  mix_u64(deck.payload_bits);
+  mix_u64(deck.seed);
+  return h;
+}
+
+}  // namespace ofdm::sim

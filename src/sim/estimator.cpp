@@ -1,0 +1,64 @@
+#include "sim/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/ber.hpp"
+
+namespace ofdm::sim {
+
+std::string stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kNone: return "running";
+    case StopReason::kCiWidth: return "ci";
+    case StopReason::kMaxTrials: return "max_trials";
+  }
+  return "?";
+}
+
+void PointState::accumulate(const TrialResult& t) {
+  ++trials;
+  bits += t.bits;
+  errors += t.errors;
+  evm_err2 += t.evm_err2;
+  evm_ref2 += t.evm_ref2;
+  seconds += t.seconds;
+}
+
+double PointState::ber() const {
+  return bits > 0
+             ? static_cast<double>(errors) / static_cast<double>(bits)
+             : 0.0;
+}
+
+double PointState::evm_rms() const {
+  return evm_ref2 > 0.0 ? std::sqrt(evm_err2 / evm_ref2) : 0.0;
+}
+
+std::size_t next_round_target(const ScenarioDeck& deck,
+                              const PointState& state) {
+  const std::size_t target = state.trials < deck.min_trials
+                                 ? deck.min_trials
+                                 : state.trials + deck.batch_trials;
+  return std::min(target, deck.max_trials);
+}
+
+void evaluate_stop(const ScenarioDeck& deck, PointState& state) {
+  if (state.done) return;
+  if (state.trials >= deck.min_trials && state.errors >= deck.min_errors &&
+      state.bits > 0) {
+    const auto ci = metrics::binomial_ci(state.bits, state.errors,
+                                         deck.confidence);
+    if (ci.width() <= deck.stop_rel_ci * state.ber()) {
+      state.done = true;
+      state.reason = StopReason::kCiWidth;
+      return;
+    }
+  }
+  if (state.trials >= deck.max_trials) {
+    state.done = true;
+    state.reason = StopReason::kMaxTrials;
+  }
+}
+
+}  // namespace ofdm::sim

@@ -1,0 +1,74 @@
+// Per-point Monte-Carlo estimator: accumulated BER/EVM counters plus
+// the confidence-interval early-stop rule.
+//
+// Trials are reduced into a PointState strictly in trial-index order
+// (the campaign's determinism contract), and the stop rule is evaluated
+// only at round boundaries — so the decision sequence, and therefore
+// every estimate, is identical for any thread count and any
+// checkpoint/resume cut.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/deck.hpp"
+
+namespace ofdm::sim {
+
+/// Why a point stopped sampling.
+enum class StopReason : std::uint8_t {
+  kNone = 0,       ///< still running
+  kCiWidth = 1,    ///< BER CI narrower than stop_rel_ci * BER
+  kMaxTrials = 2,  ///< trial cap hit
+};
+
+std::string stop_reason_name(StopReason r);
+
+/// One trial's contribution (pure function of (seed, point, trial)).
+struct TrialResult {
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  double evm_err2 = 0.0;  ///< sum |rx - ref|^2 over data tones
+  double evm_ref2 = 0.0;  ///< sum |ref|^2 over data tones
+  double seconds = 0.0;   ///< wall time (reporting only, never in curves)
+};
+
+/// Accumulated state of one grid point. Everything except `seconds` is
+/// deterministic; `seconds` is excluded from checkpoints' curve data
+/// role (it rides along for the wall-time table only).
+struct PointState {
+  std::size_t trials = 0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  double evm_err2 = 0.0;
+  double evm_ref2 = 0.0;
+  double seconds = 0.0;
+  bool done = false;
+  StopReason reason = StopReason::kNone;
+
+  void accumulate(const TrialResult& t);
+
+  /// BER point estimate; check bits > 0 (an all-empty point is flagged
+  /// invalid downstream, not exported as BER 0).
+  double ber() const;
+  /// RMS EVM (linear) from the accumulated tone energies.
+  double evm_rms() const;
+};
+
+/// Number of trials the next round should reach for a point in `state`:
+/// min_trials first, then + batch_trials, clamped to max_trials.
+/// Depends only on (deck, state.trials) — the round schedule is the
+/// same for a fresh run and a resumed one.
+std::size_t next_round_target(const ScenarioDeck& deck,
+                              const PointState& state);
+
+/// Evaluate the early-stop rule at a round boundary; sets state.done /
+/// state.reason when the point is finished. Stop conditions:
+///  - CI: at least min_trials run AND at least min_errors observed AND
+///    the confidence interval's width <= stop_rel_ci * BER estimate.
+///    (A zero-error point never CI-stops: its relative width is
+///    unbounded, so it runs to the cap and exports its CP upper bound.)
+///  - cap: max_trials reached.
+void evaluate_stop(const ScenarioDeck& deck, PointState& state);
+
+}  // namespace ofdm::sim

@@ -1,0 +1,141 @@
+#include "sim/trial.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "metrics/ber.hpp"
+#include "rf/chain.hpp"
+#include "rf/channel.hpp"
+#include "rf/impairments.hpp"
+#include "rf/pa.hpp"
+
+namespace ofdm::sim {
+
+struct LinkRunner::State {
+  const ScenarioDeck& deck;
+  PointSpec point;
+  core::Transmitter tx;
+  rx::Receiver rx;
+  rx::Receiver ref_rx;  ///< equalizer-free, for clean reference tones
+  std::size_t payload_bits = 0;
+  cvec channel_taps;  ///< multipath / twisted-pair FIR, empty for AWGN
+
+  State(const ScenarioDeck& d, const PointSpec& p)
+      : deck(d),
+        point(p),
+        tx(d.standards.at(p.standard_index).params),
+        rx(d.standards.at(p.standard_index).params),
+        ref_rx(d.standards.at(p.standard_index).params) {
+    payload_bits = d.payload_bits > 0 ? d.payload_bits
+                                      : tx.recommended_payload_bits();
+    OFDM_REQUIRE(payload_bits > 0,
+                 "sim: standard '" +
+                     d.standards.at(p.standard_index).token +
+                     "' yields an empty payload");
+    rx.enable_pilot_phase_tracking(d.rx_pilot_tracking);
+    rx.enable_soft_decoding(d.rx_soft);
+
+    const ChannelPreset& ch = d.channels.at(p.channel_index);
+    switch (ch.kind) {
+      case ChannelPreset::Kind::kAwgn:
+        break;
+      case ChannelPreset::Kind::kMultipath:
+        // One static realization per campaign: every SNR point of a
+        // curve sees the same channel, so the curve isolates SNR.
+        channel_taps = rf::exponential_pdp_taps(
+            ch.rms_delay_samples, ch.n_taps, ch.taps_seed);
+        break;
+      case ChannelPreset::Kind::kTwistedPair:
+        channel_taps =
+            rf::twisted_pair_taps(ch.cutoff_norm, ch.attenuation_db);
+        break;
+    }
+  }
+};
+
+LinkRunner::LinkRunner(const ScenarioDeck& deck, const PointSpec& point)
+    : state_(std::make_unique<State>(deck, point)) {}
+LinkRunner::~LinkRunner() = default;
+LinkRunner::LinkRunner(LinkRunner&&) noexcept = default;
+LinkRunner& LinkRunner::operator=(LinkRunner&&) noexcept = default;
+
+std::size_t LinkRunner::payload_bits() const {
+  return state_->payload_bits;
+}
+
+TrialResult LinkRunner::run_trial(std::size_t trial_index) {
+  const auto t0 = std::chrono::steady_clock::now();
+  State& s = *state_;
+  const ScenarioDeck& d = s.deck;
+
+  // Everything stochastic in this trial flows from one substream.
+  Rng rng = Rng::substream(d.seed, s.point.index, trial_index);
+  const bitvec payload = rng.bits(s.payload_bits);
+  const std::uint64_t phase_noise_seed = rng.next_u64();
+  const std::uint64_t awgn_seed = rng.next_u64();
+
+  const auto burst = s.tx.modulate(payload);
+
+  // SNR is defined against the transmitted burst's average power (the
+  // channel presets are unit-average-power, so this is also the mean
+  // receive signal power up to the channel's realization).
+  double sig_power = 0.0;
+  for (const cplx& x : burst.samples) sig_power += std::norm(x);
+  sig_power /= static_cast<double>(burst.samples.size());
+
+  rf::Chain chain;
+  if (d.pa_enabled) {
+    chain.add<rf::Gain>(-d.pa_backoff_db);
+    chain.add<rf::RappPa>(d.pa_smoothness, 1.0);
+    chain.add<rf::Gain>(d.pa_backoff_db);
+  }
+  if (d.phase_noise_hz > 0.0) {
+    chain.add<rf::PhaseNoise>(
+        d.phase_noise_hz,
+        d.standards.at(s.point.standard_index).params.sample_rate,
+        phase_noise_seed);
+  }
+  if (!s.channel_taps.empty()) {
+    chain.add<rf::MultipathChannel>(s.channel_taps);
+  }
+  chain.add<rf::AwgnChannel>(
+      rf::snr_to_noise_power(sig_power, s.point.snr_db), awgn_seed);
+
+  const cvec rx_samples = chain.process(burst.samples);
+
+  if (d.rx_equalize) {
+    s.rx.set_equalizer(s.rx.estimate_equalizer(rx_samples));
+  } else {
+    s.rx.clear_equalizer();
+  }
+  const auto decoded = s.rx.demodulate(rx_samples, payload.size());
+
+  TrialResult r;
+  const auto b = metrics::ber(payload, decoded.payload);
+  r.bits = b.bits;
+  r.errors = b.errors;
+
+  if (d.measure_evm) {
+    const auto ref_tones =
+        s.ref_rx.extract_data_tones(burst.samples, burst.data_symbols);
+    const auto tones =
+        s.rx.extract_data_tones(rx_samples, burst.data_symbols);
+    for (std::size_t sym = 0; sym < tones.size(); ++sym) {
+      const cvec& a = tones[sym];
+      const cvec& b2 = ref_tones[sym];
+      const std::size_t n = std::min(a.size(), b2.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        r.evm_err2 += std::norm(a[i] - b2[i]);
+        r.evm_ref2 += std::norm(b2[i]);
+      }
+    }
+  }
+
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+}  // namespace ofdm::sim

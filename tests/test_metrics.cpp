@@ -94,6 +94,70 @@ TEST(Ber, CounterAccumulates) {
   EXPECT_EQ(counter.result().errors, 1u);
 }
 
+TEST(Ber, ZeroBitsIsFlaggedNotNan) {
+  const BerResult empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(empty.rate(), 0.0);  // NaN-free by construction
+  EXPECT_EQ(empty.ci_lo, 0.0);
+  EXPECT_EQ(empty.ci_hi, 1.0);
+
+  BerCounter counter;
+  const BerResult r = counter.result();
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r.rate(), r.rate());  // not NaN
+}
+
+TEST(Ber, WilsonIntervalMatchesPublishedValues) {
+  // Wilson score interval for k = 1, n = 10 at 95%: the textbook
+  // worked example gives [0.0179, 0.4041] (e.g. Brown, Cai & DasGupta
+  // 2001, "Interval Estimation for a Binomial Proportion").
+  const BinomialCi ci = binomial_ci(10, 1, 0.95);
+  EXPECT_NEAR(ci.lo, 0.0179, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.4041, 5e-4);
+
+  // k = 5, n = 50 at 95%: Wilson gives approximately [0.0433, 0.2140].
+  const BinomialCi ci2 = binomial_ci(50, 5, 0.95);
+  EXPECT_NEAR(ci2.lo, 0.0433, 5e-4);
+  EXPECT_NEAR(ci2.hi, 0.2140, 5e-4);
+}
+
+TEST(Ber, ZeroErrorUsesExactClopperPearsonBound) {
+  // k = 0: Wilson would understate; the exact CP upper bound is
+  // 1 - (alpha/2)^(1/n). For n = 50 at 95% that is 0.07112...
+  const BinomialCi ci = binomial_ci(50, 0, 0.95);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_NEAR(ci.hi, 1.0 - std::pow(0.025, 1.0 / 50.0), 1e-12);
+  EXPECT_NEAR(ci.hi, 0.0711, 5e-4);
+  EXPECT_GT(ci.width(), 0.0);  // never a zero-width "certain" interval
+
+  // Mirror case k = n by symmetry: lo = (alpha/2)^(1/n).
+  const BinomialCi all = binomial_ci(50, 50, 0.95);
+  EXPECT_NEAR(all.lo, std::pow(0.025, 1.0 / 50.0), 1e-12);
+  EXPECT_EQ(all.hi, 1.0);
+
+  // bits == 0 stays vacuous.
+  const BinomialCi vac = binomial_ci(0, 0, 0.95);
+  EXPECT_EQ(vac.lo, 0.0);
+  EXPECT_EQ(vac.hi, 1.0);
+}
+
+TEST(Ber, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile_two_sided(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.99), 2.575829, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.6827), 1.0, 1e-3);
+}
+
+TEST(Ber, ResultCarriesConfidenceInterval) {
+  BerCounter counter;
+  counter.add_counts(10, 1);
+  const BerResult r = counter.result();
+  EXPECT_TRUE(r.valid());
+  EXPECT_NEAR(r.ci_lo, 0.0179, 5e-4);
+  EXPECT_NEAR(r.ci_hi, 0.4041, 5e-4);
+  EXPECT_LE(r.ci_lo, r.rate());
+  EXPECT_GE(r.ci_hi, r.rate());
+}
+
 TEST(Mask, LimitInterpolatesBetweenBreakpoints) {
   const SpectralMask mask = wlan_mask();
   EXPECT_EQ(mask.limit_at(0.0), 0.0);

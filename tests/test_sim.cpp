@@ -1,0 +1,301 @@
+// Campaign-engine tests: deck parsing (errors name their field), grid
+// expansion, the CI early-stop rule, checkpoint/resume byte-identity of
+// the exported curves, and thread-count invariance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "sim/aggregator.hpp"
+#include "sim/campaign.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/deck.hpp"
+#include "sim/estimator.hpp"
+
+namespace {
+
+using namespace ofdm;
+
+// Small, fast deck used by the engine-level tests: 3 SNR points of
+// 802.11a BPSK with a 256-bit payload finish in milliseconds.
+const char* kSmokeDeck =
+    "name=test_sim\n"
+    "standard=wlan_80211a@6\n"
+    "snr_db=4,8,12\n"
+    "payload_bits=256\n"
+    "trials.min=8\n"
+    "trials.max=24\n"
+    "trials.batch=8\n"
+    "stop.rel_ci=0.25\n"
+    "seed=7\n";
+
+std::string error_message(const std::string& deck_text) {
+  try {
+    sim::parse_deck(deck_text);
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Deck parsing
+
+TEST(SimDeck, ParsesFullDeck) {
+  const auto d = sim::parse_deck(
+      "name=full\n"
+      "standard=wlan_80211a@24,adsl\n"
+      "snr_db=0:2:6,20\n"
+      "channel=awgn,multipath\n"
+      "multipath.rms_delay=2.5\n"
+      "multipath.taps=6\n"
+      "trials.min=4\ntrials.max=64\ntrials.batch=4\n"
+      "stop.min_errors=10\nstop.rel_ci=0.5\nstop.confidence=0.9\n"
+      "rx.equalize=0\npayload_bits=128\nseed=42\n");
+  EXPECT_EQ(d.name, "full");
+  ASSERT_EQ(d.standards.size(), 2u);
+  EXPECT_EQ(d.standards[0].token, "wlan_80211a@24");
+  EXPECT_EQ(d.standards[1].token, "adsl");
+  // 0:2:6 expands inclusively, then the trailing single value.
+  ASSERT_EQ(d.snr_db.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.snr_db[3], 6.0);
+  EXPECT_DOUBLE_EQ(d.snr_db[4], 20.0);
+  ASSERT_EQ(d.channels.size(), 2u);
+  EXPECT_EQ(d.channels[1].kind, sim::ChannelPreset::Kind::kMultipath);
+  EXPECT_DOUBLE_EQ(d.channels[1].rms_delay_samples, 2.5);
+  EXPECT_EQ(d.channels[1].n_taps, 6u);
+  EXPECT_FALSE(d.rx_equalize);
+  EXPECT_EQ(d.min_errors, 10u);
+  EXPECT_DOUBLE_EQ(d.stop_rel_ci, 0.5);
+  EXPECT_EQ(d.seed, 42u);
+}
+
+TEST(SimDeck, CommentsAndBlankLinesIgnored) {
+  const auto d = sim::parse_deck(
+      "# a comment\n"
+      "\n"
+      "standard=drm@B   # trailing comment\n"
+      "snr_db=10\n");
+  ASSERT_EQ(d.standards.size(), 1u);
+  EXPECT_EQ(d.standards[0].token, "drm@B");
+}
+
+TEST(SimDeck, ErrorsNameTheField) {
+  // Every malformed value must surface the offending field, params_io
+  // style, so a user can fix the deck without reading the parser.
+  EXPECT_NE(error_message("snr_db=10\n").find("standard"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\n").find("snr_db"),
+            std::string::npos);
+  EXPECT_NE(
+      error_message("standard=wlan_80211a\nsnr_db=abc\n").find("snr_db"),
+      std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "trials.min=x\n")
+                .find("trials.min"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "stop.confidence=1.5\n")
+                .find("stop.confidence"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "channel=rayleigh\n")
+                .find("channel"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a@7\nsnr_db=10\n")
+                .find("standard"),
+            std::string::npos);
+  // Unknown keys are rejected (typo protection), naming the key.
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "trails.min=8\n")
+                .find("trails.min"),
+            std::string::npos);
+}
+
+TEST(SimDeck, GridExpansionCountAndOrder) {
+  const auto d = sim::parse_deck(
+      "standard=wlan_80211a@6,adsl\n"
+      "snr_db=0:2:14\n"  // 8 points
+      "channel=awgn,multipath,twisted_pair\n");
+  const auto grid = sim::expand_grid(d);
+  ASSERT_EQ(grid.size(), 2u * 3u * 8u);
+  // Standard-major, then channel, then SNR; index equals position.
+  EXPECT_EQ(grid[0].standard_index, 0u);
+  EXPECT_EQ(grid[0].channel_index, 0u);
+  EXPECT_DOUBLE_EQ(grid[0].snr_db, 0.0);
+  EXPECT_EQ(grid[7].channel_index, 0u);
+  EXPECT_DOUBLE_EQ(grid[7].snr_db, 14.0);
+  EXPECT_EQ(grid[8].channel_index, 1u);
+  EXPECT_EQ(grid[24].standard_index, 1u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+  }
+}
+
+TEST(SimDeck, DigestIgnoresCommentsButNotParameters) {
+  const auto a = sim::parse_deck("standard=adsl\nsnr_db=10\n");
+  const auto b = sim::parse_deck("# different text\nstandard=adsl\n"
+                                 "snr_db=10\n");
+  const auto c = sim::parse_deck("standard=adsl\nsnr_db=10\nseed=2\n");
+  EXPECT_EQ(sim::deck_digest(a), sim::deck_digest(b));
+  EXPECT_NE(sim::deck_digest(a), sim::deck_digest(c));
+}
+
+// ---------------------------------------------------------------------------
+// Early stopping
+
+sim::ScenarioDeck stop_deck() {
+  auto d = sim::parse_deck(
+      "standard=wlan_80211a@6\nsnr_db=0\n"
+      "trials.min=8\ntrials.max=1000\ntrials.batch=8\n"
+      "stop.min_errors=20\nstop.rel_ci=0.25\n");
+  return d;
+}
+
+TEST(SimEstimator, RoundScheduleIsMinThenBatches) {
+  const auto d = stop_deck();
+  sim::PointState s;
+  EXPECT_EQ(sim::next_round_target(d, s), 8u);
+  s.trials = 8;
+  EXPECT_EQ(sim::next_round_target(d, s), 16u);
+  s.trials = 996;
+  EXPECT_EQ(sim::next_round_target(d, s), 1000u);  // clamped to cap
+}
+
+TEST(SimEstimator, CiStopTriggersAtConfiguredWidth) {
+  const auto d = stop_deck();
+
+  // Plenty of errors over plenty of bits: BER 0.05 with n = 100k gives
+  // a Wilson 95% CI far narrower than 25% of the estimate -> CI stop.
+  sim::PointState tight;
+  tight.trials = 16;
+  tight.bits = 100000;
+  tight.errors = 5000;
+  sim::evaluate_stop(d, tight);
+  EXPECT_TRUE(tight.done);
+  EXPECT_EQ(tight.reason, sim::StopReason::kCiWidth);
+
+  // Same BER but only 400 bits: the interval is wider than 25% of the
+  // estimate, so the point keeps sampling.
+  sim::PointState wide;
+  wide.trials = 16;
+  wide.bits = 400;
+  wide.errors = 20;
+  sim::evaluate_stop(d, wide);
+  EXPECT_FALSE(wide.done);
+
+  // Below min_errors never CI-stops, however tight the interval looks.
+  sim::PointState few;
+  few.trials = 16;
+  few.bits = 1000000;
+  few.errors = 19;
+  sim::evaluate_stop(d, few);
+  EXPECT_FALSE(few.done);
+
+  // A zero-error point runs to the trial cap.
+  sim::PointState clean;
+  clean.trials = 1000;
+  clean.bits = 1000000;
+  clean.errors = 0;
+  sim::evaluate_stop(d, clean);
+  EXPECT_TRUE(clean.done);
+  EXPECT_EQ(clean.reason, sim::StopReason::kMaxTrials);
+}
+
+TEST(SimEstimator, EngineStopsEarlyWhenCiAllowsIt) {
+  // At 0 dB uncoded BPSK the BER is high, so errors accumulate fast; a
+  // loose 90% relative CI should stop well before the 200-trial cap.
+  auto d = sim::parse_deck(
+      "standard=wlan_80211a@6\nsnr_db=0\npayload_bits=256\n"
+      "trials.min=8\ntrials.max=200\ntrials.batch=8\n"
+      "stop.min_errors=10\nstop.rel_ci=0.9\nseed=3\n");
+  const auto result = sim::Campaign(d).run();
+  ASSERT_EQ(result.points.size(), 1u);
+  const auto& p = result.points[0].state;
+  EXPECT_TRUE(p.done);
+  EXPECT_EQ(p.reason, sim::StopReason::kCiWidth);
+  EXPECT_LT(p.trials, 200u);
+  EXPECT_GE(p.trials, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: thread invariance and checkpoint/resume
+
+TEST(SimCampaign, CurvesAreThreadCountInvariant) {
+  sim::Campaign c1{sim::parse_deck(kSmokeDeck)};
+  sim::Campaign c4{sim::parse_deck(kSmokeDeck)};
+  sim::RunOptions o1, o4;
+  o1.threads = 1;
+  o4.threads = 4;
+  const auto r1 = c1.run(o1);
+  const auto r4 = c4.run(o4);
+  EXPECT_EQ(sim::curves_json(c1.deck(), r1),
+            sim::curves_json(c4.deck(), r4));
+  EXPECT_EQ(sim::curves_csv(c1.deck(), r1),
+            sim::curves_csv(c4.deck(), r4));
+}
+
+TEST(SimCampaign, ResumeAfterCheckpointIsByteIdentical) {
+  const std::string ckpt =
+      ::testing::TempDir() + "/test_sim_ckpt.bin";
+  std::remove(ckpt.c_str());
+
+  // Reference: straight through, single thread.
+  sim::Campaign ref{sim::parse_deck(kSmokeDeck)};
+  const auto ref_result = ref.run();
+  const std::string ref_json = sim::curves_json(ref.deck(), ref_result);
+
+  // Interrupted: halt after two rounds (mid-campaign), then resume at a
+  // different thread count from the checkpoint.
+  sim::Campaign halted{sim::parse_deck(kSmokeDeck)};
+  sim::RunOptions halt_opts;
+  halt_opts.threads = 2;
+  halt_opts.checkpoint_path = ckpt;
+  halt_opts.halt_after_rounds = 2;
+  const auto halted_result = halted.run(halt_opts);
+  EXPECT_TRUE(halted_result.halted);
+
+  sim::Campaign resumed{sim::parse_deck(kSmokeDeck)};
+  sim::RunOptions resume_opts;
+  resume_opts.threads = 3;
+  resume_opts.checkpoint_path = ckpt;
+  resume_opts.resume = true;
+  const auto resumed_result = resumed.run(resume_opts);
+  EXPECT_FALSE(resumed_result.halted);
+
+  EXPECT_EQ(sim::curves_json(resumed.deck(), resumed_result), ref_json);
+  std::remove(ckpt.c_str());
+}
+
+TEST(SimCheckpoint, RejectsDigestMismatch) {
+  const auto a = sim::parse_deck(kSmokeDeck);
+  auto b = a;
+  b.seed = 99;  // campaign-relevant change -> different digest
+
+  std::vector<sim::PointState> points(sim::expand_grid(a).size());
+  points[0].trials = 8;
+  points[0].bits = 2048;
+  points[0].errors = 31;
+  const auto bytes = sim::save_checkpoint(a, points);
+
+  std::vector<sim::PointState> restored(points.size());
+  ASSERT_NO_THROW(sim::load_checkpoint(bytes, a, restored));
+  ASSERT_EQ(restored.size(), points.size());
+  EXPECT_EQ(restored[0].trials, 8u);
+  EXPECT_EQ(restored[0].errors, 31u);
+
+  EXPECT_THROW(sim::load_checkpoint(bytes, b, restored), StateError);
+}
+
+TEST(SimAggregator, CsvHasHeaderAndOneRowPerPoint) {
+  sim::Campaign c{sim::parse_deck(kSmokeDeck)};
+  const auto result = c.run();
+  const std::string csv = sim::curves_csv(c.deck(), result);
+  EXPECT_EQ(csv.rfind("standard,channel,snr_db,", 0), 0u);
+  std::size_t lines = 0;
+  for (char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 1u + result.points.size());
+}
+
+}  // namespace
