@@ -9,10 +9,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/profiles.hpp"
 #include "core/transmitter.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace {
 
@@ -42,6 +46,120 @@ void BM_Generate(benchmark::State& state) {
   state.SetLabel(core::standard_name(standard));
 }
 
+// --- Kernel micro-benches: scalar tier vs the host's best SIMD tier.
+//
+// Each pair runs the same hot kernel through simd::force_tier, so
+// regress.py can gate the dispatch layer's machine-relative speedup
+// (kernel_*/scalar vs kernel_*/<tier>). items_per_second counts
+// baseband samples through the kernel, same unit as BM_Generate.
+
+constexpr std::size_t kKernelChunk = 4096;
+
+void set_tier(benchmark::State& state, simd::Tier tier) {
+  const simd::Tier got = simd::force_tier(tier);
+  state.SetLabel(simd::tier_name(got));
+}
+
+void BM_KernelFft512(benchmark::State& state, simd::Tier tier) {
+  set_tier(state, tier);
+  dsp::Fft fft(512);
+  Rng rng(7);
+  cvec buf(512);
+  rng.complex_gaussian_fill(buf);
+  for (auto _ : state) {
+    fft.forward(buf, buf);
+    fft.inverse(buf, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * buf.size() * 2));
+}
+
+void BM_KernelFir64(benchmark::State& state, simd::Tier tier) {
+  set_tier(state, tier);
+  dsp::FirFilter fir(dsp::design_lowpass(0.2, 64));
+  Rng rng(8);
+  cvec in(kKernelChunk), out(kKernelChunk);
+  rng.complex_gaussian_fill(in);
+  for (auto _ : state) {
+    fir.process(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * in.size()));
+}
+
+void BM_KernelTdl9(benchmark::State& state, simd::Tier tier) {
+  // Complex-tap tapped delay line (fir_cc): the multipath-channel
+  // kernel, distinct from the real-tap FIR.
+  set_tier(state, tier);
+  constexpr std::size_t kTaps = 9;
+  Rng rng(11);
+  cvec taps(kTaps), x(kKernelChunk + kTaps - 1), out(kKernelChunk);
+  rng.complex_gaussian_fill(taps);
+  rng.complex_gaussian_fill(x);
+  for (auto _ : state) {
+    simd::kernels().fir_cc(x.data(), taps.data(), kTaps, out.data(),
+                           out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * out.size()));
+}
+
+void BM_KernelCvecMul(benchmark::State& state, simd::Tier tier) {
+  set_tier(state, tier);
+  Rng rng(9);
+  cvec a(kKernelChunk), b(kKernelChunk), out(kKernelChunk);
+  rng.complex_gaussian_fill(a);
+  rng.complex_gaussian_fill(b);
+  for (auto _ : state) {
+    simd::kernels().cvec_mul(a.data(), b.data(), out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * out.size()));
+}
+
+void BM_KernelNoise(benchmark::State& state, simd::Tier tier) {
+  set_tier(state, tier);
+  Rng rng(10);
+  cvec buf(kKernelChunk);
+  for (auto _ : state) {
+    rng.complex_gaussian_fill(buf, 0.5);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * buf.size()));
+}
+
+void register_kernel_benches() {
+  using Fn = void (*)(benchmark::State&, simd::Tier);
+  struct Entry {
+    const char* name;
+    Fn fn;
+  };
+  const Entry kernels[] = {
+      {"kernel_fft512", BM_KernelFft512},
+      {"kernel_fir64", BM_KernelFir64},
+      {"kernel_tdl9", BM_KernelTdl9},
+      {"kernel_cvec_mul", BM_KernelCvecMul},
+      {"kernel_noise", BM_KernelNoise},
+  };
+  const simd::Tier best = simd::best_supported_tier();
+  for (const Entry& k : kernels) {
+    benchmark::RegisterBenchmark((std::string(k.name) + "/scalar").c_str(),
+                                 k.fn, simd::Tier::kScalar)
+        ->Unit(benchmark::kMicrosecond);
+    if (best != simd::Tier::kScalar) {
+      benchmark::RegisterBenchmark(
+          (std::string(k.name) + "/" + simd::tier_name(best)).c_str(),
+          k.fn, best)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,8 +174,10 @@ int main(int argc, char** argv) {
         ->Arg(static_cast<int>(s))
         ->Unit(benchmark::kMillisecond);
   }
+  register_kernel_benches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  simd::force_tier(simd::best_supported_tier());
 
   // Real-time margin summary (single-shot measurement).
   std::printf("\n%-20s %-14s %-14s %s\n", "standard", "gen_MS/s",

@@ -9,6 +9,7 @@
 //
 // Usage:
 //   bench_report_blocks [--samples N] [--chunk N] [--out FILE] [--quiet]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,7 +18,11 @@
 #include <sstream>
 #include <string>
 
+#include "common/rng.hpp"
 #include "core/profiles.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/simd/dispatch.hpp"
 #include "obs/probe.hpp"
 #include "obs/report.hpp"
 #include "rf/chain.hpp"
@@ -53,6 +58,124 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Msamples/s of `body` (which must process `chunk` samples per call),
+/// timed for ~0.2 s after one warm-up call.
+template <typename Body>
+double measure_msps(std::size_t chunk, Body&& body) {
+  body();  // warm-up: buffer growth, plan setup
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  std::size_t samples = 0;
+  while (elapsed < 0.2) {
+    body();
+    samples += chunk;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  }
+  return static_cast<double>(samples) / elapsed / 1e6;
+}
+
+/// Scalar-vs-best-tier speedups for the vectorized kernels, as the
+/// "kernels" JSON section regress.py gates on. Runs each kernel under
+/// simd::force_tier(scalar) then under the host's best tier.
+std::string kernel_section(bool quiet) {
+  const simd::Tier best = simd::best_supported_tier();
+  const std::string tier = simd::tier_name(best);
+  constexpr std::size_t kChunk = 4096;
+
+  struct Entry {
+    const char* name;
+    double scalar_msps = 0.0;
+    double simd_msps = 0.0;
+  };
+  Entry entries[] = {
+      {"fft512"}, {"fir64"}, {"tdl9"}, {"cvec_mul"}, {"noise"}};
+
+  for (int pass = 0; pass < 2; ++pass) {
+    simd::force_tier(pass == 0 ? simd::Tier::kScalar : best);
+    double* slot[5];
+    for (int e = 0; e < 5; ++e) {
+      slot[e] =
+          pass == 0 ? &entries[e].scalar_msps : &entries[e].simd_msps;
+    }
+    {
+      dsp::Fft fft(512);
+      Rng rng(7);
+      cvec buf(512);
+      rng.complex_gaussian_fill(buf);
+      *slot[0] = measure_msps(2 * buf.size(), [&] {
+        fft.forward(buf, buf);
+        fft.inverse(buf, buf);
+      });
+    }
+    {
+      dsp::FirFilter fir(dsp::design_lowpass(0.2, 64));
+      Rng rng(8);
+      cvec in(kChunk), out(kChunk);
+      rng.complex_gaussian_fill(in);
+      *slot[1] = measure_msps(kChunk, [&] { fir.process(in, out); });
+    }
+    {
+      constexpr std::size_t kTaps = 9;
+      Rng rng(11);
+      cvec taps(kTaps), x(kChunk + kTaps - 1), out(kChunk);
+      rng.complex_gaussian_fill(taps);
+      rng.complex_gaussian_fill(x);
+      *slot[2] = measure_msps(kChunk, [&] {
+        simd::kernels().fir_cc(x.data(), taps.data(), kTaps, out.data(),
+                               out.size());
+      });
+    }
+    {
+      Rng rng(9);
+      cvec a(kChunk), b(kChunk), out(kChunk);
+      rng.complex_gaussian_fill(a);
+      rng.complex_gaussian_fill(b);
+      *slot[3] = measure_msps(kChunk, [&] {
+        simd::kernels().cvec_mul(a.data(), b.data(), out.data(),
+                                 out.size());
+      });
+    }
+    {
+      Rng rng(10);
+      cvec buf(kChunk);
+      *slot[4] = measure_msps(kChunk,
+                              [&] { rng.complex_gaussian_fill(buf, 0.5); });
+    }
+  }
+  simd::force_tier(best);
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(3);
+  json << " \"kernels\": {\n  \"tier\": \"" << tier
+       << "\",\n  \"entries\": [\n";
+  if (!quiet) {
+    std::printf("=== kernels: scalar vs %s ===\n%-12s %12s %12s %9s\n",
+                tier.c_str(), "kernel", "scalar_Msps", "simd_Msps",
+                "speedup");
+  }
+  bool first = true;
+  for (const Entry& e : entries) {
+    const double speedup =
+        e.scalar_msps > 0.0 ? e.simd_msps / e.scalar_msps : 0.0;
+    if (!quiet) {
+      std::printf("%-12s %12.2f %12.2f %8.2fx\n", e.name, e.scalar_msps,
+                  e.simd_msps, speedup);
+    }
+    if (!first) json << ",\n";
+    json << "   {\"name\": \"" << e.name
+         << "\", \"scalar_msps\": " << e.scalar_msps
+         << ", \"simd_msps\": " << e.simd_msps
+         << ", \"speedup\": " << speedup << "}";
+    first = false;
+  }
+  json << "\n  ]\n }";
+  if (!quiet) std::printf("\n");
+  return json.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +209,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n \"samples_per_standard\": " << total << ",\n"
+       << kernel_section(quiet) << ",\n"
        << " \"standards\": {\n";
   bool first = true;
   for (const core::Standard standard : core::kStandardFamily) {

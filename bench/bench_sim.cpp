@@ -69,48 +69,70 @@ int main(int argc, char** argv) {
 
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t many = hw > 1 ? hw : 4;
-  const std::size_t thread_counts[] = {1, many};
+  struct Config {
+    const char* suffix;  ///< appended to "threads<N>" in the JSON name
+    std::size_t threads;
+    bool use_batch;
+  };
+  // threads1 runs first so the other configs' speedup fields are
+  // relative to the single-threaded batch-API baseline.
+  const Config configs[] = {
+      {"", 1, true},
+      {"_nobatch", 1, false},  // A/B lever: per-trial allocating path
+      {"", many, true},
+  };
 
   std::ostringstream json;
   json << "{\n \"trials_per_point\": " << trials << ",\n \"configs\": [\n";
   double single_tps = 0.0;
   std::string reference_json;
   bool first = true;
-  for (std::size_t threads : thread_counts) {
+  for (const Config& cfg : configs) {
     sim::Campaign campaign(bench_deck(trials));
     sim::RunOptions opts;
-    opts.threads = threads;
+    opts.threads = cfg.threads;
+    opts.use_batch_api = cfg.use_batch;
     campaign.run(opts);  // warm-up (allocator, code paths)
-    const auto result = campaign.run(opts);
+    // Best-of-3: single-shot wall times on a shared host swing by more
+    // than the effects this bench resolves (scheduling, batch API).
+    auto result = campaign.run(opts);
+    for (int rep = 1; rep < 3; ++rep) {
+      auto again = campaign.run(opts);
+      if (again.elapsed_seconds < result.elapsed_seconds) {
+        result = std::move(again);
+      }
+    }
 
     std::size_t total_trials = 0;
     for (const auto& p : result.points) total_trials += p.state.trials;
     const double tps =
         static_cast<double>(total_trials) / result.elapsed_seconds;
-    if (threads == 1) single_tps = tps;
+    if (single_tps == 0.0) single_tps = tps;
     const double speedup = single_tps > 0.0 ? tps / single_tps : 0.0;
 
     // Free cross-check: the curve bytes must not depend on the thread
-    // count.
+    // count or on the batch-vs-per-trial API choice.
     const std::string curves =
         sim::curves_json(campaign.deck(), result);
     if (reference_json.empty()) {
       reference_json = curves;
     } else if (curves != reference_json) {
-      std::cerr << "error: curves differ between thread counts — "
+      std::cerr << "error: curves differ between configurations — "
                    "determinism contract broken\n";
       return 1;
     }
 
     if (!quiet) {
-      std::printf("threads=%-3zu %7zu trials  %8.1f trials/s  "
+      std::printf("threads=%-3zu batch=%d %7zu trials  %8.1f trials/s  "
                   "speedup %5.2fx  (%.3fs, %zu rounds)\n",
-                  threads, total_trials, tps, speedup,
-                  result.elapsed_seconds, result.rounds_completed);
+                  cfg.threads, cfg.use_batch ? 1 : 0, total_trials, tps,
+                  speedup, result.elapsed_seconds,
+                  result.rounds_completed);
     }
     if (!first) json << ",\n";
-    json << "  {\"name\": \"threads" << threads
-         << "\", \"threads\": " << threads
+    json << "  {\"name\": \"threads" << cfg.threads << cfg.suffix
+         << "\", \"threads\": " << cfg.threads
+         << ", \"batch\": " << (cfg.use_batch ? "true" : "false")
          << ", \"trials\": " << total_trials
          << ", \"trials_per_second\": " << tps
          << ", \"speedup\": " << speedup << "}";

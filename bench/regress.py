@@ -6,13 +6,18 @@ Default mode runs the per-standard generation benchmark
 the result to BENCH_e5.json at the repo root. If a previous
 BENCH_e5.json exists, each benchmark is compared against it first and
 regressions beyond --tolerance are reported (exit code 1), so CI can
-gate on generation throughput.
+gate on generation throughput. The kernel micro-benchmarks
+(kernel_*/scalar vs kernel_*/<tier>) additionally gate the SIMD
+dispatch layer: on a host whose best tier is not scalar, at least two
+kernels must hold a >= 1.5x machine-relative speedup.
 
 --blocks switches to the observability-layer attribution mode: it runs
 bench_report_blocks (a probed Submodel -> impairment-chain sweep over
 all ten standards) and compares each block's throughput against the
 BENCH_blocks.json baseline, so a regression is pinned to the exact
-block (e.g. "multipath in DVB-T") instead of a whole benchmark.
+block (e.g. "multipath in DVB-T") instead of a whole benchmark. The
+report's "kernels" section carries the same scalar-vs-SIMD speedup
+gate.
 
 --graph runs bench_graph (end-to-end RF-graph throughput, sequential
 driver vs the pipeline-parallel executor at 2/4/8 stages) and compares
@@ -23,11 +28,14 @@ the sequential driver nor any executor configuration got slower
 relative to the checked-in numbers from the same environment.
 
 --sim runs bench_sim (the Monte-Carlo campaign engine sweeping a fixed
-802.11a AWGN workload at 1 worker vs all cores) and compares each
-configuration's trials-per-second against the BENCH_sim.json baseline.
-Like --graph, the gate is machine-relative: it enforces that neither
-the single-threaded link simulation nor the work-stealing scheduler
-got slower relative to the checked-in numbers from the same host.
+802.11a AWGN workload at 1 worker vs all cores, with and without the
+batch trial API) and compares each configuration's trials-per-second
+against the BENCH_sim.json baseline. Like --graph, the gate is
+machine-relative.
+
+Every gated failure is reported as one line per regressed key with the
+old and new values, e.g.
+    regression: BENCH_sim.json: threads1: 117.0 -> 71.2 trials/s (0.61x)
 
 Usage:
     python3 bench/regress.py [--build-dir build] [--tolerance 0.15]
@@ -48,6 +56,29 @@ RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
 BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
 GRAPH_FILE = REPO_ROOT / "BENCH_graph.json"
 SIM_FILE = REPO_ROOT / "BENCH_sim.json"
+
+# Blocks below this share of the baseline's wall time never gate: their
+# single-run timings are scheduler noise, and a regression that small
+# cannot explain an end-to-end slowdown anyway.
+MIN_WALL_FRACTION = 0.05
+
+# The dispatch-layer acceptance gate: this many kernels must hold this
+# machine-relative speedup over the scalar tier (skipped when the host's
+# best tier IS scalar).
+KERNEL_MIN_SPEEDUP = 1.5
+KERNEL_MIN_COUNT = 2
+
+
+def run_exe(build_dir: pathlib.Path, name: str, argv: list) -> dict:
+    exe = build_dir / "bench" / name
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found -- build the repo first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    out = build_dir / f"{name}_tmp.json"
+    subprocess.run([str(exe)] + argv + ["--out", str(out), "--quiet"],
+                   check=True, cwd=REPO_ROOT)
+    with open(out) as f:
+        return json.load(f)
 
 
 def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
@@ -70,167 +101,132 @@ def run_bench(build_dir: pathlib.Path, min_time: float) -> dict:
         return json.load(f)
 
 
-def index(report: dict) -> dict:
-    return {b["name"]: b for b in report.get("benchmarks", [])
-            if b.get("run_type", "iteration") == "iteration"}
+# ---------------------------------------------------------------------------
+# Row extraction: every mode reduces its report to a flat list of
+#   {key, value, label, wall_fraction}
+# rows, and one generic comparator gates all four baselines.
 
-
-def compare(old: dict, new: dict, tolerance: float) -> bool:
-    """Print per-benchmark ratios; return True if no regression."""
-    ok = True
-    old_by_name = index(old)
-    print(f"\n{'benchmark':<20s} {'label':<20s} {'old MS/s':>10s} "
-          f"{'new MS/s':>10s} {'ratio':>7s}")
-    for name, bench in index(new).items():
-        new_ips = bench.get("items_per_second")
-        label = bench.get("label", "")
-        prev = old_by_name.get(name)
-        if prev is None or not new_ips:
-            print(f"{name:<20s} {label:<20s} {'-':>10s} "
-                  f"{new_ips / 1e6 if new_ips else 0:10.2f} {'new':>7s}")
+def rows_e5(report: dict) -> list:
+    rows = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
             continue
-        old_ips = prev.get("items_per_second", 0.0)
-        ratio = new_ips / old_ips if old_ips else float("inf")
-        flag = ""
-        if ratio < 1.0 - tolerance:
-            flag = "  <-- REGRESSION"
-            ok = False
-        print(f"{name:<20s} {label:<20s} {old_ips / 1e6:10.2f} "
-              f"{new_ips / 1e6:10.2f} {ratio:6.2f}x{flag}")
-    return ok
+        ips = b.get("items_per_second", 0.0)
+        rows.append({"key": b["name"], "value": ips / 1e6,
+                     "label": b.get("label", "")})
+    return rows
 
 
-def run_blocks(build_dir: pathlib.Path, samples: int) -> dict:
-    exe = build_dir / "bench" / "bench_report_blocks"
-    if not exe.exists():
-        sys.exit(f"error: {exe} not found -- build the repo first "
-                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
-    out = build_dir / "bench_blocks_tmp.json"
-    subprocess.run(
-        [str(exe), "--samples", str(samples), "--out", str(out), "--quiet"],
-        check=True,
-        cwd=REPO_ROOT,
-    )
-    with open(out) as f:
-        return json.load(f)
+def rows_blocks(report: dict) -> list:
+    rows = []
+    for standard, rep in report.get("standards", {}).items():
+        for blk in rep.get("blocks", []):
+            rows.append({"key": f"{standard}/{blk['name']}",
+                         "value": blk.get("throughput_msps", 0.0),
+                         "label": "",
+                         "wall_fraction": blk.get("wall_fraction", 1.0)})
+    return rows
 
 
-def compare_blocks(old: dict, new: dict, tolerance: float) -> bool:
-    """Per-block throughput ratios across all standards; True if clean.
+def rows_configs(value_field: str):
+    def extract(report: dict) -> list:
+        return [{"key": c["name"], "value": c.get(value_field, 0.0),
+                 "label": f"threads={c.get('threads', 0)}"}
+                for c in report.get("configs", [])]
+    return extract
 
-    Only blocks that carried a meaningful share of the baseline run's
-    wall time gate the result: a block at <5% wall share finishes in
-    well under a millisecond here, its timing is scheduler noise, and a
-    regression that small cannot explain an end-to-end slowdown anyway.
+
+def compare_rows(old: dict, new: dict, tolerance: float, extract,
+                 unit: str, baseline_file: pathlib.Path,
+                 min_wall_fraction: float = 0.0) -> bool:
+    """Print per-key ratios; one stderr line per gated regression.
+
+    Returns True when nothing gated regressed. A key only gates when its
+    *baseline* row carried at least `min_wall_fraction` of the run's
+    wall time (1.0 when the mode does not track wall shares).
     """
-    min_wall_fraction = 0.05
-    ok = True
-    old_standards = old.get("standards", {})
-    print(f"\n{'standard':<22s} {'block':<22s} {'old Msps':>10s} "
-          f"{'new Msps':>10s} {'ratio':>7s}")
-    for standard, report in new.get("standards", {}).items():
-        old_rows = {r["name"]: r
-                    for r in old_standards.get(standard, {}).get("blocks", [])}
-        for row in report.get("blocks", []):
-            new_msps = row.get("throughput_msps", 0.0)
-            prev = old_rows.get(row["name"])
-            if prev is None or not new_msps:
-                print(f"{standard:<22s} {row['name']:<22s} {'-':>10s} "
-                      f"{new_msps:10.2f} {'new':>7s}")
-                continue
-            old_msps = prev.get("throughput_msps", 0.0)
-            ratio = new_msps / old_msps if old_msps else float("inf")
-            flag = ""
-            if ratio < 1.0 - tolerance:
-                if prev.get("wall_fraction", 0.0) >= min_wall_fraction:
-                    flag = "  <-- REGRESSION"
-                    ok = False
-                else:
-                    flag = "  (noise: <5% wall share, not gated)"
-            print(f"{standard:<22s} {row['name']:<22s} {old_msps:10.2f} "
-                  f"{new_msps:10.2f} {ratio:6.2f}x{flag}")
-    return ok
-
-
-def run_graph(build_dir: pathlib.Path, samples: int) -> dict:
-    exe = build_dir / "bench" / "bench_graph"
-    if not exe.exists():
-        sys.exit(f"error: {exe} not found -- build the repo first "
-                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
-    out = build_dir / "bench_graph_tmp.json"
-    subprocess.run(
-        [str(exe), "--samples", str(samples), "--out", str(out), "--quiet"],
-        check=True,
-        cwd=REPO_ROOT,
-    )
-    with open(out) as f:
-        return json.load(f)
-
-
-def compare_graph(old: dict, new: dict, tolerance: float) -> bool:
-    """Per-configuration throughput ratios vs the baseline; True if
-    clean. Ratios are machine-relative -- the baseline must come from
-    the same environment for the gate to mean anything."""
-    ok = True
-    old_by_name = {c["name"]: c for c in old.get("configs", [])}
-    print(f"\n{'config':<14s} {'threads':>7s} {'old Msps':>10s} "
-          f"{'new Msps':>10s} {'ratio':>7s}")
-    for cfg in new.get("configs", []):
-        new_msps = cfg.get("msps", 0.0)
-        prev = old_by_name.get(cfg["name"])
-        if prev is None or not new_msps:
-            print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
-                  f"{'-':>10s} {new_msps:10.2f} {'new':>7s}")
+    old_rows = {r["key"]: r for r in extract(old)}
+    regressions = []
+    print(f"\n{'key':<42s} {'label':<18s} {'old ' + unit:>12s} "
+          f"{'new ' + unit:>12s} {'ratio':>7s}")
+    for row in extract(new):
+        key, new_v = row["key"], row["value"]
+        prev = old_rows.get(key)
+        if prev is None or not new_v:
+            print(f"{key:<42s} {row['label']:<18s} {'-':>12s} "
+                  f"{new_v:12.2f} {'new':>7s}")
             continue
-        old_msps = prev.get("msps", 0.0)
-        ratio = new_msps / old_msps if old_msps else float("inf")
+        old_v = prev["value"]
+        ratio = new_v / old_v if old_v else float("inf")
         flag = ""
         if ratio < 1.0 - tolerance:
-            flag = "  <-- REGRESSION"
-            ok = False
-        print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
-              f"{old_msps:10.2f} {new_msps:10.2f} {ratio:6.2f}x{flag}")
-    return ok
+            if prev.get("wall_fraction", 1.0) >= min_wall_fraction:
+                flag = "  <-- REGRESSION"
+                regressions.append((key, old_v, new_v, ratio))
+            else:
+                flag = (f"  (noise: <{min_wall_fraction:.0%} wall share, "
+                        f"not gated)")
+        print(f"{key:<42s} {row['label']:<18s} {old_v:12.2f} "
+              f"{new_v:12.2f} {ratio:6.2f}x{flag}")
+    for key, old_v, new_v, ratio in regressions:
+        print(f"regression: {baseline_file.name}: {key}: "
+              f"{old_v:.2f} -> {new_v:.2f} {unit} ({ratio:.2f}x, "
+              f"allowed >= {1.0 - tolerance:.2f}x)", file=sys.stderr)
+    return not regressions
 
 
-def run_sim(build_dir: pathlib.Path, trials: int) -> dict:
-    exe = build_dir / "bench" / "bench_sim"
-    if not exe.exists():
-        sys.exit(f"error: {exe} not found -- build the repo first "
-                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
-    out = build_dir / "bench_sim_tmp.json"
-    subprocess.run(
-        [str(exe), "--trials", str(trials), "--out", str(out), "--quiet"],
-        check=True,
-        cwd=REPO_ROOT,
-    )
-    with open(out) as f:
-        return json.load(f)
+# ---------------------------------------------------------------------------
+# Kernel speedup gates (dispatch-layer acceptance).
 
-
-def compare_sim(old: dict, new: dict, tolerance: float) -> bool:
-    """Per-configuration trials/s ratios vs the baseline; True if
-    clean. Machine-relative, like --graph."""
-    ok = True
-    old_by_name = {c["name"]: c for c in old.get("configs", [])}
-    print(f"\n{'config':<14s} {'threads':>7s} {'old tr/s':>10s} "
-          f"{'new tr/s':>10s} {'ratio':>7s}")
-    for cfg in new.get("configs", []):
-        new_tps = cfg.get("trials_per_second", 0.0)
-        prev = old_by_name.get(cfg["name"])
-        if prev is None or not new_tps:
-            print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
-                  f"{'-':>10s} {new_tps:10.1f} {'new':>7s}")
+def kernel_pairs_e5(report: dict) -> tuple:
+    """(tier, {kernel: speedup}) from kernel_<name>/<variant> benches."""
+    scalar, simd, tier = {}, {}, "scalar"
+    for b in report.get("benchmarks", []):
+        name = b.get("name", "")
+        if not name.startswith("kernel_") or "/" not in name:
             continue
-        old_tps = prev.get("trials_per_second", 0.0)
-        ratio = new_tps / old_tps if old_tps else float("inf")
-        flag = ""
-        if ratio < 1.0 - tolerance:
-            flag = "  <-- REGRESSION"
-            ok = False
-        print(f"{cfg['name']:<14s} {cfg.get('threads', 0):>7d} "
-              f"{old_tps:10.1f} {new_tps:10.1f} {ratio:6.2f}x{flag}")
-    return ok
+        kernel, variant = name.split("/", 1)
+        ips = b.get("items_per_second", 0.0)
+        if variant == "scalar":
+            scalar[kernel] = ips
+        else:
+            simd[kernel] = ips
+            tier = b.get("label", variant) or variant
+    speedups = {k: simd[k] / scalar[k]
+                for k in simd if scalar.get(k)}
+    return tier, speedups
+
+
+def kernel_pairs_blocks(report: dict) -> tuple:
+    kernels = report.get("kernels", {})
+    tier = kernels.get("tier", "scalar")
+    speedups = {e["name"]: e.get("speedup", 0.0)
+                for e in kernels.get("entries", [])}
+    return tier, speedups
+
+
+def check_kernel_speedups(tier: str, speedups: dict,
+                          baseline_file: pathlib.Path) -> bool:
+    """At least KERNEL_MIN_COUNT kernels at KERNEL_MIN_SPEEDUP x, unless
+    the host has no SIMD tier at all (or the benches did not run)."""
+    if tier == "scalar" or not speedups:
+        print(f"\nkernel gate: skipped (dispatch tier is scalar)")
+        return True
+    fast = sorted((k for k, s in speedups.items()
+                   if s >= KERNEL_MIN_SPEEDUP),
+                  key=lambda k: -speedups[k])
+    print(f"\nkernel gate ({tier} vs scalar): " +
+          ", ".join(f"{k} {speedups[k]:.2f}x"
+                    for k in sorted(speedups)))
+    if len(fast) < KERNEL_MIN_COUNT:
+        print(f"kernel gate: {baseline_file.name}: only {len(fast)} "
+              f"kernel(s) at >= {KERNEL_MIN_SPEEDUP:.1f}x over scalar "
+              f"(need {KERNEL_MIN_COUNT}); speedups: " +
+              ", ".join(f"{k}={s:.2f}x"
+                        for k, s in sorted(speedups.items())),
+              file=sys.stderr)
+        return False
+    return True
 
 
 def load_baseline(path: pathlib.Path) -> dict:
@@ -253,13 +249,14 @@ def main() -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="""\
 gating:
-  Default mode gates on whole-benchmark throughput vs BENCH_e5.json.
-  --blocks gates per block per standard vs BENCH_blocks.json: a block
-  regresses the run (exit 1) only when it slows beyond --tolerance AND
-  carried >= 5% of the baseline's wall time; slimmer blocks are printed
-  as "(noise ...)" but never gate, since their single-run timings are
-  scheduler noise. Baselines rewrite on every run unless --check-only
-  is given; --check-only requires the baseline to exist.""")
+  Default mode gates on whole-benchmark throughput vs BENCH_e5.json and
+  on the scalar-vs-SIMD kernel speedups. --blocks gates per block per
+  standard vs BENCH_blocks.json: a block regresses the run (exit 1)
+  only when it slows beyond --tolerance AND carried >= 5% of the
+  baseline's wall time; slimmer blocks are printed as "(noise ...)" but
+  never gate, since their single-run timings are scheduler noise.
+  Baselines rewrite on every run unless --check-only is given;
+  --check-only requires the baseline to exist.""")
     ap.add_argument("--build-dir", default="build",
                     help="CMake build directory (default: build)")
     ap.add_argument("--tolerance", type=float, default=0.15,
@@ -294,41 +291,57 @@ gating:
     if sum([args.blocks, args.graph, args.sim]) > 1:
         ap.error("--blocks, --graph, and --sim are mutually exclusive")
 
+    build_dir = REPO_ROOT / args.build_dir
+    min_wall_fraction = 0.0
+    kernel_pairs = None
     if args.sim:
-        report = run_sim(REPO_ROOT / args.build_dir, args.trials)
+        report = run_exe(build_dir, "bench_sim",
+                         ["--trials", str(args.trials)])
         baseline_file = SIM_FILE
-        compare_fn = compare_sim
+        extract = rows_configs("trials_per_second")
+        unit = "trials/s"
         # Single-run wall times under thread scheduling: widen the
         # default gate the same way --blocks and --graph do.
         tolerance = max(args.tolerance, 0.35)
     elif args.graph:
-        report = run_graph(REPO_ROOT / args.build_dir, args.samples)
+        report = run_exe(build_dir, "bench_graph",
+                         ["--samples", str(args.samples)])
         baseline_file = GRAPH_FILE
-        compare_fn = compare_graph
-        # Single-run end-to-end timings under thread scheduling: widen
-        # the default gate the same way --blocks does.
+        extract = rows_configs("msps")
+        unit = "Msps"
         tolerance = max(args.tolerance, 0.35)
     elif args.blocks:
-        report = run_blocks(REPO_ROOT / args.build_dir, args.samples)
+        report = run_exe(build_dir, "bench_report_blocks",
+                         ["--samples", str(args.samples)])
         baseline_file = BLOCKS_FILE
-        compare_fn = compare_blocks
+        extract = rows_blocks
+        unit = "Msps"
+        min_wall_fraction = MIN_WALL_FRACTION
+        kernel_pairs = kernel_pairs_blocks(report)
         # Single-run per-block timings are noisier than Google
         # Benchmark's min-time loop; widen the default gate.
         tolerance = max(args.tolerance, 0.35)
     else:
-        report = run_bench(REPO_ROOT / args.build_dir, args.min_time)
+        report = run_bench(build_dir, args.min_time)
         baseline_file = RESULT_FILE
-        compare_fn = compare
+        extract = rows_e5
+        unit = "MS/s"
+        kernel_pairs = kernel_pairs_e5(report)
         tolerance = args.tolerance
 
     ok = True
     if baseline_file.exists():
         baseline = load_baseline(baseline_file)
-        ok = compare_fn(baseline, report, tolerance)
+        ok = compare_rows(baseline, report, tolerance, extract, unit,
+                          baseline_file, min_wall_fraction)
     elif args.check_only:
         sys.exit(f"error: --check-only needs a baseline, but "
                  f"{baseline_file.relative_to(REPO_ROOT)} does not exist "
                  f"-- run once without --check-only to create it")
+    if kernel_pairs is not None:
+        tier, speedups = kernel_pairs
+        if not check_kernel_speedups(tier, speedups, baseline_file):
+            ok = False
     if not args.check_only:
         with open(baseline_file, "w") as f:
             json.dump(report, f, indent=1)

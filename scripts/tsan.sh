@@ -23,5 +23,6 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim
-ctest --test-dir "${build}" -R 'test_pipeline|test_transmitter|test_executor|test_sim' \
+ctest --test-dir "${build}" \
+  -R '^(test_pipeline|test_transmitter|test_executor|test_sim)$' \
   --output-on-failure "$@"

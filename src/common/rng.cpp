@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace ofdm {
 
@@ -91,6 +92,36 @@ double Rng::gaussian() {
 cplx Rng::complex_gaussian(double variance) {
   const double sigma = std::sqrt(variance / 2.0);
   return {sigma * gaussian(), sigma * gaussian()};
+}
+
+void Rng::gaussian_fill(std::span<double> out) {
+  std::size_t i = 0;
+  if (i < out.size() && have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    out[i++] = cached_gaussian_;
+  }
+  // Whole Box-Muller pairs land directly in the buffer: the scalar
+  // path's cos draw followed by its cached sin draw.
+  while (i + 2 <= out.size()) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    out[i] = r * std::cos(kTwoPi * u2);
+    out[i + 1] = r * std::sin(kTwoPi * u2);
+    i += 2;
+  }
+  // Odd element: draw a full pair and leave the sin half cached,
+  // exactly as gaussian() would.
+  if (i < out.size()) out[i] = gaussian();
+}
+
+void Rng::complex_gaussian_fill(std::span<cplx> out, double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  gaussian_fill({reinterpret_cast<double*>(out.data()), out.size() * 2});
+  simd::kernels().cvec_scale(out.data(), sigma, out.data(), out.size());
 }
 
 std::uint8_t Rng::bit() { return static_cast<std::uint8_t>(next_u64() & 1u); }

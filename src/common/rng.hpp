@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.hpp"
 
@@ -48,6 +49,15 @@ class Rng {
   /// Zero-mean circular complex gaussian with total variance `variance`
   /// (i.e. variance/2 per real dimension).
   cplx complex_gaussian(double variance = 1.0);
+
+  /// Batch fill producing the *identical* stream to out.size() repeated
+  /// gaussian() calls — including consuming and refilling the Box-Muller
+  /// cache — but amortizing the per-call overhead.
+  void gaussian_fill(std::span<double> out);
+
+  /// Batch equivalent of out.size() complex_gaussian(variance) calls,
+  /// bit-identical to the one-at-a-time stream.
+  void complex_gaussian_fill(std::span<cplx> out, double variance = 1.0);
 
   /// A fresh bit (0 or 1).
   std::uint8_t bit();

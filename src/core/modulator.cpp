@@ -73,6 +73,13 @@ void Modulator::emit(std::span<const cplx> freq_bins, cvec& out) {
   emit_body(body_, out);
 }
 
+void Modulator::modulate_symbol(std::span<const cplx> data_values,
+                                std::span<const cplx> pilot_values,
+                                cvec& out) {
+  assemble_spectrum(params_, layout_, data_values, pilot_values, freq_);
+  emit(freq_, out);
+}
+
 void Modulator::emit_body(std::span<const cplx> body, cvec& out) {
   const std::size_t n = params_.fft_size;
   const std::size_t cp = params_.cp_len;

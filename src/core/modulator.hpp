@@ -44,6 +44,12 @@ class Modulator {
   /// cp_len + fft_size samples to `out`.
   void emit(std::span<const cplx> freq_bins, cvec& out);
 
+  /// assemble() + emit() without materializing a fresh frequency vector:
+  /// the spectrum is built in a reusable member buffer. Bit-identical to
+  /// the two-step path; this is the batched transmit hot path.
+  void modulate_symbol(std::span<const cplx> data_values,
+                       std::span<const cplx> pilot_values, cvec& out);
+
   /// IFFT one assembled frequency vector into the scaled time-domain
   /// body (fft_size samples), without the cyclic extension. This is the
   /// per-symbol work the SymbolPipeline farms out to worker threads.
@@ -76,6 +82,7 @@ class Modulator {
   rvec ramp_;   // raised-cosine up-ramp, window_ramp samples
   cvec tail_;   // pending overlap from the previous symbol
   cvec body_;   // reusable IFFT output buffer
+  cvec freq_;   // reusable spectrum buffer (modulate_symbol)
 };
 
 }  // namespace ofdm::core

@@ -28,6 +28,11 @@ struct Transmitter::State {
   std::optional<coding::ReedSolomon> rs;
   std::optional<PilotGenerator> pilots;
   std::size_t cbps = 0;
+
+  // Scratch for the batched transmit path; grows once, reused across
+  // bursts.
+  cvec mapped_all;    ///< whole-stream block map (fast path)
+  cvec data_scratch;  ///< per-symbol tone values
 };
 
 Transmitter::Transmitter() = default;
@@ -236,13 +241,30 @@ cvec Transmitter::preamble_samples() const {
 
 Transmitter::Burst Transmitter::modulate(
     std::span<const std::uint8_t> payload_bits) {
+  Burst burst;
+  modulate_into(payload_bits, burst);
+  return burst;
+}
+
+void Transmitter::modulate_batch(std::span<const bitvec> payloads,
+                                 std::vector<Burst>& bursts) {
+  bursts.resize(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    modulate_into(payloads[i], bursts[i]);
+  }
+}
+
+void Transmitter::modulate_into(std::span<const std::uint8_t> payload_bits,
+                                Burst& burst) {
   OFDM_REQUIRE(state_, kUnconfigured);
   obs::ScopedSpan span("Transmitter::modulate");
   State& s = *state_;
   const OfdmParams& p = s.params;
 
-  Burst burst;
+  burst.samples.clear();  // keeps capacity for burst reuse
   burst.payload_bits = payload_bits.size();
+  burst.null_samples = 0;
+  burst.preamble_samples = 0;
 
   const bitvec coded = encode_payload(payload_bits);
   burst.coded_bits = coded.size();
@@ -287,7 +309,17 @@ Transmitter::Burst Transmitter::modulate(
   // (differential mapping and the pilot PRBS carry state from symbol to
   // symbol); the assemble+IFFT step is not, and goes through the
   // SymbolPipeline when threads > 1 — bit-exact with the inline path.
-  auto map_symbol = [&](std::size_t sym) -> cvec {
+  //
+  // Fixed-constellation configurations with no interleaving have no
+  // per-symbol bit machinery at all, so the whole coded stream is
+  // block-mapped in one kernel sweep and each symbol just takes a view
+  // of its slice — the same values map_all would produce per symbol.
+  const std::size_t n_data = s.layout.data_bins.size();
+  const bool block_map = p.mapping == MappingKind::kFixed &&
+                         !s.bit_interleaver && !s.cell_interleaver;
+  if (block_map) s.constellation->map_into(coded, s.mapped_all);
+
+  auto map_symbol_into = [&](std::size_t sym, cvec& dst) {
     const auto sym_bits = std::span<const std::uint8_t>(coded).subspan(
         sym * s.cbps, s.cbps);
 
@@ -300,31 +332,36 @@ Transmitter::Burst Transmitter::modulate(
     }
 
     // Bits -> tone values.
-    cvec data_values;
     switch (p.mapping) {
       case MappingKind::kFixed:
-        data_values = s.constellation->map_all(mapped_bits);
+        s.constellation->map_into(mapped_bits, dst);
         break;
       case MappingKind::kDifferential:
-        data_values = s.diff->map_symbol(mapped_bits);
+        dst = s.diff->map_symbol(mapped_bits);
         break;
       case MappingKind::kBitTable:
-        data_values = s.dmt->map_symbol(mapped_bits);
+        dst = s.dmt->map_symbol(mapped_bits);
         break;
     }
 
     // Cell interleaving permutes mapped values across the data tones.
     if (s.cell_interleaver) {
-      data_values = s.cell_interleaver->interleave(
-          std::span<const cplx>(data_values));
+      dst = s.cell_interleaver->interleave(std::span<const cplx>(dst));
     }
-    return data_values;
   };
 
   if (s.pipeline && burst.data_symbols > 1) {
     std::vector<SymbolPipeline::Symbol> jobs(burst.data_symbols);
     for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
-      jobs[sym].data = map_symbol(sym);
+      if (block_map) {
+        jobs[sym].data.assign(
+            s.mapped_all.begin() +
+                static_cast<std::ptrdiff_t>(sym * n_data),
+            s.mapped_all.begin() +
+                static_cast<std::ptrdiff_t>((sym + 1) * n_data));
+      } else {
+        map_symbol_into(sym, jobs[sym].data);
+      }
       jobs[sym].pilots = s.pilots->next_symbol();
     }
     s.pipeline->transform(jobs);
@@ -333,15 +370,20 @@ Transmitter::Burst Transmitter::modulate(
     }
   } else {
     for (std::size_t sym = 0; sym < burst.data_symbols; ++sym) {
-      const cvec data_values = map_symbol(sym);
+      std::span<const cplx> data_values;
+      if (block_map) {
+        data_values = std::span<const cplx>(s.mapped_all)
+                          .subspan(sym * n_data, n_data);
+      } else {
+        map_symbol_into(sym, s.data_scratch);
+        data_values = s.data_scratch;
+      }
       const cvec pilot_values = s.pilots->next_symbol();
-      s.modulator->emit(s.modulator->assemble(data_values, pilot_values),
-                        out);
+      s.modulator->modulate_symbol(data_values, pilot_values, out);
     }
   }
 
   s.modulator->flush(out);
-  return burst;
 }
 
 }  // namespace ofdm::core

@@ -6,20 +6,25 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace ofdm::dsp {
 
 namespace {
 
-// Iterative radix-2 DIT. Forward and inverse twiddle tables are both
-// precomputed so the butterfly loop carries no direction branch, and an
-// output scale factor is folded into the final stage so the inverse's
-// 1/N never costs a separate sweep over the buffer.
+// Iterative radix-2 DIT over the simd kernel table. Forward and inverse
+// twiddles are precomputed in *stage-major* layout — the stage with
+// half = len/2 butterflies per block owns the contiguous slice
+// [half - 1, 2*half - 1) — so the butterfly kernels load twiddles
+// sequentially instead of at stride n/len. The values are copied from
+// the classic k/n table, so the layout change moves no bits. An output
+// scale factor is folded into the final stage so the inverse's 1/N
+// never costs a separate sweep over the buffer.
 struct Radix2Plan {
   std::size_t n = 0;
   std::vector<std::size_t> bitrev;   // bit-reversal permutation
-  cvec twiddle;                      // e^{-j2πk/n}, k in [0, n/2)
-  cvec twiddle_inv;                  // conjugate table for the inverse
+  cvec stage_tw;                     // stage-major e^{-j2πk/n} slices
+  cvec stage_tw_inv;                 // conjugate table for the inverse
 
   explicit Radix2Plan(std::size_t size) : n(size) {
     bitrev.resize(n);
@@ -32,13 +37,23 @@ struct Radix2Plan {
       }
       bitrev[i] = r;
     }
-    twiddle.resize(n / 2);
-    twiddle_inv.resize(n / 2);
+    cvec twiddle(n / 2);  // e^{-j2πk/n}, k in [0, n/2)
     for (std::size_t k = 0; k < n / 2; ++k) {
       const double a = -kTwoPi * static_cast<double>(k) /
                        static_cast<double>(n);
       twiddle[k] = {std::cos(a), std::sin(a)};
-      twiddle_inv[k] = std::conj(twiddle[k]);
+    }
+    // Stage with half butterflies starts at offset half - 1 (the halves
+    // of all earlier stages sum to 1 + 2 + ... + half/2 = half - 1) and
+    // holds twiddle[k * step], step = n / (2*half).
+    stage_tw.resize(n >= 2 ? n - 1 : 0);
+    stage_tw_inv.resize(stage_tw.size());
+    for (std::size_t half = 1; half < n; half <<= 1) {
+      const std::size_t step = n / (2 * half);
+      for (std::size_t k = 0; k < half; ++k) {
+        stage_tw[half - 1 + k] = twiddle[k * step];
+        stage_tw_inv[half - 1 + k] = std::conj(twiddle[k * step]);
+      }
     }
   }
 
@@ -54,43 +69,18 @@ struct Radix2Plan {
       const std::size_t j = bitrev[i];
       if (i < j) std::swap(data[i], data[j]);
     }
-    // Hoisted raw pointers: going through span/vector operator[] keeps
-    // the compiler from proving the table loads loop-invariant, which
-    // costs ~3x on this loop at -O3.
-    const cplx* const tw = (inverse ? twiddle_inv : twiddle).data();
+    const cplx* const tw = (inverse ? stage_tw_inv : stage_tw).data();
     cplx* const d = data.data();
+    const simd::Kernels& kr = simd::kernels();
     for (std::size_t len = 2; len < n; len <<= 1) {
       const std::size_t half = len / 2;
-      const std::size_t step = n / len;
-      for (std::size_t base = 0; base < n; base += len) {
-        for (std::size_t k = 0; k < half; ++k) {
-          const cplx w = tw[k * step];
-          const cplx u = d[base + k];
-          const cplx t = d[base + k + half] * w;
-          d[base + k] = u + t;
-          d[base + k + half] = u - t;
-        }
-      }
+      kr.fft_stage(d, tw + (half - 1), n, len);
     }
-    // Final stage (len == n, one block): fold the output scale in here.
-    // (result * scale after the add/sub -- bit-identical to a separate
-    // post-multiply sweep, just without the extra pass.)
+    // Final stage (len == n, one block): the kernel folds the output
+    // scale into the butterfly writes -- bit-identical to a separate
+    // post-multiply sweep, just without the extra pass.
     const std::size_t half = n / 2;
-    if (scale == 1.0) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cplx u = d[k];
-        const cplx t = d[k + half] * tw[k];
-        d[k] = u + t;
-        d[k + half] = u - t;
-      }
-    } else {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cplx u = d[k];
-        const cplx t = d[k + half] * tw[k];
-        d[k] = (u + t) * scale;
-        d[k + half] = (u - t) * scale;
-      }
-    }
+    kr.fft_last_stage(d, tw + (half - 1), half, scale);
   }
 };
 
@@ -145,7 +135,7 @@ struct BluesteinPlan {
               cplx{0.0, 0.0});
     conv.execute(work, /*inverse=*/false);
     const cvec& kern = inverse ? kernel_fft_inv : kernel_fft_fwd;
-    for (std::size_t k = 0; k < m; ++k) work[k] *= kern[k];
+    simd::kernels().cvec_mul(work.data(), kern.data(), work.data(), m);
     conv.execute(work, /*inverse=*/true);
     const double s = scale / static_cast<double>(m);
     for (std::size_t k = 0; k < n; ++k) {

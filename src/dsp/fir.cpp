@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/serial.hpp"
+#include "dsp/simd/dispatch.hpp"
 #include "dsp/window.hpp"
 
 namespace ofdm::dsp {
@@ -36,23 +37,35 @@ rvec design_lowpass(double cutoff, std::size_t taps) {
 
 FirFilter::FirFilter(rvec taps) : taps_(std::move(taps)) {
   OFDM_REQUIRE(!taps_.empty(), "FirFilter: empty tap vector");
-  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+  history_.assign(taps_.size(), cplx{0.0, 0.0});
 }
 
 void FirFilter::process(std::span<const cplx> in, std::span<cplx> out) {
   OFDM_REQUIRE_DIM(in.size() == out.size(),
                    "FirFilter::process: in/out size mismatch");
+  if (in.empty()) return;
   const std::size_t n_taps = taps_.size();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    head_ = (head_ + n_taps - 1) % n_taps;
-    delay_[head_] = in[i];
-    cplx acc{0.0, 0.0};
-    std::size_t idx = head_;
-    for (std::size_t t = 0; t < n_taps; ++t) {
-      acc += delay_[idx] * taps_[t];
-      idx = (idx + 1) % n_taps;
-    }
-    out[i] = acc;
+  const std::size_t hist = n_taps - 1;
+  // Lay the chunk out as one contiguous window behind the last
+  // n_taps - 1 inputs, so the kernel sees a plain convolution instead
+  // of a circular delay line. window_ grows to the largest chunk once
+  // and is reused (steady-state zero-alloc).
+  window_.resize(hist + in.size());
+  std::copy(history_.end() - static_cast<std::ptrdiff_t>(hist),
+            history_.end(), window_.begin());
+  std::copy(in.begin(), in.end(),
+            window_.begin() + static_cast<std::ptrdiff_t>(hist));
+  simd::kernels().fir_cr(window_.data(), taps_.data(), n_taps,
+                         out.data(), in.size());
+  // Slide the chronological history to the last n_taps inputs.
+  if (in.size() >= n_taps) {
+    std::copy(in.end() - static_cast<std::ptrdiff_t>(n_taps), in.end(),
+              history_.begin());
+  } else {
+    std::move(history_.begin() + static_cast<std::ptrdiff_t>(in.size()),
+              history_.end(), history_.begin());
+    std::copy(in.begin(), in.end(),
+              history_.end() - static_cast<std::ptrdiff_t>(in.size()));
   }
 }
 
@@ -63,13 +76,20 @@ cvec FirFilter::process(std::span<const cplx> in) {
 }
 
 void FirFilter::reset() {
-  delay_.assign(taps_.size(), cplx{0.0, 0.0});
-  head_ = 0;
+  history_.assign(taps_.size(), cplx{0.0, 0.0});
 }
 
 void FirFilter::save_state(StateWriter& w) const {
-  w.vec_c(delay_);
-  w.u64(head_);
+  // Serialized as the circular delay line the filter historically kept
+  // (newest sample at head_, here canonically head_ == 0), so old and
+  // new snapshots stay interchangeable.
+  const std::size_t n_taps = taps_.size();
+  cvec delay(n_taps);
+  for (std::size_t k = 0; k < n_taps; ++k) {
+    delay[k] = history_[n_taps - 1 - k];
+  }
+  w.vec_c(delay);
+  w.u64(0);
 }
 
 void FirFilter::load_state(StateReader& r) {
@@ -80,8 +100,11 @@ void FirFilter::load_state(StateReader& r) {
                      std::to_string(delay.size()) + " taps, filter has " +
                      std::to_string(taps_.size()));
   }
-  delay_ = std::move(delay);
-  head_ = r.u64();
+  const std::size_t head = r.u64();
+  const std::size_t n_taps = taps_.size();
+  for (std::size_t j = 0; j < n_taps; ++j) {
+    history_[j] = delay[(head + n_taps - 1 - j) % n_taps];
+  }
 }
 
 cvec convolve(std::span<const cplx> x, std::span<const double> taps) {

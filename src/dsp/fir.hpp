@@ -45,8 +45,8 @@ class FirFilter {
 
  private:
   rvec taps_;
-  cvec delay_;           // circular delay line, length == taps
-  std::size_t head_ = 0;  // index of the most recent sample
+  cvec history_;  // last `taps` inputs, chronological (oldest first)
+  cvec window_;   // scratch: [taps-1 history | chunk]; grows once
 };
 
 /// One-shot convolution returning full length (x.size()+taps.size()-1).

@@ -1,0 +1,93 @@
+// The vectorized kernel table behind the runtime-dispatch layer.
+//
+// Every entry is a hot inner loop from the scalar datapath, restated as
+// a free function over raw pointers so a tier (scalar / SSE2 / AVX2 /
+// NEON) can supply its own implementation. The contract for every
+// non-scalar tier is *bit-reproducibility on finite inputs*: a kernel
+// may reorder independent element lanes but must perform, per element,
+// exactly the scalar sequence of IEEE-754 operations (no FMA fusion, no
+// reassociated reductions). Reductions therefore vectorize across
+// *outputs* (each lane accumulates its own output in scalar order),
+// never across the reduction axis.
+//
+// The one sanctioned exception: building with OFDM_SIMD_ALLOW_FMA=ON
+// lets the x86 tiers contract mul+add pairs into FMAs. That changes
+// low-order bits, and the golden-trace digests must be reblessed — see
+// DESIGN.md §13 for the policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ofdm::simd {
+
+struct Kernels {
+  /// Human-readable tier name ("scalar", "sse2", "avx2", "neon").
+  const char* name;
+
+  /// One radix-2 DIT stage (len < n): for every block of `len` samples,
+  /// half = len/2 butterflies
+  ///   t = d[base+k+half] * tw[k];  d[base+k] = u + t;  d[base+k+half] = u - t;
+  /// with a contiguous per-stage twiddle table tw[0..half).
+  void (*fft_stage)(cplx* d, const cplx* tw, std::size_t n,
+                    std::size_t len);
+
+  /// The final stage (single block, half = n/2) with the output scale
+  /// folded into the butterfly writes: (u ± t) * scale. scale == 1.0
+  /// must skip the multiply entirely (matching the scalar reference).
+  void (*fft_last_stage)(cplx* d, const cplx* tw, std::size_t half,
+                         double scale);
+
+  /// FIR with real taps over complex samples:
+  ///   out[i] = sum_{t=0..n_taps-1} x[i + n_taps - 1 - t] * taps[t]
+  /// accumulated in ascending t — the scalar delay-line order. `x` must
+  /// hold n_out + n_taps - 1 samples (history first, chronological).
+  /// out must not alias x.
+  void (*fir_cr)(const cplx* x, const double* taps, std::size_t n_taps,
+                 cplx* out, std::size_t n_out);
+
+  /// Same window convolution with complex taps (multipath tapped delay
+  /// lines).
+  void (*fir_cc)(const cplx* x, const cplx* taps, std::size_t n_taps,
+                 cplx* out, std::size_t n_out);
+
+  /// out[i] = a[i] + b[i]. out may alias a or b exactly.
+  void (*cvec_add)(const cplx* a, const cplx* b, cplx* out,
+                   std::size_t n);
+
+  /// out[i] = a[i] * b[i] (complex). out may alias a or b exactly.
+  void (*cvec_mul)(const cplx* a, const cplx* b, cplx* out,
+                   std::size_t n);
+
+  /// out[i] = in[i] * s. out may alias in exactly.
+  void (*cvec_scale)(const cplx* in, double s, cplx* out, std::size_t n);
+
+  /// a[i] += b[i] over raw doubles (fading-channel phase advance).
+  void (*rvec_add)(double* a, const double* b, std::size_t n);
+
+  /// Constellation mapping: `bits` holds n_sym * bps unpacked bits (one
+  /// per byte, MSB of each symbol first); out[j] = lut[index_j] where
+  /// index_j folds the j-th group of bps bits MSB-first. bps in [1, 16];
+  /// lut has 2^bps entries.
+  void (*map_lut)(const std::uint8_t* bits, std::size_t n_sym,
+                  std::size_t bps, const cplx* lut, cplx* out);
+};
+
+/// The scalar reference table (always available, every platform).
+const Kernels& scalar_kernels();
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// SSE2 baseline tier (always available on x86-64).
+const Kernels& sse2_kernels();
+/// AVX2 tier; only call through if the CPU reports AVX2.
+const Kernels& avx2_kernels();
+#endif
+
+#if defined(__aarch64__)
+/// NEON tier (always available on AArch64).
+const Kernels& neon_kernels();
+#endif
+
+}  // namespace ofdm::simd

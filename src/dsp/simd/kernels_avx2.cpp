@@ -1,0 +1,283 @@
+// AVX2 tier: two complexes per 256-bit register. This TU is the only
+// one compiled with -mavx2; it is reached only after dispatch.cpp
+// confirms the CPU reports AVX2.
+//
+// Bit-identity notes (versus the scalar tier):
+//  - complex multiply is the movedup/permute/addsub idiom: per lane it
+//    computes the same two products and the same add/sub as scalar
+//    (vaddsubpd's subtract lane is a true IEEE subtraction, and the
+//    imaginary lane's sum commutes);
+//  - FIR lanes each own one output and accumulate taps in ascending
+//    (scalar delay-line) order — adjacent outputs read adjacent window
+//    samples, so one unaligned load feeds two lanes;
+//  - compiled with -ffp-contract=off (unless OFDM_SIMD_ALLOW_FMA) so
+//    the compiler cannot fuse the mul/add pairs behind our back.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/simd/kernels.hpp"
+
+namespace ofdm::simd {
+namespace avx2 {
+
+/// Per lane pair: [a.re*b.re - a.im*b.im, a.im*b.re + a.re*b.im]
+inline __m256d cmul(__m256d a, __m256d b) {
+  const __m256d b_re = _mm256_movedup_pd(b);
+  const __m256d b_im = _mm256_permute_pd(b, 0xF);
+  const __m256d a_swap = _mm256_permute_pd(a, 0x5);
+  return _mm256_addsub_pd(_mm256_mul_pd(a, b_re),
+                          _mm256_mul_pd(a_swap, b_im));
+}
+
+inline __m256d load2(const cplx* p) {
+  return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+inline void store2(cplx* p, __m256d v) {
+  _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+inline __m128d load1(const cplx* p) {
+  return _mm_loadu_pd(reinterpret_cast<const double*>(p));
+}
+inline void store1(cplx* p, __m128d v) {
+  _mm_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+/// One butterfly via SSE lanes (tails and half == 1 stages).
+inline void butterfly1(cplx* lo, cplx* hi, const cplx* tw) {
+  const __m128d b = load1(tw);
+  const __m128d a = load1(hi);
+  const __m128d b_re = _mm_shuffle_pd(b, b, 0x0);
+  const __m128d b_im = _mm_shuffle_pd(b, b, 0x3);
+  const __m128d a_swap = _mm_shuffle_pd(a, a, 0x1);
+  const __m128d t =
+      _mm_addsub_pd(_mm_mul_pd(a, b_re), _mm_mul_pd(a_swap, b_im));
+  const __m128d u = load1(lo);
+  store1(lo, _mm_add_pd(u, t));
+  store1(hi, _mm_sub_pd(u, t));
+}
+
+void fft_stage(cplx* d, const cplx* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  if (half >= 2) {
+    for (std::size_t base = 0; base < n; base += len) {
+      cplx* lo = d + base;
+      cplx* hi = lo + half;
+      std::size_t k = 0;
+      for (; k + 2 <= half; k += 2) {
+        const __m256d t = cmul(load2(hi + k), load2(tw + k));
+        const __m256d u = load2(lo + k);
+        store2(lo + k, _mm256_add_pd(u, t));
+        store2(hi + k, _mm256_sub_pd(u, t));
+      }
+      for (; k < half; ++k) butterfly1(lo + k, hi + k, tw + k);
+    }
+    return;
+  }
+  // len == 2: one-butterfly blocks. Vectorize across two adjacent
+  // blocks: [u0, h0] and [u1, h1] regroup into [u0, u1] / [h0, h1].
+  const __m256d w = _mm256_broadcast_pd(
+      reinterpret_cast<const __m128d*>(tw));
+  std::size_t base = 0;
+  for (; base + 4 <= n; base += 4) {
+    const __m256d v0 = load2(d + base);
+    const __m256d v1 = load2(d + base + 2);
+    const __m256d u = _mm256_permute2f128_pd(v0, v1, 0x20);
+    const __m256d h = _mm256_permute2f128_pd(v0, v1, 0x31);
+    const __m256d t = cmul(h, w);
+    const __m256d lo = _mm256_add_pd(u, t);
+    const __m256d hi = _mm256_sub_pd(u, t);
+    store2(d + base, _mm256_permute2f128_pd(lo, hi, 0x20));
+    store2(d + base + 2, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  for (; base < n; base += 2) {
+    butterfly1(d + base, d + base + 1, tw);
+  }
+}
+
+void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
+                    double scale) {
+  cplx* lo = d;
+  cplx* hi = d + half;
+  if (scale == 1.0) {
+    std::size_t k = 0;
+    for (; k + 2 <= half; k += 2) {
+      const __m256d t = cmul(load2(hi + k), load2(tw + k));
+      const __m256d u = load2(lo + k);
+      store2(lo + k, _mm256_add_pd(u, t));
+      store2(hi + k, _mm256_sub_pd(u, t));
+    }
+    for (; k < half; ++k) butterfly1(lo + k, hi + k, tw + k);
+    return;
+  }
+  const __m256d s = _mm256_set1_pd(scale);
+  std::size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const __m256d t = cmul(load2(hi + k), load2(tw + k));
+    const __m256d u = load2(lo + k);
+    store2(lo + k, _mm256_mul_pd(_mm256_add_pd(u, t), s));
+    store2(hi + k, _mm256_mul_pd(_mm256_sub_pd(u, t), s));
+  }
+  const __m128d s1 = _mm256_castpd256_pd128(s);
+  for (; k < half; ++k) {
+    const __m128d b = load1(tw + k);
+    const __m128d a = load1(hi + k);
+    const __m128d b_re = _mm_shuffle_pd(b, b, 0x0);
+    const __m128d b_im = _mm_shuffle_pd(b, b, 0x3);
+    const __m128d a_swap = _mm_shuffle_pd(a, a, 0x1);
+    const __m128d t =
+        _mm_addsub_pd(_mm_mul_pd(a, b_re), _mm_mul_pd(a_swap, b_im));
+    const __m128d u = load1(lo + k);
+    store1(lo + k, _mm_mul_pd(_mm_add_pd(u, t), s1));
+    store1(hi + k, _mm_mul_pd(_mm_sub_pd(u, t), s1));
+  }
+}
+
+void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  // Four outputs per iteration: two 256-bit accumulators, each lane
+  // pair owning one output's (re, im).
+  for (; i + 4 <= n_out; i += 4) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m256d tap = _mm256_set1_pd(taps[t]);
+      const cplx* s = w0 - t;
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(load2(s), tap));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(load2(s + 2), tap));
+    }
+    store2(out + i, acc0);
+    store2(out + i + 2, acc1);
+  }
+  for (; i + 2 <= n_out; i += 2) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = _mm256_add_pd(
+          acc, _mm256_mul_pd(load2(w0 - t), _mm256_set1_pd(taps[t])));
+    }
+    store2(out + i, acc);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = _mm_add_pd(acc,
+                       _mm_mul_pd(load1(w - t), _mm_set1_pd(taps[t])));
+    }
+    store1(out + i, acc);
+  }
+}
+
+void fir_cc(const cplx* x, const cplx* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n_out; i += 4) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m256d tap = _mm256_broadcast_pd(
+          reinterpret_cast<const __m128d*>(taps + t));
+      const cplx* s = w0 - t;
+      acc0 = _mm256_add_pd(acc0, cmul(load2(s), tap));
+      acc1 = _mm256_add_pd(acc1, cmul(load2(s + 2), tap));
+    }
+    store2(out + i, acc0);
+    store2(out + i + 2, acc1);
+  }
+  for (; i + 2 <= n_out; i += 2) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m256d tap = _mm256_broadcast_pd(
+          reinterpret_cast<const __m128d*>(taps + t));
+      acc = _mm256_add_pd(acc, cmul(load2(w0 - t), tap));
+    }
+    store2(out + i, acc);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m128d b = load1(taps + t);
+      const __m128d a = load1(w - t);
+      const __m128d b_re = _mm_shuffle_pd(b, b, 0x0);
+      const __m128d b_im = _mm_shuffle_pd(b, b, 0x3);
+      const __m128d a_swap = _mm_shuffle_pd(a, a, 0x1);
+      acc = _mm_add_pd(acc, _mm_addsub_pd(_mm_mul_pd(a, b_re),
+                                          _mm_mul_pd(a_swap, b_im)));
+    }
+    store1(out + i, acc);
+  }
+}
+
+void cvec_add(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store2(out + i, _mm256_add_pd(load2(a + i), load2(b + i)));
+  }
+  for (; i < n; ++i) {
+    store1(out + i, _mm_add_pd(load1(a + i), load1(b + i)));
+  }
+}
+
+void cvec_mul(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store2(out + i, cmul(load2(a + i), load2(b + i)));
+  }
+  for (; i < n; ++i) {
+    const __m128d bv = load1(b + i);
+    const __m128d av = load1(a + i);
+    const __m128d b_re = _mm_shuffle_pd(bv, bv, 0x0);
+    const __m128d b_im = _mm_shuffle_pd(bv, bv, 0x3);
+    const __m128d a_swap = _mm_shuffle_pd(av, av, 0x1);
+    store1(out + i, _mm_addsub_pd(_mm_mul_pd(av, b_re),
+                                  _mm_mul_pd(a_swap, b_im)));
+  }
+}
+
+void cvec_scale(const cplx* in, double s, cplx* out, std::size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store2(out + i, _mm256_mul_pd(load2(in + i), sv));
+  }
+  for (; i < n; ++i) {
+    store1(out + i,
+           _mm_mul_pd(load1(in + i), _mm256_castpd256_pd128(sv)));
+  }
+}
+
+void rvec_add(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                             _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+}  // namespace avx2
+
+const Kernels& avx2_kernels() {
+  static const Kernels table = {
+      "avx2",          avx2::fft_stage, avx2::fft_last_stage,
+      avx2::fir_cr,    avx2::fir_cc,    avx2::cvec_add,
+      avx2::cvec_mul,  avx2::cvec_scale, avx2::rvec_add,
+      scalar_kernels().map_lut,
+  };
+  return table;
+}
+
+}  // namespace ofdm::simd
+
+#endif  // x86-64

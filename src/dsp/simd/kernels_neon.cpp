@@ -1,0 +1,182 @@
+// NEON tier (AArch64): one complex per 128-bit register, with
+// deinterleaved vld2q loads where two outputs are produced per
+// iteration. All arithmetic is plain vmul/vadd/vsub — never
+// vmla/vfma, which would fuse the rounding and break bit-identity
+// with the scalar reference.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/simd/kernels.hpp"
+
+namespace ofdm::simd {
+namespace neon {
+
+/// [a.re*b.re - a.im*b.im, a.im*b.re + a.re*b.im]
+inline float64x2_t cmul(float64x2_t a, float64x2_t b) {
+  const float64x2_t b_re = vdupq_laneq_f64(b, 0);
+  const float64x2_t b_im = vdupq_laneq_f64(b, 1);
+  const float64x2_t a_swap = vextq_f64(a, a, 1);
+  const float64x2_t prod_re = vmulq_f64(a, b_re);
+  const float64x2_t prod_im = vmulq_f64(a_swap, b_im);
+  // lane 0: a.re*b.re - a.im*b.im; lane 1: a.im*b.re + a.re*b.im
+  const float64x2_t sub = vsubq_f64(prod_re, prod_im);
+  const float64x2_t add = vaddq_f64(prod_re, prod_im);
+  return vcombine_f64(vget_low_f64(sub), vget_high_f64(add));
+}
+
+inline float64x2_t load(const cplx* p) {
+  return vld1q_f64(reinterpret_cast<const double*>(p));
+}
+inline void store(cplx* p, float64x2_t v) {
+  vst1q_f64(reinterpret_cast<double*>(p), v);
+}
+
+void fft_stage(cplx* d, const cplx* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* lo = d + base;
+    cplx* hi = lo + half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const float64x2_t t = cmul(load(hi + k), load(tw + k));
+      const float64x2_t u = load(lo + k);
+      store(lo + k, vaddq_f64(u, t));
+      store(hi + k, vsubq_f64(u, t));
+    }
+  }
+}
+
+void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
+                    double scale) {
+  cplx* lo = d;
+  cplx* hi = d + half;
+  if (scale == 1.0) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const float64x2_t t = cmul(load(hi + k), load(tw + k));
+      const float64x2_t u = load(lo + k);
+      store(lo + k, vaddq_f64(u, t));
+      store(hi + k, vsubq_f64(u, t));
+    }
+    return;
+  }
+  const float64x2_t s = vdupq_n_f64(scale);
+  for (std::size_t k = 0; k < half; ++k) {
+    const float64x2_t t = cmul(load(hi + k), load(tw + k));
+    const float64x2_t u = load(lo + k);
+    store(lo + k, vmulq_f64(vaddq_f64(u, t), s));
+    store(hi + k, vmulq_f64(vsubq_f64(u, t), s));
+  }
+}
+
+void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  // Two outputs per iteration, deinterleaved: acc.val[0] carries both
+  // outputs' real parts, acc.val[1] both imaginary parts.
+  for (; i + 2 <= n_out; i += 2) {
+    const double* w0 =
+        reinterpret_cast<const double*>(x + i + n_taps - 1);
+    float64x2_t acc_re = vdupq_n_f64(0.0);
+    float64x2_t acc_im = vdupq_n_f64(0.0);
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const float64x2_t tap = vdupq_n_f64(taps[t]);
+      const float64x2x2_t s = vld2q_f64(w0 - 2 * t);
+      acc_re = vaddq_f64(acc_re, vmulq_f64(s.val[0], tap));
+      acc_im = vaddq_f64(acc_im, vmulq_f64(s.val[1], tap));
+    }
+    float64x2x2_t res;
+    res.val[0] = acc_re;
+    res.val[1] = acc_im;
+    vst2q_f64(reinterpret_cast<double*>(out + i), res);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = vaddq_f64(acc, vmulq_f64(load(w - t), vdupq_n_f64(taps[t])));
+    }
+    store(out + i, acc);
+  }
+}
+
+void fir_cc(const cplx* x, const cplx* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n_out; i += 2) {
+    const double* w0 =
+        reinterpret_cast<const double*>(x + i + n_taps - 1);
+    float64x2_t acc_re = vdupq_n_f64(0.0);
+    float64x2_t acc_im = vdupq_n_f64(0.0);
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const float64x2_t tap_re = vdupq_n_f64(taps[t].real());
+      const float64x2_t tap_im = vdupq_n_f64(taps[t].imag());
+      const float64x2x2_t s = vld2q_f64(w0 - 2 * t);
+      // p = s * tap, naive form per lane
+      const float64x2_t p_re = vsubq_f64(vmulq_f64(s.val[0], tap_re),
+                                         vmulq_f64(s.val[1], tap_im));
+      const float64x2_t p_im = vaddq_f64(vmulq_f64(s.val[0], tap_im),
+                                         vmulq_f64(s.val[1], tap_re));
+      acc_re = vaddq_f64(acc_re, p_re);
+      acc_im = vaddq_f64(acc_im, p_im);
+    }
+    float64x2x2_t res;
+    res.val[0] = acc_re;
+    res.val[1] = acc_im;
+    vst2q_f64(reinterpret_cast<double*>(out + i), res);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = vaddq_f64(acc, cmul(load(w - t), load(taps + t)));
+    }
+    store(out + i, acc);
+  }
+}
+
+void cvec_add(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, vaddq_f64(load(a + i), load(b + i)));
+  }
+}
+
+void cvec_mul(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, cmul(load(a + i), load(b + i)));
+  }
+}
+
+void cvec_scale(const cplx* in, double s, cplx* out, std::size_t n) {
+  const float64x2_t sv = vdupq_n_f64(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, vmulq_f64(load(in + i), sv));
+  }
+}
+
+void rvec_add(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(a + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+}  // namespace neon
+
+const Kernels& neon_kernels() {
+  static const Kernels table = {
+      "neon",          neon::fft_stage, neon::fft_last_stage,
+      neon::fir_cr,    neon::fir_cc,    neon::cvec_add,
+      neon::cvec_mul,  neon::cvec_scale, neon::rvec_add,
+      scalar_kernels().map_lut,
+  };
+  return table;
+}
+
+}  // namespace ofdm::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,131 @@
+// Scalar reference tier. Every other tier must be bit-identical to
+// this file on finite inputs; these loops are deliberately written as
+// the plainest possible statement of each kernel's contract.
+//
+// Complex multiplies are spelled out as the naive (ac - bd, ad + bc)
+// form. For finite values this is exactly what libstdc++'s
+// std::complex<double> operator* computes (the Annex-G __muldc3
+// recovery path only triggers on NaN results), so the datapath's bits
+// do not move when a call site switches from operator* to a kernel.
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/simd/kernels.hpp"
+
+namespace ofdm::simd {
+namespace scalar {
+
+inline cplx cmul(const cplx& a, const cplx& b) {
+  const double ar = a.real(), ai = a.imag();
+  const double br = b.real(), bi = b.imag();
+  return {ar * br - ai * bi, ar * bi + ai * br};
+}
+
+void fft_stage(cplx* d, const cplx* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* lo = d + base;
+    cplx* hi = lo + half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const cplx t = cmul(hi[k], tw[k]);
+      const cplx u = lo[k];
+      lo[k] = u + t;
+      hi[k] = u - t;
+    }
+  }
+}
+
+void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
+                    double scale) {
+  cplx* lo = d;
+  cplx* hi = d + half;
+  if (scale == 1.0) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const cplx t = cmul(hi[k], tw[k]);
+      const cplx u = lo[k];
+      lo[k] = u + t;
+      hi[k] = u - t;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < half; ++k) {
+    const cplx t = cmul(hi[k], tw[k]);
+    const cplx u = lo[k];
+    lo[k] = (u + t) * scale;
+    hi[k] = (u - t) * scale;
+  }
+}
+
+void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    double acc_re = 0.0, acc_im = 0.0;
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const cplx& s = w[-static_cast<std::ptrdiff_t>(t)];
+      acc_re += s.real() * taps[t];
+      acc_im += s.imag() * taps[t];
+    }
+    out[i] = {acc_re, acc_im};
+  }
+}
+
+void fir_cc(const cplx* x, const cplx* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    double acc_re = 0.0, acc_im = 0.0;
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const cplx& s = w[-static_cast<std::ptrdiff_t>(t)];
+      const cplx p = cmul(s, taps[t]);
+      acc_re += p.real();
+      acc_im += p.imag();
+    }
+    out[i] = {acc_re, acc_im};
+  }
+}
+
+void cvec_add(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void cvec_mul(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cmul(a[i], b[i]);
+}
+
+void cvec_scale(const cplx* in, double s, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = {in[i].real() * s, in[i].imag() * s};
+  }
+}
+
+void rvec_add(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void map_lut(const std::uint8_t* bits, std::size_t n_sym,
+             std::size_t bps, const cplx* lut, cplx* out) {
+  for (std::size_t j = 0; j < n_sym; ++j) {
+    std::size_t index = 0;
+    const std::uint8_t* g = bits + j * bps;
+    for (std::size_t b = 0; b < bps; ++b) {
+      index = (index << 1) | (g[b] & 1u);
+    }
+    out[j] = lut[index];
+  }
+}
+
+}  // namespace scalar
+
+const Kernels& scalar_kernels() {
+  static const Kernels table = {
+      "scalar",          scalar::fft_stage, scalar::fft_last_stage,
+      scalar::fir_cr,    scalar::fir_cc,    scalar::cvec_add,
+      scalar::cvec_mul,  scalar::cvec_scale, scalar::rvec_add,
+      scalar::map_lut,
+  };
+  return table;
+}
+
+}  // namespace ofdm::simd

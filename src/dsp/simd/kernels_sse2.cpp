@@ -1,0 +1,179 @@
+// SSE2 tier: one complex per 128-bit register, two independent
+// accumulators in the FIR loops for ILP. Baseline x86-64 — always
+// available, no CPUID gate needed.
+//
+// Bit-identity notes (versus the scalar tier):
+//  - complex multiply uses the same two products per component; the
+//    subtraction is emulated as x + (-y) via an XOR sign flip, which
+//    IEEE-754 defines as exactly x - y;
+//  - the imaginary component sums the same two products in swapped
+//    operand order — FP addition is commutative, so bits match;
+//  - FIR accumulation runs one output per lane in ascending-tap
+//    (scalar delay-line) order; no cross-tap reassociation.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/simd/kernels.hpp"
+
+namespace ofdm::simd {
+namespace sse2 {
+
+inline __m128d neg_lo_mask() {
+  return _mm_castsi128_pd(
+      _mm_set_epi64x(0, static_cast<long long>(0x8000000000000000ULL)));
+}
+
+/// [a.re*b.re - a.im*b.im, a.im*b.re + a.re*b.im]
+inline __m128d cmul(__m128d a, __m128d b) {
+  const __m128d b_re = _mm_shuffle_pd(b, b, 0x0);
+  const __m128d b_im = _mm_shuffle_pd(b, b, 0x3);
+  const __m128d a_swap = _mm_shuffle_pd(a, a, 0x1);
+  const __m128d cross = _mm_xor_pd(_mm_mul_pd(a_swap, b_im),
+                                   neg_lo_mask());
+  return _mm_add_pd(_mm_mul_pd(a, b_re), cross);
+}
+
+inline __m128d load(const cplx* p) {
+  return _mm_loadu_pd(reinterpret_cast<const double*>(p));
+}
+inline void store(cplx* p, __m128d v) {
+  _mm_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+void fft_stage(cplx* d, const cplx* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* lo = d + base;
+    cplx* hi = lo + half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const __m128d t = cmul(load(hi + k), load(tw + k));
+      const __m128d u = load(lo + k);
+      store(lo + k, _mm_add_pd(u, t));
+      store(hi + k, _mm_sub_pd(u, t));
+    }
+  }
+}
+
+void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
+                    double scale) {
+  cplx* lo = d;
+  cplx* hi = d + half;
+  if (scale == 1.0) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const __m128d t = cmul(load(hi + k), load(tw + k));
+      const __m128d u = load(lo + k);
+      store(lo + k, _mm_add_pd(u, t));
+      store(hi + k, _mm_sub_pd(u, t));
+    }
+    return;
+  }
+  const __m128d s = _mm_set1_pd(scale);
+  for (std::size_t k = 0; k < half; ++k) {
+    const __m128d t = cmul(load(hi + k), load(tw + k));
+    const __m128d u = load(lo + k);
+    store(lo + k, _mm_mul_pd(_mm_add_pd(u, t), s));
+    store(hi + k, _mm_mul_pd(_mm_sub_pd(u, t), s));
+  }
+}
+
+void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n_out; i += 2) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m128d tap = _mm_set1_pd(taps[t]);
+      const cplx* s = w0 - t;
+      acc0 = _mm_add_pd(acc0, _mm_mul_pd(load(s), tap));
+      acc1 = _mm_add_pd(acc1, _mm_mul_pd(load(s + 1), tap));
+    }
+    store(out + i, acc0);
+    store(out + i + 1, acc1);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(load(w - t),
+                                       _mm_set1_pd(taps[t])));
+    }
+    store(out + i, acc);
+  }
+}
+
+void fir_cc(const cplx* x, const cplx* taps, std::size_t n_taps,
+            cplx* out, std::size_t n_out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n_out; i += 2) {
+    const cplx* w0 = x + i + n_taps - 1;
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      const __m128d tap = load(taps + t);
+      const cplx* s = w0 - t;
+      acc0 = _mm_add_pd(acc0, cmul(load(s), tap));
+      acc1 = _mm_add_pd(acc1, cmul(load(s + 1), tap));
+    }
+    store(out + i, acc0);
+    store(out + i + 1, acc1);
+  }
+  for (; i < n_out; ++i) {
+    const cplx* w = x + i + n_taps - 1;
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t t = 0; t < n_taps; ++t) {
+      acc = _mm_add_pd(acc, cmul(load(w - t), load(taps + t)));
+    }
+    store(out + i, acc);
+  }
+}
+
+void cvec_add(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, _mm_add_pd(load(a + i), load(b + i)));
+  }
+}
+
+void cvec_mul(const cplx* a, const cplx* b, cplx* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, cmul(load(a + i), load(b + i)));
+  }
+}
+
+void cvec_scale(const cplx* in, double s, cplx* out, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    store(out + i, _mm_mul_pd(load(in + i), sv));
+  }
+}
+
+void rvec_add(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(a + i,
+                  _mm_add_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+}  // namespace sse2
+
+const Kernels& sse2_kernels() {
+  static const Kernels table = {
+      "sse2",          sse2::fft_stage, sse2::fft_last_stage,
+      sse2::fir_cr,    sse2::fir_cc,    sse2::cvec_add,
+      sse2::cvec_mul,  sse2::cvec_scale, sse2::rvec_add,
+      scalar_kernels().map_lut,
+  };
+  return table;
+}
+
+}  // namespace ofdm::simd
+
+#endif  // x86-64

@@ -5,8 +5,19 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace ofdm::mapping {
+
+namespace {
+// Constellations at or below this bit width get an eager point table
+// (at most 1024 entries, 16 KiB) so map_into is a pure LUT sweep. The
+// 8+8-bit rectangular extreme would cost 1 MiB per instance — those
+// keep the computed path.
+constexpr std::size_t kLutMaxBits = 10;
+// Stack chunk for the batched hard demap's scale pass.
+constexpr std::size_t kDemapChunk = 128;
+}  // namespace
 
 std::size_t bits_per_symbol(Scheme s) {
   switch (s) {
@@ -57,6 +68,15 @@ Constellation::Constellation(std::size_t bits_i, std::size_t bits_q)
     return (m * m - 1.0) / 3.0;
   };
   norm_ = std::sqrt(axis_energy(bits_i_) + axis_energy(bits_q_));
+  if (bits() <= kLutMaxBits) {
+    lut_.resize(size());
+    bitvec pattern;
+    for (std::size_t i = 0; i < lut_.size(); ++i) {
+      pattern.clear();
+      append_uint(pattern, i, bits());
+      lut_[i] = map(pattern);
+    }
+  }
 }
 
 int Constellation::gray_to_level(std::size_t gray_bits, std::size_t n_bits) {
@@ -89,30 +109,52 @@ cplx Constellation::map(std::span<const std::uint8_t> bits) const {
 }
 
 cvec Constellation::map_all(std::span<const std::uint8_t> bits) const {
+  cvec out;
+  map_into(bits, out);
+  return out;
+}
+
+void Constellation::map_into(std::span<const std::uint8_t> bits,
+                             cvec& out) const {
   const std::size_t bps = this->bits();
   OFDM_REQUIRE_DIM(bits.size() % bps == 0,
                    "Constellation::map_all: bit count not a multiple of "
                    "bits per symbol");
-  cvec out;
-  out.reserve(bits.size() / bps);
-  for (std::size_t i = 0; i < bits.size(); i += bps) {
-    out.push_back(map(bits.subspan(i, bps)));
+  const std::size_t n_sym = bits.size() / bps;
+  out.resize(n_sym);
+  if (!lut_.empty()) {
+    simd::kernels().map_lut(bits.data(), n_sym, bps, lut_.data(),
+                            out.data());
+    return;
   }
-  return out;
+  for (std::size_t i = 0; i < n_sym; ++i) {
+    out[i] = map(bits.subspan(i * bps, bps));
+  }
 }
 
-void Constellation::demap(cplx symbol, bitvec& out) const {
-  const cplx scaled = symbol * norm_;
+void Constellation::demap_scaled(cplx scaled, bitvec& out) const {
   append_uint(out, level_to_gray(scaled.real(), bits_i_), bits_i_);
   if (bits_q_ > 0) {
     append_uint(out, level_to_gray(scaled.imag(), bits_q_), bits_q_);
   }
 }
 
+void Constellation::demap(cplx symbol, bitvec& out) const {
+  demap_scaled(symbol * norm_, out);
+}
+
 bitvec Constellation::demap_all(std::span<const cplx> symbols) const {
   bitvec out;
   out.reserve(symbols.size() * bits());
-  for (const cplx& s : symbols) demap(s, out);
+  // Batch the scale pass through the kernel table; the Gray slicing
+  // itself stays scalar (std::lround's half-away-from-zero rounding has
+  // no bit-exact vector equivalent).
+  cplx scaled[kDemapChunk];
+  for (std::size_t i = 0; i < symbols.size(); i += kDemapChunk) {
+    const std::size_t m = std::min(kDemapChunk, symbols.size() - i);
+    simd::kernels().cvec_scale(symbols.data() + i, norm_, scaled, m);
+    for (std::size_t j = 0; j < m; ++j) demap_scaled(scaled[j], out);
+  }
   return out;
 }
 

@@ -46,6 +46,10 @@ class Constellation {
   /// Map a whole stream; length must be a multiple of bits().
   cvec map_all(std::span<const std::uint8_t> bits) const;
 
+  /// map_all into a caller-owned buffer (resized to the symbol count):
+  /// the no-allocation path for batched transmit.
+  void map_into(std::span<const std::uint8_t> bits, cvec& out) const;
+
   /// Hard-decision demap of one symbol back to bits (appended to `out`).
   void demap(cplx symbol, bitvec& out) const;
 
@@ -74,10 +78,13 @@ class Constellation {
 
   static int gray_to_level(std::size_t gray_bits, std::size_t n_bits);
   static std::size_t level_to_gray(double value, std::size_t n_bits);
+  void demap_scaled(cplx scaled, bitvec& out) const;
 
   std::size_t bits_i_;
   std::size_t bits_q_;
   double norm_;
+  cvec lut_;  // point table indexed by the symbol's bits (MSB-first);
+              // empty above kLutMaxBits, where map() computes directly
 };
 
 }  // namespace ofdm::mapping

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/serial.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace ofdm::rf {
 
@@ -16,9 +17,10 @@ AwgnChannel::AwgnChannel(double noise_power, std::uint64_t seed)
 
 void AwgnChannel::process(std::span<const cplx> in, cvec& out) {
   out.resize(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = in[i] + rng_.complex_gaussian(noise_power_);
-  }
+  noise_.resize(in.size());
+  rng_.complex_gaussian_fill(noise_, noise_power_);
+  simd::kernels().cvec_add(in.data(), noise_.data(), out.data(),
+                           in.size());
 }
 
 void AwgnChannel::reset() { rng_ = Rng(seed_); }
@@ -35,33 +37,48 @@ double snr_to_noise_power(double signal_power, double snr_db) {
 
 MultipathChannel::MultipathChannel(cvec taps) : taps_(std::move(taps)) {
   OFDM_REQUIRE(!taps_.empty(), "MultipathChannel: empty tap vector");
-  delay_.assign(taps_.size(), cplx{0.0, 0.0});
+  history_.assign(taps_.size(), cplx{0.0, 0.0});
 }
 
 void MultipathChannel::process(std::span<const cplx> in, cvec& out) {
   const std::size_t n_taps = taps_.size();
   out.resize(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    head_ = (head_ + n_taps - 1) % n_taps;
-    delay_[head_] = in[i];
-    cplx acc{0.0, 0.0};
-    std::size_t idx = head_;
-    for (std::size_t t = 0; t < n_taps; ++t) {
-      acc += delay_[idx] * taps_[t];
-      idx = (idx + 1) % n_taps;
-    }
-    out[i] = acc;
+  if (in.empty()) return;
+  // Same window layout as dsp::FirFilter: [taps-1 history | chunk],
+  // handed to the complex-tap FIR kernel in one call.
+  const std::size_t hist = n_taps - 1;
+  window_.resize(hist + in.size());
+  std::copy(history_.end() - static_cast<std::ptrdiff_t>(hist),
+            history_.end(), window_.begin());
+  std::copy(in.begin(), in.end(),
+            window_.begin() + static_cast<std::ptrdiff_t>(hist));
+  simd::kernels().fir_cc(window_.data(), taps_.data(), n_taps,
+                         out.data(), in.size());
+  if (in.size() >= n_taps) {
+    std::copy(in.end() - static_cast<std::ptrdiff_t>(n_taps), in.end(),
+              history_.begin());
+  } else {
+    std::move(history_.begin() + static_cast<std::ptrdiff_t>(in.size()),
+              history_.end(), history_.begin());
+    std::copy(in.begin(), in.end(),
+              history_.end() - static_cast<std::ptrdiff_t>(in.size()));
   }
 }
 
 void MultipathChannel::reset() {
-  delay_.assign(taps_.size(), cplx{0.0, 0.0});
-  head_ = 0;
+  history_.assign(taps_.size(), cplx{0.0, 0.0});
 }
 
 void MultipathChannel::save_state(StateWriter& w) const {
-  w.vec_c(delay_);
-  w.u64(head_);
+  // Kept in the historical circular-delay-line format (newest at
+  // head_, canonically 0) so snapshots round-trip across versions.
+  const std::size_t n_taps = taps_.size();
+  cvec delay(n_taps);
+  for (std::size_t k = 0; k < n_taps; ++k) {
+    delay[k] = history_[n_taps - 1 - k];
+  }
+  w.vec_c(delay);
+  w.u64(0);
 }
 
 void MultipathChannel::load_state(StateReader& r) {
@@ -73,8 +90,11 @@ void MultipathChannel::load_state(StateReader& r) {
                      " delay-line entries, channel has " +
                      std::to_string(taps_.size()) + " taps");
   }
-  delay_ = std::move(delay);
-  head_ = r.u64();
+  const std::size_t head = r.u64();
+  const std::size_t n_taps = taps_.size();
+  for (std::size_t j = 0; j < n_taps; ++j) {
+    history_[j] = delay[(head + n_taps - 1 - j) % n_taps];
+  }
 }
 
 cvec exponential_pdp_taps(double rms_delay_samples, std::size_t n_taps,

@@ -26,6 +26,7 @@ class AwgnChannel : public Block {
   double noise_power_;
   Rng rng_;
   std::uint64_t seed_;
+  cvec noise_;  // per-chunk batch of draws; grows once
 };
 
 /// Noise power for a target SNR (dB) given the signal power.
@@ -49,8 +50,8 @@ class MultipathChannel : public Block {
 
  private:
   cvec taps_;
-  cvec delay_;
-  std::size_t head_ = 0;
+  cvec history_;  // last `taps` inputs, chronological (oldest first)
+  cvec window_;   // scratch: [taps-1 history | chunk]; grows once
 };
 
 /// Exponentially decaying power-delay profile with Rayleigh taps,

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "dsp/simd/dispatch.hpp"
 
 namespace ofdm::rf {
 
@@ -61,11 +62,10 @@ cplx FadingChannel::tap_gain(const TapState& t) const {
 }
 
 void FadingChannel::advance() {
+  const simd::Kernels& k = simd::kernels();
   for (TapState& t : taps_) {
-    for (std::size_t n = 0; n < n_sinusoids_; ++n) {
-      t.phase[n] += t.doppler_freq[n];
-      t.phase_q[n] += t.doppler_freq[n];
-    }
+    k.rvec_add(t.phase.data(), t.doppler_freq.data(), n_sinusoids_);
+    k.rvec_add(t.phase_q.data(), t.doppler_freq.data(), n_sinusoids_);
   }
 }
 

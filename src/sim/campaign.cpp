@@ -52,8 +52,14 @@ struct Driver {
       const std::size_t b = std::min(a + batch, n);
       pool.submit([this, round, a, b] {
         LinkRunner runner(deck, grid[round->point]);
-        for (std::size_t i = a; i < b; ++i) {
-          round->results[i] = runner.run_trial(round->first_trial + i);
+        if (opts.use_batch_api) {
+          runner.run_trials(
+              round->first_trial + a,
+              std::span<TrialResult>(round->results).subspan(a, b - a));
+        } else {
+          for (std::size_t i = a; i < b; ++i) {
+            round->results[i] = runner.run_trial(round->first_trial + i);
+          }
         }
         if (round->remaining_tasks.fetch_sub(
                 1, std::memory_order_acq_rel) == 1) {

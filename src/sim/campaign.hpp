@@ -33,6 +33,10 @@ struct RunOptions {
   /// rounds have completed, drain, checkpoint and return with
   /// CampaignResult::halted set. 0 = run to completion.
   std::size_t halt_after_rounds = 0;
+  /// Run trials through LinkRunner::run_trials (burst/chunk buffers
+  /// reused across a batch). Bit-identical curves either way; off is an
+  /// A/B lever for the bench suite.
+  bool use_batch_api = true;
 };
 
 /// One finished (or halted) grid point with its resolved labels.

@@ -21,6 +21,13 @@ struct LinkRunner::State {
   std::size_t payload_bits = 0;
   cvec channel_taps;  ///< multipath / twisted-pair FIR, empty for AWGN
 
+  // Batch-path scratch: reused across the trials of one run_trials call.
+  core::Transmitter::Burst burst_scratch;
+  cvec rx_scratch;
+
+  TrialResult run_one(std::size_t trial_index,
+                      core::Transmitter::Burst& burst, cvec& rx_samples);
+
   State(const ScenarioDeck& d, const PointSpec& p)
       : deck(d),
         point(p),
@@ -65,8 +72,25 @@ std::size_t LinkRunner::payload_bits() const {
 }
 
 TrialResult LinkRunner::run_trial(std::size_t trial_index) {
-  const auto t0 = std::chrono::steady_clock::now();
+  core::Transmitter::Burst burst;
+  cvec rx_samples;
+  return state_->run_one(trial_index, burst, rx_samples);
+}
+
+void LinkRunner::run_trials(std::size_t first_trial,
+                            std::span<TrialResult> results) {
   State& s = *state_;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i] =
+        s.run_one(first_trial + i, s.burst_scratch, s.rx_scratch);
+  }
+}
+
+TrialResult LinkRunner::State::run_one(std::size_t trial_index,
+                                       core::Transmitter::Burst& burst,
+                                       cvec& rx_samples) {
+  const auto t0 = std::chrono::steady_clock::now();
+  State& s = *this;
   const ScenarioDeck& d = s.deck;
 
   // Everything stochastic in this trial flows from one substream.
@@ -75,7 +99,7 @@ TrialResult LinkRunner::run_trial(std::size_t trial_index) {
   const std::uint64_t phase_noise_seed = rng.next_u64();
   const std::uint64_t awgn_seed = rng.next_u64();
 
-  const auto burst = s.tx.modulate(payload);
+  s.tx.modulate_into(payload, burst);
 
   // SNR is defined against the transmitted burst's average power (the
   // channel presets are unit-average-power, so this is also the mean
@@ -102,7 +126,7 @@ TrialResult LinkRunner::run_trial(std::size_t trial_index) {
   chain.add<rf::AwgnChannel>(
       rf::snr_to_noise_power(sig_power, s.point.snr_db), awgn_seed);
 
-  const cvec rx_samples = chain.process(burst.samples);
+  chain.process(burst.samples, rx_samples);
 
   if (d.rx_equalize) {
     s.rx.set_equalizer(s.rx.estimate_equalizer(rx_samples));

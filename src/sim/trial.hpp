@@ -27,6 +27,12 @@ class LinkRunner {
   /// trial's wall time.
   TrialResult run_trial(std::size_t trial_index);
 
+  /// Run `results.size()` consecutive trials starting at `first_trial`,
+  /// reusing the runner's burst and chunk buffers across the batch.
+  /// results[i] is bit-identical to run_trial(first_trial + i).
+  void run_trials(std::size_t first_trial,
+                  std::span<TrialResult> results);
+
   /// Payload bits per trial after resolving the deck's payload_bits=0
   /// ("recommended") default for this point's standard.
   std::size_t payload_bits() const;

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "common/types.hpp"
 
 namespace ofdm {
@@ -188,6 +189,64 @@ TEST(MathUtil, NormalizePower) {
   cvec x = {{2.0, 0.0}, {0.0, 2.0}};
   normalize_power(x, 1.0);
   EXPECT_NEAR(mean_power(x), 1.0, 1e-12);
+}
+
+TEST(Rng, GaussianFillMatchesRepeatedScalarDraws) {
+  // Same seed, one stream drawn one-at-a-time, one in odd-sized batch
+  // fills — every double must match bit-for-bit, including the handoff
+  // of the cached Box-Muller second value across batch boundaries.
+  Rng scalar(123), batch(123);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 8u, 17u}) {
+    rvec got(n);
+    batch.gaussian_fill(got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scalar.gaussian(), got[i]) << "n=" << n << " i=" << i;
+    }
+  }
+  // Both generators must also end in the same raw state.
+  EXPECT_EQ(scalar.next_u64(), batch.next_u64());
+}
+
+TEST(Rng, GaussianFillWithPreconsumedCache) {
+  // A lone gaussian() leaves the sin half cached; the next batch fill
+  // must emit that cached value first.
+  Rng scalar(99), batch(99);
+  EXPECT_EQ(scalar.gaussian(), batch.gaussian());
+  rvec got(6);
+  batch.gaussian_fill(got);
+  for (double v : got) EXPECT_EQ(scalar.gaussian(), v);
+}
+
+TEST(Rng, ComplexGaussianFillMatchesScalarDraws) {
+  Rng scalar(55), batch(55);
+  for (std::size_t n : {1u, 3u, 4u, 9u}) {
+    cvec got(n);
+    batch.complex_gaussian_fill(got, 0.5);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scalar.complex_gaussian(0.5), got[i])
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Rng, SaveLoadWithHalfConsumedBoxMullerCache) {
+  Rng rng(2026);
+  (void)rng.gaussian();  // cache now holds the unconsumed sin value
+
+  StateWriter w;
+  rng.save(w);
+  Rng restored(1);  // wrong seed: load must fully overwrite
+  StateReader r(w.bytes());
+  restored.load(r);
+
+  // Continue both streams through scalar draws AND a batch fill: the
+  // restored cache must feed the first value either way.
+  EXPECT_EQ(rng.gaussian(), restored.gaussian());
+  rvec a(5), b(5);
+  rng.gaussian_fill(a);
+  restored.gaussian_fill(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(rng.next_u64(), restored.next_u64());
 }
 
 TEST(Error, RequireMacroCarriesMessage) {
