@@ -27,6 +27,7 @@
 #include "obs/report.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/registry.hpp"
 #include "rf/fading.hpp"
 #include "rf/impairments.hpp"
 #include "rf/pa.hpp"
@@ -237,6 +238,39 @@ int main(int argc, char** argv) {
     json << "  \"" << json_escape(core::standard_name(standard))
          << "\": " << report.to_json();
     first = false;
+  }
+
+  // Channel-model library attribution: one representative of each
+  // family (Watterson two-path, static TDL, flat Rician, oscillator
+  // drift) behind an 802.11a Submodel at the standard's 20 MS/s. Block
+  // names are distinct, so regress.py gates rows like
+  // "channels/watterson" against the baseline.
+  {
+    rf::Submodel source(core::profile_for(core::Standard::kWlan80211a));
+    rf::Chain chain;
+    rf::channels::MakeOptions ch_opts;
+    ch_opts.sample_rate = 20e6;
+    ch_opts.seed = 505;
+    chain.add_ptr(rf::channels::make_preset("ccir_poor", ch_opts));
+    chain.add_ptr(rf::channels::make_preset("itu_veh_a", ch_opts));
+    chain.add_ptr(rf::channels::make_preset("rician_k10", ch_opts));
+    chain.add_ptr(rf::channels::make_preset("cfo_drift", ch_opts));
+    chain.add<rf::PowerMeter>();
+
+    obs::ProbeSet probes;
+    chain.attach_probes(probes);
+    source.set_probe(&probes.add(source.name()));
+
+    rf::run(source, chain, 4 * chunk, chunk);
+    probes.reset();
+    const rf::RunStats stats = rf::run(source, chain, total, chunk);
+
+    const obs::Report report =
+        obs::Report::from(probes, stats.elapsed_seconds);
+    if (!quiet) {
+      std::cout << "=== channels ===\n" << report.table() << "\n";
+    }
+    json << ",\n  \"channels\": " << report.to_json();
   }
   json << "\n }\n}\n";
 

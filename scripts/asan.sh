@@ -19,7 +19,7 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build}" -j \
-  --target test_guard test_fault test_snapshot test_rf
+  --target test_guard test_fault test_snapshot test_rf test_channels
 ctest --test-dir "${build}" \
-  -R 'test_guard|test_fault|test_snapshot|test_rf' \
+  -R '^(test_guard|test_fault|test_snapshot|test_rf|test_channels)$' \
   --output-on-failure "$@"

@@ -1,55 +1,67 @@
 #!/usr/bin/env bash
-# Campaign-engine smoke test for CI: run the 3-point smoke deck straight
-# through, then again with a simulated mid-run kill (--halt-after-rounds,
-# exit 3) followed by --resume at a different thread count, and require
-# the two curve JSON/CSV outputs to be byte-identical. This exercises
-# deck parsing, the work-stealing scheduler, checkpoint write/restore,
-# and the determinism contract in one shot.
+# Campaign-engine smoke test for CI: for each smoke deck, run it
+# straight through, then again with a simulated mid-run kill
+# (--halt-after-rounds, exit 3) followed by --resume at a different
+# thread count, and require the two curve JSON/CSV outputs to be
+# byte-identical. This exercises deck parsing, the work-stealing
+# scheduler, checkpoint write/restore, and the determinism contract in
+# one shot. The channel_sweep deck extends the same contract over the
+# standard channel-model library (per-trial Watterson/TDL realizations).
 #
 # Usage: scripts/campaign_smoke.sh [build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 CLI="$BUILD_DIR/tools/ofdm_campaign"
-DECK="decks/ci_smoke.deck"
-WORK="$BUILD_DIR/campaign_smoke"
 
 if [[ ! -x "$CLI" ]]; then
     echo "error: $CLI not found -- build the repo first" >&2
     exit 1
 fi
 
-rm -rf "$WORK"
-mkdir -p "$WORK"
+run_deck() {
+    local deck="$1"
+    local name
+    name="$(basename "$deck" .deck)"
+    local work="$BUILD_DIR/campaign_smoke/$name"
 
-echo "== straight-through run (4 threads) =="
-"$CLI" "$DECK" --threads 4 --out "$WORK/ref" --quiet
+    rm -rf "$work"
+    mkdir -p "$work"
 
-echo "== interrupted run: halt after 2 rounds (1 thread) =="
-rc=0
-"$CLI" "$DECK" --threads 1 --out "$WORK/halted" \
-    --checkpoint "$WORK/ckpt.bin" --halt-after-rounds 2 --quiet || rc=$?
-if [[ "$rc" -ne 3 ]]; then
-    echo "error: expected exit 3 from --halt-after-rounds, got $rc" >&2
-    exit 1
-fi
-if [[ ! -s "$WORK/ckpt.bin" ]]; then
-    echo "error: no checkpoint written by the halted run" >&2
-    exit 1
-fi
+    echo "== [$name] straight-through run (4 threads) =="
+    "$CLI" "$deck" --threads 4 --out "$work/ref" --quiet
 
-echo "== resume at a different thread count (2 threads) =="
-"$CLI" "$DECK" --threads 2 --out "$WORK/resumed" \
-    --checkpoint "$WORK/ckpt.bin" --resume --quiet
-
-for ext in json csv; do
-    if ! cmp -s "$WORK/ref.$ext" "$WORK/resumed.$ext"; then
-        echo "error: resumed .$ext curves differ from the" \
-             "straight-through run" >&2
-        diff "$WORK/ref.$ext" "$WORK/resumed.$ext" >&2 || true
+    echo "== [$name] interrupted run: halt after 2 rounds (1 thread) =="
+    local rc=0
+    "$CLI" "$deck" --threads 1 --out "$work/halted" \
+        --checkpoint "$work/ckpt.bin" --halt-after-rounds 2 --quiet || rc=$?
+    if [[ "$rc" -ne 3 ]]; then
+        echo "error: expected exit 3 from --halt-after-rounds, got $rc" >&2
         exit 1
     fi
-done
+    if [[ ! -s "$work/ckpt.bin" ]]; then
+        echo "error: no checkpoint written by the halted run" >&2
+        exit 1
+    fi
 
-echo "campaign smoke OK: resume output byte-identical" \
-     "($(wc -c < "$WORK/ref.json") bytes of curve JSON)"
+    echo "== [$name] resume at a different thread count (2 threads) =="
+    "$CLI" "$deck" --threads 2 --out "$work/resumed" \
+        --checkpoint "$work/ckpt.bin" --resume --quiet
+
+    for ext in json csv; do
+        if ! cmp -s "$work/ref.$ext" "$work/resumed.$ext"; then
+            echo "error: [$name] resumed .$ext curves differ from the" \
+                 "straight-through run" >&2
+            diff "$work/ref.$ext" "$work/resumed.$ext" >&2 || true
+            exit 1
+        fi
+    done
+
+    echo "[$name] OK: resume output byte-identical" \
+         "($(wc -c < "$work/ref.json") bytes of curve JSON)"
+}
+
+run_deck decks/ci_smoke.deck
+run_deck decks/channel_sweep.deck
+
+echo "campaign smoke OK"

@@ -22,7 +22,7 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim
+cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim test_channels
 ctest --test-dir "${build}" \
-  -R '^(test_pipeline|test_transmitter|test_executor|test_sim)$' \
+  -R '^(test_pipeline|test_transmitter|test_executor|test_sim|test_channels)$' \
   --output-on-failure "$@"

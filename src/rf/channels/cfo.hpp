@@ -1,0 +1,39 @@
+// Oscillator impairment block: a deterministic carrier frequency offset
+// with optional linear drift, modeling the reference-clock error between
+// the transmitter and receiver front-ends. Unlike rf::FrequencyShift the
+// instantaneous frequency is time-varying, f(t) = cfo + drift * t, which
+// is the dominant residual after coarse CFO acquisition on cheap XOs.
+#pragma once
+
+#include "rf/block.hpp"
+
+namespace ofdm::rf::channels {
+
+class OscillatorDrift : public Block {
+ public:
+  /// `cfo_hz`: initial carrier offset; `drift_hz_per_s`: linear ramp of
+  /// the offset (aging/temperature), may be negative.
+  OscillatorDrift(double cfo_hz, double drift_hz_per_s,
+                  double sample_rate);
+
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
+  void reset() override;
+  std::string name() const override { return "osc-drift"; }
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  double cfo_hz() const { return cfo_hz_; }
+  double drift_hz_per_s() const { return drift_hz_per_s_; }
+
+ private:
+  double cfo_hz_;
+  double drift_hz_per_s_;
+  double step0_;   // rad/sample at t = 0
+  double dstep_;   // rad/sample^2 (drift term)
+  double phase_ = 0.0;
+  double step_;    // evolving rad/sample
+};
+
+}  // namespace ofdm::rf::channels

@@ -1,0 +1,162 @@
+#include "rf/channels/registry.hpp"
+
+#include "common/error.hpp"
+#include "rf/channels/cfo.hpp"
+#include "rf/channels/rician.hpp"
+#include "rf/channels/tdl.hpp"
+#include "rf/channels/watterson.hpp"
+
+namespace ofdm::rf::channels {
+
+namespace {
+
+struct RicianPreset {
+  const char* name;
+  double k;  // linear K factor
+};
+
+// Diffuse-component Doppler spread shared by the Rician K lines; wide
+// enough to decorrelate within one trial at every supported standard's
+// sample rate once doppler_scale is applied.
+constexpr double kRicianSpreadHz = 50.0;
+
+constexpr RicianPreset kRicianPresets[] = {
+    {"rician_k1", 1.0},
+    {"rician_k5", 5.0},
+    {"rician_k10", 10.0},
+};
+
+struct CfoPreset {
+  const char* name;
+  const char* description;
+  double cfo_hz;
+  double drift_hz_per_s;
+};
+
+constexpr CfoPreset kCfoPresets[] = {
+    {"cfo_static", "static 200 Hz carrier frequency offset", 200.0, 0.0},
+    {"cfo_drift", "200 Hz carrier offset drifting at 100 Hz/s", 200.0,
+     100.0},
+};
+
+std::vector<PresetInfo> build_presets() {
+  std::vector<PresetInfo> out;
+  const CcirCondition conditions[] = {
+      CcirCondition::kGood, CcirCondition::kModerate,
+      CcirCondition::kPoor, CcirCondition::kFlutter};
+  for (CcirCondition c : conditions) {
+    const WattersonPreset& p = watterson_preset(c);
+    PresetInfo info;
+    info.name = p.name;
+    info.family = "watterson";
+    info.description = std::string("CCIR 520 / ITU-R F.1487 '") +
+                       (c == CcirCondition::kGood       ? "good"
+                        : c == CcirCondition::kModerate ? "moderate"
+                        : c == CcirCondition::kPoor     ? "poor"
+                                                        : "flutter") +
+                       "' HF condition (Watterson two-path)";
+    info.doppler_hz = p.doppler_spread_hz;
+    info.paths = 2;
+    info.delay_spread_us = p.delay_ms * 1e3;
+    info.time_varying = true;
+    out.push_back(std::move(info));
+  }
+  for (const TdlProfile& p : tdl_profiles()) {
+    PresetInfo info;
+    info.name = p.name;
+    info.family = "tdl";
+    info.description = p.label + " tapped-delay-line profile";
+    info.doppler_hz = p.doppler_hz;
+    info.paths = p.taps.size();
+    info.delay_spread_us = tdl_delay_spread_us(p);
+    info.time_varying = false;  // static per-trial realization
+    out.push_back(std::move(info));
+  }
+  for (const RicianPreset& p : kRicianPresets) {
+    PresetInfo info;
+    info.name = p.name;
+    info.family = "rician";
+    info.description = "flat Rician fading, K = " +
+                       std::to_string(static_cast<int>(p.k)) +
+                       " (linear)";
+    info.doppler_hz = kRicianSpreadHz;
+    info.paths = 1;
+    info.delay_spread_us = 0.0;
+    info.time_varying = true;
+    out.push_back(std::move(info));
+  }
+  for (const CfoPreset& p : kCfoPresets) {
+    PresetInfo info;
+    info.name = p.name;
+    info.family = "cfo";
+    info.description = p.description;
+    info.doppler_hz = 0.0;
+    info.paths = 1;
+    info.delay_spread_us = 0.0;
+    info.time_varying = p.drift_hz_per_s != 0.0;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<PresetInfo>& presets() {
+  static const std::vector<PresetInfo> kPresets = build_presets();
+  return kPresets;
+}
+
+const PresetInfo* find_preset(const std::string& name) {
+  for (const PresetInfo& p : presets()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string preset_names() {
+  std::string out;
+  for (const PresetInfo& p : presets()) {
+    if (!out.empty()) out += ", ";
+    out += p.name;
+  }
+  return out;
+}
+
+std::unique_ptr<Block> make_preset(const std::string& name,
+                                   const MakeOptions& opts) {
+  OFDM_REQUIRE(opts.sample_rate > 0.0,
+               "channels::make_preset: sample_rate must be positive");
+  OFDM_REQUIRE(opts.doppler_scale > 0.0,
+               "channels::make_preset: doppler_scale must be positive");
+
+  if (name == "ccir_good" || name == "ccir_moderate" ||
+      name == "ccir_poor" || name == "ccir_flutter") {
+    const CcirCondition c = name == "ccir_good" ? CcirCondition::kGood
+                            : name == "ccir_moderate"
+                                ? CcirCondition::kModerate
+                            : name == "ccir_poor" ? CcirCondition::kPoor
+                                                  : CcirCondition::kFlutter;
+    return make_watterson(c, opts.sample_rate, opts.seed,
+                          opts.doppler_scale);
+  }
+  if (const TdlProfile* p = find_tdl_profile(name)) {
+    return make_tdl_channel(*p, opts.sample_rate, opts.seed);
+  }
+  for (const RicianPreset& p : kRicianPresets) {
+    if (name == p.name) {
+      return std::make_unique<RicianChannel>(
+          p.k, kRicianSpreadHz * opts.doppler_scale, opts.sample_rate,
+          opts.seed);
+    }
+  }
+  for (const CfoPreset& p : kCfoPresets) {
+    if (name == p.name) {
+      return std::make_unique<OscillatorDrift>(p.cfo_hz, p.drift_hz_per_s,
+                                               opts.sample_rate);
+    }
+  }
+  throw ConfigError("channels::make_preset: unknown channel preset '" +
+                    name + "' (known: " + preset_names() + ")");
+}
+
+}  // namespace ofdm::rf::channels

@@ -1,0 +1,51 @@
+// Named channel-preset registry: the single lookup point that maps a
+// deck token like "ccir_poor", "itu_veh_a", "sui_3", "rician_k10" or
+// "cfo_drift" to a constructed rf::Block, plus the metadata table the
+// campaign tool prints for --list-channels. All presets are seeded and
+// bit-reproducible: same (name, sample_rate, seed) -> same output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rf/block.hpp"
+
+namespace ofdm::rf::channels {
+
+/// Descriptive metadata for one registered preset.
+struct PresetInfo {
+  std::string name;         ///< deck token
+  std::string family;       ///< "watterson" | "tdl" | "rician" | "cfo"
+  std::string description;  ///< citable one-liner
+  double doppler_hz = 0.0;  ///< nominal Doppler spread / max Doppler
+  std::size_t paths = 0;    ///< number of propagation paths/taps
+  double delay_spread_us = 0.0;  ///< maximum excess delay
+  bool time_varying = false;     ///< gains evolve during a trial
+};
+
+/// Construction knobs shared by every preset.
+struct MakeOptions {
+  double sample_rate = 1e6;
+  std::uint64_t seed = 505;
+  /// Scales the nominal Doppler of fading presets; lets slow HF
+  /// channels be accelerated for short-burst standards. Must be > 0.
+  /// Static presets (tdl realizations, cfo) ignore it.
+  double doppler_scale = 1.0;
+};
+
+/// All registered presets, in listing order.
+const std::vector<PresetInfo>& presets();
+
+/// nullptr when `name` is not a registered preset.
+const PresetInfo* find_preset(const std::string& name);
+
+/// Comma-separated registered names (for error messages / --list).
+std::string preset_names();
+
+/// Construct the preset's channel block; throws ofdm::ConfigError for
+/// unknown names or invalid options.
+std::unique_ptr<Block> make_preset(const std::string& name,
+                                   const MakeOptions& opts);
+
+}  // namespace ofdm::rf::channels

@@ -1,0 +1,143 @@
+#include "rf/channels/tdl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace ofdm::rf::channels {
+
+const std::vector<TdlProfile>& tdl_profiles() {
+  // Delay/power values are the published tables: ITU-R M.1225 table 2
+  // (channel A/B, outdoor-to-indoor pedestrian and vehicular test
+  // environments) and the SUI models of IEEE 802.16.3c-01/29r4 (omni
+  // antennas, 90% K-factor column for the Rician first taps). Doppler
+  // is the nominal scenario value: ~3 km/h at 2 GHz for pedestrian,
+  // ~100 km/h for vehicular, and the per-model maximum for SUI.
+  static const std::vector<TdlProfile> kProfiles = {
+      {"itu_ped_a",
+       "ITU-R M.1225 Pedestrian A",
+       {{0.0, 0.0, 0.0},
+        {0.11, -9.7, 0.0},
+        {0.19, -19.2, 0.0},
+        {0.41, -22.8, 0.0}},
+       5.0},
+      {"itu_ped_b",
+       "ITU-R M.1225 Pedestrian B",
+       {{0.0, 0.0, 0.0},
+        {0.2, -0.9, 0.0},
+        {0.8, -4.9, 0.0},
+        {1.2, -8.0, 0.0},
+        {2.3, -7.8, 0.0},
+        {3.7, -23.9, 0.0}},
+       5.0},
+      {"itu_veh_a",
+       "ITU-R M.1225 Vehicular A",
+       {{0.0, 0.0, 0.0},
+        {0.31, -1.0, 0.0},
+        {0.71, -9.0, 0.0},
+        {1.09, -10.0, 0.0},
+        {1.73, -15.0, 0.0},
+        {2.51, -20.0, 0.0}},
+       185.0},
+      {"itu_veh_b",
+       "ITU-R M.1225 Vehicular B",
+       {{0.0, -2.5, 0.0},
+        {0.3, 0.0, 0.0},
+        {8.9, -12.8, 0.0},
+        {12.9, -10.0, 0.0},
+        {17.1, -25.2, 0.0},
+        {20.0, -16.0, 0.0}},
+       185.0},
+      {"sui_1",
+       "SUI-1 (flat terrain, light trees)",
+       {{0.0, 0.0, 4.0}, {0.4, -15.0, 0.0}, {0.9, -20.0, 0.0}},
+       0.5},
+      {"sui_2",
+       "SUI-2 (flat terrain, light trees)",
+       {{0.0, 0.0, 2.0}, {0.4, -12.0, 0.0}, {1.1, -15.0, 0.0}},
+       0.25},
+      {"sui_3",
+       "SUI-3 (hilly terrain, moderate trees)",
+       {{0.0, 0.0, 1.0}, {0.4, -5.0, 0.0}, {0.9, -10.0, 0.0}},
+       0.5},
+      {"sui_4",
+       "SUI-4 (hilly terrain, moderate trees)",
+       {{0.0, 0.0, 0.0}, {1.5, -4.0, 0.0}, {4.0, -8.0, 0.0}},
+       0.25},
+      {"sui_5",
+       "SUI-5 (hilly terrain, heavy trees)",
+       {{0.0, 0.0, 0.0}, {4.0, -5.0, 0.0}, {10.0, -10.0, 0.0}},
+       2.5},
+      {"sui_6",
+       "SUI-6 (hilly terrain, heavy trees)",
+       {{0.0, 0.0, 0.0}, {14.0, -10.0, 0.0}, {20.0, -14.0, 0.0}},
+       0.5},
+  };
+  return kProfiles;
+}
+
+const TdlProfile* find_tdl_profile(const std::string& name) {
+  for (const TdlProfile& p : tdl_profiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const TdlProfile& tdl_profile(const std::string& name) {
+  const TdlProfile* p = find_tdl_profile(name);
+  OFDM_REQUIRE(p != nullptr,
+               "tdl_profile: unknown profile '" + name + "'");
+  return *p;
+}
+
+double tdl_delay_spread_us(const TdlProfile& profile) {
+  double max_delay = 0.0;
+  for (const TdlTap& t : profile.taps) {
+    max_delay = std::max(max_delay, t.delay_us);
+  }
+  return max_delay;
+}
+
+cvec tdl_realization(const TdlProfile& profile, double sample_rate,
+                     std::uint64_t seed) {
+  OFDM_REQUIRE(sample_rate > 0.0,
+               "tdl_realization: sample rate must be positive");
+  OFDM_REQUIRE(!profile.taps.empty(),
+               "tdl_realization: profile has no taps");
+  std::size_t max_bin = 0;
+  for (const TdlTap& t : profile.taps) {
+    max_bin = std::max(max_bin, static_cast<std::size_t>(std::llround(
+                                    t.delay_us * 1e-6 * sample_rate)));
+  }
+  cvec taps(max_bin + 1, cplx{0.0, 0.0});
+  Rng rng(seed);
+  for (const TdlTap& t : profile.taps) {
+    const auto bin = static_cast<std::size_t>(
+        std::llround(t.delay_us * 1e-6 * sample_rate));
+    const double p = from_db(t.power_db);
+    // Rician split of the tap power; K = 0 is the pure Rayleigh case.
+    const double los = std::sqrt(p * t.k_factor / (t.k_factor + 1.0));
+    const double theta = rng.uniform(0.0, kTwoPi);
+    const cplx diffuse =
+        rng.complex_gaussian(p / (t.k_factor + 1.0));
+    taps[bin] += cplx{los * std::cos(theta), los * std::sin(theta)} +
+                 diffuse;
+  }
+  double total = 0.0;
+  for (const cplx& t : taps) total += std::norm(t);
+  OFDM_REQUIRE(total > 0.0, "tdl_realization: degenerate realization");
+  const double norm = 1.0 / std::sqrt(total);
+  for (cplx& t : taps) t *= norm;
+  return taps;
+}
+
+std::unique_ptr<MultipathChannel> make_tdl_channel(
+    const TdlProfile& profile, double sample_rate, std::uint64_t seed) {
+  return std::make_unique<MultipathChannel>(
+      tdl_realization(profile, sample_rate, seed));
+}
+
+}  // namespace ofdm::rf::channels

@@ -1,0 +1,58 @@
+// Standard tapped-delay-line profiles: the ITU-R M.1225 pedestrian and
+// vehicular test environments and the Stanford University Interim
+// (SUI-1..6) models used for 802.16 BER evaluation (cf. Ferdousi et
+// al., arXiv:1312.6936). A profile is the published table of
+// {excess delay, relative power, Rician K}; a *realization* draws one
+// complex gain per tap from a seed, bins the taps onto the simulation
+// sample grid, and normalizes to unit average power — ready to drive
+// the SIMD tapped-delay-line kernel through rf::MultipathChannel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rf/channel.hpp"
+
+namespace ofdm::rf::channels {
+
+/// One published tap of a standard profile.
+struct TdlTap {
+  double delay_us = 0.0;   ///< excess delay, microseconds
+  double power_db = 0.0;   ///< average power relative to strongest tap
+  double k_factor = 0.0;   ///< linear Rician K (0 = Rayleigh)
+};
+
+struct TdlProfile {
+  std::string name;   ///< deck token ("itu_ped_a", "sui_3", ...)
+  std::string label;  ///< citable name ("ITU-R M.1225 Pedestrian A")
+  std::vector<TdlTap> taps;
+  double doppler_hz = 0.0;  ///< nominal max Doppler of the scenario
+};
+
+/// The built-in profile table (ITU Ped A/B, Veh A/B, SUI-1..6).
+const std::vector<TdlProfile>& tdl_profiles();
+
+/// nullptr when `name` is not a known profile.
+const TdlProfile* find_tdl_profile(const std::string& name);
+
+/// Lookup that throws ofdm::ConfigError naming the profile.
+const TdlProfile& tdl_profile(const std::string& name);
+
+/// Maximum excess delay of the profile, microseconds.
+double tdl_delay_spread_us(const TdlProfile& profile);
+
+/// Draw one static realization: tap k gets
+///   sqrt(p_k) * (sqrt(K/(K+1)) e^{j theta} + sqrt(1/(K+1)) CN(0,1)),
+/// placed at round(delay * sample_rate); gains landing in the same
+/// sample bin add. The whole response is then normalized to unit
+/// power, so SNR stays defined against the transmitted signal power.
+cvec tdl_realization(const TdlProfile& profile, double sample_rate,
+                     std::uint64_t seed);
+
+/// The realization wrapped in the SIMD-kernel-backed FIR block.
+std::unique_ptr<MultipathChannel> make_tdl_channel(
+    const TdlProfile& profile, double sample_rate, std::uint64_t seed);
+
+}  // namespace ofdm::rf::channels

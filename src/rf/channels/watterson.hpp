@@ -1,0 +1,90 @@
+// Watterson HF ionospheric channel: a small number of discrete
+// propagation paths, each an independent Rayleigh process with a
+// Gaussian Doppler spectrum (Watterson et al., "Experimental
+// confirmation of an HF channel model", IEEE Trans. Comm. 1970), plus
+// the CCIR 520 / ITU-R F.1487 two-path reference conditions
+// Good / Moderate / Poor / Flutter used by every HF modem standard.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rf/block.hpp"
+#include "rf/channels/doppler.hpp"
+
+namespace ofdm::rf::channels {
+
+/// One Watterson path: a delay and an average power; the path gain is
+/// a Gaussian-Doppler Rayleigh process of that power.
+struct WattersonPath {
+  std::size_t delay_samples = 0;
+  double power = 1.0;  ///< average path power (linear)
+};
+
+class WattersonChannel : public Block {
+ public:
+  /// `doppler_spread_hz` is the ITU-R F.1487 two-sided frequency
+  /// spread (2 sigma of the Gaussian spectrum).
+  WattersonChannel(std::vector<WattersonPath> paths,
+                   double doppler_spread_hz, double sample_rate,
+                   std::uint64_t seed = 2020,
+                   std::size_t n_sinusoids = 32);
+
+  using Block::process;
+  void process(std::span<const cplx> in, cvec& out) override;
+  void reset() override;
+  std::string name() const override { return "watterson"; }
+
+  /// Checkpoint the sinusoid phases and the delay line; frequencies
+  /// are derived from the seed at construction.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  /// Instantaneous path gains at the current stream position.
+  cvec current_gains() const;
+
+  std::size_t n_paths() const { return paths_.size(); }
+  double doppler_spread_hz() const { return doppler_spread_hz_; }
+
+  /// Doppler width (Hz, as a spread = 2 sigma) the finite
+  /// sum-of-sinusoids realization of `path` actually carries.
+  double realized_spread_hz(std::size_t path) const;
+
+ private:
+  struct Path {
+    WattersonPath path;
+    GaussianDopplerProcess fading;
+  };
+
+  void init_processes();
+
+  std::vector<Path> paths_;
+  std::size_t max_delay_ = 0;
+  cvec delay_line_;
+  std::size_t head_ = 0;
+  std::uint64_t seed_;
+  std::size_t n_sinusoids_;
+  double doppler_spread_hz_;
+  double sample_rate_;
+};
+
+/// CCIR 520 / ITU-R F.1487 reference ionospheric conditions: two
+/// equal-power Rayleigh paths separated by `delay_ms`, both with
+/// Gaussian Doppler spread `doppler_spread_hz`.
+enum class CcirCondition { kGood, kModerate, kPoor, kFlutter };
+
+struct WattersonPreset {
+  const char* name;          ///< deck token ("ccir_poor", ...)
+  double delay_ms;           ///< differential path delay
+  double doppler_spread_hz;  ///< two-sided frequency spread
+};
+
+const WattersonPreset& watterson_preset(CcirCondition c);
+
+/// Build the two-path reference channel at `sample_rate`, total
+/// average power normalized to 1 (0.5 per path).
+std::unique_ptr<WattersonChannel> make_watterson(
+    CcirCondition c, double sample_rate, std::uint64_t seed = 2020,
+    double doppler_scale = 1.0);
+
+}  // namespace ofdm::rf::channels

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "core/profiles.hpp"
+#include "rf/channels/registry.hpp"
 
 namespace ofdm::sim {
 
@@ -242,6 +243,14 @@ ScenarioDeck parse_deck(const std::string& text) {
       parse_double("twisted_pair.attenuation_db",
                    take("twisted_pair.attenuation_db", "6"));
 
+  // Shared parameters of the standard-library presets (rf/channels).
+  const std::uint64_t channel_seed =
+      parse_u64("channel.seed", take("channel.seed", "505"));
+  const double doppler_scale = parse_double(
+      "channel.doppler_scale", take("channel.doppler_scale", "1"));
+  OFDM_REQUIRE(doppler_scale > 0.0,
+               "sim_deck: channel.doppler_scale must be positive");
+
   for (const std::string& token : split(take("channel", "awgn"), ',')) {
     if (token == "awgn") {
       ChannelPreset p;
@@ -252,9 +261,19 @@ ScenarioDeck parse_deck(const std::string& text) {
       d.channels.push_back(mp);
     } else if (token == "twisted_pair") {
       d.channels.push_back(tp);
+    } else if (rf::channels::find_preset(token) != nullptr) {
+      ChannelPreset p;
+      p.kind = ChannelPreset::Kind::kStandard;
+      p.token = token;
+      p.channel_seed = channel_seed;
+      p.doppler_scale = doppler_scale;
+      d.channels.push_back(p);
     } else {
-      throw ConfigError("sim_deck: channel: unknown preset '" + token +
-                        "' (expect awgn|multipath|twisted_pair)");
+      throw ConfigError(
+          "sim_deck: channel: unknown preset '" + token +
+          "' (expect awgn|multipath|twisted_pair or a standard "
+          "preset: " +
+          rf::channels::preset_names() + ")");
     }
   }
 
@@ -346,6 +365,11 @@ std::uint64_t deck_digest(const ScenarioDeck& deck) {
     mix_u64(c.taps_seed);
     mix_f64(c.cutoff_norm);
     mix_f64(c.attenuation_db);
+    if (c.kind == ChannelPreset::Kind::kStandard) {
+      mix_str(c.token);
+      mix_u64(c.channel_seed);
+      mix_f64(c.doppler_scale);
+    }
   }
   mix_u64(deck.pa_enabled);
   mix_f64(deck.pa_backoff_db);

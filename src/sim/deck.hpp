@@ -21,9 +21,9 @@ namespace ofdm::sim {
 
 /// One channel/impairment preset from the deck's `channel=` list.
 struct ChannelPreset {
-  enum class Kind { kAwgn, kMultipath, kTwistedPair };
+  enum class Kind { kAwgn, kMultipath, kTwistedPair, kStandard };
   Kind kind = Kind::kAwgn;
-  std::string token;  ///< deck spelling ("awgn", "multipath", ...)
+  std::string token;  ///< deck spelling ("awgn", "ccir_poor", ...)
 
   // multipath: exponential power-delay profile (channel.hpp), static
   // per campaign so every SNR point sees the same realization.
@@ -34,6 +34,13 @@ struct ChannelPreset {
   // twisted_pair: single-pole loop model.
   double cutoff_norm = 0.2;
   double attenuation_db = 6.0;
+
+  // kStandard: a named preset from rf/channels/registry.hpp
+  // (ccir_*, itu_*, sui_*, rician_k*, cfo_*). `channel_seed` is xor'd
+  // into each trial's substream draw so realizations are ergodic
+  // across trials yet fully reproducible from the campaign seed.
+  std::uint64_t channel_seed = 505;
+  double doppler_scale = 1.0;
 };
 
 /// One transmitter configuration from the deck's `standard=` list.

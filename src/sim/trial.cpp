@@ -7,6 +7,7 @@
 #include "metrics/ber.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/registry.hpp"
 #include "rf/impairments.hpp"
 #include "rf/pa.hpp"
 
@@ -57,6 +58,11 @@ struct LinkRunner::State {
         channel_taps =
             rf::twisted_pair_taps(ch.cutoff_norm, ch.attenuation_db);
         break;
+      case ChannelPreset::Kind::kStandard:
+        // Built per trial in run_one: standard presets are ergodic,
+        // each trial draws a fresh seeded realization so the curve
+        // averages over the fading distribution.
+        break;
     }
   }
 };
@@ -98,6 +104,13 @@ TrialResult LinkRunner::State::run_one(std::size_t trial_index,
   const bitvec payload = rng.bits(s.payload_bits);
   const std::uint64_t phase_noise_seed = rng.next_u64();
   const std::uint64_t awgn_seed = rng.next_u64();
+  // Drawn last (and only for standard presets) so decks without one
+  // keep their historical trial streams bit-for-bit.
+  const ChannelPreset& ch = d.channels.at(s.point.channel_index);
+  std::uint64_t channel_seed = 0;
+  if (ch.kind == ChannelPreset::Kind::kStandard) {
+    channel_seed = rng.next_u64() ^ ch.channel_seed;
+  }
 
   s.tx.modulate_into(payload, burst);
 
@@ -122,6 +135,14 @@ TrialResult LinkRunner::State::run_one(std::size_t trial_index,
   }
   if (!s.channel_taps.empty()) {
     chain.add<rf::MultipathChannel>(s.channel_taps);
+  }
+  if (ch.kind == ChannelPreset::Kind::kStandard) {
+    rf::channels::MakeOptions opts;
+    opts.sample_rate =
+        d.standards.at(s.point.standard_index).params.sample_rate;
+    opts.seed = channel_seed;
+    opts.doppler_scale = ch.doppler_scale;
+    chain.add_ptr(rf::channels::make_preset(ch.token, opts));
   }
   chain.add<rf::AwgnChannel>(
       rf::snr_to_noise_power(sig_power, s.point.snr_db), awgn_seed);

@@ -1,0 +1,424 @@
+// Statistical validation of the standard channel-model library
+// (src/rf/channels): Rayleigh envelope statistics and Gaussian Doppler
+// spectrum width of the Watterson fading process, Rician K-factor
+// recovery, the published ITU-R M.1225 / SUI tap tables, oscillator
+// drift frequency trajectories, registry metadata and seeded
+// bit-reproducibility. Every test runs under a fixed seed and asserts
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rf/channels/cfo.hpp"
+#include "rf/channels/doppler.hpp"
+#include "rf/channels/registry.hpp"
+#include "rf/channels/rician.hpp"
+#include "rf/channels/tdl.hpp"
+#include "rf/channels/watterson.hpp"
+
+namespace ofdm::rf::channels {
+namespace {
+
+// Streams a constant-1 input through a flat (single-path, zero-delay)
+// channel block, so the output IS the gain trajectory.
+cvec gain_trajectory(Block& block, std::size_t n) {
+  const cvec ones(n, cplx{1.0, 0.0});
+  return block.process(ones);
+}
+
+// ---------------------------------------------------------------------
+// Rayleigh envelope statistics of the Gaussian-Doppler process
+// ---------------------------------------------------------------------
+
+TEST(RayleighEnvelope, MomentRatioMatchesRayleigh) {
+  // Single Watterson path = one Gaussian-Doppler Rayleigh process.
+  // For a Rayleigh envelope r: E[r^2] / E[r]^2 = 4 / pi.
+  WattersonChannel ch({{0, 1.0}}, 200.0, 2000.0, 71, 64);
+  const cvec g = gain_trajectory(ch, 120000);
+  double sum_r = 0.0;
+  double sum_r2 = 0.0;
+  for (const cplx& v : g) {
+    const double r = std::abs(v);
+    sum_r += r;
+    sum_r2 += r * r;
+  }
+  const double n = static_cast<double>(g.size());
+  const double ratio = (sum_r2 / n) / ((sum_r / n) * (sum_r / n));
+  EXPECT_NEAR(ratio, 4.0 / kPi, 0.06);
+  // Unit average power: the per-path normalization contract the
+  // campaign's SNR definition relies on.
+  EXPECT_NEAR(sum_r2 / n, 1.0, 0.08);
+}
+
+TEST(RayleighEnvelope, KolmogorovSmirnovAgainstRayleighCdf) {
+  WattersonChannel ch({{0, 1.0}}, 200.0, 2000.0, 72, 64);
+  const cvec g = gain_trajectory(ch, 120000);
+  // Subsample well past the decorrelation time (~1/sigma_rad ≈ 3
+  // samples here) so the KS statistic sees near-independent draws.
+  rvec r;
+  for (std::size_t i = 0; i < g.size(); i += 16) r.push_back(std::abs(g[i]));
+  double p = 0.0;
+  for (double v : r) p += v * v;
+  p /= static_cast<double>(r.size());
+  std::sort(r.begin(), r.end());
+  double d = 0.0;
+  const double n = static_cast<double>(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double cdf = 1.0 - std::exp(-r[i] * r[i] / p);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(cdf - lo), std::abs(hi - cdf)));
+  }
+  // 64 sinusoids per branch: close to Gaussian quadratures but not
+  // exact, so the bound is looser than the 5% critical value.
+  EXPECT_LT(d, 0.06);
+}
+
+// ---------------------------------------------------------------------
+// Gaussian Doppler spectrum width
+// ---------------------------------------------------------------------
+
+TEST(GaussianDoppler, AutocorrelationRecoversSpectrumWidth) {
+  // Gaussian Doppler spectrum of std sigma (rad/sample) has complex-
+  // gain autocorrelation rho(m) = exp(-sigma^2 m^2 / 2); invert at one
+  // lag to estimate sigma and compare with the width the realization
+  // actually carries.
+  const double sigma = 0.05;
+  Rng rng(73);
+  GaussianDopplerProcess proc(1.0, sigma, 256, rng);
+  const std::size_t n = 50000;
+  cvec g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = proc.gain();
+    proc.advance();
+  }
+  const std::size_t lag = 20;  // expected rho ≈ exp(-0.5) ≈ 0.61
+  cplx num{0.0, 0.0};
+  double den = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += g[i + lag] * std::conj(g[i]);
+    den += std::norm(g[i]);
+  }
+  const double rho = std::abs(num) / den;
+  ASSERT_GT(rho, 0.0);
+  ASSERT_LT(rho, 1.0);
+  const double sigma_hat =
+      std::sqrt(-2.0 * std::log(rho)) / static_cast<double>(lag);
+  EXPECT_NEAR(sigma_hat, proc.realized_sigma_rad(),
+              0.15 * proc.realized_sigma_rad());
+  EXPECT_NEAR(proc.realized_sigma_rad(), sigma, 0.2 * sigma);
+}
+
+TEST(GaussianDoppler, WattersonPresetsCarryNominalSpread) {
+  // The realized sum-of-sinusoids width must track the ITU nominal
+  // spread for every CCIR condition (finite-realization tolerance:
+  // 32 sinusoids drawn per path).
+  for (CcirCondition c :
+       {CcirCondition::kGood, CcirCondition::kModerate,
+        CcirCondition::kPoor, CcirCondition::kFlutter}) {
+    const WattersonPreset& p = watterson_preset(c);
+    auto ch = make_watterson(c, 48e3, 2020);
+    ASSERT_EQ(ch->n_paths(), 2u) << p.name;
+    EXPECT_EQ(ch->doppler_spread_hz(), p.doppler_spread_hz) << p.name;
+    for (std::size_t path = 0; path < 2; ++path) {
+      EXPECT_NEAR(ch->realized_spread_hz(path), p.doppler_spread_hz,
+                  0.4 * p.doppler_spread_hz)
+          << p.name << " path " << path;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Watterson structure and CCIR preset table
+// ---------------------------------------------------------------------
+
+TEST(Watterson, CcirPresetTableMatchesItuR_F1487) {
+  const struct {
+    CcirCondition c;
+    const char* name;
+    double delay_ms;
+    double spread_hz;
+  } expected[] = {
+      {CcirCondition::kGood, "ccir_good", 0.5, 0.1},
+      {CcirCondition::kModerate, "ccir_moderate", 1.0, 0.5},
+      {CcirCondition::kPoor, "ccir_poor", 2.0, 1.0},
+      {CcirCondition::kFlutter, "ccir_flutter", 0.5, 10.0},
+  };
+  for (const auto& e : expected) {
+    const WattersonPreset& p = watterson_preset(e.c);
+    EXPECT_STREQ(p.name, e.name);
+    EXPECT_EQ(p.delay_ms, e.delay_ms);
+    EXPECT_EQ(p.doppler_spread_hz, e.spread_hz);
+  }
+}
+
+TEST(Watterson, TwoPathImpulseResponseHasPresetDelay) {
+  // ccir_poor at 48 kS/s: paths at 0 and round(2 ms * 48 kHz) = 96
+  // samples. An impulse must come out on exactly those two taps.
+  auto ch = make_watterson(CcirCondition::kPoor, 48e3, 11);
+  cvec x(200, cplx{0.0, 0.0});
+  x[0] = cplx{1.0, 0.0};
+  const cvec y = ch->process(x);
+  EXPECT_GT(std::abs(y[0]), 0.0);
+  EXPECT_GT(std::abs(y[96]), 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (i == 0 || i == 96) continue;
+    EXPECT_EQ(std::abs(y[i]), 0.0) << "unexpected energy at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rician K-factor recovery
+// ---------------------------------------------------------------------
+
+TEST(Rician, MomentEstimatorRecoversKFactor) {
+  // With a static LOS line (los_doppler = 0), K = |E[g]|^2 / Var[g].
+  for (double k : {1.0, 5.0, 10.0}) {
+    RicianChannel ch(k, 200.0, 2000.0, 81, 0.0, 64);
+    const cvec g = gain_trajectory(ch, 120000);
+    cplx mean{0.0, 0.0};
+    for (const cplx& v : g) mean += v;
+    mean /= static_cast<double>(g.size());
+    double var = 0.0;
+    for (const cplx& v : g) var += std::norm(v - mean);
+    var /= static_cast<double>(g.size());
+    const double k_hat = std::norm(mean) / var;
+    EXPECT_NEAR(k_hat, k, 0.3 * k) << "K = " << k;
+    // Total power normalized to 1 regardless of K.
+    double pwr = 0.0;
+    for (const cplx& v : g) pwr += std::norm(v);
+    EXPECT_NEAR(pwr / static_cast<double>(g.size()), 1.0, 0.1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tapped-delay-line profile tables (published values)
+// ---------------------------------------------------------------------
+
+TEST(TdlProfiles, ItuPedestrianAndVehicularTables) {
+  const TdlProfile& ped_a = tdl_profile("itu_ped_a");
+  const double ped_a_delays[] = {0.0, 0.11, 0.19, 0.41};
+  const double ped_a_powers[] = {0.0, -9.7, -19.2, -22.8};
+  ASSERT_EQ(ped_a.taps.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ped_a.taps[i].delay_us, ped_a_delays[i]);
+    EXPECT_EQ(ped_a.taps[i].power_db, ped_a_powers[i]);
+    EXPECT_EQ(ped_a.taps[i].k_factor, 0.0);
+  }
+
+  const TdlProfile& veh_a = tdl_profile("itu_veh_a");
+  const double veh_a_delays[] = {0.0, 0.31, 0.71, 1.09, 1.73, 2.51};
+  const double veh_a_powers[] = {0.0, -1.0, -9.0, -10.0, -15.0, -20.0};
+  ASSERT_EQ(veh_a.taps.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(veh_a.taps[i].delay_us, veh_a_delays[i]);
+    EXPECT_EQ(veh_a.taps[i].power_db, veh_a_powers[i]);
+  }
+  EXPECT_EQ(veh_a.doppler_hz, 185.0);
+
+  const TdlProfile& veh_b = tdl_profile("itu_veh_b");
+  ASSERT_EQ(veh_b.taps.size(), 6u);
+  EXPECT_EQ(veh_b.taps[0].power_db, -2.5);
+  EXPECT_EQ(veh_b.taps[1].power_db, 0.0);  // strongest tap delayed
+  EXPECT_EQ(tdl_delay_spread_us(veh_b), 20.0);
+}
+
+TEST(TdlProfiles, SuiTablesAndRicianFirstTaps) {
+  // SUI-1..3 have Rician first taps (K = 4, 2, 1); SUI-4..6 are pure
+  // Rayleigh. Delay spreads grow from 0.9 us (SUI-1) to 20 us (SUI-6).
+  const struct {
+    const char* name;
+    double k0;
+    double spread_us;
+  } expected[] = {
+      {"sui_1", 4.0, 0.9}, {"sui_2", 2.0, 1.1}, {"sui_3", 1.0, 0.9},
+      {"sui_4", 0.0, 4.0}, {"sui_5", 0.0, 10.0}, {"sui_6", 0.0, 20.0},
+  };
+  for (const auto& e : expected) {
+    const TdlProfile& p = tdl_profile(e.name);
+    ASSERT_EQ(p.taps.size(), 3u) << e.name;
+    EXPECT_EQ(p.taps[0].k_factor, e.k0) << e.name;
+    EXPECT_EQ(tdl_delay_spread_us(p), e.spread_us) << e.name;
+  }
+  const TdlProfile& sui_3 = tdl_profile("sui_3");
+  EXPECT_EQ(sui_3.taps[1].delay_us, 0.4);
+  EXPECT_EQ(sui_3.taps[1].power_db, -5.0);
+  EXPECT_EQ(sui_3.taps[2].delay_us, 0.9);
+  EXPECT_EQ(sui_3.taps[2].power_db, -10.0);
+}
+
+TEST(TdlProfiles, UnknownProfileThrowsNamingIt) {
+  EXPECT_EQ(find_tdl_profile("itu_ped_c"), nullptr);
+  try {
+    tdl_profile("itu_ped_c");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("itu_ped_c"), std::string::npos);
+  }
+}
+
+TEST(TdlRealization, UnitPowerAndSampleGridPlacement) {
+  // itu_veh_a at 20 MS/s: delays bin to samples {0, 6, 14, 22, 35, 50}.
+  const cvec taps = tdl_realization(tdl_profile("itu_veh_a"), 20e6, 5);
+  ASSERT_EQ(taps.size(), 51u);
+  const std::size_t bins[] = {0, 6, 14, 22, 35, 50};
+  double total = 0.0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const bool expected_nonzero =
+        std::find(std::begin(bins), std::end(bins), i) != std::end(bins);
+    EXPECT_EQ(std::abs(taps[i]) > 0.0, expected_nonzero) << "bin " << i;
+    total += std::norm(taps[i]);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TdlRealization, SeededAndReproducible) {
+  const TdlProfile& p = tdl_profile("sui_3");
+  const cvec a = tdl_realization(p, 8e6, 101);
+  const cvec b = tdl_realization(p, 8e6, 101);
+  const cvec c = tdl_realization(p, 8e6, 102);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------------------
+// Oscillator drift
+// ---------------------------------------------------------------------
+
+TEST(OscillatorDriftBlock, InstantaneousFrequencyRampsLinearly) {
+  const double fs = 1e6;
+  const double cfo = 200.0;
+  const double drift = 100.0;
+  OscillatorDrift ch(cfo, drift, fs);
+  const std::size_t n = 500001;  // 0.5 s
+  const cvec y = gain_trajectory(ch, n);
+  auto inst_freq = [&](std::size_t i) {
+    return std::arg(y[i + 1] * std::conj(y[i])) * fs / kTwoPi;
+  };
+  EXPECT_NEAR(inst_freq(0), cfo, 1e-3);
+  EXPECT_NEAR(inst_freq(n - 2),
+              cfo + drift * static_cast<double>(n - 2) / fs, 1e-3);
+  // Pure phase rotation: modulus must stay exactly 1.
+  for (std::size_t i = 0; i < n; i += 50000) {
+    EXPECT_NEAR(std::abs(y[i]), 1.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry: metadata, construction, reproducibility
+// ---------------------------------------------------------------------
+
+TEST(Registry, ListsAllFamilies) {
+  EXPECT_EQ(presets().size(), 19u);  // 4 CCIR + 10 TDL + 3 Rician + 2 CFO
+  const PresetInfo* poor = find_preset("ccir_poor");
+  ASSERT_NE(poor, nullptr);
+  EXPECT_EQ(poor->family, "watterson");
+  EXPECT_EQ(poor->paths, 2u);
+  EXPECT_EQ(poor->delay_spread_us, 2000.0);
+  EXPECT_EQ(poor->doppler_hz, 1.0);
+  EXPECT_TRUE(poor->time_varying);
+
+  const PresetInfo* sui = find_preset("sui_3");
+  ASSERT_NE(sui, nullptr);
+  EXPECT_EQ(sui->family, "tdl");
+  EXPECT_EQ(sui->paths, 3u);
+  EXPECT_FALSE(sui->time_varying);
+
+  ASSERT_NE(find_preset("rician_k10"), nullptr);
+  ASSERT_NE(find_preset("cfo_drift"), nullptr);
+  EXPECT_EQ(find_preset("rayleigh"), nullptr);
+  EXPECT_NE(preset_names().find("itu_veh_a"), std::string::npos);
+}
+
+TEST(Registry, EveryPresetConstructsAndRunsFinite) {
+  MakeOptions opts;
+  opts.sample_rate = 1e6;
+  opts.seed = 404;
+  for (const PresetInfo& info : presets()) {
+    auto block = make_preset(info.name, opts);
+    ASSERT_NE(block, nullptr) << info.name;
+    Rng rng(9);
+    cvec x(512);
+    for (cplx& v : x) v = rng.complex_gaussian(1.0);
+    const cvec y = block->process(x);
+    ASSERT_EQ(y.size(), x.size()) << info.name;
+    for (const cplx& v : y) {
+      ASSERT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()))
+          << info.name;
+    }
+  }
+}
+
+TEST(Registry, SeededBitReproducibility) {
+  Rng rng(10);
+  cvec x(1024);
+  for (cplx& v : x) v = rng.complex_gaussian(1.0);
+  MakeOptions opts;
+  opts.sample_rate = 20e6;
+  opts.seed = 555;
+  for (const char* name : {"ccir_poor", "itu_veh_a", "sui_3",
+                           "rician_k5", "cfo_drift"}) {
+    const cvec a = make_preset(name, opts)->process(x);
+    const cvec b = make_preset(name, opts)->process(x);
+    EXPECT_EQ(a, b) << name;
+    MakeOptions other = opts;
+    other.seed = 556;
+    const cvec c = make_preset(name, other)->process(x);
+    if (std::string(name).rfind("cfo", 0) == 0) {
+      EXPECT_EQ(a, c) << name << " (cfo presets are deterministic)";
+    } else {
+      EXPECT_NE(a, c) << name;
+    }
+  }
+}
+
+TEST(Registry, UnknownPresetAndBadOptionsThrow) {
+  try {
+    make_preset("itu_ped_c", {});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("itu_ped_c"), std::string::npos);
+    EXPECT_NE(msg.find("ccir_good"), std::string::npos);  // lists known
+  }
+  MakeOptions bad;
+  bad.doppler_scale = 0.0;
+  EXPECT_THROW(make_preset("ccir_poor", bad), ConfigError);
+  MakeOptions bad_fs;
+  bad_fs.sample_rate = 0.0;
+  EXPECT_THROW(make_preset("ccir_poor", bad_fs), ConfigError);
+}
+
+TEST(Registry, DopplerScaleSpeedsUpFading) {
+  // Same seed, 10x Doppler scale: the scaled channel must decorrelate
+  // faster (smaller lag-k autocorrelation of the gain process).
+  MakeOptions slow;
+  slow.sample_rate = 48e3;
+  slow.seed = 77;
+  MakeOptions fast = slow;
+  fast.doppler_scale = 10.0;
+  auto corr_at = [](Block& ch, std::size_t lag) {
+    const cvec ones(20000, cplx{1.0, 0.0});
+    const cvec g = ch.process(ones);
+    cplx num{0.0, 0.0};
+    double den = 0.0;
+    for (std::size_t i = 0; i + lag < g.size(); ++i) {
+      num += g[i + lag] * std::conj(g[i]);
+      den += std::norm(g[i]);
+    }
+    return std::abs(num) / den;
+  };
+  auto a = make_preset("ccir_flutter", slow);
+  auto b = make_preset("ccir_flutter", fast);
+  const std::size_t lag = 200;
+  EXPECT_GT(corr_at(*a, lag), corr_at(*b, lag) + 0.05);
+}
+
+}  // namespace
+}  // namespace ofdm::rf::channels

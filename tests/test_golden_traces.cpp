@@ -26,6 +26,7 @@
 #include "obs/stream_hash.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/registry.hpp"
 #include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
 #include "rf/pa.hpp"
@@ -122,6 +123,86 @@ std::uint64_t golden_graph_hash(core::Standard standard) {
   return hash.digest();
 }
 
+// ---------------------------------------------------------------------
+// Standard x channel combos: pin representative members of the channel
+// library (rf/channels) streamed behind a Submodel. The tx-hash column
+// is unused for these rows (one channel block, no second waveform).
+// ---------------------------------------------------------------------
+
+struct ChannelCombo {
+  const char* name;      ///< row key in golden_traces.inc
+  core::Standard standard;
+  const char* preset;    ///< registry token
+};
+
+constexpr ChannelCombo kChannelCombos[] = {
+    {"IEEE 802.11a + itu_veh_a", core::Standard::kWlan80211a, "itu_veh_a"},
+    {"IEEE 802.11a + sui_3", core::Standard::kWlan80211a, "sui_3"},
+    {"DRM + ccir_poor", core::Standard::kDrm, "ccir_poor"},
+};
+
+constexpr std::uint64_t kChannelSeed = 0xC44A;
+
+/// Submodel -> one channel-library block, mirroring GoldenGraph's
+/// streaming/checkpoint discipline.
+struct ChannelGraph {
+  rf::Submodel source;
+  rf::Chain chain;
+
+  explicit ChannelGraph(const ChannelCombo& combo)
+      : source(core::profile_for(combo.standard), 31, kPayloadSeed) {
+    rf::channels::MakeOptions opts;
+    opts.sample_rate = core::profile_for(combo.standard).sample_rate;
+    opts.seed = kChannelSeed;
+    chain.add_ptr(rf::channels::make_preset(combo.preset, opts));
+  }
+
+  /// Stream `total` samples in chunks of `chunk`, folding into `hash`.
+  void run(std::size_t total, std::size_t chunk, obs::StreamHash& hash) {
+    cvec in;
+    cvec out;
+    for (std::size_t off = 0; off < total;) {
+      const std::size_t n = std::min(chunk, total - off);
+      source.pull(n, in);
+      chain.process(in, out);
+      hash.update(out);
+      off += n;
+    }
+  }
+
+  std::vector<std::uint8_t> checkpoint() const {
+    StateWriter w;
+    w.begin_node(source.name());
+    source.save_state(w);
+    w.end_node();
+    w.begin_node(chain.name());
+    chain.save_state(w);
+    w.end_node();
+    return w.bytes();
+  }
+
+  void restore(std::span<const std::uint8_t> bytes) {
+    StateReader r(bytes);
+    r.enter_node(source.name());
+    source.load_state(r);
+    r.exit_node();
+    r.enter_node(chain.name());
+    chain.load_state(r);
+    r.exit_node();
+    ASSERT_TRUE(r.done());
+  }
+
+  static constexpr std::size_t kTotal =
+      GoldenGraph::kGraphChunk * GoldenGraph::kGraphChunks;
+};
+
+std::uint64_t channel_graph_hash(const ChannelCombo& combo) {
+  ChannelGraph g(combo);
+  obs::StreamHash hash;
+  g.run(ChannelGraph::kTotal, GoldenGraph::kGraphChunk, hash);
+  return hash.digest();
+}
+
 const GoldenEntry* find_golden(const std::string& name) {
   for (const GoldenEntry& e : kGoldenTraces) {
     if (name == e.standard) return &e;
@@ -211,6 +292,56 @@ TEST_P(GoldenTraces, SnapshotResumeIsBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(Family, GoldenTraces,
                          ::testing::ValuesIn(core::kStandardFamily));
 
+class GoldenChannelTraces
+    : public ::testing::TestWithParam<ChannelCombo> {};
+
+TEST_P(GoldenChannelTraces, GraphRunMatchesCheckedInHash) {
+  const ChannelCombo& combo = GetParam();
+  const GoldenEntry* golden = find_golden(combo.name);
+  ASSERT_NE(golden, nullptr)
+      << combo.name
+      << " missing from golden_traces.inc -- rerun with --regen";
+  EXPECT_EQ(channel_graph_hash(combo), golden->graph_hash)
+      << combo.name << ": channel stream changed at the bit level. If "
+      << "intentional, regenerate with: test_golden_traces --regen";
+}
+
+TEST_P(GoldenChannelTraces, OddChunkingIsBitIdentical) {
+  const ChannelCombo& combo = GetParam();
+  const GoldenEntry* golden = find_golden(combo.name);
+  ASSERT_NE(golden, nullptr) << combo.name;
+  ChannelGraph g(combo);
+  obs::StreamHash hash;
+  // 731 divides neither the total nor any frame length: chunk cuts
+  // land mid-symbol, mid-fade and inside the TDL history window.
+  g.run(ChannelGraph::kTotal, 731, hash);
+  EXPECT_EQ(hash.digest(), golden->graph_hash)
+      << combo.name << ": output depends on chunk boundaries";
+}
+
+TEST_P(GoldenChannelTraces, SnapshotMidFadeResumesBitIdentically) {
+  const ChannelCombo& combo = GetParam();
+  const GoldenEntry* golden = find_golden(combo.name);
+  ASSERT_NE(golden, nullptr) << combo.name;
+  obs::StreamHash hash;
+  std::vector<std::uint8_t> snapshot;
+  constexpr std::size_t kCut = 3 * GoldenGraph::kGraphChunk;
+  {
+    ChannelGraph first(combo);
+    first.run(kCut, GoldenGraph::kGraphChunk, hash);
+    snapshot = first.checkpoint();
+  }
+  ChannelGraph resumed(combo);
+  resumed.restore(snapshot);
+  resumed.run(ChannelGraph::kTotal - kCut, GoldenGraph::kGraphChunk,
+              hash);
+  EXPECT_EQ(hash.digest(), golden->graph_hash)
+      << combo.name << ": snapshot-resume diverged mid-fade";
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, GoldenChannelTraces,
+                         ::testing::ValuesIn(kChannelCombos));
+
 // The same oracle at the RF-graph level: per-block output hashes from a
 // probed chain fed by the Submodel must not depend on the transmitter's
 // thread count.
@@ -264,6 +395,17 @@ int regenerate() {
                  core::standard_name(s).c_str(), tx_hash, graph_hash);
     std::printf("%-20s %016" PRIx64 "  %016" PRIx64 "\n",
                 core::standard_name(s).c_str(), tx_hash, graph_hash);
+  }
+  std::fprintf(f,
+               "// Standard x channel-library combos (tx-hash column "
+               "unused, pinned 0).\n");
+  for (const ChannelCombo& combo : kChannelCombos) {
+    const std::uint64_t graph_hash = channel_graph_hash(combo);
+    std::fprintf(f,
+                 "{\"%s\", 0x%016" PRIx64 "ULL, 0x%016" PRIx64 "ULL},\n",
+                 combo.name, std::uint64_t{0}, graph_hash);
+    std::printf("%-28s %016x  %016" PRIx64 "\n", combo.name, 0,
+                graph_hash);
   }
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());

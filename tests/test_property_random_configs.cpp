@@ -21,6 +21,7 @@
 #include "random_params.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/registry.hpp"
 #include "rf/fading.hpp"
 #include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
@@ -66,7 +67,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfig, ::testing::Range(0, 40));
 /// One random block drawn from the whole RF library, rate changers
 /// included.
 std::unique_ptr<rf::Block> random_block(Rng& rng) {
-  switch (rng.uniform_int(12)) {
+  switch (rng.uniform_int(13)) {
     case 0: return std::make_unique<rf::Gain>(rng.uniform(-10.0, 10.0));
     case 1: return std::make_unique<rf::IqImbalance>(rng.uniform(0.0, 1.0),
                                                      rng.uniform(0.0, 5.0));
@@ -91,6 +92,14 @@ std::unique_ptr<rf::Block> random_block(Rng& rng) {
       return std::make_unique<rf::Dac>(
           static_cast<unsigned>(8 + rng.uniform_int(5)),
           1 + rng.uniform_int(4));
+    case 11: {  // random preset from the channel-model library
+      const auto& presets = rf::channels::presets();
+      rf::channels::MakeOptions opts;
+      opts.sample_rate = 20e6;
+      opts.seed = rng.next_u64() | 1u;
+      return rf::channels::make_preset(
+          presets[rng.uniform_int(presets.size())].name, opts);
+    }
     default:  // decimating rate changer
       return std::make_unique<rf::DecimatorBlock>(1 + rng.uniform_int(4));
   }

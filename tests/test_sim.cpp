@@ -113,6 +113,71 @@ TEST(SimDeck, ErrorsNameTheField) {
             std::string::npos);
 }
 
+TEST(SimDeck, ParsesStandardChannelPresets) {
+  const auto d = sim::parse_deck(
+      "standard=wlan_80211a@6\n"
+      "snr_db=10\n"
+      "channel=awgn,ccir_poor,itu_veh_a,sui_3,rician_k10,cfo_drift\n"
+      "channel.seed=909\n"
+      "channel.doppler_scale=2.5\n");
+  ASSERT_EQ(d.channels.size(), 6u);
+  EXPECT_EQ(d.channels[0].kind, sim::ChannelPreset::Kind::kAwgn);
+  for (std::size_t i = 1; i < d.channels.size(); ++i) {
+    EXPECT_EQ(d.channels[i].kind, sim::ChannelPreset::Kind::kStandard);
+    EXPECT_EQ(d.channels[i].channel_seed, 909u);
+    EXPECT_DOUBLE_EQ(d.channels[i].doppler_scale, 2.5);
+  }
+  EXPECT_EQ(d.channels[1].token, "ccir_poor");
+  EXPECT_EQ(d.channels[5].token, "cfo_drift");
+}
+
+TEST(SimDeck, ChannelFuzzRejectsMalformedValues) {
+  // Unknown presets name the field and list the registry.
+  const std::string unknown = error_message(
+      "standard=wlan_80211a\nsnr_db=10\nchannel=itu_ped_c\n");
+  EXPECT_NE(unknown.find("channel"), std::string::npos);
+  EXPECT_NE(unknown.find("itu_ped_c"), std::string::npos);
+  EXPECT_NE(unknown.find("ccir_good"), std::string::npos);
+  // Near-miss spellings of real presets still fail loudly.
+  for (const char* bad : {"ccir-poor", "CCIR_POOR", "sui_7", "sui3",
+                          "rician_k2", "watterson", "itu_veh_c"}) {
+    EXPECT_NE(error_message(std::string("standard=wlan_80211a\n"
+                                        "snr_db=10\nchannel=") +
+                            bad + "\n")
+                  .find("channel"),
+              std::string::npos)
+        << bad;
+  }
+  // Malformed channel parameters name their field.
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "channel=ccir_poor\nchannel.seed=-3\n")
+                .find("channel.seed"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "channel=ccir_poor\nchannel.doppler_scale=0\n")
+                .find("channel.doppler_scale"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=wlan_80211a\nsnr_db=10\n"
+                          "channel=ccir_poor\nchannel.doppler_scale=x\n")
+                .find("channel.doppler_scale"),
+            std::string::npos);
+}
+
+TEST(SimDeck, DigestSeesChannelPresetAndParams) {
+  const auto base = sim::parse_deck(
+      "standard=adsl\nsnr_db=10\nchannel=ccir_poor\n");
+  const auto other_preset = sim::parse_deck(
+      "standard=adsl\nsnr_db=10\nchannel=ccir_good\n");
+  const auto other_seed = sim::parse_deck(
+      "standard=adsl\nsnr_db=10\nchannel=ccir_poor\nchannel.seed=6\n");
+  const auto other_scale = sim::parse_deck(
+      "standard=adsl\nsnr_db=10\nchannel=ccir_poor\n"
+      "channel.doppler_scale=3\n");
+  EXPECT_NE(sim::deck_digest(base), sim::deck_digest(other_preset));
+  EXPECT_NE(sim::deck_digest(base), sim::deck_digest(other_seed));
+  EXPECT_NE(sim::deck_digest(base), sim::deck_digest(other_scale));
+}
+
 TEST(SimDeck, GridExpansionCountAndOrder) {
   const auto d = sim::parse_deck(
       "standard=wlan_80211a@6,adsl\n"
@@ -264,6 +329,49 @@ TEST(SimCampaign, ResumeAfterCheckpointIsByteIdentical) {
   const auto resumed_result = resumed.run(resume_opts);
   EXPECT_FALSE(resumed_result.halted);
 
+  EXPECT_EQ(sim::curves_json(resumed.deck(), resumed_result), ref_json);
+  std::remove(ckpt.c_str());
+}
+
+TEST(SimCampaign, StandardChannelCurvesAreThreadAndResumeInvariant) {
+  // The per-trial channel realizations flow from the trial substream,
+  // so curves over the channel-library presets must stay byte-identical
+  // across thread counts and checkpoint cuts, like every other preset.
+  const char* deck_text =
+      "name=test_sim_channels\n"
+      "standard=wlan_80211a@6\n"
+      "snr_db=8,14\n"
+      "channel=sui_3,rician_k5,cfo_drift\n"
+      "payload_bits=256\n"
+      "trials.min=4\ntrials.max=8\ntrials.batch=4\n"
+      "seed=13\n";
+
+  sim::Campaign c1{sim::parse_deck(deck_text)};
+  sim::Campaign c4{sim::parse_deck(deck_text)};
+  sim::RunOptions o1, o4;
+  o1.threads = 1;
+  o4.threads = 4;
+  const auto r1 = c1.run(o1);
+  const auto r4 = c4.run(o4);
+  const std::string ref_json = sim::curves_json(c1.deck(), r1);
+  EXPECT_EQ(ref_json, sim::curves_json(c4.deck(), r4));
+
+  const std::string ckpt =
+      ::testing::TempDir() + "/test_sim_channels_ckpt.bin";
+  std::remove(ckpt.c_str());
+  sim::Campaign halted{sim::parse_deck(deck_text)};
+  sim::RunOptions halt_opts;
+  halt_opts.threads = 2;
+  halt_opts.checkpoint_path = ckpt;
+  halt_opts.halt_after_rounds = 1;
+  EXPECT_TRUE(halted.run(halt_opts).halted);
+
+  sim::Campaign resumed{sim::parse_deck(deck_text)};
+  sim::RunOptions resume_opts;
+  resume_opts.threads = 3;
+  resume_opts.checkpoint_path = ckpt;
+  resume_opts.resume = true;
+  const auto resumed_result = resumed.run(resume_opts);
   EXPECT_EQ(sim::curves_json(resumed.deck(), resumed_result), ref_json);
   std::remove(ckpt.c_str());
 }

@@ -12,6 +12,10 @@
 #include "obs/stream_hash.hpp"
 #include "rf/chain.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/cfo.hpp"
+#include "rf/channels/rician.hpp"
+#include "rf/channels/tdl.hpp"
+#include "rf/channels/watterson.hpp"
 #include "rf/fading.hpp"
 #include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
@@ -156,6 +160,39 @@ TEST(BlockState, StatefulBlocksResumeBitIdentically) {
         rf::Oscillator(1e5, 1e6, 0.0, 0.0, 61), 0.2, 63);
   });
   expect_block_resumes([] { return make_unique<rf::DecimatorBlock>(4); });
+}
+
+TEST(BlockState, ChannelLibraryResumesBitIdentically) {
+  using rf::channels::CcirCondition;
+  // Watterson with a high spread so the gains move measurably within
+  // the 2048-sample window (snapshot lands mid-fade, not on a plateau).
+  expect_block_resumes([] {
+    return rf::channels::make_watterson(CcirCondition::kFlutter, 48e3,
+                                        91);
+  });
+  expect_block_resumes([] {
+    return std::make_unique<rf::channels::RicianChannel>(10.0, 500.0,
+                                                         1e6, 92);
+  });
+  expect_block_resumes([] {
+    return rf::channels::make_tdl_channel(
+        rf::channels::tdl_profile("sui_3"), 20e6, 93);
+  });
+  expect_block_resumes([] {
+    return std::make_unique<rf::channels::OscillatorDrift>(200.0, 100.0,
+                                                           1e6);
+  });
+}
+
+TEST(BlockState, WattersonRejectsWrongPathCount) {
+  auto two = rf::channels::make_watterson(
+      rf::channels::CcirCondition::kPoor, 48e3, 5);
+  StateWriter w;
+  two->save_state(w);
+  rf::channels::WattersonChannel one(
+      {{0, 1.0}}, 1.0, 48e3, 5);
+  StateReader r(w.bytes());
+  EXPECT_THROW(one.load_state(r), StateError);
 }
 
 TEST(BlockState, MultipathRejectsWrongTapCount) {

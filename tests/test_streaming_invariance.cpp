@@ -12,6 +12,10 @@
 #include "common/rng.hpp"
 #include "rf/block.hpp"
 #include "rf/channel.hpp"
+#include "rf/channels/cfo.hpp"
+#include "rf/channels/rician.hpp"
+#include "rf/channels/tdl.hpp"
+#include "rf/channels/watterson.hpp"
 #include "rf/fading.hpp"
 #include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
@@ -56,6 +60,22 @@ std::vector<Case> stateful_blocks() {
       {"iq-modulator",
        [] { return std::make_unique<IqModulator>(Oscillator(2e5, 1e6)); }},
       {"dac-x2", [] { return std::make_unique<Dac>(10, 2); }},
+      {"watterson",
+       [] { return channels::make_watterson(channels::CcirCondition::kPoor,
+                                            48e3, 21); }},
+      {"rician",
+       [] { return std::make_unique<channels::RicianChannel>(5.0, 300.0,
+                                                             1e6, 22); }},
+      {"tdl-itu-veh-a",
+       [] {
+         return channels::make_tdl_channel(
+             channels::tdl_profile("itu_veh_a"), 20e6, 23);
+       }},
+      {"osc-drift",
+       [] {
+         return std::make_unique<channels::OscillatorDrift>(200.0, 100.0,
+                                                            1e6);
+       }},
   };
 }
 

@@ -12,12 +12,15 @@
 // campaign state persists at every round boundary; --resume picks an
 // interrupted sweep up exactly where it stopped. --halt-after-rounds
 // simulates a mid-run kill for the CI resume check (exit code 3).
+// --list-channels prints the named channel-model presets a deck's
+// channel= key accepts (beyond awgn/multipath/twisted_pair) and exits.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "rf/channels/registry.hpp"
 #include "sim/aggregator.hpp"
 #include "sim/campaign.hpp"
 
@@ -28,9 +31,22 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <deck-file> [--threads N] [--out PREFIX]\n"
       "          [--checkpoint FILE] [--resume] [--halt-after-rounds N]\n"
-      "          [--quiet]\n",
-      argv0);
+      "          [--quiet]\n"
+      "       %s --list-channels\n",
+      argv0, argv0);
   return 2;
+}
+
+int list_channels() {
+  std::printf("%-14s %-10s %7s %10s %6s  %s\n", "preset", "family",
+              "paths", "spread_us", "fD_Hz", "description");
+  for (const auto& p : ofdm::rf::channels::presets()) {
+    std::printf("%-14s %-10s %7zu %10.2f %6.2f  %s%s\n", p.name.c_str(),
+                p.family.c_str(), p.paths, p.delay_spread_us,
+                p.doppler_hz, p.description.c_str(),
+                p.time_varying ? "" : " [static]");
+  }
+  return 0;
 }
 
 bool write_file(const std::string& path, const std::string& text) {
@@ -68,6 +84,8 @@ int main(int argc, char** argv) {
       opts.halt_after_rounds = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--list-channels") {
+      return list_channels();
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
