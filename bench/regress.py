@@ -33,6 +33,13 @@ batch trial API) and compares each configuration's trials-per-second
 against the BENCH_sim.json baseline. Like --graph, the gate is
 machine-relative.
 
+--server runs bench_server (an in-process ofdm_serverd core on
+loopback, driven through net::LineClient: ping round trips, waveform
+streaming, an end-to-end campaign through the job queue, and cached
+resubmissions) and compares each configuration's ops-per-second
+against the BENCH_server.json baseline. Loopback socket timing is the
+noisiest of the modes, so its default gate is the widest (0.50).
+
 Every gated failure is reported as one line per regressed key with the
 old and new values, e.g.
     regression: BENCH_sim.json: threads1: 117.0 -> 71.2 trials/s (0.61x)
@@ -43,6 +50,7 @@ Usage:
     python3 bench/regress.py --blocks [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --graph [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --sim [--tolerance 0.35] [--check-only]
+    python3 bench/regress.py --server [--tolerance 0.50] [--check-only]
 """
 
 import argparse
@@ -56,6 +64,7 @@ RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
 BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
 GRAPH_FILE = REPO_ROOT / "BENCH_graph.json"
 SIM_FILE = REPO_ROOT / "BENCH_sim.json"
+SERVER_FILE = REPO_ROOT / "BENCH_server.json"
 
 # Blocks below this share of the baseline's wall time never gate: their
 # single-run timings are scheduler noise, and a regression that small
@@ -280,6 +289,12 @@ gating:
                          "802.11a AWGN sweep, 1 worker vs all cores) and "
                          "compare each configuration's trials/s against "
                          "BENCH_sim.json")
+    ap.add_argument("--server", action="store_true",
+                    help="service-daemon mode: run bench_server "
+                         "(loopback ping/waveform/campaign/cache rates "
+                         "through net::LineClient) and compare each "
+                         "configuration's ops/s against "
+                         "BENCH_server.json")
     ap.add_argument("--samples", type=int, default=1 << 20,
                     help="samples per standard in --blocks mode / total "
                          "samples in --graph mode (default: 1048576)")
@@ -288,13 +303,22 @@ gating:
                          "mode (default: 96)")
     args = ap.parse_args()
 
-    if sum([args.blocks, args.graph, args.sim]) > 1:
-        ap.error("--blocks, --graph, and --sim are mutually exclusive")
+    if sum([args.blocks, args.graph, args.sim, args.server]) > 1:
+        ap.error("--blocks, --graph, --sim, and --server are "
+                 "mutually exclusive")
 
     build_dir = REPO_ROOT / args.build_dir
     min_wall_fraction = 0.0
     kernel_pairs = None
-    if args.sim:
+    if args.server:
+        report = run_exe(build_dir, "bench_server", [])
+        baseline_file = SERVER_FILE
+        extract = rows_configs("ops_per_second")
+        unit = "ops/s"
+        # Loopback socket round trips are noisier than any in-process
+        # mode; the gate here is a smoke alarm, not a micro-benchmark.
+        tolerance = max(args.tolerance, 0.50)
+    elif args.sim:
         report = run_exe(build_dir, "bench_sim",
                          ["--trials", str(args.trials)])
         baseline_file = SIM_FILE

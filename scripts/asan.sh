@@ -9,6 +9,12 @@
 # those tests in a separate tree with -fsanitize=address,undefined and
 # runs them under ctest, so a use-after-free or UB in the containment
 # machinery fails loudly even when the plain suite passes.
+#
+# test_state_fuzz runs the corpus fuzz of the OFDMSNAP / OFDMCAMP
+# decoders here because overreads off corrupt length fields are exactly
+# what ASan sees and the plain build may not. test_net adds the network
+# layer: JSON parsing of malformed input, base64 decode, oversized-frame
+# handling, and mid-stream disconnects all chew on external bytes.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +25,8 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build}" -j \
-  --target test_guard test_fault test_snapshot test_rf test_channels
+  --target test_guard test_fault test_snapshot test_rf test_channels \
+  test_state_fuzz test_net
 ctest --test-dir "${build}" \
-  -R '^(test_guard|test_fault|test_snapshot|test_rf|test_channels)$' \
+  -R '^(test_guard|test_fault|test_snapshot|test_rf|test_channels|test_state_fuzz|test_net)$' \
   --output-on-failure "$@"

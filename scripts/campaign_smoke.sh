@@ -13,6 +13,9 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 CLI="$BUILD_DIR/tools/ofdm_campaign"
+# Hard ceiling per CLI invocation: a hung scheduler or a resume that
+# spins forever should fail the smoke, not stall the CI job.
+TO="timeout 120"
 
 if [[ ! -x "$CLI" ]]; then
     echo "error: $CLI not found -- build the repo first" >&2
@@ -29,11 +32,11 @@ run_deck() {
     mkdir -p "$work"
 
     echo "== [$name] straight-through run (4 threads) =="
-    "$CLI" "$deck" --threads 4 --out "$work/ref" --quiet
+    $TO "$CLI" "$deck" --threads 4 --out "$work/ref" --quiet
 
     echo "== [$name] interrupted run: halt after 2 rounds (1 thread) =="
     local rc=0
-    "$CLI" "$deck" --threads 1 --out "$work/halted" \
+    $TO "$CLI" "$deck" --threads 1 --out "$work/halted" \
         --checkpoint "$work/ckpt.bin" --halt-after-rounds 2 --quiet || rc=$?
     if [[ "$rc" -ne 3 ]]; then
         echo "error: expected exit 3 from --halt-after-rounds, got $rc" >&2
@@ -45,7 +48,7 @@ run_deck() {
     fi
 
     echo "== [$name] resume at a different thread count (2 threads) =="
-    "$CLI" "$deck" --threads 2 --out "$work/resumed" \
+    $TO "$CLI" "$deck" --threads 2 --out "$work/resumed" \
         --checkpoint "$work/ckpt.bin" --resume --quiet
 
     for ext in json csv; do

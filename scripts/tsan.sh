@@ -12,7 +12,10 @@
 # deep netlist with fan-in, guards and probes under 4 stages), and deque
 # stealing / round reduction / checkpoint writes (test_sim runs
 # campaigns at 1–4 threads) are caught even when the plain test suite
-# passes.
+# passes. test_net adds the service daemon on top: thread-per-connection
+# sessions, the executor pool behind the job queue, cooperative
+# cancellation, drain/recovery hand-off, and concurrent multi-client
+# loopback traffic all run under TSan here.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,7 +25,7 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim test_channels
+cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim test_channels test_net
 ctest --test-dir "${build}" \
-  -R '^(test_pipeline|test_transmitter|test_executor|test_sim|test_channels)$' \
+  -R '^(test_pipeline|test_transmitter|test_executor|test_sim|test_channels|test_net)$' \
   --output-on-failure "$@"

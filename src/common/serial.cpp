@@ -51,17 +51,41 @@ void StateWriter::end_node() {
   std::memcpy(buf_.data() + at, &len, sizeof len);
 }
 
+// pos_ <= frames_.back().end <= buf_.size() is an invariant (every
+// advance goes through need(), every frame end is validated on entry),
+// so `limit - pos_` is the exact remaining byte count and the checks
+// below cannot overflow no matter how corrupt an attacker-supplied
+// length field is. `pos_ + n` would wrap for n near SIZE_MAX and let a
+// truncated/bit-flipped snapshot read past the buffer.
 void StateReader::need(std::size_t n) const {
-  if (pos_ + n > buf_.size()) {
-    throw StateError("snapshot truncated: need " + std::to_string(n) +
-                     " bytes at offset " + std::to_string(pos_) +
-                     " of " + std::to_string(buf_.size()));
-  }
-  if (!frames_.empty() && pos_ + n > frames_.back().end) {
+  if (!frames_.empty() && n > frames_.back().end - pos_) {
     throw StateError("snapshot node '" + frames_.back().name +
                      "' overread: the restored graph expects more state "
                      "than the snapshot recorded");
   }
+  if (n > buf_.size() - pos_) {
+    throw StateError("snapshot truncated: need " + std::to_string(n) +
+                     " bytes at offset " + std::to_string(pos_) +
+                     " of " + std::to_string(buf_.size()));
+  }
+}
+
+std::uint64_t StateReader::count(std::size_t elem_size) {
+  const std::uint64_t n = u64();
+  const std::size_t limit =
+      frames_.empty() ? buf_.size() : frames_.back().end;
+  const std::size_t remaining = limit - pos_;
+  if (n > remaining / elem_size) {
+    throw StateError(
+        "snapshot truncated: length field claims " + std::to_string(n) +
+        " element(s) of " + std::to_string(elem_size) +
+        " byte(s) at offset " + std::to_string(pos_) + " but only " +
+        std::to_string(remaining) +
+        (frames_.empty() ? " byte(s) remain"
+                         : " byte(s) remain in node '" +
+                               frames_.back().name + "'"));
+  }
+  return n;
 }
 
 std::uint8_t StateReader::u8() {
@@ -80,7 +104,7 @@ std::uint64_t StateReader::u64() {
 double StateReader::f64() { return std::bit_cast<double>(u64()); }
 
 std::string StateReader::str() {
-  const std::uint64_t n = u64();
+  const std::uint64_t n = count(1);
   need(n);
   std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
   pos_ += n;
@@ -88,8 +112,7 @@ std::string StateReader::str() {
 }
 
 void StateReader::vec_c(cvec& v) {
-  const std::uint64_t n = u64();
-  need(n * 2 * sizeof(double));
+  const std::uint64_t n = count(2 * sizeof(double));
   v.resize(n);
   for (cplx& x : v) {
     const double re = f64();
@@ -99,8 +122,7 @@ void StateReader::vec_c(cvec& v) {
 }
 
 void StateReader::vec_r(rvec& v) {
-  const std::uint64_t n = u64();
-  need(n * sizeof(double));
+  const std::uint64_t n = count(sizeof(double));
   v.resize(n);
   for (double& x : v) x = f64();
 }
@@ -112,9 +134,8 @@ void StateReader::enter_node(const std::string& expected) {
                      "' but snapshot recorded '" + name +
                      "' -- restore requires an identically built graph");
   }
-  const std::uint64_t len = u64();
-  need(len);
-  frames_.push_back({name, pos_ + len});
+  const std::uint64_t len = count(1);
+  frames_.push_back({name, pos_ + static_cast<std::size_t>(len)});
 }
 
 void StateReader::exit_node() {
@@ -128,6 +149,17 @@ void StateReader::exit_node() {
                      std::to_string(f.end - pos_) +
                      " unread bytes -- the restored block reads less "
                      "state than the snapshot recorded");
+  }
+}
+
+void StateReader::finish(const std::string& what) const {
+  if (!frames_.empty()) {
+    throw StateError(what + ": frame '" + frames_.back().name +
+                     "' left open after the last read");
+  }
+  if (pos_ != buf_.size()) {
+    throw StateError(what + ": " + std::to_string(buf_.size() - pos_) +
+                     " trailing byte(s) after the last frame");
   }
 }
 

@@ -50,6 +50,13 @@ class StateReader {
   void vec_c(cvec& v);
   void vec_r(rvec& v);
 
+  /// Read a u64 element count for `elem_size`-byte elements and validate
+  /// it against the bytes actually remaining (in the current frame, if
+  /// any) BEFORE any allocation happens — a corrupt length field fails
+  /// with StateError instead of a multi-gigabyte resize or an overflowed
+  /// bounds check.
+  std::uint64_t count(std::size_t elem_size);
+
   /// Enter a frame written by begin_node(); throws ofdm::StateError when
   /// the recorded name differs from `expected` (graph mismatch).
   void enter_node(const std::string& expected);
@@ -59,6 +66,13 @@ class StateReader {
 
   /// True when every byte has been consumed (top level only).
   bool done() const { return pos_ == buf_.size(); }
+
+  /// Assert the stream was consumed exactly: every frame closed and no
+  /// trailing bytes. Throws StateError prefixed with `what` naming the
+  /// offending frame / the trailing byte count. Every loader that
+  /// accepts external bytes (campaign checkpoints, netlist snapshots)
+  /// ends with this so appended garbage cannot ride along silently.
+  void finish(const std::string& what) const;
 
  private:
   void need(std::size_t n) const;

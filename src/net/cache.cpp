@@ -1,0 +1,59 @@
+#include "net/cache.hpp"
+
+namespace ofdm::net {
+
+bool ResultCache::get(std::uint64_t digest, Entry& out) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::put(std::uint64_t digest, Entry entry) {
+  const std::size_t sz = entry_bytes(entry);
+  std::lock_guard<std::mutex> lk(m_);
+  if (sz > max_bytes_) return;  // would evict everything and still not fit
+  const auto it = index_.find(digest);
+  if (it != index_.end()) {
+    bytes_ -= entry_bytes(it->second->second);
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(digest, std::move(entry));
+  index_[digest] = lru_.begin();
+  bytes_ += sz;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const auto& [old_digest, old_entry] = lru_.back();
+    bytes_ -= entry_bytes(old_entry);
+    index_.erase(old_digest);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return bytes_;
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return misses_;
+}
+
+}  // namespace ofdm::net

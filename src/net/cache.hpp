@@ -1,0 +1,59 @@
+// Deck-digest result cache: the daemon's "millions of users" lever.
+//
+// Campaign curves are pure functions of the scenario deck (the engine's
+// determinism contract), so the deck digest is a sound cache key:
+// identical deck => identical bytes, no staleness to manage. The cache
+// memoizes finished curve JSON/CSV under an LRU policy with a byte-size
+// cap; a second submission of a popular operating point is served from
+// memory without spawning a single trial.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ofdm::net {
+
+class ResultCache {
+ public:
+  /// `max_bytes` caps the summed curve payload (keys and bookkeeping
+  /// are not counted). An entry larger than the whole cap is simply
+  /// never stored. 0 disables caching.
+  explicit ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  struct Entry {
+    std::string curves_json;
+    std::string curves_csv;
+  };
+
+  /// Look up `digest`; on a hit copies into `out`, refreshes LRU order
+  /// and counts a hit, otherwise counts a miss.
+  bool get(std::uint64_t digest, Entry& out);
+
+  /// Insert (or refresh) the entry, evicting least-recently-used
+  /// entries until the byte cap holds again.
+  void put(std::uint64_t digest, Entry entry);
+
+  std::size_t entries() const;
+  std::size_t bytes() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  static std::size_t entry_bytes(const Entry& e) {
+    return e.curves_json.size() + e.curves_csv.size();
+  }
+
+  mutable std::mutex m_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  /// front = most recently used
+  std::list<std::pair<std::uint64_t, Entry>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+};
+
+}  // namespace ofdm::net

@@ -1,0 +1,184 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/protocol.hpp"
+
+namespace ofdm::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+}  // namespace
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::connect(const std::string& host, std::uint16_t port,
+                         double timeout_s) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("socket(): " + std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError("bad address '" + host + "'");
+  }
+
+  // Non-blocking connect so refusal vs. timeout is distinguishable.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw NetError("connect(" + host + ":" + std::to_string(port) +
+                   "): " + err);
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (pr <= 0 || soerr != 0) {
+      ::close(fd);
+      throw NetError("connect(" + host + ":" + std::to_string(port) + "): " +
+                     (pr <= 0 ? "timeout" : std::strerror(soerr)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  fd_ = fd;
+  buffer_.clear();
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void LineClient::send(const Json& req) { send_text(req.dump() + "\n"); }
+
+void LineClient::send_text(const std::string& bytes) {
+  if (fd_ < 0) throw NetError("send on a closed client");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("send(): " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Json LineClient::recv_line(double timeout_s) {
+  if (fd_ < 0) throw NetError("recv on a closed client");
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         static_cast<long long>(timeout_s * 1000.0));
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return json_parse(line);
+    }
+    const int wait = remaining_ms(deadline);
+    if (wait == 0) throw NetError("recv timeout after " +
+                                  std::to_string(timeout_s) + "s");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, wait);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("poll(): " + std::string(std::strerror(errno)));
+    }
+    if (r == 0) continue;  // deadline re-checked above
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) throw NetError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("recv(): " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json LineClient::request(const Json& req, double timeout_s) {
+  send(req);
+  return recv_line(timeout_s);
+}
+
+Json LineClient::waveform(const Json& req, cvec& samples, double timeout_s) {
+  send(req);
+  std::size_t expect_burst = 0, expect_seq = 0;
+  for (;;) {
+    Json line = recv_line(timeout_s);
+    const Json* ev = line.find("ev");
+    if (ev == nullptr) return line;  // terminal ok/error reply
+    if (ev->as_string() != "iq") {
+      throw NetError("unexpected event '" + ev->as_string() +
+                     "' in waveform stream");
+    }
+    const auto burst = static_cast<std::size_t>(line.num_or("burst", 0));
+    const auto seq = static_cast<std::size_t>(line.num_or("seq", 0));
+    if (burst != expect_burst || seq != expect_seq) {
+      if (burst == expect_burst + 1 && seq == 0) {
+        expect_burst = burst;
+        expect_seq = 0;
+      } else {
+        throw NetError("waveform stream out of order (burst " +
+                       std::to_string(burst) + " seq " + std::to_string(seq) +
+                       ")");
+      }
+    }
+    ++expect_seq;
+    const cvec part = unpack_iq_f32(line.str_or("data", ""));
+    if (part.size() != static_cast<std::size_t>(line.num_or("n", -1.0))) {
+      throw NetError("iq event length mismatch");
+    }
+    samples.insert(samples.end(), part.begin(), part.end());
+  }
+}
+
+}  // namespace ofdm::net

@@ -1,0 +1,500 @@
+#include "net/jobs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <dirent.h>
+
+#include "common/error.hpp"
+#include "net/json.hpp"
+#include "sim/aggregator.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace ofdm::net {
+
+namespace {
+
+std::string digest_id(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw NetError("cannot open " + path);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw NetError("read error on " + path);
+  return out;
+}
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw NetError("cannot open " + tmp + " for writing");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw NetError("cannot write " + path);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kExpired;
+}
+
+struct JobManager::Job {
+  std::string id;
+  std::uint64_t digest = 0;
+  std::string deck_text;
+  sim::ScenarioDeck deck;  ///< parsed+validated at admission
+  JobState state = JobState::kQueued;  // guarded by JobManager::m_
+  bool cached = false;
+  bool recovered = false;
+  std::uint64_t owner = 0;  ///< client id for quota release; 0 = none
+  double deadline_s = 0.0;
+  sim::CancelToken token;
+
+  // Progress is written from the campaign's on_round hook (executor
+  // thread, no manager lock) and read by status() — hence atomics.
+  std::atomic<std::size_t> rounds{0};
+  std::atomic<std::size_t> trials{0};
+  std::atomic<std::size_t> points_done{0};
+  std::size_t points = 0;
+
+  std::string curves_json, curves_csv, error;  // guarded by m_
+};
+
+JobManager::JobManager(JobConfig cfg, ServerStats& stats)
+    : cfg_(cfg), stats_(stats), cache_(cfg.cache_bytes) {
+  if (cfg_.executors == 0) cfg_.executors = 1;
+  if (cfg_.pool_threads == 0) cfg_.pool_threads = 1;
+  executors_.reserve(cfg_.executors);
+  for (std::size_t i = 0; i < cfg_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+JobManager::~JobManager() { shutdown(false); }
+
+std::string JobManager::deck_path(const std::string& id) const {
+  return cfg_.state_dir + "/" + id + ".deck";
+}
+
+std::string JobManager::ckpt_path(const std::string& id) const {
+  return cfg_.state_dir + "/" + id + ".ckpt";
+}
+
+void JobManager::persist_deck(const Job& job) {
+  if (cfg_.state_dir.empty()) return;
+  write_file_atomic(deck_path(job.id), job.deck_text);
+}
+
+void JobManager::remove_files(const Job& job) {
+  if (cfg_.state_dir.empty()) return;
+  std::remove(deck_path(job.id).c_str());
+  std::remove(ckpt_path(job.id).c_str());
+}
+
+JobManager::SubmitResult JobManager::submit(const std::string& deck_text,
+                                            double deadline_s,
+                                            std::uint64_t client,
+                                            std::size_t quota) {
+  SubmitResult out;
+
+  // Validate up-front, outside the lock: a deck that cannot parse must
+  // never occupy a queue slot (or a persisted file).
+  sim::ScenarioDeck deck;
+  try {
+    deck = sim::parse_deck(deck_text);
+  } catch (const std::exception& e) {
+    out.admission = Admission::kBadDeck;
+    out.error = e.what();
+    return out;
+  }
+  const std::uint64_t digest = sim::deck_digest(deck);
+  out.id = digest_id(digest);
+
+  std::unique_lock<std::mutex> lk(m_);
+  if (stopping_) {
+    out.admission = Admission::kShutdown;
+    return out;
+  }
+
+  const auto it = jobs_.find(out.id);
+  if (it != jobs_.end() && !job_state_terminal(it->second->state)) {
+    // Identical deck already in flight: attach, charge no quota.
+    out.admission = Admission::kAttached;
+    return out;
+  }
+  if (it != jobs_.end() && it->second->state == JobState::kDone) {
+    out.admission = Admission::kAttached;
+    return out;
+  }
+  // (failed/cancelled/expired terminal entries fall through: a fresh
+  // submission of the same deck gets a fresh run.)
+
+  ResultCache::Entry hit;
+  if (cache_.get(digest, hit)) {
+    auto job = std::make_shared<Job>();
+    job->id = out.id;
+    job->digest = digest;
+    job->state = JobState::kDone;
+    job->cached = true;
+    job->points = sim::expand_grid(deck).size();
+    job->points_done.store(job->points, std::memory_order_relaxed);
+    job->curves_json = std::move(hit.curves_json);
+    job->curves_csv = std::move(hit.curves_csv);
+    jobs_[out.id] = std::move(job);
+    out.admission = Admission::kCached;
+    return out;
+  }
+
+  std::size_t queued_now = 0;
+  for (const JobPtr& j : queue_) {
+    if (j->state == JobState::kQueued) ++queued_now;
+  }
+  if (queued_now >= cfg_.max_queued) {
+    out.admission = Admission::kQueueFull;
+    stats_.bump(stats_.rejected_queue_full);
+    return out;
+  }
+  if (client != 0 && quota > 0 && active_per_client_[client] >= quota) {
+    out.admission = Admission::kQuota;
+    stats_.bump(stats_.rejected_quota);
+    return out;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = out.id;
+  job->digest = digest;
+  job->deck_text = deck_text;
+  job->deck = std::move(deck);
+  job->points = sim::expand_grid(job->deck).size();
+  job->owner = client;
+  job->deadline_s = deadline_s > 0.0 ? deadline_s : cfg_.default_deadline_s;
+  try {
+    persist_deck(*job);
+  } catch (const std::exception& e) {
+    out.admission = Admission::kBadDeck;
+    out.error = std::string("cannot persist deck: ") + e.what();
+    return out;
+  }
+  if (client != 0) ++active_per_client_[client];
+  // The jobs_ map is bookkeeping, not the source of truth for results
+  // (that is the cache + the state_dir); keep it from growing without
+  // bound under unique-deck floods by dropping old terminal entries.
+  if (jobs_.size() >= 4096) {
+    for (auto jt = jobs_.begin(); jt != jobs_.end();) {
+      if (job_state_terminal(jt->second->state)) {
+        jt = jobs_.erase(jt);
+      } else {
+        ++jt;
+      }
+    }
+  }
+  jobs_[out.id] = job;
+  queue_.push_back(std::move(job));
+  stats_.bump(stats_.jobs_submitted);
+  work_cv_.notify_one();
+  out.admission = Admission::kAccepted;
+  return out;
+}
+
+bool JobManager::status(const std::string& id, JobStatus& out) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Job& j = *it->second;
+  out.id = j.id;
+  out.state = j.state;
+  out.cached = j.cached;
+  out.recovered = j.recovered;
+  out.rounds = j.rounds.load(std::memory_order_relaxed);
+  out.trials = j.trials.load(std::memory_order_relaxed);
+  out.points = j.points;
+  out.points_done = j.points_done.load(std::memory_order_relaxed);
+  out.error = j.error;
+  out.queue_position = 0;
+  if (j.state == JobState::kQueued) {
+    std::size_t pos = 0;
+    for (const JobPtr& q : queue_) {
+      if (q->state != JobState::kQueued) continue;
+      ++pos;
+      if (q.get() == &j) {
+        out.queue_position = pos;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool JobManager::result(const std::string& id, ResultOut& out) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Job& j = *it->second;
+  out.st.id = j.id;
+  out.st.state = j.state;
+  out.st.cached = j.cached;
+  out.st.recovered = j.recovered;
+  out.st.error = j.error;
+  if (j.state == JobState::kDone) {
+    out.curves_json = j.curves_json;
+    out.curves_csv = j.curves_csv;
+  }
+  return true;
+}
+
+bool JobManager::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& j = *it->second;
+  if (job_state_terminal(j.state)) return true;  // idempotent
+  if (j.state == JobState::kQueued) {
+    j.state = JobState::kCancelled;
+    j.error = "cancelled while queued";
+    remove_files(j);
+    if (j.owner != 0) release_client_slot(j.owner);
+    stats_.bump(stats_.jobs_cancelled);
+    return true;
+  }
+  // Running: the executor observes the token between trials, abandons
+  // the in-flight round and classifies the job when the campaign
+  // drains.
+  j.token.cancel();
+  return true;
+}
+
+void JobManager::release_client(std::uint64_t client) {
+  std::lock_guard<std::mutex> lk(m_);
+  active_per_client_.erase(client);
+  // Orphan the client's jobs so their eventual completion does not
+  // decrement a slot that no longer exists.
+  for (auto& [id, job] : jobs_) {
+    if (job->owner == client) job->owner = 0;
+  }
+}
+
+void JobManager::release_client_slot(std::uint64_t client) {
+  // caller holds m_
+  const auto it = active_per_client_.find(client);
+  if (it != active_per_client_.end() && it->second > 0) {
+    if (--it->second == 0) active_per_client_.erase(it);
+  }
+}
+
+std::size_t JobManager::queued() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const JobPtr& j : queue_) {
+    if (j->state == JobState::kQueued) ++n;
+  }
+  return n;
+}
+
+std::size_t JobManager::recover() {
+  if (cfg_.state_dir.empty()) return 0;
+  DIR* dir = ::opendir(cfg_.state_dir.c_str());
+  if (dir == nullptr) return 0;
+  std::vector<std::string> ids;
+  while (dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name.size() == 16 + 5 && name.substr(16) == ".deck") {
+      ids.push_back(name.substr(0, 16));
+    }
+  }
+  ::closedir(dir);
+
+  std::size_t recovered = 0;
+  for (const std::string& id : ids) {
+    try {
+      const std::string text = read_file(deck_path(id));
+      sim::ScenarioDeck deck = sim::parse_deck(text);
+      const std::uint64_t digest = sim::deck_digest(deck);
+      if (digest_id(digest) != id) {
+        // The file does not contain the deck its name promises — do not
+        // resurrect it (a corrupt spec must not burn executor time
+        // forever), but leave it on disk for post-mortem.
+        continue;
+      }
+      if (file_exists(ckpt_path(id))) {
+        // A checkpoint from a different deck (or a torn/corrupt one)
+        // would fail the resume; drop it and recompute from scratch
+        // rather than refusing the job.
+        try {
+          const auto info = sim::inspect_checkpoint(
+              sim::read_checkpoint_file(ckpt_path(id)));
+          if (info.deck_digest != digest) std::remove(ckpt_path(id).c_str());
+        } catch (const std::exception&) {
+          std::remove(ckpt_path(id).c_str());
+        }
+      }
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->digest = digest;
+      job->deck_text = text;
+      job->deck = std::move(deck);
+      job->points = sim::expand_grid(job->deck).size();
+      job->recovered = true;
+      job->deadline_s = cfg_.default_deadline_s;
+      std::lock_guard<std::mutex> lk(m_);
+      if (jobs_.count(id) != 0) continue;
+      jobs_[id] = job;
+      queue_.push_back(std::move(job));
+      ++recovered;
+      stats_.bump(stats_.jobs_recovered);
+      work_cv_.notify_one();
+    } catch (const std::exception&) {
+      continue;  // unreadable spec: skip, keep serving
+    }
+  }
+  return recovered;
+}
+
+void JobManager::executor_loop() {
+  while (true) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (job->state != JobState::kQueued) continue;  // cancelled
+      job->state = JobState::kRunning;
+    }
+    run_job(job);
+  }
+}
+
+void JobManager::run_job(const JobPtr& job) {
+  job->token.set_deadline_after(job->deadline_s);
+
+  sim::RunOptions opts;
+  opts.threads = cfg_.pool_threads;
+  opts.cancel = &job->token;
+  if (!cfg_.state_dir.empty()) {
+    opts.checkpoint_path = ckpt_path(job->id);
+    opts.resume = true;  // missing file = fresh start
+  }
+  std::size_t last_trials = 0;
+  opts.on_round = [this, &job, &last_trials](std::size_t rounds,
+                                             std::size_t points_done,
+                                             std::size_t trials) {
+    job->rounds.store(rounds, std::memory_order_relaxed);
+    job->points_done.store(points_done, std::memory_order_relaxed);
+    job->trials.store(trials, std::memory_order_relaxed);
+    stats_.bump(stats_.rounds_executed);
+    stats_.bump(stats_.trials_executed, trials - last_trials);
+    last_trials = trials;
+  };
+
+  std::string curves_json, curves_csv, error;
+  bool failed = false;
+  sim::CampaignResult result;
+  try {
+    sim::Campaign campaign(job->deck);
+    result = campaign.run(opts);
+    if (!result.halted) {
+      curves_json = sim::curves_json(campaign.deck(), result);
+      curves_csv = sim::curves_csv(campaign.deck(), result);
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  std::lock_guard<std::mutex> lk(m_);
+  if (job->owner != 0) {
+    release_client_slot(job->owner);
+    job->owner = 0;
+  }
+  if (failed) {
+    job->state = JobState::kFailed;
+    job->error = error;
+    remove_files(*job);
+    stats_.bump(stats_.jobs_failed);
+  } else if (!result.halted) {
+    job->state = JobState::kDone;
+    job->curves_json = std::move(curves_json);
+    job->curves_csv = std::move(curves_csv);
+    cache_.put(job->digest,
+               {job->curves_json, job->curves_csv});
+    remove_files(*job);
+    stats_.bump(stats_.jobs_completed);
+  } else if (draining_) {
+    // Drain handoff: the checkpoint (if any) is at the last round
+    // boundary, the deck file is still on disk — the NEXT process
+    // recovers this job and finishes it bit-identically.
+    job->state = JobState::kQueued;
+  } else if (result.deadline_expired) {
+    job->state = JobState::kExpired;
+    job->error = "deadline exceeded after " +
+                 std::to_string(job->rounds.load()) + " round(s)";
+    remove_files(*job);
+    stats_.bump(stats_.jobs_expired);
+  } else {
+    job->state = JobState::kCancelled;
+    job->error = "cancelled";
+    remove_files(*job);
+    stats_.bump(stats_.jobs_cancelled);
+  }
+}
+
+void JobManager::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopping_) return;
+    stopping_ = true;
+    draining_ = drain;
+    for (auto& [id, job] : jobs_) {
+      if (job->state == JobState::kRunning) {
+        job->token.cancel();
+      } else if (job->state == JobState::kQueued && !drain) {
+        job->state = JobState::kCancelled;
+        job->error = "server shutdown";
+        remove_files(*job);
+      }
+      // drain: queued jobs stay persisted for the next process.
+    }
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+}
+
+}  // namespace ofdm::net

@@ -1,0 +1,180 @@
+// Multi-tenant campaign job queue with a fault-tolerant lifecycle.
+//
+// Job state machine (DESIGN.md §15):
+//
+//   submit ──> queued ──> running ──> done
+//                │           │   ├──> failed     (trial/deck error)
+//                │           │   ├──> expired    (deadline passed)
+//                └───────────┴──-┴──> cancelled  (client request)
+//   SIGTERM drain:   running ──> queued (checkpointed, files kept)
+//   process restart: *.deck [+ *.ckpt] on disk ──> queued (recovered)
+//
+// Robustness properties, in order of importance:
+//  - Bounded admission: at most `max_queued` jobs wait; beyond that
+//    submit() reports queue-full and the caller replies with a
+//    retry_after hint instead of buffering without limit.
+//  - Per-client quotas: a single client can hold at most
+//    `quota` active (queued+running) jobs; a disconnected client's
+//    jobs keep running (their results are cacheable for everyone).
+//  - Deadlines and cancellation ride the campaign engine's CancelToken
+//    (polled between trials): a wedged or oversized job cannot pin an
+//    executor forever once a deadline is set.
+//  - Durability: with a state_dir, a job's deck is persisted on submit
+//    and its checkpoint advances at every round boundary (atomic
+//    temp+rename, sim/checkpoint). kill -9 at ANY instant loses at most
+//    the in-flight round; recover() re-queues the job and the campaign
+//    engine's determinism contract makes the resumed curves
+//    byte-identical to an uninterrupted run.
+//  - Identity: job id == deck digest (16 hex chars). Submitting a deck
+//    that is already queued/running attaches to the existing job;
+//    submitting one whose curves are cached returns a done job without
+//    spawning a single trial.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cache.hpp"
+#include "net/stats.hpp"
+#include "sim/campaign.hpp"
+
+namespace ofdm::net {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kExpired,
+};
+
+const char* job_state_name(JobState s);
+bool job_state_terminal(JobState s);
+
+struct JobConfig {
+  /// Concurrent campaign executors (each runs one job at a time on its
+  /// own work-stealing pool of `pool_threads` workers).
+  std::size_t executors = 2;
+  std::size_t pool_threads = 2;
+  /// Bounded admission: maximum jobs in `queued` (running not counted).
+  std::size_t max_queued = 16;
+  /// Deadline applied to jobs that do not request one; 0 = none.
+  double default_deadline_s = 0.0;
+  /// Persistence root for <id>.deck / <id>.ckpt; empty disables
+  /// durability (jobs die with the process).
+  std::string state_dir;
+  /// Result-cache capacity in bytes.
+  std::size_t cache_bytes = 8u << 20;
+};
+
+/// Point-in-time job description for status/result replies.
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::kQueued;
+  bool cached = false;      ///< result came from the cache
+  bool recovered = false;   ///< re-queued from disk after a restart
+  std::size_t rounds = 0;   ///< rounds completed in THIS process
+  std::size_t trials = 0;   ///< trials reduced in THIS process
+  std::size_t points = 0;
+  std::size_t points_done = 0;
+  std::size_t queue_position = 0;  ///< 0 = running/terminal, else 1-based
+  std::string error;               ///< failed/expired detail
+};
+
+class JobManager {
+ public:
+  JobManager(JobConfig cfg, ServerStats& stats);
+  ~JobManager();  ///< shutdown(false) if still running
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  enum class Admission {
+    kAccepted,   ///< new job queued
+    kAttached,   ///< identical deck already queued/running/terminal
+    kCached,     ///< served from the result cache, no work spawned
+    kQueueFull,  ///< bounded queue at capacity — retry later
+    kQuota,      ///< client's active-job quota exhausted
+    kBadDeck,    ///< deck failed to parse/validate (detail in error)
+    kShutdown,   ///< manager is draining/stopping
+  };
+
+  struct SubmitResult {
+    Admission admission = Admission::kAccepted;
+    std::string id;
+    std::string error;  ///< kBadDeck parse message
+  };
+
+  /// Validate + admit a scenario deck for `client` (0 = anonymous; used
+  /// only for quota accounting). `deadline_s` <= 0 applies the default.
+  SubmitResult submit(const std::string& deck_text, double deadline_s,
+                      std::uint64_t client, std::size_t quota);
+
+  /// Snapshot a job's state; false when the id is unknown.
+  bool status(const std::string& id, JobStatus& out) const;
+
+  /// Fetch a finished job's curves; false when unknown. When the job is
+  /// not done, `out.state` tells the caller what to reply.
+  struct ResultOut {
+    JobStatus st;
+    std::string curves_json;
+    std::string curves_csv;
+  };
+  bool result(const std::string& id, ResultOut& out) const;
+
+  /// Cooperatively cancel a queued or running job (idempotent; false
+  /// when the id is unknown).
+  bool cancel(const std::string& id);
+
+  /// Drop `client`'s quota accounting (connection closed). Jobs keep
+  /// running — a popular result must not die with its first requester.
+  void release_client(std::uint64_t client);
+
+  /// Scan state_dir for persisted jobs (crash or drain leftovers) and
+  /// re-queue them; returns how many were recovered. Call once, before
+  /// serving traffic.
+  std::size_t recover();
+
+  /// Stop executors. drain=true lets running jobs checkpoint and
+  /// re-queue on disk (kill -resistant handoff to the next process);
+  /// drain=false cancels them outright. Idempotent.
+  void shutdown(bool drain);
+
+  ResultCache& cache() { return cache_; }
+  std::size_t queued() const;
+
+ private:
+  struct Job;
+  using JobPtr = std::shared_ptr<Job>;
+
+  void executor_loop();
+  void run_job(const JobPtr& job);
+  void release_client_slot(std::uint64_t client);  // caller holds m_
+  void persist_deck(const Job& job);
+  void remove_files(const Job& job);
+  std::string deck_path(const std::string& id) const;
+  std::string ckpt_path(const std::string& id) const;
+
+  JobConfig cfg_;
+  ServerStats& stats_;
+  ResultCache cache_;
+
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  bool draining_ = false;
+  std::deque<JobPtr> queue_;                    // queued jobs, FIFO
+  std::map<std::string, JobPtr> jobs_;          // id -> job (all states)
+  std::map<std::uint64_t, std::size_t> active_per_client_;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace ofdm::net

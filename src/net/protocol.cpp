@@ -1,0 +1,142 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace ofdm::net {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// 256-entry reverse table; 0xFF = invalid byte.
+struct Reverse {
+  std::uint8_t v[256];
+  constexpr Reverse() : v() {
+    for (int i = 0; i < 256; ++i) v[i] = 0xFF;
+    for (int i = 0; i < 64; ++i) {
+      v[static_cast<unsigned char>(kAlphabet[i])] =
+          static_cast<std::uint8_t>(i);
+    }
+  }
+};
+constexpr Reverse kReverse;
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(((bytes.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                            bytes[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    throw NetError("base64: length " + std::to_string(text.size()) +
+                   " is not a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const unsigned char c = static_cast<unsigned char>(text[i + k]);
+      if (c == '=') {
+        // padding is only legal in the last group's final positions
+        if (!last || k < 2 || (k == 2 && text[i + 3] != '=')) {
+          throw NetError("base64: misplaced '='");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      const std::uint8_t d = kReverse.v[c];
+      if (d == 0xFF) {
+        throw NetError("base64: invalid byte at offset " +
+                       std::to_string(i + k));
+      }
+      if (pad > 0) throw NetError("base64: data after '='");
+      v = (v << 6) | d;
+    }
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+  return out;
+}
+
+std::string pack_iq_f32(std::span<const cplx> samples) {
+  std::vector<std::uint8_t> raw(samples.size() * 2 * sizeof(float));
+  std::uint8_t* p = raw.data();
+  for (const cplx& x : samples) {
+    const float re = static_cast<float>(x.real());
+    const float im = static_cast<float>(x.imag());
+    std::memcpy(p, &re, sizeof re);
+    std::memcpy(p + sizeof re, &im, sizeof im);
+    p += 2 * sizeof(float);
+  }
+  return base64_encode(raw);
+}
+
+cvec unpack_iq_f32(std::string_view base64) {
+  const std::vector<std::uint8_t> raw = base64_decode(base64);
+  if (raw.size() % (2 * sizeof(float)) != 0) {
+    throw NetError("iq payload: " + std::to_string(raw.size()) +
+                   " bytes is not a whole number of float32 (re,im) "
+                   "pairs");
+  }
+  cvec out(raw.size() / (2 * sizeof(float)));
+  const std::uint8_t* p = raw.data();
+  for (cplx& x : out) {
+    float re, im;
+    std::memcpy(&re, p, sizeof re);
+    std::memcpy(&im, p + sizeof re, sizeof im);
+    x = {re, im};
+    p += 2 * sizeof(float);
+  }
+  return out;
+}
+
+Json ok_reply(const std::string& op) {
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("op", op);
+  return r;
+}
+
+Json error_reply(const std::string& op, const std::string& code,
+                 const std::string& detail) {
+  Json r = Json::object();
+  r.set("ok", false);
+  if (!op.empty()) r.set("op", op);
+  r.set("error", code);
+  if (!detail.empty()) r.set("detail", detail);
+  return r;
+}
+
+}  // namespace ofdm::net

@@ -1,0 +1,62 @@
+// Wire protocol of ofdm_serverd: newline-delimited JSON objects over
+// TCP, one request or reply/event per line.
+//
+// Grammar (DESIGN.md §15 has the full table):
+//   client -> server   { "op": <string>, ...op fields }
+//   server -> client   { "ok": true, ...result fields }
+//                    | { "ok": false, "error": <code>, "detail": ... }
+//                    | { "ev": "iq"|"end", ... }   (waveform stream)
+//
+// Every reply carries "op" echoed back, plus "id" when the request had
+// one (client-side correlation). Error codes are machine-readable
+// snake_case strings; "detail" is human-readable and may change.
+//
+// Bulk IQ is framed as events: interleaved little-endian float32
+// (re,im) pairs, base64-encoded, `chunk` samples per "iq" line — large
+// enough to amortize the base64, small enough that a slow client never
+// pins megabytes in one write.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/json.hpp"
+
+namespace ofdm::net {
+
+/// Error codes (the machine-readable contract; see DESIGN.md §15).
+inline constexpr const char* kErrBadJson = "bad_json";
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnknownOp = "unknown_op";
+inline constexpr const char* kErrOversizedFrame = "oversized_frame";
+inline constexpr const char* kErrBusy = "busy";
+inline constexpr const char* kErrBadDeck = "bad_deck";
+inline constexpr const char* kErrQueueFull = "queue_full";
+inline constexpr const char* kErrQuotaExceeded = "quota_exceeded";
+inline constexpr const char* kErrUnknownJob = "unknown_job";
+inline constexpr const char* kErrNotDone = "not_done";
+inline constexpr const char* kErrJobFailed = "job_failed";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrInternal = "internal";
+
+/// Base64 (RFC 4648, with padding). decode throws NetError on any
+/// non-alphabet byte, bad padding, or truncated input.
+std::string base64_encode(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+/// Pack complex samples as interleaved little-endian float32 base64.
+std::string pack_iq_f32(std::span<const cplx> samples);
+/// Unpack; throws NetError when the payload is not a whole number of
+/// (re,im) float32 pairs.
+cvec unpack_iq_f32(std::string_view base64);
+
+/// Reply skeletons. Field order is fixed so replies are byte-stable.
+Json ok_reply(const std::string& op);
+Json error_reply(const std::string& op, const std::string& code,
+                 const std::string& detail);
+
+}  // namespace ofdm::net

@@ -1,0 +1,126 @@
+// The ofdm_serverd TCP front end: line-oriented JSON protocol over a
+// thread-per-connection loop, dispatching into the JobManager (campaign
+// service) and the Mother Model transmitter (waveform service).
+//
+// Robustness posture (DESIGN.md §15):
+//  - every read is bounded: lines over max_line_bytes are rejected and
+//    discarded to the next newline, connections accumulate protocol
+//    errors and are dropped at max_protocol_errors;
+//  - idle connections are disconnected after idle_timeout_s (a "bye"
+//    event is sent first, so well-behaved clients can distinguish a
+//    timeout from a crash);
+//  - the accept loop enforces max_connections (excess connections get a
+//    busy error line and an immediate close);
+//  - stop(drain=true) is the SIGTERM path: stop accepting, nudge every
+//    session closed, quiesce the job manager so running campaigns
+//    checkpoint and re-queue on disk for the next process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/jobs.hpp"
+#include "net/json.hpp"
+#include "net/stats.hpp"
+
+namespace ofdm::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::size_t max_connections = 64;
+  double idle_timeout_s = 300.0;  ///< 0 = never disconnect idle clients
+  std::size_t max_line_bytes = 1u << 20;
+  std::size_t max_protocol_errors = 8;  ///< per connection, then close
+  std::size_t client_quota = 4;  ///< active jobs per connection; 0 = off
+  double retry_after_s = 0.5;    ///< backpressure hint on queue_full
+  /// Waveform service bounds: per-request burst/sample caps and the
+  /// samples-per-"iq"-event chunk size.
+  std::size_t max_bursts = 64;
+  std::size_t max_waveform_samples = 1u << 22;
+  std::size_t iq_chunk_samples = 4096;
+  /// Remote {"op":"shutdown"} support (tests, orchestration). The op
+  /// only raises shutdown_requested(); the owner decides when to stop().
+  bool allow_remote_shutdown = true;
+  JobConfig jobs;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();  ///< stop(false) if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + recover persisted jobs + start the accept thread.
+  /// Throws NetError when the socket cannot be set up.
+  void start();
+
+  /// Stop accepting, close every session, shut the job manager down
+  /// (drain=true => running jobs checkpoint and stay on disk).
+  /// Idempotent; safe to call from signal-observing main loops (NOT
+  /// from signal handlers or from inside a session thread).
+  void stop(bool drain);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Set by {"op":"shutdown"}; the embedding main loop polls this.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  bool shutdown_drain() const {
+    return shutdown_drain_.load(std::memory_order_acquire);
+  }
+
+  std::uint16_t port() const { return port_; }
+  ServerStats& stats() { return stats_; }
+  JobManager& jobs() { return *jobs_; }
+  std::size_t recovered_jobs() const { return recovered_; }
+
+ private:
+  struct Session {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    int fd = -1;
+  };
+
+  void accept_loop();
+  void session_loop(Session* session, std::uint64_t client);
+  /// Handle one request line. Returns false when the connection must
+  /// close (fatal protocol state or remote shutdown).
+  bool handle_line(int fd, std::uint64_t client, const std::string& line,
+                   std::size_t& errors);
+  void handle_waveform(int fd, const Json& req);
+  Json handle_submit(std::uint64_t client, const Json& req);
+  Json handle_status(const Json& req);
+  Json handle_result(const Json& req);
+  Json handle_cancel(const Json& req);
+  Json handle_stats();
+  bool send_line(int fd, const Json& value);
+  bool send_raw(int fd, const std::string& line);
+  void reap_finished(bool all);
+
+  ServerConfig cfg_;
+  ServerStats stats_;
+  std::unique_ptr<JobManager> jobs_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::size_t recovered_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shutdown_drain_{false};
+  std::thread accept_thread_;
+  std::uint64_t next_client_ = 0;
+
+  std::mutex sessions_m_;
+  std::list<Session> sessions_;
+};
+
+}  // namespace ofdm::net

@@ -1,0 +1,45 @@
+// Shared daemon counters: lock-free probes in the style of src/obs —
+// every counter is a relaxed atomic bumped on the hot path and read
+// coherently enough for monitoring, tests and the bench gate (the
+// loopback suite asserts e.g. "second identical submission executed
+// zero trials" through these).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ofdm::net {
+
+struct ServerStats {
+  // connection lifecycle
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> idle_disconnects{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+
+  // request counters
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> waveform_requests{0};
+  std::atomic<std::uint64_t> waveform_samples{0};
+
+  // job lifecycle
+  std::atomic<std::uint64_t> jobs_submitted{0};
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> jobs_cancelled{0};
+  std::atomic<std::uint64_t> jobs_expired{0};
+  std::atomic<std::uint64_t> jobs_recovered{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_quota{0};
+
+  // work actually performed by the campaign engine in this process
+  std::atomic<std::uint64_t> rounds_executed{0};
+  std::atomic<std::uint64_t> trials_executed{0};
+
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace ofdm::net

@@ -23,6 +23,12 @@ struct Round {
   std::size_t first_trial = 0;
   std::vector<TrialResult> results;
   std::atomic<std::size_t> remaining_tasks{0};
+  /// Set when any batch of the round stopped early on a cancel/deadline
+  /// request. An abandoned round is discarded wholesale: its partial
+  /// results never reach the point counters, so the checkpoint stays at
+  /// the previous round boundary and a resume recomputes the identical
+  /// round from scratch.
+  std::atomic<bool> abandoned{false};
 };
 
 struct Driver {
@@ -32,9 +38,15 @@ struct Driver {
   WorkStealingPool& pool;
   std::vector<PointState>& states;
 
-  std::mutex m;  // guards states, rounds_completed, halted
+  std::mutex m;  // guards states, rounds_completed, halted, progress
   std::size_t rounds_completed = 0;
+  std::size_t points_done = 0;
+  std::size_t trials_done = 0;  ///< trials reduced by THIS run
   bool halted = false;
+
+  bool stop_requested() const {
+    return opts.cancel != nullptr && opts.cancel->stop_requested();
+  }
 
   // Call at startup (single-threaded) or from complete_round() under m.
   void schedule_round(std::size_t point) {
@@ -51,14 +63,28 @@ struct Driver {
       const std::size_t a = t * batch;
       const std::size_t b = std::min(a + batch, n);
       pool.submit([this, round, a, b] {
-        LinkRunner runner(deck, grid[round->point]);
-        if (opts.use_batch_api) {
-          runner.run_trials(
-              round->first_trial + a,
-              std::span<TrialResult>(round->results).subspan(a, b - a));
+        if (stop_requested()) {
+          // Drain fast: skip the whole batch, the round is abandoned.
+          round->abandoned.store(true, std::memory_order_release);
         } else {
-          for (std::size_t i = a; i < b; ++i) {
-            round->results[i] = runner.run_trial(round->first_trial + i);
+          LinkRunner runner(deck, grid[round->point]);
+          if (opts.use_batch_api) {
+            const std::size_t done = runner.run_trials(
+                round->first_trial + a,
+                std::span<TrialResult>(round->results).subspan(a, b - a),
+                opts.cancel);
+            if (done < b - a) {
+              round->abandoned.store(true, std::memory_order_release);
+            }
+          } else {
+            for (std::size_t i = a; i < b; ++i) {
+              if (stop_requested()) {
+                round->abandoned.store(true, std::memory_order_release);
+                break;
+              }
+              round->results[i] =
+                  runner.run_trial(round->first_trial + i);
+            }
           }
         }
         if (round->remaining_tasks.fetch_sub(
@@ -71,10 +97,19 @@ struct Driver {
 
   void complete_round(const Round& round) {
     std::lock_guard<std::mutex> lk(m);
+    if (round.abandoned.load(std::memory_order_acquire) ||
+        stop_requested()) {
+      // The round never happened as far as the counters are concerned;
+      // the last checkpoint on disk already describes this state.
+      halted = true;
+      return;
+    }
     PointState& st = states[round.point];
     for (const TrialResult& t : round.results) st.accumulate(t);
     evaluate_stop(deck, st);
     ++rounds_completed;
+    trials_done += round.results.size();
+    if (st.done) ++points_done;
     if (opts.halt_after_rounds > 0 &&
         rounds_completed >= opts.halt_after_rounds) {
       halted = true;
@@ -82,6 +117,9 @@ struct Driver {
     if (!opts.checkpoint_path.empty()) {
       write_checkpoint_file(opts.checkpoint_path,
                             save_checkpoint(deck, states));
+    }
+    if (opts.on_round) {
+      opts.on_round(rounds_completed, points_done, trials_done);
     }
     if (!st.done && !halted) schedule_round(round.point);
   }
@@ -108,7 +146,7 @@ CampaignResult Campaign::run(const RunOptions& opts) {
   }
 
   WorkStealingPool pool(opts.threads);
-  Driver driver{deck_, grid_, opts, pool, states, {}, 0, false};
+  Driver driver{deck_, grid_, opts, pool, states, {}, 0, 0, 0, false};
   for (const PointSpec& p : grid_) {
     if (!states[p.index].done) driver.schedule_round(p.index);
   }
@@ -133,6 +171,14 @@ CampaignResult Campaign::run(const RunOptions& opts) {
   }
   result.rounds_completed = driver.rounds_completed;
   result.halted = driver.halted;
+  if (opts.cancel != nullptr) {
+    result.cancelled = opts.cancel->cancelled();
+    result.deadline_expired =
+        !result.cancelled && opts.cancel->deadline_expired();
+    // A stop that lands after the last round completed still counts as
+    // a halt: callers must treat the run as interrupted, not finished.
+    if (result.cancelled || result.deadline_expired) result.halted = true;
+  }
   result.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)
                                .count();

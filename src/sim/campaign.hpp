@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/cancel.hpp"
 #include "sim/deck.hpp"
 #include "sim/estimator.hpp"
 
@@ -37,6 +39,19 @@ struct RunOptions {
   /// reused across a batch). Bit-identical curves either way; off is an
   /// A/B lever for the bench suite.
   bool use_batch_api = true;
+  /// Cooperative stop: polled between trials and at round boundaries.
+  /// A stopped run drains like halt_after_rounds (in-flight rounds are
+  /// abandoned, the checkpoint stays at the last completed boundary)
+  /// and returns with halted + cancelled/deadline_expired set. The
+  /// token must outlive run(). nullptr = never stops early.
+  const CancelToken* cancel = nullptr;
+  /// Progress hook, invoked after every completed round (and its
+  /// checkpoint write) under the driver lock with cumulative counters
+  /// for THIS run: rounds completed, grid points finished, trials
+  /// reduced. Keep it cheap — it serializes round completion.
+  std::function<void(std::size_t rounds, std::size_t points_done,
+                     std::size_t trials)>
+      on_round;
 };
 
 /// One finished (or halted) grid point with its resolved labels.
@@ -51,7 +66,12 @@ struct CampaignResult {
   std::vector<PointResult> points;  ///< grid order
   double elapsed_seconds = 0.0;
   std::size_t rounds_completed = 0;
+  /// Stopped before every point finished (halt_after_rounds, a
+  /// cancelled token, or an expired deadline). The checkpoint on disk
+  /// is consistent; resuming completes the sweep bit-identically.
   bool halted = false;
+  bool cancelled = false;         ///< RunOptions::cancel was cancelled
+  bool deadline_expired = false;  ///< RunOptions::cancel deadline passed
 };
 
 class Campaign {

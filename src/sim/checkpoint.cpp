@@ -74,6 +74,36 @@ void load_checkpoint(std::span<const std::uint8_t> bytes,
     r.exit_node();
   }
   r.exit_node();
+  r.finish("campaign checkpoint 'OFDMCAMP'");
+}
+
+CheckpointInfo inspect_checkpoint(std::span<const std::uint8_t> bytes) {
+  StateReader r(bytes);
+  r.enter_node("OFDMCAMP");
+  CheckpointInfo info;
+  info.version = r.u64();
+  if (info.version != kVersion) {
+    throw StateError("campaign checkpoint: unsupported version " +
+                     std::to_string(info.version));
+  }
+  info.deck_digest = r.u64();
+  const std::uint64_t n = r.count(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r.enter_node("point");
+    info.trials += r.u64();
+    r.u64();  // bits
+    r.u64();  // errors
+    r.f64();  // evm_err2
+    r.f64();  // evm_ref2
+    r.f64();  // seconds
+    if (r.u8() != 0) ++info.points_done;
+    r.u8();  // reason
+    r.exit_node();
+  }
+  info.points = n;
+  r.exit_node();
+  r.finish("campaign checkpoint 'OFDMCAMP'");
+  return info;
 }
 
 void write_checkpoint_file(const std::string& path,

@@ -29,11 +29,29 @@ std::vector<std::uint8_t> save_checkpoint(
     const ScenarioDeck& deck, const std::vector<PointState>& points);
 
 /// Restore into `points` (resized to the recorded grid). Throws
-/// ofdm::StateError when the bytes are malformed, from a different
-/// deck (digest mismatch), or from a different grid shape.
+/// ofdm::StateError when the bytes are malformed, carry trailing
+/// garbage, come from a different deck (digest mismatch), or from a
+/// different grid shape.
 void load_checkpoint(std::span<const std::uint8_t> bytes,
                      const ScenarioDeck& deck,
                      std::vector<PointState>& points);
+
+/// Summary of a checkpoint WITHOUT the deck it belongs to — the
+/// daemon's resume scan uses this to pair *.ckpt files found after a
+/// crash with their persisted decks (and to refuse a checkpoint whose
+/// digest does not match) before committing to a full resume.
+struct CheckpointInfo {
+  std::uint64_t version = 0;
+  std::uint64_t deck_digest = 0;
+  std::size_t points = 0;       ///< grid size recorded
+  std::size_t points_done = 0;  ///< points already finished
+  std::size_t trials = 0;       ///< trials accumulated across the grid
+};
+
+/// Parse just enough of a checkpoint to describe it. Throws
+/// ofdm::StateError on malformed/truncated bytes or trailing garbage
+/// (same validation as load_checkpoint, minus the deck comparison).
+CheckpointInfo inspect_checkpoint(std::span<const std::uint8_t> bytes);
 
 /// Write checkpoint bytes to `path` atomically (temp file + rename), so
 /// a kill mid-write can never leave a torn checkpoint behind.

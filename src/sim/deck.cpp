@@ -178,6 +178,10 @@ std::vector<double> parse_snr_grid(const std::string& text) {
 
 }  // namespace
 
+StandardSpec parse_standard_token(const std::string& token) {
+  return standard_from_token(token);
+}
+
 ScenarioDeck parse_deck(const std::string& text) {
   std::map<std::string, std::string> kv;
   std::istringstream is(text);

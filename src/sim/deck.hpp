@@ -85,6 +85,12 @@ struct ScenarioDeck {
 /// malformed values throw ofdm::ConfigError naming the field.
 ScenarioDeck parse_deck(const std::string& text);
 
+/// Resolve one `standard=` token ("wlan_80211a@24", "drm@B", ...) to
+/// its transmitter parameters; throws ofdm::ConfigError on unknown
+/// tokens/variants. Exposed for callers outside deck parsing (the
+/// waveform service accepts the same tokens as a deck shorthand).
+StandardSpec parse_standard_token(const std::string& token);
+
 /// One grid point of the expanded job matrix. `index` is the point's
 /// position in the deterministic expansion order (standard-major,
 /// channel, SNR) and the counter fed to Rng::substream.

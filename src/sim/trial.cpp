@@ -83,13 +83,16 @@ TrialResult LinkRunner::run_trial(std::size_t trial_index) {
   return state_->run_one(trial_index, burst, rx_samples);
 }
 
-void LinkRunner::run_trials(std::size_t first_trial,
-                            std::span<TrialResult> results) {
+std::size_t LinkRunner::run_trials(std::size_t first_trial,
+                                   std::span<TrialResult> results,
+                                   const CancelToken* cancel) {
   State& s = *state_;
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (cancel != nullptr && cancel->stop_requested()) return i;
     results[i] =
         s.run_one(first_trial + i, s.burst_scratch, s.rx_scratch);
   }
+  return results.size();
 }
 
 TrialResult LinkRunner::State::run_one(std::size_t trial_index,

@@ -1,0 +1,634 @@
+// Loopback suite for the ofdm_serverd stack: JSON/base64 wire
+// primitives, then a real Server on 127.0.0.1 exercised through
+// LineClient — the malformed-input, backpressure, deadline,
+// disconnect, drain/recovery and cache paths the daemon's robustness
+// story hangs on. Runs under TSan and ASan in CI.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/transmitter.hpp"
+#include "net/client.hpp"
+#include "net/json.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "sim/aggregator.hpp"
+#include "sim/campaign.hpp"
+#include "sim/deck.hpp"
+
+namespace ofdm::net {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"op":"submit","n":3,"x":-1.5,"flag":true,"nil":null,)"
+      R"("arr":[1,2,3],"s":"a\"b\\c\n\u00e9"})";
+  const Json v = json_parse(text);
+  EXPECT_EQ(v.str_or("op", ""), "submit");
+  EXPECT_EQ(v.num_or("n", 0), 3.0);
+  EXPECT_EQ(v.num_or("x", 0), -1.5);
+  EXPECT_TRUE(v.bool_or("flag", false));
+  EXPECT_TRUE(v.find("nil")->is_null());
+  EXPECT_EQ(v.find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\n\xc3\xa9");
+  // dump() of a parsed value re-parses to the same structure
+  const Json again = json_parse(v.dump());
+  EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, IntegersDumpWithoutExponent) {
+  Json v = Json::object();
+  v.set("big", 9007199254740992.0).set("small", 17).set("frac", 0.5);
+  const std::string text = v.dump();
+  EXPECT_NE(text.find("\"small\":17"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"frac\":0.5"), std::string::npos) << text;
+}
+
+TEST(Json, MalformedInputsThrow) {
+  const char* bad[] = {
+      "",           "{",        "}",          "[1,]",      "{\"a\":}",
+      "{'a':1}",    "{\"a\" 1}", "tru",        "01",        "1.",
+      "\"\\q\"",    "\"\\u12\"", "\"\x01\"",   "{}extra",   "nullx",
+      "[1 2]",      "\"unterminated", "-",     "+1",        "{\"a\":1,}",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)json_parse(text), NetError) << text;
+  }
+}
+
+TEST(Json, DepthCapHolds) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)json_parse(deep), NetError);
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_NO_THROW((void)json_parse(ok));
+}
+
+// -------------------------------------------------------------- base64
+
+TEST(Base64, RoundTripAndRejection) {
+  Rng rng(42);
+  for (const std::size_t n : {0, 1, 2, 3, 4, 31, 257}) {
+    const bytevec data = rng.bytes(n);
+    const std::string b64 = base64_encode(data);
+    EXPECT_EQ(base64_decode(b64), data) << n;
+  }
+  for (const char* bad : {"A", "AB=", "A===", "AB*D", "====", "AA=A"}) {
+    EXPECT_THROW((void)base64_decode(bad), NetError) << bad;
+  }
+}
+
+TEST(Base64, IqPackRoundTrip) {
+  cvec samples;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) samples.push_back(rng.complex_gaussian());
+  const cvec back = unpack_iq_f32(pack_iq_f32(samples));
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), samples[i].real(), 1e-6);
+    EXPECT_NEAR(back[i].imag(), samples[i].imag(), 1e-6);
+  }
+  EXPECT_THROW((void)unpack_iq_f32(base64_encode(bytevec(7))), NetError);
+}
+
+// ------------------------------------------------------------ loopback
+
+/// A deck small enough to finish in well under a second.
+constexpr const char* kQuickDeck =
+    "name=net_quick\n"
+    "standard=wlan_80211a@12\n"
+    "snr_db=6\n"
+    "channel=awgn\n"
+    "payload_bits=256\n"
+    "trials.min=8\n"
+    "trials.max=8\n"
+    "trials.batch=8\n"
+    "seed=5\n";
+
+/// A deck that grinds long enough to still be running when the test
+/// cancels / expires / kills it (but bounded, so an assertion failure
+/// can't wedge the suite).
+std::string slow_deck(int seed) {
+  return "name=net_slow\nstandard=wlan_80211a@12\n"
+         "snr_db=0,2,4,6\nchannel=awgn\n"
+         "trials.min=256\ntrials.max=4096\ntrials.batch=64\n"
+         "seed=" +
+         std::to_string(seed) + "\n";
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag) {
+    path = std::filesystem::temp_directory_path() /
+           (std::string("ofdm_net_") + tag + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+ServerConfig quick_config() {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.idle_timeout_s = 0.0;
+  cfg.jobs.executors = 2;
+  cfg.jobs.pool_threads = 2;
+  return cfg;
+}
+
+LineClient connect_to(const Server& server) {
+  LineClient c;
+  c.connect("127.0.0.1", server.port());
+  return c;
+}
+
+Json op(const char* name) {
+  Json v = Json::object();
+  v.set("op", name);
+  return v;
+}
+
+std::string wait_terminal(LineClient& client, const std::string& id,
+                          double timeout_s = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    Json req = op("status");
+    req.set("id", id);
+    const Json reply = client.request(req);
+    if (!reply.bool_or("ok", false)) return reply.str_or("error", "?");
+    const std::string state = reply.str_or("state", "");
+    if (state != "queued" && state != "running") return state;
+    if (std::chrono::steady_clock::now() > deadline) return "timeout";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TEST(NetServer, PingStatsAndUnknownOp) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json reply = client.request(op("ping"));
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(reply.str_or("server", ""), "ofdm_serverd");
+
+  reply = client.request(op("stats"));
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_GE(reply.num_or("requests", 0), 1.0);
+
+  reply = client.request(op("frobnicate"));
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.str_or("error", ""), kErrUnknownOp);
+
+  server.stop(false);
+}
+
+TEST(NetServer, MalformedJsonAndErrorCapClose) {
+  ServerConfig cfg = quick_config();
+  cfg.max_protocol_errors = 3;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  client.send_text("this is not json\n");
+  Json reply = client.recv_line();
+  EXPECT_EQ(reply.str_or("error", ""), kErrBadJson);
+
+  client.send_text("[1,2,3]\n");  // valid JSON, not a request object
+  reply = client.recv_line();
+  EXPECT_EQ(reply.str_or("error", ""), kErrBadRequest);
+
+  client.send_text("{{{\n");  // third strike: server closes after reply
+  reply = client.recv_line();
+  EXPECT_EQ(reply.str_or("error", ""), kErrBadJson);
+  EXPECT_THROW((void)client.recv_line(2.0), NetError);
+
+  // a fresh connection still works — the cap is per connection
+  LineClient again = connect_to(server);
+  EXPECT_TRUE(again.request(op("ping")).bool_or("ok", false));
+  EXPECT_GE(server.stats().protocol_errors.load(), 3u);
+  server.stop(false);
+}
+
+TEST(NetServer, OversizedFrameRejectedConnectionSurvives) {
+  ServerConfig cfg = quick_config();
+  cfg.max_line_bytes = 512;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  client.send_text(std::string(2000, 'x') + "\n");
+  const Json reply = client.recv_line();
+  EXPECT_EQ(reply.str_or("error", ""), kErrOversizedFrame);
+
+  // The oversized line's tail was discarded; the protocol resyncs.
+  EXPECT_TRUE(client.request(op("ping")).bool_or("ok", false));
+  server.stop(false);
+}
+
+TEST(NetServer, WaveformMatchesLocalTransmitter) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("waveform");
+  req.set("standard", "wlan_80211a@12").set("bursts", 2).set("seed", 9)
+      .set("chunk", 100);  // force multiple iq events per burst
+  cvec streamed;
+  const Json reply = client.waveform(req, streamed);
+  ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  EXPECT_EQ(reply.num_or("samples", 0), double(streamed.size()));
+
+  // Reference: the same deterministic payload derivation, locally.
+  core::Transmitter tx(sim::parse_standard_token("wlan_80211a@12").params);
+  const std::size_t pb = tx.recommended_payload_bits();
+  EXPECT_EQ(reply.num_or("payload_bits", 0), double(pb));
+  cvec expect;
+  for (std::uint64_t b = 0; b < 2; ++b) {
+    Rng rng = Rng::substream(9, 0, b);
+    const auto burst = tx.modulate(rng.bits(pb));
+    expect.insert(expect.end(), burst.samples.begin(), burst.samples.end());
+  }
+  ASSERT_EQ(streamed.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(streamed[i].real(), expect[i].real(), 1e-5);
+    EXPECT_NEAR(streamed[i].imag(), expect[i].imag(), 1e-5);
+  }
+  server.stop(false);
+}
+
+TEST(NetServer, WaveformValidation) {
+  ServerConfig cfg = quick_config();
+  cfg.max_waveform_samples = 2000;  // one wlan burst fits, four don't
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("waveform");
+  req.set("standard", "no_such_standard");
+  cvec sink;
+  EXPECT_EQ(client.waveform(req, sink).str_or("error", ""), kErrBadDeck);
+
+  req = op("waveform");  // neither standard nor params
+  EXPECT_EQ(client.waveform(req, sink).str_or("error", ""), kErrBadRequest);
+
+  req = op("waveform");
+  req.set("standard", "wlan_80211a@12").set("bursts", 4);
+  EXPECT_EQ(client.waveform(req, sink).str_or("error", ""),
+            kErrOversizedFrame);
+  EXPECT_TRUE(sink.empty()) << "no iq may be streamed before the size check";
+  server.stop(false);
+}
+
+TEST(NetServer, SubmitRunsAndResultMatchesLocalCampaign) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("submit");
+  req.set("deck", kQuickDeck);
+  Json reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  const std::string id = reply.str_or("id", "");
+  ASSERT_EQ(id.size(), 16u);
+  EXPECT_EQ(wait_terminal(client, id), "done");
+
+  req = op("result");
+  req.set("id", id);
+  reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+
+  sim::Campaign reference(sim::parse_deck(kQuickDeck));
+  sim::RunOptions opts;
+  opts.threads = 2;
+  const auto ref = reference.run(opts);
+  EXPECT_EQ(reply.str_or("curves", ""),
+            sim::curves_json(reference.deck(), ref));
+  server.stop(false);
+}
+
+TEST(NetServer, SecondIdenticalDeckIsServedFromCacheWithoutTrials) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("submit");
+  req.set("deck", kQuickDeck);
+  Json reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  const std::string id = reply.str_or("id", "");
+  ASSERT_EQ(wait_terminal(client, id), "done");
+
+  Json first_result = op("result");
+  first_result.set("id", id);
+  const std::string curves =
+      client.request(first_result).str_or("curves", "");
+  ASSERT_FALSE(curves.empty());
+
+  // Probe counter: remember how much work the engine has done, then
+  // resubmit the identical deck.
+  const std::uint64_t trials_before = server.stats().trials_executed.load();
+  const std::uint64_t hits_before = server.jobs().cache().hits();
+
+  reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  EXPECT_EQ(reply.str_or("state", ""), "done");
+  EXPECT_TRUE(reply.bool_or("cached", false) ||
+              reply.bool_or("attached", false));
+
+  Json rreq = op("result");
+  rreq.set("id", reply.str_or("id", ""));
+  const Json rres = client.request(rreq);
+  EXPECT_EQ(rres.str_or("curves", ""), curves);
+
+  EXPECT_EQ(server.stats().trials_executed.load(), trials_before)
+      << "cached submission must not spawn trials";
+  EXPECT_GE(server.jobs().cache().hits(), hits_before);
+  server.stop(false);
+}
+
+TEST(NetServer, QueueFullBackpressureAndQuota) {
+  ServerConfig cfg = quick_config();
+  cfg.jobs.executors = 1;
+  cfg.jobs.max_queued = 1;
+  cfg.client_quota = 2;
+  cfg.retry_after_s = 0.25;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  // #1 occupies the single executor, #2 the single queue slot.
+  Json req = op("submit");
+  req.set("deck", slow_deck(1));
+  ASSERT_TRUE(client.request(req).bool_or("ok", false));
+  req = op("submit");
+  req.set("deck", slow_deck(2));
+  ASSERT_TRUE(client.request(req).bool_or("ok", false));
+
+  // #3 must bounce with queue_full + retry_after (quota is 2, so the
+  // queue bound is what trips first).
+  req = op("submit");
+  req.set("deck", slow_deck(3));
+  Json reply = client.request(req);
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.str_or("error", ""), kErrQueueFull);
+  EXPECT_EQ(reply.num_or("retry_after_s", 0), 0.25);
+
+  // A second client with quota 1 trips the quota check instead.
+  ServerConfig cfg2 = quick_config();
+  cfg2.jobs.executors = 1;
+  cfg2.jobs.max_queued = 8;
+  cfg2.client_quota = 1;
+  Server server2(cfg2);
+  server2.start();
+  LineClient c2 = connect_to(server2);
+  req = op("submit");
+  req.set("deck", slow_deck(4));
+  ASSERT_TRUE(c2.request(req).bool_or("ok", false));
+  req = op("submit");
+  req.set("deck", slow_deck(5));
+  reply = c2.request(req);
+  EXPECT_EQ(reply.str_or("error", ""), kErrQuotaExceeded);
+
+  server.stop(false);
+  server2.stop(false);
+}
+
+TEST(NetServer, CancelAndDeadlineExpiry) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  // Cooperative cancel of a running job.
+  Json req = op("submit");
+  req.set("deck", slow_deck(10));
+  Json reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  const std::string id = reply.str_or("id", "");
+  Json creq = op("cancel");
+  creq.set("id", id);
+  EXPECT_TRUE(client.request(creq).bool_or("ok", false));
+  EXPECT_EQ(wait_terminal(client, id), "cancelled");
+  Json rreq = op("result");
+  rreq.set("id", id);
+  EXPECT_EQ(client.request(rreq).str_or("error", ""), kErrJobFailed);
+
+  // Deadline expiry: a tight per-job deadline halts the campaign.
+  req = op("submit");
+  req.set("deck", slow_deck(11)).set("deadline_s", 0.05);
+  reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(wait_terminal(client, reply.str_or("id", "")), "expired");
+  EXPECT_GE(server.stats().jobs_expired.load(), 1u);
+
+  // Unknown-job paths.
+  Json sreq = op("status");
+  sreq.set("id", "doesnotexist0000");
+  EXPECT_EQ(client.request(sreq).str_or("error", ""), kErrUnknownJob);
+  server.stop(false);
+}
+
+TEST(NetServer, MidJobDisconnectDoesNotKillTheJob) {
+  TempDir dir("disc");
+  ServerConfig cfg = quick_config();
+  cfg.jobs.state_dir = dir.path.string();
+  Server server(cfg);
+  server.start();
+
+  std::string id;
+  {
+    LineClient client = connect_to(server);
+    Json req = op("submit");
+    req.set("deck", kQuickDeck);
+    const Json reply = client.request(req);
+    ASSERT_TRUE(reply.bool_or("ok", false));
+    id = reply.str_or("id", "");
+    // Hard-close mid-job: shutdown both directions, then drop the fd.
+    ::shutdown(client.fd(), SHUT_RDWR);
+  }
+
+  LineClient again = connect_to(server);
+  EXPECT_EQ(wait_terminal(again, id), "done");
+  server.stop(false);
+}
+
+TEST(NetServer, MidStreamDisconnectIsContained) {
+  Server server(quick_config());
+  server.start();
+  for (int i = 0; i < 3; ++i) {
+    LineClient client = connect_to(server);
+    Json req = op("waveform");
+    req.set("standard", "wlan_80211a@12").set("bursts", 8).set("chunk", 64);
+    client.send(req);
+    (void)client.recv_line();  // first iq event is in flight
+    client.close();            // vanish mid-stream
+  }
+  // The server must still be fully responsive afterwards.
+  LineClient probe = connect_to(server);
+  EXPECT_TRUE(probe.request(op("ping")).bool_or("ok", false));
+  server.stop(false);
+}
+
+TEST(NetServer, IdleConnectionsAreDisconnected) {
+  ServerConfig cfg = quick_config();
+  cfg.idle_timeout_s = 0.3;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+  ASSERT_TRUE(client.request(op("ping")).bool_or("ok", false));
+
+  const Json bye = client.recv_line(5.0);  // no traffic: server says bye
+  EXPECT_EQ(bye.str_or("ev", ""), "bye");
+  EXPECT_EQ(bye.str_or("reason", ""), "idle_timeout");
+  EXPECT_THROW((void)client.recv_line(2.0), NetError);
+  EXPECT_GE(server.stats().idle_disconnects.load(), 1u);
+  server.stop(false);
+}
+
+TEST(NetServer, DrainHandsRunningJobsToTheNextProcess) {
+  TempDir dir("drain");
+  ServerConfig cfg = quick_config();
+  cfg.jobs.state_dir = dir.path.string();
+
+  // Reference curves from an uninterrupted local run.
+  sim::Campaign reference(sim::parse_deck(slow_deck(20)));
+  sim::RunOptions opts;
+  opts.threads = 2;
+  const auto ref = reference.run(opts);
+  const std::string want = sim::curves_json(reference.deck(), ref);
+
+  std::string id;
+  {
+    Server first(cfg);
+    first.start();
+    LineClient client = connect_to(first);
+    Json req = op("submit");
+    req.set("deck", slow_deck(20));
+    const Json reply = client.request(req);
+    ASSERT_TRUE(reply.bool_or("ok", false));
+    id = reply.str_or("id", "");
+    // Let it make some progress, then drain: the running campaign
+    // checkpoints and its files stay on disk.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    first.stop(true);
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir.path / (id + ".deck")));
+
+  Server second(cfg);
+  second.start();
+  EXPECT_GE(second.recovered_jobs(), 1u);
+  LineClient client = connect_to(second);
+  EXPECT_EQ(wait_terminal(client, id, 60.0), "done");
+
+  Json rreq = op("result");
+  rreq.set("id", id);
+  const Json reply = client.request(rreq);
+  EXPECT_TRUE(reply.bool_or("recovered", false) ||
+              reply.bool_or("ok", false));
+  EXPECT_EQ(reply.str_or("curves", ""), want)
+      << "resumed curves must be byte-identical";
+  second.stop(false);
+}
+
+TEST(NetServer, RecoveryIgnoresCorruptLeftovers) {
+  TempDir dir("corrupt");
+  // A deck file whose name doesn't match its digest, a garbage deck,
+  // and a valid deck with a corrupt checkpoint.
+  {
+    std::ofstream(dir.path / "00000000deadbeef.deck") << kQuickDeck;
+    std::ofstream(dir.path / "1111111111111111.deck") << "not = a deck\n";
+    const auto id = [] {
+      const auto deck = sim::parse_deck(kQuickDeck);
+      char buf[17];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(sim::deck_digest(deck)));
+      return std::string(buf);
+    }();
+    std::ofstream(dir.path / (id + ".deck")) << kQuickDeck;
+    std::ofstream(dir.path / (id + ".ckpt")) << "torn checkpoint bytes";
+  }
+  ServerConfig cfg = quick_config();
+  cfg.jobs.state_dir = dir.path.string();
+  Server server(cfg);
+  server.start();
+  EXPECT_EQ(server.recovered_jobs(), 1u) << "only the valid deck revives";
+
+  LineClient client = connect_to(server);
+  Json req = op("submit");
+  req.set("deck", kQuickDeck);
+  const Json reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(wait_terminal(client, reply.str_or("id", "")), "done");
+  server.stop(false);
+}
+
+TEST(NetServer, ConcurrentClientsStayIsolated) {
+  Server server(quick_config());
+  server.start();
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&server, &failures, t] {
+      try {
+        LineClient client = connect_to(server);
+        for (int i = 0; i < 5; ++i) {
+          if (!client.request(op("ping")).bool_or("ok", false)) ++failures;
+          Json w = op("waveform");
+          w.set("standard", "wlan_80211a@12").set("seed", t * 100 + i);
+          cvec samples;
+          if (!client.waveform(w, samples).bool_or("ok", false)) ++failures;
+          if (samples.empty()) ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.stats().connections_total.load(), (std::uint64_t)kClients);
+  server.stop(false);
+}
+
+TEST(NetServer, BadDeckAndShutdownOps) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("submit");
+  req.set("deck", "standard = nonsense\n");
+  Json reply = client.request(req);
+  EXPECT_EQ(reply.str_or("error", ""), kErrBadDeck);
+  EXPECT_FALSE(reply.str_or("detail", "").empty());
+
+  reply = client.request(op("shutdown"));
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_TRUE(server.shutdown_requested());
+  EXPECT_TRUE(server.shutdown_drain());
+  server.stop(server.shutdown_drain());
+
+  // Post-stop submits are refused, not crashed.
+  const auto r = server.jobs().submit(kQuickDeck, 0.0, 0, 0);
+  EXPECT_EQ(r.admission, JobManager::Admission::kShutdown);
+}
+
+}  // namespace
+}  // namespace ofdm::net

@@ -1,0 +1,228 @@
+// Corpus fuzz of the state decoders that accept external bytes: the
+// rf::Netlist "OFDMSNAP" snapshot and the sim "OFDMCAMP" campaign
+// checkpoint. Every single-bit flip of a valid blob, every truncation
+// length, trailing garbage, and seeded multi-byte corruptions must
+// either restore cleanly (a flip can land in a don't-care payload byte)
+// or throw ofdm::StateError — never crash, never throw bad_alloc off a
+// corrupt length field, never read past the buffer. The ASan CI job
+// runs this binary to catch silent overreads the happy path would miss.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "rf/frontend.hpp"
+#include "rf/netlist.hpp"
+#include "rf/pa.hpp"
+#include "rf/sinks.hpp"
+#include "rf/submodel.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/deck.hpp"
+
+namespace ofdm {
+namespace {
+
+constexpr const char* kDeckText =
+    "name=fuzz\n"
+    "standard=wlan_80211a@12,dab@1\n"
+    "snr_db=4,8\n"
+    "channel=awgn\n"
+    "trials.min=8\n"
+    "trials.max=16\n"
+    "seed=99\n";
+
+rf::Netlist build_netlist() {
+  rf::Netlist net;
+  const auto tone = net.add_source<rf::ToneSource>(1.1e6, 20e6, 0.8);
+  const auto shift = net.add_block<rf::FrequencyShift>(2e6, 20e6);
+  const auto pa = net.add_block<rf::SoftClipPa>(0.75);
+  const auto cap = net.add_block<rf::Capture>();
+  net.connect(tone, shift);
+  net.connect(shift, pa);
+  net.connect(pa, cap);
+  return net;
+}
+
+std::vector<std::uint8_t> make_snapshot() {
+  rf::Netlist net = build_netlist();
+  net.run(2048, 500);
+  return net.snapshot();
+}
+
+std::vector<std::uint8_t> make_checkpoint(const sim::ScenarioDeck& deck) {
+  std::vector<sim::PointState> states(sim::expand_grid(deck).size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i].trials = 8 + i;
+    states[i].bits = 1000 * (i + 1);
+    states[i].errors = 3 * i;
+    states[i].evm_err2 = 0.25 * static_cast<double>(i);
+    states[i].evm_ref2 = 1.0;
+    states[i].done = (i % 2) == 0;
+  }
+  return sim::save_checkpoint(deck, states);
+}
+
+/// Feed `bytes` to a decoder and demand the robustness contract:
+/// clean success or StateError, nothing else.
+template <typename Fn>
+void expect_contained(const std::vector<std::uint8_t>& bytes, Fn&& decode,
+                      const char* label) {
+  try {
+    decode(bytes);
+  } catch (const StateError&) {
+    // the documented failure mode
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << label << ": unexpected exception type: " << e.what();
+  }
+}
+
+void decode_snapshot(const std::vector<std::uint8_t>& bytes) {
+  rf::Netlist net = build_netlist();
+  net.restore(bytes);
+}
+
+struct CheckpointDecoder {
+  const sim::ScenarioDeck& deck;
+  void operator()(const std::vector<std::uint8_t>& bytes) const {
+    std::vector<sim::PointState> states(sim::expand_grid(deck).size());
+    sim::load_checkpoint(bytes, deck, states);
+    // inspect_checkpoint shares the frame walk but not the deck check;
+    // fuzz it on the same bytes.
+    (void)sim::inspect_checkpoint(bytes);
+  }
+};
+
+template <typename Fn>
+void fuzz_blob(const std::vector<std::uint8_t>& valid, Fn&& decode,
+               const char* label) {
+  ASSERT_FALSE(valid.empty());
+
+  // Every single-bit flip (strided when the blob is large, so the suite
+  // stays fast while every byte position is still covered).
+  const std::size_t bit_stride = valid.size() > 8192 ? 7 : 1;
+  for (std::size_t bit = 0; bit < valid.size() * 8; bit += bit_stride) {
+    std::vector<std::uint8_t> mutated = valid;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    expect_contained(mutated, decode, label);
+  }
+
+  // Every truncation length, including the empty blob.
+  const std::size_t trunc_stride = valid.size() > 8192 ? 13 : 1;
+  for (std::size_t len = 0; len < valid.size(); len += trunc_stride) {
+    expect_contained({valid.begin(), valid.begin() + len}, decode, label);
+  }
+
+  // Trailing garbage MUST be rejected (finish()/done() contract): a
+  // "valid plus appended bytes" blob is how a torn write that
+  // concatenated two checkpoints would look.
+  for (const std::size_t extra : {1, 8, 4096}) {
+    std::vector<std::uint8_t> padded = valid;
+    padded.insert(padded.end(), extra, 0xEE);
+    EXPECT_THROW(decode(padded), StateError)
+        << label << ": " << extra << " trailing bytes accepted";
+  }
+
+  // Seeded multi-byte corruptions: random runs overwritten with random
+  // bytes, random splices of the blob into itself.
+  Rng rng(0xF0220DDu);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint8_t> mutated = valid;
+    const std::size_t off = rng.uniform_int(mutated.size());
+    const std::size_t len =
+        1 + rng.uniform_int(std::min<std::size_t>(64, mutated.size() - off));
+    for (std::size_t i = 0; i < len; ++i) {
+      mutated[off + i] = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    expect_contained(mutated, decode, label);
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::uint8_t> mutated = valid;
+    const std::size_t cut = rng.uniform_int(mutated.size());
+    const std::size_t paste = rng.uniform_int(mutated.size());
+    mutated.insert(mutated.begin() + paste, valid.begin(),
+                   valid.begin() + cut);
+    expect_contained(mutated, decode, label);
+  }
+}
+
+TEST(StateFuzz, NetlistSnapshotSurvivesCorpus) {
+  fuzz_blob(make_snapshot(), decode_snapshot, "OFDMSNAP");
+}
+
+TEST(StateFuzz, CampaignCheckpointSurvivesCorpus) {
+  const sim::ScenarioDeck deck = sim::parse_deck(kDeckText);
+  fuzz_blob(make_checkpoint(deck), CheckpointDecoder{deck}, "OFDMCAMP");
+}
+
+TEST(StateFuzz, ValidBlobsStillDecodeAfterHardening) {
+  // The guard rails must not reject the happy path.
+  decode_snapshot(make_snapshot());
+  const sim::ScenarioDeck deck = sim::parse_deck(kDeckText);
+  std::vector<sim::PointState> states(sim::expand_grid(deck).size());
+  sim::load_checkpoint(make_checkpoint(deck), deck, states);
+  EXPECT_EQ(states.size(), sim::expand_grid(deck).size());
+  EXPECT_EQ(states[1].trials, 9u);
+  const auto info = sim::inspect_checkpoint(make_checkpoint(deck));
+  EXPECT_EQ(info.deck_digest, sim::deck_digest(deck));
+  EXPECT_EQ(info.points, states.size());
+}
+
+TEST(StateFuzz, GiantLengthFieldsFailBeforeAllocating) {
+  // A corrupt length prefix must surface as StateError from the
+  // count() validation, not as a multi-gigabyte resize / bad_alloc /
+  // overflowed bounds check.
+  for (const std::uint64_t evil :
+       {~0ull, ~0ull / 2, ~0ull / 8, 1ull << 56, 1ull << 40}) {
+    StateWriter w;
+    w.u64(evil);
+    w.u8(0xAA);  // a token byte the giant length claims to cover
+
+    StateReader rs(w.bytes());
+    EXPECT_THROW((void)rs.str(), StateError) << evil;
+
+    StateReader rc(w.bytes());
+    cvec cv;
+    EXPECT_THROW(rc.vec_c(cv), StateError) << evil;
+
+    StateReader rr(w.bytes());
+    rvec rv;
+    EXPECT_THROW(rr.vec_r(rv), StateError) << evil;
+  }
+}
+
+TEST(StateFuzz, OverreadInsideFrameNamesTheFrame) {
+  StateWriter w;
+  w.begin_node("pa[0]");
+  w.u64(7);
+  w.end_node();
+
+  StateReader r(w.bytes());
+  r.enter_node("pa[0]");
+  (void)r.u64();
+  try {
+    (void)r.u64();  // past the frame payload
+    FAIL() << "frame overread not detected";
+  } catch (const StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("pa[0]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StateFuzz, FinishRejectsLooseEnds) {
+  StateWriter w;
+  w.u64(1);
+  w.u64(2);
+  StateReader r(w.bytes());
+  (void)r.u64();
+  EXPECT_THROW(r.finish("test blob"), StateError);  // trailing bytes
+  (void)r.u64();
+  r.finish("test blob");  // fully consumed: clean
+}
+
+}  // namespace
+}  // namespace ofdm

@@ -14,6 +14,12 @@
 // simulates a mid-run kill for the CI resume check (exit code 3).
 // --list-channels prints the named channel-model presets a deck's
 // channel= key accepts (beyond awgn/multipath/twisted_pair) and exits.
+//
+// SIGINT/SIGTERM request a graceful stop: in-flight rounds drain, a
+// final atomic checkpoint is written, curves for the completed state
+// are exported, and the process exits with the documented halt code 3
+// (same contract as --halt-after-rounds) instead of dying mid-write.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +31,21 @@
 #include "sim/campaign.hpp"
 
 namespace {
+
+// The handler only performs an atomic store (async-signal-safe); the
+// campaign polls the token between trials and at round boundaries.
+ofdm::sim::CancelToken g_stop;
+
+extern "C" void handle_stop_signal(int) { g_stop.cancel(); }
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -126,6 +147,8 @@ int main(int argc, char** argv) {
                   opts.threads, opts.resume ? " [resume]" : "");
     }
 
+    install_stop_handlers();
+    opts.cancel = &g_stop;
     const auto result = campaign.run(opts);
 
     const std::string json_path = out_prefix + ".json";
@@ -145,10 +168,23 @@ int main(int argc, char** argv) {
     }
     if (result.halted) {
       if (!quiet) {
-        std::printf("halted after %zu round(s); resume with "
-                    "--checkpoint %s --resume\n",
-                    result.rounds_completed,
-                    opts.checkpoint_path.c_str());
+        if (result.cancelled) {
+          if (opts.checkpoint_path.empty()) {
+            std::printf("interrupted by signal after %zu round(s)\n",
+                        result.rounds_completed);
+          } else {
+            std::printf("interrupted by signal after %zu round(s); "
+                        "final checkpoint written, resume with "
+                        "--checkpoint %s --resume\n",
+                        result.rounds_completed,
+                        opts.checkpoint_path.c_str());
+          }
+        } else {
+          std::printf("halted after %zu round(s); resume with "
+                      "--checkpoint %s --resume\n",
+                      result.rounds_completed,
+                      opts.checkpoint_path.c_str());
+        }
       }
       return 3;
     }

@@ -1,0 +1,267 @@
+// ofdm_client: command-line client for ofdm_serverd.
+//
+//   ofdm_client <command> --port P [--host H] [command options]
+//
+//   ping                                   liveness round trip
+//   stats                                  dump daemon counters
+//   waveform --standard TOK [--bursts N] [--seed S] [--payload-bits N]
+//            [--out FILE]                  stream IQ; FILE gets raw
+//                                          interleaved LE float32
+//   submit --deck FILE [--deadline S] [--wait] [--out PREFIX]
+//                                          submit a campaign deck; with
+//                                          --wait poll until terminal
+//                                          and fetch curves
+//   status --id ID                         one status line
+//   result --id ID [--out PREFIX]          fetch curves (PREFIX.json /
+//                                          PREFIX.csv, else stdout)
+//   cancel --id ID                         cooperative cancel
+//   shutdown [--no-drain]                  ask the daemon to exit
+//
+// Exit codes: 0 success, 1 job/daemon failure, 2 usage or connection
+// error. Replies are printed as single JSON lines (scripts parse them
+// directly).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+
+namespace {
+
+using ofdm::net::Json;
+using ofdm::net::LineClient;
+using ofdm::net::NetError;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <ping|stats|waveform|submit|status|result|cancel|"
+               "shutdown>\n"
+               "          --port P [--host H] [command options]\n"
+               "run with a command and no options for details in the tool "
+               "header\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int fail_reply(const Json& reply) {
+  std::printf("%s\n", reply.dump().c_str());
+  return 1;
+}
+
+/// Fetch both curve formats for a done job and write PREFIX.json/.csv.
+int fetch_result(LineClient& client, const std::string& id,
+                 const std::string& out_prefix) {
+  Json req = Json::object();
+  req.set("op", "result").set("id", id).set("format", "json");
+  Json reply = client.request(req);
+  if (!reply.bool_or("ok", false)) return fail_reply(reply);
+  if (out_prefix.empty()) {
+    std::printf("%s\n", reply.str_or("curves", "").c_str());
+    return 0;
+  }
+  if (!write_file(out_prefix + ".json", reply.str_or("curves", ""))) {
+    std::fprintf(stderr, "cannot write %s.json\n", out_prefix.c_str());
+    return 1;
+  }
+  req = Json::object();
+  req.set("op", "result").set("id", id).set("format", "csv");
+  reply = client.request(req);
+  if (!reply.bool_or("ok", false)) return fail_reply(reply);
+  if (!write_file(out_prefix + ".csv", reply.str_or("curves", ""))) {
+    std::fprintf(stderr, "cannot write %s.csv\n", out_prefix.c_str());
+    return 1;
+  }
+  std::printf("{\"id\":\"%s\",\"wrote\":[\"%s.json\",\"%s.csv\"]}\n",
+              id.c_str(), out_prefix.c_str(), out_prefix.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string standard, deck_file, id, out_path;
+  double deadline_s = 0.0;
+  double wait_timeout_s = 600.0;
+  std::size_t bursts = 1, payload_bits = 0;
+  std::uint64_t seed = 1;
+  bool wait = false, no_drain = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      host = v;
+    } else if (arg == "--port" && (v = next())) {
+      port = std::atoi(v);
+    } else if (arg == "--standard" && (v = next())) {
+      standard = v;
+    } else if (arg == "--deck" && (v = next())) {
+      deck_file = v;
+    } else if (arg == "--id" && (v = next())) {
+      id = v;
+    } else if (arg == "--out" && (v = next())) {
+      out_path = v;
+    } else if (arg == "--deadline" && (v = next())) {
+      deadline_s = std::atof(v);
+    } else if (arg == "--wait-timeout" && (v = next())) {
+      wait_timeout_s = std::atof(v);
+    } else if (arg == "--bursts" && (v = next())) {
+      bursts = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--payload-bits" && (v = next())) {
+      payload_bits = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--seed" && (v = next())) {
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--wait") {
+      wait = true;
+    } else if (arg == "--no-drain") {
+      no_drain = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "%s: --port is required\n", argv[0]);
+    return 2;
+  }
+
+  LineClient client;
+  try {
+    client.connect(host, static_cast<std::uint16_t>(port));
+
+    if (cmd == "ping" || cmd == "stats") {
+      Json req = Json::object();
+      req.set("op", cmd);
+      const Json reply = client.request(req);
+      std::printf("%s\n", reply.dump().c_str());
+      return reply.bool_or("ok", false) ? 0 : 1;
+    }
+
+    if (cmd == "waveform") {
+      if (standard.empty()) return usage(argv[0]);
+      Json req = Json::object();
+      req.set("op", "waveform").set("standard", standard);
+      if (bursts != 1) req.set("bursts", bursts);
+      if (payload_bits != 0) req.set("payload_bits", payload_bits);
+      req.set("seed", seed);
+      ofdm::cvec samples;
+      const Json reply = client.waveform(req, samples);
+      if (!reply.bool_or("ok", false)) return fail_reply(reply);
+      if (!out_path.empty()) {
+        std::vector<std::uint8_t> raw;
+        raw.reserve(samples.size() * 8);
+        for (const auto& s : samples) {
+          const float re = static_cast<float>(s.real());
+          const float im = static_cast<float>(s.imag());
+          const auto* pr = reinterpret_cast<const std::uint8_t*>(&re);
+          const auto* pi = reinterpret_cast<const std::uint8_t*>(&im);
+          raw.insert(raw.end(), pr, pr + 4);
+          raw.insert(raw.end(), pi, pi + 4);
+        }
+        std::ofstream out(out_path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(raw.data()),
+                  static_cast<std::streamsize>(raw.size()));
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+          return 1;
+        }
+      }
+      std::printf("%s\n", reply.dump().c_str());
+      return 0;
+    }
+
+    if (cmd == "submit") {
+      std::string deck;
+      if (deck_file.empty() || !read_file(deck_file, deck)) {
+        std::fprintf(stderr, "%s: cannot read deck '%s'\n", argv[0],
+                     deck_file.c_str());
+        return 2;
+      }
+      Json req = Json::object();
+      req.set("op", "submit").set("deck", deck);
+      if (deadline_s > 0.0) req.set("deadline_s", deadline_s);
+      Json reply = client.request(req);
+      if (!reply.bool_or("ok", false)) return fail_reply(reply);
+      const std::string job_id = reply.str_or("id", "");
+      if (!wait) {
+        std::printf("%s\n", reply.dump().c_str());
+        return 0;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (;;) {
+        Json sreq = Json::object();
+        sreq.set("op", "status").set("id", job_id);
+        reply = client.request(sreq);
+        if (!reply.bool_or("ok", false)) return fail_reply(reply);
+        const std::string state = reply.str_or("state", "");
+        if (state == "done") break;
+        if (state == "failed" || state == "cancelled" || state == "expired") {
+          return fail_reply(reply);
+        }
+        if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count() > wait_timeout_s) {
+          std::fprintf(stderr, "%s: job %s still %s after %.0fs\n", argv[0],
+                       job_id.c_str(), state.c_str(), wait_timeout_s);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      return fetch_result(client, job_id, out_path);
+    }
+
+    if (cmd == "status" || cmd == "cancel") {
+      if (id.empty()) return usage(argv[0]);
+      Json req = Json::object();
+      req.set("op", cmd).set("id", id);
+      const Json reply = client.request(req);
+      std::printf("%s\n", reply.dump().c_str());
+      return reply.bool_or("ok", false) ? 0 : 1;
+    }
+
+    if (cmd == "result") {
+      if (id.empty()) return usage(argv[0]);
+      return fetch_result(client, id, out_path);
+    }
+
+    if (cmd == "shutdown") {
+      Json req = Json::object();
+      req.set("op", "shutdown").set("drain", !no_drain);
+      const Json reply = client.request(req);
+      std::printf("%s\n", reply.dump().c_str());
+      return reply.bool_or("ok", false) ? 0 : 1;
+    }
+
+    return usage(argv[0]);
+  } catch (const NetError& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+}

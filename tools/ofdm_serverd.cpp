@@ -1,0 +1,149 @@
+// ofdm_serverd: the campaign/waveform service daemon (DESIGN.md §15).
+//
+//   ofdm_serverd [--host H] [--port P] [--port-file FILE]
+//                [--state-dir DIR] [--executors N] [--threads N]
+//                [--max-queue N] [--quota N] [--idle-timeout S]
+//                [--deadline S] [--cache-mb N] [--max-connections N]
+//                [--quiet]
+//
+// Serves the newline-delimited JSON protocol on H:P (default
+// 127.0.0.1, ephemeral port; --port-file publishes the bound port for
+// scripts). With --state-dir every accepted campaign deck is persisted
+// and its checkpoint advances at round boundaries, so a crash —
+// kill -9 included — loses at most the in-flight round: on restart the
+// daemon rescans the directory, re-queues the jobs and finishes them
+// with byte-identical curves.
+//
+// SIGTERM/SIGINT request a graceful drain: stop accepting, cancel
+// running campaigns at the next trial boundary (their checkpoints stay
+// consistent), keep queued jobs on disk for the next process, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void handle_stop_signal(int sig) { g_signal = sig; }
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--port-file FILE]\n"
+      "          [--state-dir DIR] [--executors N] [--threads N]\n"
+      "          [--max-queue N] [--quota N] [--idle-timeout S]\n"
+      "          [--deadline S] [--cache-mb N] [--max-connections N]\n"
+      "          [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ofdm::net::ServerConfig cfg;
+  std::string port_file;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      cfg.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--port-file" && (v = next())) {
+      port_file = v;
+    } else if (arg == "--state-dir" && (v = next())) {
+      cfg.jobs.state_dir = v;
+    } else if (arg == "--executors" && (v = next())) {
+      cfg.jobs.executors = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--threads" && (v = next())) {
+      cfg.jobs.pool_threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--max-queue" && (v = next())) {
+      cfg.jobs.max_queued = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--quota" && (v = next())) {
+      cfg.client_quota = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--idle-timeout" && (v = next())) {
+      cfg.idle_timeout_s = std::atof(v);
+    } else if (arg == "--deadline" && (v = next())) {
+      cfg.jobs.default_deadline_s = std::atof(v);
+    } else if (arg == "--cache-mb" && (v = next())) {
+      cfg.jobs.cache_bytes = static_cast<std::size_t>(std::atoi(v)) << 20;
+    } else if (arg == "--max-connections" && (v = next())) {
+      cfg.max_connections = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  install_stop_handlers();
+
+  ofdm::net::Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ofdm_serverd: %s\n", e.what());
+    return 1;
+  }
+
+  if (!port_file.empty()) {
+    // Written AFTER recovery + listen succeed: scripts that wait for
+    // this file know the daemon is actually serving.
+    const std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ofdm_serverd: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+    std::rename(tmp.c_str(), port_file.c_str());
+  }
+  if (!quiet) {
+    std::printf("ofdm_serverd: listening on %s:%u", cfg.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    if (server.recovered_jobs() > 0) {
+      std::printf(", recovered %zu job(s)", server.recovered_jobs());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  bool drain = true;
+  while (g_signal == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (server.shutdown_requested()) drain = server.shutdown_drain();
+
+  if (!quiet) {
+    std::printf("ofdm_serverd: %s, %s\n",
+                g_signal != 0 ? "signal received" : "shutdown requested",
+                drain ? "draining (jobs checkpointed for restart)"
+                      : "stopping");
+    std::fflush(stdout);
+  }
+  server.stop(drain);
+  return 0;
+}
