@@ -20,6 +20,22 @@ std::string digest_id(std::uint64_t digest) {
   return std::string(buf);
 }
 
+/// Inverse of digest_id: false unless `id` is exactly 16 lowercase hex
+/// chars (the only ids this manager ever hands out).
+bool parse_digest_id(const std::string& id, std::uint64_t& out) {
+  if (id.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : id) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
 std::string read_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) throw NetError("cannot open " + path);
@@ -80,6 +96,10 @@ struct JobManager::Job {
   JobState state = JobState::kQueued;  // guarded by JobManager::m_
   bool cached = false;
   bool recovered = false;
+  /// Client asked for THIS job to die (guarded by m_). Distinct from
+  /// the token, which drain/shutdown also trips: an explicit cancel
+  /// must classify as kCancelled even mid-drain, never be resurrected.
+  bool cancel_requested = false;
   std::uint64_t owner = 0;  ///< client id for quota release; 0 = none
   double deadline_s = 0.0;
   sim::CancelToken token;
@@ -213,7 +233,7 @@ JobManager::SubmitResult JobManager::submit(const std::string& deck_text,
   // The jobs_ map is bookkeeping, not the source of truth for results
   // (that is the cache + the state_dir); keep it from growing without
   // bound under unique-deck floods by dropping old terminal entries.
-  if (jobs_.size() >= 4096) {
+  if (jobs_.size() >= cfg_.max_tracked_jobs) {
     for (auto jt = jobs_.begin(); jt != jobs_.end();) {
       if (job_state_terminal(jt->second->state)) {
         jt = jobs_.erase(jt);
@@ -259,10 +279,25 @@ bool JobManager::status(const std::string& id, JobStatus& out) const {
   return true;
 }
 
-bool JobManager::result(const std::string& id, ResultOut& out) const {
+bool JobManager::result(const std::string& id, ResultOut& out) {
   std::lock_guard<std::mutex> lk(m_);
   const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
+  if (it == jobs_.end()) {
+    // The bookkeeping entry may have been pruned (terminal-job
+    // eviction) while the curves still sit in the result cache — the
+    // id is the digest, so the cache key is recoverable.
+    std::uint64_t digest = 0;
+    ResultCache::Entry hit;
+    if (!parse_digest_id(id, digest) || !cache_.get(digest, hit)) {
+      return false;
+    }
+    out.st.id = id;
+    out.st.state = JobState::kDone;
+    out.st.cached = true;
+    out.curves_json = std::move(hit.curves_json);
+    out.curves_csv = std::move(hit.curves_csv);
+    return true;
+  }
   const Job& j = *it->second;
   out.st.id = j.id;
   out.st.state = j.state;
@@ -292,7 +327,9 @@ bool JobManager::cancel(const std::string& id) {
   }
   // Running: the executor observes the token between trials, abandons
   // the in-flight round and classifies the job when the campaign
-  // drains.
+  // drains. cancel_requested pins the classification to kCancelled
+  // even if a drain shutdown trips the same token concurrently.
+  j.cancel_requested = true;
   j.token.cancel();
   return true;
 }
@@ -454,6 +491,14 @@ void JobManager::run_job(const JobPtr& job) {
                {job->curves_json, job->curves_csv});
     remove_files(*job);
     stats_.bump(stats_.jobs_completed);
+  } else if (job->cancel_requested) {
+    // Explicit client cancel outranks the drain handoff below: a job
+    // the client killed must stay dead across a restart, not be
+    // re-queued (files kept) and resurrected by the next process.
+    job->state = JobState::kCancelled;
+    job->error = "cancelled";
+    remove_files(*job);
+    stats_.bump(stats_.jobs_cancelled);
   } else if (draining_) {
     // Drain handoff: the checkpoint (if any) is at the last round
     // boundary, the deck file is still on disk — the NEXT process

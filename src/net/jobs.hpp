@@ -73,6 +73,9 @@ struct JobConfig {
   std::string state_dir;
   /// Result-cache capacity in bytes.
   std::size_t cache_bytes = 8u << 20;
+  /// Terminal jobs are pruned from the bookkeeping map once it holds
+  /// this many entries (done results stay fetchable via the cache).
+  std::size_t max_tracked_jobs = 4096;
 };
 
 /// Point-in-time job description for status/result replies.
@@ -122,13 +125,17 @@ class JobManager {
   bool status(const std::string& id, JobStatus& out) const;
 
   /// Fetch a finished job's curves; false when unknown. When the job is
-  /// not done, `out.state` tells the caller what to reply.
+  /// not done, `out.state` tells the caller what to reply. A done job
+  /// pruned from the bookkeeping map is still served from the result
+  /// cache (the id IS the digest), so a slow poller never sees its
+  /// finished result turn into unknown_job. Non-const: a cache hit
+  /// refreshes LRU order.
   struct ResultOut {
     JobStatus st;
     std::string curves_json;
     std::string curves_csv;
   };
-  bool result(const std::string& id, ResultOut& out) const;
+  bool result(const std::string& id, ResultOut& out);
 
   /// Cooperatively cancel a queued or running job (idempotent; false
   /// when the id is unknown).

@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -29,6 +31,25 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t) {
   return std::chrono::duration<double>(Clock::now() - t).count();
 }
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Finite and inside [lo, hi] — the only doubles safe to static_cast
+/// to an unsigned integer of the matching range (NaN fails too: every
+/// comparison with NaN is false, so naive `v < lo || v > hi` lets it
+/// through into undefined-behavior territory).
+bool in_range(double v, double lo, double hi) {
+  return std::isfinite(v) && v >= lo && v <= hi;
+}
+
+/// Largest double whose static_cast to uint64_t/size_t is exact.
+constexpr double kMaxExactDouble = 9007199254740992.0;  // 2^53
+/// Deadline cap: generous for any real campaign, but small enough that
+/// the duration_cast to steady_clock ticks cannot overflow.
+constexpr double kMaxDeadlineS = 1e8;  // ~3 years
 
 }  // namespace
 
@@ -110,6 +131,9 @@ void Server::accept_loop() {
       ::close(fd);
       break;
     }
+    // Non-blocking from the first byte: send_raw() must be able to
+    // poll for writability and honor stopping_ / send_timeout_s.
+    set_nonblocking(fd);
 
     if (stats_.connections_active.load(std::memory_order_relaxed) >=
         cfg_.max_connections) {
@@ -174,7 +198,7 @@ void Server::session_loop(Session* session, std::uint64_t client) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n == 0) break;  // peer closed
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;
     }
     last_activity = Clock::now();
@@ -193,22 +217,27 @@ void Server::session_loop(Session* session, std::uint64_t client) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       if (line.size() > cfg_.max_line_bytes) {
+        stats_.bump(stats_.protocol_errors);
         send_line(fd, error_reply("", kErrOversizedFrame,
                                   "line exceeds " +
                                       std::to_string(cfg_.max_line_bytes) +
                                       " bytes"));
-        stats_.bump(stats_.protocol_errors);
         if (++errors >= cfg_.max_protocol_errors) open = false;
         continue;
       }
       open = handle_line(fd, client, line, errors);
     }
-    if (open && !discarding && buffer.size() > cfg_.max_line_bytes) {
+    if (discarding) {
+      // Still no newline: everything buffered is more tail of the
+      // already-rejected line. Drop it, or an endless line with no
+      // newline would grow the buffer without bound.
+      buffer.clear();
+    } else if (open && buffer.size() > cfg_.max_line_bytes) {
+      stats_.bump(stats_.protocol_errors);
       send_line(fd, error_reply("", kErrOversizedFrame,
                                 "line exceeds " +
                                     std::to_string(cfg_.max_line_bytes) +
                                     " bytes"));
-      stats_.bump(stats_.protocol_errors);
       buffer.clear();
       discarding = true;
       if (++errors >= cfg_.max_protocol_errors) open = false;
@@ -248,10 +277,7 @@ bool Server::handle_line(int fd, std::uint64_t client,
     return send_line(fd, reply);
   }
   if (op == "stats") return send_line(fd, handle_stats());
-  if (op == "waveform") {
-    handle_waveform(fd, req);
-    return true;
-  }
+  if (op == "waveform") return handle_waveform(fd, req);
   if (op == "submit") return send_line(fd, handle_submit(client, req));
   if (op == "status") return send_line(fd, handle_status(req));
   if (op == "result") return send_line(fd, handle_result(req));
@@ -278,32 +304,35 @@ bool Server::handle_line(int fd, std::uint64_t client,
   return ++errors < cfg_.max_protocol_errors;
 }
 
-void Server::handle_waveform(int fd, const Json& req) {
+bool Server::handle_waveform(int fd, const Json& req) {
   stats_.bump(stats_.waveform_requests);
   const std::string standard = req.str_or("standard", "");
   const std::string params_text = req.str_or("params", "");
   if (standard.empty() == params_text.empty()) {
-    send_line(fd, error_reply("waveform", kErrBadRequest,
-                              "provide exactly one of 'standard'/'params'"));
-    return;
+    return send_line(fd,
+                     error_reply("waveform", kErrBadRequest,
+                                 "provide exactly one of 'standard'/'params'"));
   }
   const double bursts_d = req.num_or("bursts", 1.0);
   const double payload_d = req.num_or("payload_bits", 0.0);
   const double seed_d = req.num_or("seed", 1.0);
-  double chunk_d = req.num_or("chunk",
-                              static_cast<double>(cfg_.iq_chunk_samples));
-  if (bursts_d < 1.0 || bursts_d > static_cast<double>(cfg_.max_bursts) ||
-      payload_d < 0.0 || payload_d > 1048576.0 || seed_d < 0.0 ||
-      chunk_d < 1.0) {
-    send_line(fd, error_reply("waveform", kErrBadRequest,
-                              "bursts/payload_bits/seed/chunk out of range"));
-    return;
+  const double chunk_d = req.num_or("chunk",
+                                    static_cast<double>(cfg_.iq_chunk_samples));
+  // Every bound is checked on the double BEFORE any cast: a value like
+  // 1e300 (or an overflow-parsed inf) static_cast to an integer is UB.
+  if (!in_range(bursts_d, 1.0, static_cast<double>(cfg_.max_bursts)) ||
+      !in_range(payload_d, 0.0, 1048576.0) ||
+      !in_range(seed_d, 0.0, kMaxExactDouble) ||
+      !in_range(chunk_d, 1.0, kMaxExactDouble)) {
+    return send_line(
+        fd, error_reply("waveform", kErrBadRequest,
+                        "bursts/payload_bits/seed/chunk out of range"));
   }
   const auto bursts = static_cast<std::size_t>(bursts_d);
   const auto payload_bits = static_cast<std::size_t>(payload_d);
   const auto seed = static_cast<std::uint64_t>(seed_d);
-  const auto chunk = std::min<std::size_t>(
-      std::max<std::size_t>(static_cast<std::size_t>(chunk_d), 64), 65536);
+  const auto chunk = static_cast<std::size_t>(
+      std::min(std::max(chunk_d, 64.0), 65536.0));
 
   core::Transmitter tx;
   try {
@@ -311,8 +340,7 @@ void Server::handle_waveform(int fd, const Json& req) {
                      ? core::from_text(params_text)
                      : sim::parse_standard_token(standard).params);
   } catch (const std::exception& e) {
-    send_line(fd, error_reply("waveform", kErrBadDeck, e.what()));
-    return;
+    return send_line(fd, error_reply("waveform", kErrBadDeck, e.what()));
   }
   const std::size_t pb =
       payload_bits != 0 ? payload_bits : tx.recommended_payload_bits();
@@ -325,18 +353,16 @@ void Server::handle_waveform(int fd, const Json& req) {
     try {
       burst = tx.modulate(payload);
     } catch (const std::exception& e) {
-      send_line(fd, error_reply("waveform", kErrInternal, e.what()));
-      return;
+      return send_line(fd, error_reply("waveform", kErrInternal, e.what()));
     }
     if (b == 0 && burst.samples.size() * bursts > cfg_.max_waveform_samples) {
-      send_line(fd,
-                error_reply("waveform", kErrOversizedFrame,
-                            "request would stream " +
-                                std::to_string(burst.samples.size() * bursts) +
-                                " samples (cap " +
-                                std::to_string(cfg_.max_waveform_samples) +
-                                ")"));
-      return;
+      return send_line(
+          fd, error_reply("waveform", kErrOversizedFrame,
+                          "request would stream " +
+                              std::to_string(burst.samples.size() * bursts) +
+                              " samples (cap " +
+                              std::to_string(cfg_.max_waveform_samples) +
+                              ")"));
     }
     std::size_t seq = 0;
     for (std::size_t off = 0; off < burst.samples.size(); off += chunk) {
@@ -347,7 +373,7 @@ void Server::handle_waveform(int fd, const Json& req) {
           .set("seq", seq++)
           .set("n", n)
           .set("data", pack_iq_f32({burst.samples.data() + off, n}));
-      if (!send_line(fd, ev)) return;  // client went away mid-stream
+      if (!send_line(fd, ev)) return false;  // peer gone or stalled
     }
     total += burst.samples.size();
   }
@@ -358,7 +384,7 @@ void Server::handle_waveform(int fd, const Json& req) {
       .set("samples", total)
       .set("payload_bits", pb)
       .set("seed", seed);
-  send_line(fd, done);
+  return send_line(fd, done);
 }
 
 Json Server::handle_submit(std::uint64_t client, const Json& req) {
@@ -367,6 +393,10 @@ Json Server::handle_submit(std::uint64_t client, const Json& req) {
     return error_reply("submit", kErrBadRequest, "missing string 'deck'");
   }
   const double deadline_s = req.num_or("deadline_s", 0.0);
+  if (!in_range(deadline_s, 0.0, kMaxDeadlineS)) {
+    return error_reply("submit", kErrBadRequest,
+                       "deadline_s out of range (0 .. 1e8)");
+  }
   const auto r =
       jobs_->submit(deck->as_string(), deadline_s, client, cfg_.client_quota);
 
@@ -516,15 +546,34 @@ bool Server::send_line(int fd, const Json& value) {
 }
 
 bool Server::send_raw(int fd, const std::string& line) {
+  // The socket is non-blocking: poll for writability in kPollMs slices
+  // so a peer that stops reading (a stalled waveform stream can be
+  // megabytes) cannot pin this session thread. Both the stop flag and
+  // the cumulative-stall timeout break the wait — Server::stop() must
+  // never hang on one wedged client.
   std::size_t off = 0;
+  double stalled_s = 0.0;
   while (off < line.size()) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
     const ssize_t n =
         ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      stalled_s = 0.0;  // peer is reading again
+      continue;
     }
-    off += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int r = ::poll(&pfd, 1, kPollMs);
+      if (r < 0 && errno != EINTR) return false;
+      stalled_s += kPollMs / 1000.0;
+      if (cfg_.send_timeout_s > 0.0 && stalled_s >= cfg_.send_timeout_s) {
+        return false;  // peer wedged: drop the connection
+      }
+      continue;
+    }
+    return false;
   }
   return true;
 }

@@ -9,6 +9,9 @@
 //  - idle connections are disconnected after idle_timeout_s (a "bye"
 //    event is sent first, so well-behaved clients can distinguish a
 //    timeout from a crash);
+//  - every write is bounded too: sockets are non-blocking and a peer
+//    that stops reading mid-stream for send_timeout_s is dropped, so a
+//    stalled client can never pin a session thread through stop();
 //  - the accept loop enforces max_connections (excess connections get a
 //    busy error line and an immediate close);
 //  - stop(drain=true) is the SIGTERM path: stop accepting, nudge every
@@ -35,6 +38,9 @@ struct ServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
   std::size_t max_connections = 64;
   double idle_timeout_s = 300.0;  ///< 0 = never disconnect idle clients
+  /// Drop a connection whose peer stops reading for this long while we
+  /// have bytes to send (stalled receive window); 0 = wait forever.
+  double send_timeout_s = 30.0;
   std::size_t max_line_bytes = 1u << 20;
   std::size_t max_protocol_errors = 8;  ///< per connection, then close
   std::size_t client_quota = 4;  ///< active jobs per connection; 0 = off
@@ -95,7 +101,9 @@ class Server {
   /// close (fatal protocol state or remote shutdown).
   bool handle_line(int fd, std::uint64_t client, const std::string& line,
                    std::size_t& errors);
-  void handle_waveform(int fd, const Json& req);
+  /// Returns false when the connection must close (peer gone or its
+  /// send stalled past send_timeout_s mid-stream).
+  bool handle_waveform(int fd, const Json& req);
   Json handle_submit(std::uint64_t client, const Json& req);
   Json handle_status(const Json& req);
   Json handle_result(const Json& req);

@@ -119,6 +119,14 @@ constexpr const char* kQuickDeck =
     "trials.batch=8\n"
     "seed=5\n";
 
+/// kQuickDeck with a distinct seed => a distinct digest/job id.
+std::string quick_deck_seed(int seed) {
+  return "name=net_quick\nstandard=wlan_80211a@12\nsnr_db=6\n"
+         "channel=awgn\npayload_bits=256\ntrials.min=8\n"
+         "trials.max=8\ntrials.batch=8\nseed=" +
+         std::to_string(seed) + "\n";
+}
+
 /// A deck that grinds long enough to still be running when the test
 /// cancels / expires / kills it (but bounded, so an assertion failure
 /// can't wedge the suite).
@@ -242,6 +250,83 @@ TEST(NetServer, OversizedFrameRejectedConnectionSurvives) {
   server.stop(false);
 }
 
+TEST(NetServer, EndlessOversizedLineIsDiscardedNotBuffered) {
+  ServerConfig cfg = quick_config();
+  cfg.max_line_bytes = 512;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  // A "line" that never ends: the server must reject it once and then
+  // drop every further chunk instead of buffering the endless tail.
+  const std::string junk(4096, 'y');
+  client.send_text(junk);
+  const Json reply = client.recv_line();
+  EXPECT_EQ(reply.str_or("error", ""), kErrOversizedFrame);
+  const std::uint64_t errors_after = server.stats().protocol_errors.load();
+
+  for (int i = 0; i < 256; ++i) client.send_text(junk);  // 1 MiB of tail
+  client.send_text("\n");  // finally terminate the rejected line
+  // The protocol resyncs, and the whole tail counted as ONE error.
+  EXPECT_TRUE(client.request(op("ping")).bool_or("ok", false));
+  EXPECT_EQ(server.stats().protocol_errors.load(), errors_after);
+  server.stop(false);
+}
+
+TEST(NetServer, StalledReaderIsDroppedAfterSendTimeout) {
+  ServerConfig cfg = quick_config();
+  cfg.send_timeout_s = 0.3;
+  cfg.max_bursts = 8192;
+  cfg.max_waveform_samples = 1u << 26;
+  Server server(cfg);
+  server.start();
+  {
+    LineClient client = connect_to(server);
+    // Handshake first so the session thread is provably live (and
+    // counted) before we go silent — otherwise the wait below could
+    // pass vacuously on connections_active == 0.
+    ASSERT_TRUE(client.request(op("ping")).bool_or("ok", false));
+    ASSERT_EQ(server.stats().connections_active.load(), 1u);
+    Json req = op("waveform");
+    req.set("standard", "wlan_80211a@12").set("bursts", 8192);
+    client.send(req);
+    // Read nothing: the stream must fill every buffer in between,
+    // stall the server's send, and trip the write timeout.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (server.stats().connections_active.load() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(server.stats().connections_active.load(), 0u)
+        << "stalled connection must be dropped, not waited on forever";
+  }
+  LineClient probe = connect_to(server);
+  EXPECT_TRUE(probe.request(op("ping")).bool_or("ok", false));
+  server.stop(false);
+}
+
+TEST(NetServer, StalledReaderCannotWedgeStop) {
+  ServerConfig cfg = quick_config();  // default (long) send timeout
+  cfg.max_bursts = 8192;
+  cfg.max_waveform_samples = 1u << 26;
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+  Json req = op("waveform");
+  req.set("standard", "wlan_80211a@12").set("bursts", 8192);
+  client.send(req);
+  // Let the stream stall against our unread socket, then stop: the
+  // session thread must notice stopping_ inside its send loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop(false);
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(took, 10.0) << "stop() must not wait on a wedged client";
+}
+
 TEST(NetServer, WaveformMatchesLocalTransmitter) {
   Server server(quick_config());
   server.start();
@@ -293,6 +378,25 @@ TEST(NetServer, WaveformValidation) {
   EXPECT_EQ(client.waveform(req, sink).str_or("error", ""),
             kErrOversizedFrame);
   EXPECT_TRUE(sink.empty()) << "no iq may be streamed before the size check";
+  server.stop(false);
+}
+
+TEST(NetServer, HugeNumericFieldsAreRejectedNotCast) {
+  Server server(quick_config());
+  server.start();
+  LineClient client = connect_to(server);
+  cvec sink;
+
+  // Each of these would be UB if static_cast before the range check.
+  for (const char* field : {"seed", "chunk", "bursts", "payload_bits"}) {
+    Json req = op("waveform");
+    req.set("standard", "wlan_80211a@12").set(field, 1e300);
+    EXPECT_EQ(client.waveform(req, sink).str_or("error", ""), kErrBadRequest)
+        << field;
+  }
+  Json req = op("submit");
+  req.set("deck", kQuickDeck).set("deadline_s", 1e300);
+  EXPECT_EQ(client.request(req).str_or("error", ""), kErrBadRequest);
   server.stop(false);
 }
 
@@ -360,6 +464,50 @@ TEST(NetServer, SecondIdenticalDeckIsServedFromCacheWithoutTrials) {
   EXPECT_EQ(server.stats().trials_executed.load(), trials_before)
       << "cached submission must not spawn trials";
   EXPECT_GE(server.jobs().cache().hits(), hits_before);
+  server.stop(false);
+}
+
+TEST(NetServer, ResultSurvivesTrackedJobEviction) {
+  ServerConfig cfg = quick_config();
+  cfg.jobs.max_tracked_jobs = 2;  // the next submit past 2 prunes
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  const auto submit_and_finish = [&](int seed) {
+    Json req = op("submit");
+    req.set("deck", quick_deck_seed(seed));
+    const Json reply = client.request(req);
+    EXPECT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+    const std::string id = reply.str_or("id", "");
+    EXPECT_EQ(wait_terminal(client, id), "done");
+    return id;
+  };
+
+  const std::string first = submit_and_finish(41);
+  Json rreq = op("result");
+  rreq.set("id", first);
+  const std::string curves = client.request(rreq).str_or("curves", "");
+  ASSERT_FALSE(curves.empty());
+
+  // Two more unique decks push the map past max_tracked_jobs and
+  // evict the first job's bookkeeping entry.
+  submit_and_finish(42);
+  submit_and_finish(43);
+
+  // The curves are still in the result cache — a slow poller must get
+  // its result back, not unknown_job.
+  rreq = op("result");
+  rreq.set("id", first);
+  const Json reply = client.request(rreq);
+  ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  EXPECT_TRUE(reply.bool_or("cached", false));
+  EXPECT_EQ(reply.str_or("curves", ""), curves);
+
+  // A well-formed id that never ran still reports unknown_job.
+  rreq = op("result");
+  rreq.set("id", "0123456789abcdef");
+  EXPECT_EQ(client.request(rreq).str_or("error", ""), kErrUnknownJob);
   server.stop(false);
 }
 
@@ -544,6 +692,45 @@ TEST(NetServer, DrainHandsRunningJobsToTheNextProcess) {
   EXPECT_EQ(reply.str_or("curves", ""), want)
       << "resumed curves must be byte-identical";
   second.stop(false);
+}
+
+TEST(NetServer, ExplicitCancelIsNotResurrectedByDrain) {
+  TempDir dir("canceldrain");
+  ServerConfig cfg = quick_config();
+  cfg.jobs.state_dir = dir.path.string();
+  Server server(cfg);
+  server.start();
+  LineClient client = connect_to(server);
+
+  Json req = op("submit");
+  req.set("deck", slow_deck(30));
+  const Json reply = client.request(req);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  const std::string id = reply.str_or("id", "");
+
+  // Wait until the job is actually running, then cancel and drain
+  // back-to-back: the explicit cancel must outrank the drain handoff.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    Json sreq = op("status");
+    sreq.set("id", id);
+    const std::string state = client.request(sreq).str_or("state", "");
+    if (state == "running") break;
+    ASSERT_EQ(state, "queued") << "job went terminal before the cancel";
+    ASSERT_TRUE(std::chrono::steady_clock::now() < deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Json creq = op("cancel");
+  creq.set("id", id);
+  ASSERT_TRUE(client.request(creq).bool_or("ok", false));
+  server.stop(true);  // drain — must not re-queue the cancelled job
+
+  JobStatus st;
+  ASSERT_TRUE(server.jobs().status(id, st));
+  EXPECT_EQ(st.state, JobState::kCancelled);
+  EXPECT_FALSE(std::filesystem::exists(dir.path / (id + ".deck")))
+      << "a cancelled job's files must not revive in the next process";
 }
 
 TEST(NetServer, RecoveryIgnoresCorruptLeftovers) {

@@ -3,7 +3,8 @@
 //   ofdm_serverd [--host H] [--port P] [--port-file FILE]
 //                [--state-dir DIR] [--executors N] [--threads N]
 //                [--max-queue N] [--quota N] [--idle-timeout S]
-//                [--deadline S] [--cache-mb N] [--max-connections N]
+//                [--send-timeout S] [--deadline S] [--cache-mb N]
+//                [--max-connections N]
 //                [--quiet]
 //
 // Serves the newline-delimited JSON protocol on H:P (default
@@ -47,7 +48,8 @@ int usage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--port-file FILE]\n"
       "          [--state-dir DIR] [--executors N] [--threads N]\n"
       "          [--max-queue N] [--quota N] [--idle-timeout S]\n"
-      "          [--deadline S] [--cache-mb N] [--max-connections N]\n"
+      "          [--send-timeout S] [--deadline S] [--cache-mb N]\n"
+      "          [--max-connections N]\n"
       "          [--quiet]\n",
       argv0);
   return 2;
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
       cfg.client_quota = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--idle-timeout" && (v = next())) {
       cfg.idle_timeout_s = std::atof(v);
+    } else if (arg == "--send-timeout" && (v = next())) {
+      cfg.send_timeout_s = std::atof(v);
     } else if (arg == "--deadline" && (v = next())) {
       cfg.jobs.default_deadline_s = std::atof(v);
     } else if (arg == "--cache-mb" && (v = next())) {
