@@ -15,7 +15,9 @@
 # passes. test_net adds the service daemon on top: thread-per-connection
 # sessions, the executor pool behind the job queue, cooperative
 # cancellation, drain/recovery hand-off, and concurrent multi-client
-# loopback traffic all run under TSan here.
+# loopback traffic all run under TSan here. test_fft hammers the
+# process-wide FFT plan-table cache (mutex + shared_ptr hand-off, with
+# a mid-flight clear()) from concurrent plan builders/executors.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,7 +27,7 @@ cmake -B "${build}" -S "${repo}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim test_channels test_net
+cmake --build "${build}" -j --target test_pipeline test_transmitter test_executor test_sim test_channels test_net test_fft
 ctest --test-dir "${build}" \
-  -R '^(test_pipeline|test_transmitter|test_executor|test_sim|test_channels|test_net)$' \
+  -R '^(test_pipeline|test_transmitter|test_executor|test_sim|test_channels|test_net|test_fft)$' \
   --output-on-failure "$@"

@@ -61,6 +61,7 @@ cvec wlan_ltf_bins() {
 cvec wlan_preamble(const OfdmParams& p) {
   OFDM_REQUIRE(p.fft_size == 64,
                "wlan_preamble: requires the 64-point WLAN geometry");
+  // Cheap per-call plan: tables come from the process-wide plan cache.
   dsp::Fft fft(64);
 
   // Match the data-section scaling: 52 used tones -> scale 64/sqrt(52).

@@ -1,8 +1,12 @@
 #include "dsp/fft.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -12,162 +16,484 @@ namespace ofdm::dsp {
 
 namespace {
 
-// Iterative radix-2 DIT over the simd kernel table. Forward and inverse
-// twiddles are precomputed in *stage-major* layout — the stage with
-// half = len/2 butterflies per block owns the contiguous slice
-// [half - 1, 2*half - 1) — so the butterfly kernels load twiddles
-// sequentially instead of at stride n/len. The values are copied from
-// the classic k/n table, so the layout change moves no bits. An output
-// scale factor is folded into the final stage so the inverse's 1/N
-// never costs a separate sweep over the buffer.
-struct Radix2Plan {
-  std::size_t n = 0;
-  std::vector<std::size_t> bitrev;   // bit-reversal permutation
-  cvec stage_tw;                     // stage-major e^{-j2πk/n} slices
-  cvec stage_tw_inv;                 // conjugate table for the inverse
+// ---------------------------------------------------------------------------
+// Engine selection (OFDM_FFT environment variable, force hook)
 
-  explicit Radix2Plan(std::size_t size) : n(size) {
-    bitrev.resize(n);
-    std::size_t log2n = 0;
-    while ((std::size_t{1} << log2n) < n) ++log2n;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::size_t r = 0;
-      for (std::size_t b = 0; b < log2n; ++b) {
-        r |= ((i >> b) & 1u) << (log2n - 1 - b);
-      }
-      bitrev[i] = r;
-    }
-    cvec twiddle(n / 2);  // e^{-j2πk/n}, k in [0, n/2)
-    for (std::size_t k = 0; k < n / 2; ++k) {
-      const double a = -kTwoPi * static_cast<double>(k) /
-                       static_cast<double>(n);
-      twiddle[k] = {std::cos(a), std::sin(a)};
-    }
-    // Stage with half butterflies starts at offset half - 1 (the halves
-    // of all earlier stages sum to 1 + 2 + ... + half/2 = half - 1) and
-    // holds twiddle[k * step], step = n / (2*half).
-    stage_tw.resize(n >= 2 ? n - 1 : 0);
-    stage_tw_inv.resize(stage_tw.size());
-    for (std::size_t half = 1; half < n; half <<= 1) {
-      const std::size_t step = n / (2 * half);
-      for (std::size_t k = 0; k < half; ++k) {
-        stage_tw[half - 1 + k] = twiddle[k * step];
-        stage_tw_inv[half - 1 + k] = std::conj(twiddle[k * step]);
-      }
+std::atomic<int> g_engine{-1};
+
+FftEngine resolve_engine() {
+  const char* env = std::getenv("OFDM_FFT");
+  FftEngine engine = FftEngine::kSplitRadix;
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    if (std::strcmp(env, "radix2") == 0) {
+      engine = FftEngine::kRadix2;
+    } else if (std::strcmp(env, "splitradix") == 0 ||
+               std::strcmp(env, "split-radix") == 0) {
+      engine = FftEngine::kSplitRadix;
+    } else {
+      OFDM_REQUIRE(false, std::string("OFDM_FFT: unknown engine '") + env +
+                              "' (want radix2|splitradix|auto)");
     }
   }
+  // First resolver wins; a concurrent fft_force_engine() may already
+  // have installed a choice, in which case keep it.
+  int expected = -1;
+  g_engine.compare_exchange_strong(expected,
+                                   static_cast<int>(engine),
+                                   std::memory_order_acq_rel);
+  return static_cast<FftEngine>(g_engine.load(std::memory_order_acquire));
+}
 
-  void execute(std::span<cplx> data, bool inverse,
-               double scale = 1.0) const {
-    if (n < 2) {
-      if (scale != 1.0) {
-        for (cplx& v : data) v *= scale;
-      }
+// ---------------------------------------------------------------------------
+// Immutable table sets (shared across plans via the process-wide cache)
+
+/// Power-of-two butterfly tables. Two layouts behind one type:
+///
+///  * split-radix (the default for n >= 8): `perm` is the mixed
+///    digit-reversal gather permutation of the recursive
+///    [evens | odd1 | odd3] layout, `quads`/`pairs` list the output
+///    offsets of the trivial-twiddle base units the gather pass fuses
+///    in, and `levels` holds the combine schedule in ascending block
+///    size (8 ... n, the last entry being the single full-size block).
+///    Twiddles are two contiguous planes per level (all W^j, then all
+///    W^{3j}) so the SIMD combine loops load them sequentially.
+///  * legacy radix-2 (n < 8, or OFDM_FFT=radix2): the PR 6 bit-reversal
+///    + stage-major twiddle layout, kept as the A/B fallback.
+struct PowTables {
+  std::size_t n = 0;
+  bool split_radix = false;
+
+  // split-radix
+  struct Level {
+    std::size_t n4 = 0;      // block size / 4
+    std::size_t tw_off = 0;  // offset of this level's twiddle planes
+    std::vector<std::uint32_t> offsets;
+  };
+  std::vector<std::uint32_t> perm;
+  std::vector<std::uint32_t> quads;
+  std::vector<std::uint32_t> pairs;
+  cvec sr_tw;      // per-level [W^j | W^{3j}] planes, W = e^{-2πi/size}
+  cvec sr_tw_inv;  // conjugate table for the inverse
+  std::vector<Level> levels;
+
+  // legacy radix-2
+  std::vector<std::size_t> bitrev;
+  cvec stage_tw;
+  cvec stage_tw_inv;
+};
+
+PowTables build_radix2(std::size_t n) {
+  PowTables t;
+  t.n = n;
+  t.split_radix = false;
+  t.bitrev.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      r |= ((i >> b) & 1u) << (log2n - 1 - b);
+    }
+    t.bitrev[i] = r;
+  }
+  cvec twiddle(n / 2);  // e^{-j2πk/n}, k in [0, n/2)
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double a =
+        -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle[k] = {std::cos(a), std::sin(a)};
+  }
+  // Stage with half butterflies starts at offset half - 1 (the halves
+  // of all earlier stages sum to 1 + 2 + ... + half/2 = half - 1) and
+  // holds twiddle[k * step], step = n / (2*half).
+  t.stage_tw.resize(n >= 2 ? n - 1 : 0);
+  t.stage_tw_inv.resize(t.stage_tw.size());
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    const std::size_t step = n / (2 * half);
+    for (std::size_t k = 0; k < half; ++k) {
+      t.stage_tw[half - 1 + k] = twiddle[k * step];
+      t.stage_tw_inv[half - 1 + k] = std::conj(twiddle[k * step]);
+    }
+  }
+  return t;
+}
+
+PowTables build_split_radix(std::size_t n) {
+  PowTables t;
+  t.n = n;
+  t.split_radix = true;
+  t.perm.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+
+  // Recursive split-radix layout: a length-len sub-transform over the
+  // decimated signal x[in_base + stride*i] lands at [out_base,
+  // out_base+len) as [evens | odd1 | odd3]; every non-base length
+  // contributes one combine job to its level. Base units (len 4 / 2)
+  // have only trivial twiddles and are fused into the gather pass.
+  std::vector<std::vector<std::uint32_t>> offs_by_log(log2n + 1);
+  auto fill = [&](auto&& self, std::size_t out_base, std::size_t len,
+                  std::size_t lg, std::size_t stride,
+                  std::size_t in_base) -> void {
+    if (len == 2) {
+      t.perm[out_base] = static_cast<std::uint32_t>(in_base);
+      t.perm[out_base + 1] = static_cast<std::uint32_t>(in_base + stride);
+      t.pairs.push_back(static_cast<std::uint32_t>(out_base));
       return;
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = bitrev[i];
-      if (i < j) std::swap(data[i], data[j]);
+    if (len == 4) {
+      // Gathered unit order (x0, x2, x1, x3) of the sub-signal: the
+      // 4-point DFT unit butterflies its even pair first.
+      t.perm[out_base] = static_cast<std::uint32_t>(in_base);
+      t.perm[out_base + 1] =
+          static_cast<std::uint32_t>(in_base + 2 * stride);
+      t.perm[out_base + 2] = static_cast<std::uint32_t>(in_base + stride);
+      t.perm[out_base + 3] =
+          static_cast<std::uint32_t>(in_base + 3 * stride);
+      t.quads.push_back(static_cast<std::uint32_t>(out_base));
+      return;
     }
-    const cplx* const tw = (inverse ? stage_tw_inv : stage_tw).data();
-    cplx* const d = data.data();
-    const simd::Kernels& kr = simd::kernels();
-    for (std::size_t len = 2; len < n; len <<= 1) {
-      const std::size_t half = len / 2;
-      kr.fft_stage(d, tw + (half - 1), n, len);
-    }
-    // Final stage (len == n, one block): the kernel folds the output
-    // scale into the butterfly writes -- bit-identical to a separate
-    // post-multiply sweep, just without the extra pass.
-    const std::size_t half = n / 2;
-    kr.fft_last_stage(d, tw + (half - 1), half, scale);
-  }
-};
+    self(self, out_base, len / 2, lg - 1, 2 * stride, in_base);
+    self(self, out_base + len / 2, len / 4, lg - 2, 4 * stride,
+         in_base + stride);
+    self(self, out_base + 3 * len / 4, len / 4, lg - 2, 4 * stride,
+         in_base + 3 * stride);
+    offs_by_log[lg].push_back(static_cast<std::uint32_t>(out_base));
+  };
+  fill(fill, 0, n, log2n, 1, 0);
 
-// Bluestein expresses an N-point DFT as a convolution of length >= 2N-1,
-// evaluated with a power-of-two FFT. The chirp and the transformed kernel
-// are precomputed per direction; the m-point convolution scratch is a
-// reusable plan member so execution never allocates.
-struct BluesteinPlan {
+  // Combine levels in ascending block size; twiddle planes appended in
+  // the same order so each level owns one contiguous slice.
+  std::size_t tw_off = 0;
+  for (std::size_t lg = 3; lg <= log2n; ++lg) {
+    if (offs_by_log[lg].empty()) continue;
+    const std::size_t size = std::size_t{1} << lg;
+    const std::size_t n4 = size / 4;
+    PowTables::Level lvl;
+    lvl.n4 = n4;
+    lvl.tw_off = tw_off;
+    lvl.offsets = std::move(offs_by_log[lg]);
+    t.levels.push_back(std::move(lvl));
+    t.sr_tw.resize(tw_off + 2 * n4);
+    t.sr_tw_inv.resize(tw_off + 2 * n4);
+    for (std::size_t j = 0; j < n4; ++j) {
+      const double a1 =
+          -kTwoPi * static_cast<double>(j) / static_cast<double>(size);
+      const double a3 = -kTwoPi * static_cast<double>((3 * j) % size) /
+                        static_cast<double>(size);
+      const cplx w1{std::cos(a1), std::sin(a1)};
+      const cplx w3{std::cos(a3), std::sin(a3)};
+      t.sr_tw[tw_off + j] = w1;
+      t.sr_tw[tw_off + n4 + j] = w3;
+      t.sr_tw_inv[tw_off + j] = std::conj(w1);
+      t.sr_tw_inv[tw_off + n4 + j] = std::conj(w3);
+    }
+    tw_off += 2 * n4;
+  }
+  return t;
+}
+
+/// Run the power-of-two transform. The split-radix gather pass is
+/// out-of-place by construction, so an in-place request (in == out)
+/// must supply `scratch` (n complexes): the gather and mid-level
+/// combines run in the scratch buffer and the final combine level
+/// writes back to `out` — no extra copy pass anywhere. The legacy
+/// radix-2 path copies and swaps in place, exactly as before this
+/// engine existed.
+void execute_pow(const PowTables& t, const cplx* in, cplx* out,
+                 bool inverse, double scale, cplx* scratch = nullptr) {
+  const simd::Kernels& kr = simd::kernels();
+  if (t.split_radix) {
+    cplx* mid = (in == out) ? scratch : out;
+    const cplx* tw = (inverse ? t.sr_tw_inv : t.sr_tw).data();
+    kr.fft_sr_gather(in, mid, t.perm.data(), t.quads.data(),
+                     t.quads.size(), t.pairs.data(), t.pairs.size(),
+                     inverse);
+    const std::size_t n_levels = t.levels.size();
+    for (std::size_t l = 0; l + 1 < n_levels; ++l) {
+      const PowTables::Level& lvl = t.levels[l];
+      kr.fft_sr_combine(mid, tw + lvl.tw_off, lvl.offsets.data(),
+                        lvl.offsets.size(), lvl.n4, inverse);
+    }
+    const PowTables::Level& last = t.levels.back();
+    kr.fft_sr_last(mid, out, tw + last.tw_off, last.n4, inverse, scale);
+    return;
+  }
+  const std::size_t n = t.n;
+  if (out != in) std::copy(in, in + n, out);
+  if (n < 2) {
+    if (scale != 1.0) {
+      for (std::size_t i = 0; i < n; ++i) out[i] *= scale;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = t.bitrev[i];
+    if (i < j) std::swap(out[i], out[j]);
+  }
+  const cplx* tw = (inverse ? t.stage_tw_inv : t.stage_tw).data();
+  for (std::size_t len = 2; len < n; len <<= 1) {
+    const std::size_t half = len / 2;
+    kr.fft_stage(out, tw + (half - 1), n, len);
+  }
+  const std::size_t half = n / 2;
+  kr.fft_last_stage(out, tw + (half - 1), half, scale);
+}
+
+/// Bluestein chirp-z tables: the chirp, the two transformed
+/// convolution kernels, and a shared handle on the inner power-of-two
+/// tables (which go through the same cache, so e.g. DRM's 1152-point
+/// plan and a direct 4096-point plan share one 4096-point table set).
+struct BluesteinTables {
   std::size_t n = 0;
   std::size_t m = 0;  // convolution FFT size (power of two)
-  Radix2Plan conv;
-  cvec chirp_fwd;        // e^{-jπk²/n}
-  cvec kernel_fft_fwd;   // FFT of conjugate chirp, forward direction
-  cvec kernel_fft_inv;   // same for the inverse direction
-  mutable cvec work;     // m-point convolution scratch
-
-  explicit BluesteinPlan(std::size_t size)
-      : n(size), m(next_pow2(2 * size - 1)), conv(m) {
-    chirp_fwd.resize(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      // k² mod 2n keeps the argument small for large N without changing
-      // the chirp value (e^{-jπ(k²+2n·q)/n} == e^{-jπk²/n}).
-      const std::size_t k2 = (k * k) % (2 * n);
-      const double a = -kPi * static_cast<double>(k2) / static_cast<double>(n);
-      chirp_fwd[k] = {std::cos(a), std::sin(a)};
-    }
-    kernel_fft_fwd = make_kernel(false);
-    kernel_fft_inv = make_kernel(true);
-    work.resize(m);
-  }
-
-  cvec make_kernel(bool inverse) const {
-    cvec kern(m, cplx{0.0, 0.0});
-    for (std::size_t k = 0; k < n; ++k) {
-      const cplx c = inverse ? chirp_fwd[k] : std::conj(chirp_fwd[k]);
-      kern[k] = c;
-      if (k != 0) kern[m - k] = c;
-    }
-    conv.execute(kern, /*inverse=*/false);
-    return kern;
-  }
-
-  // `out` may alias `in`: the input is consumed before anything is
-  // written back.
-  void execute(std::span<const cplx> in, std::span<cplx> out, bool inverse,
-               double scale = 1.0) const {
-    for (std::size_t k = 0; k < n; ++k) {
-      const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
-      work[k] = in[k] * c;
-    }
-    std::fill(work.begin() + static_cast<std::ptrdiff_t>(n), work.end(),
-              cplx{0.0, 0.0});
-    conv.execute(work, /*inverse=*/false);
-    const cvec& kern = inverse ? kernel_fft_inv : kernel_fft_fwd;
-    simd::kernels().cvec_mul(work.data(), kern.data(), work.data(), m);
-    conv.execute(work, /*inverse=*/true);
-    const double s = scale / static_cast<double>(m);
-    for (std::size_t k = 0; k < n; ++k) {
-      const cplx c = inverse ? std::conj(chirp_fwd[k]) : chirp_fwd[k];
-      out[k] = work[k] * c * s;
-    }
-  }
+  std::shared_ptr<const PowTables> conv;
+  cvec chirp_fwd;       // e^{-jπk²/n}
+  cvec kernel_fft_fwd;  // FFT of conjugate chirp, forward direction
+  cvec kernel_fft_inv;  // same for the inverse direction
 };
+
+cvec make_bluestein_kernel(const BluesteinTables& t, bool inverse) {
+  cvec kern(t.m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < t.n; ++k) {
+    const cplx c = inverse ? t.chirp_fwd[k] : std::conj(t.chirp_fwd[k]);
+    kern[k] = c;
+    if (k != 0) kern[t.m - k] = c;
+  }
+  cvec out(t.m);
+  execute_pow(*t.conv, kern.data(), out.data(), /*inverse=*/false, 1.0);
+  return out;
+}
+
+/// `out` may alias `in`: the input is consumed before anything is
+/// written back. `work`/`work2` are the plan's m-point scratch buffers
+/// (two of them so the out-of-place split-radix convolution transforms
+/// never need an extra copy pass).
+void execute_bluestein(const BluesteinTables& t, std::span<const cplx> in,
+                       std::span<cplx> out, bool inverse, double scale,
+                       cvec& work, cvec& work2) {
+  const std::size_t n = t.n;
+  const std::size_t m = t.m;
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx c = inverse ? std::conj(t.chirp_fwd[k]) : t.chirp_fwd[k];
+    work[k] = in[k] * c;
+  }
+  std::fill(work.begin() + static_cast<std::ptrdiff_t>(n), work.end(),
+            cplx{0.0, 0.0});
+  execute_pow(*t.conv, work.data(), work2.data(), /*inverse=*/false, 1.0);
+  const cvec& kern = inverse ? t.kernel_fft_inv : t.kernel_fft_fwd;
+  simd::kernels().cvec_mul(work2.data(), kern.data(), work2.data(), m);
+  execute_pow(*t.conv, work2.data(), work.data(), /*inverse=*/true, 1.0);
+  const double s = scale / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx c = inverse ? std::conj(t.chirp_fwd[k]) : t.chirp_fwd[k];
+    out[k] = work[k] * c * s;
+  }
+}
+
+/// Pack/unpack twiddle planes for the half-size plan kinds (even n):
+/// pack_tw feeds inverse_hermitian, unpack_tw feeds forward_real.
+struct HalfTables {
+  cvec pack_tw;    // e^{+j2πk/n}, k in [0, n/2)
+  cvec unpack_tw;  // e^{-j2πk/n}
+};
+
+HalfTables build_half(std::size_t n) {
+  const std::size_t m = n / 2;
+  HalfTables t;
+  t.pack_tw.resize(m);
+  t.unpack_tw.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double a =
+        kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    t.pack_tw[k] = {std::cos(a), std::sin(a)};
+    t.unpack_tw[k] = {std::cos(-a), std::sin(-a)};
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide plan-table cache
+//
+// Keyed by (size, kind, engine). Values are shared_ptr to immutable
+// table sets: plans hold shared ownership, so clearing the cache (or
+// two threads racing on a build) can never invalidate a live plan.
+// Builds run outside the lock — table construction may itself acquire
+// (Bluestein's inner transform) and must not hold up other sizes; a
+// lost insertion race just shares the winner's tables.
+
+enum class TableKind : std::uint64_t {
+  kPow = 0,
+  kBluestein = 1,
+  kHalf = 2,
+};
+
+struct CacheState {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const void>> map;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+CacheState& cache() {
+  static CacheState* s = new CacheState;  // leaked: outlives all users
+  return *s;
+}
+
+std::uint64_t cache_key(std::size_t n, TableKind kind, FftEngine engine) {
+  return (static_cast<std::uint64_t>(n) << 4) |
+         (static_cast<std::uint64_t>(kind) << 1) |
+         static_cast<std::uint64_t>(engine == FftEngine::kSplitRadix);
+}
+
+template <typename T, typename Build>
+std::shared_ptr<const T> acquire(std::uint64_t key, Build&& build) {
+  CacheState& c = cache();
+  {
+    std::scoped_lock lk(c.mu);
+    auto it = c.map.find(key);
+    if (it != c.map.end()) {
+      ++c.hits;
+      return std::static_pointer_cast<const T>(it->second);
+    }
+  }
+  std::shared_ptr<const T> built = build();
+  std::scoped_lock lk(c.mu);
+  auto [it, inserted] = c.map.emplace(key, built);
+  if (inserted) {
+    ++c.misses;
+    return built;
+  }
+  ++c.hits;
+  return std::static_pointer_cast<const T>(it->second);
+}
+
+std::shared_ptr<const PowTables> acquire_pow(std::size_t n,
+                                             FftEngine engine) {
+  // Sizes below 8 have no non-trivial split-radix level; they always
+  // run the (trivial) radix-2 path, under one cache entry.
+  if (n < 8) engine = FftEngine::kRadix2;
+  return acquire<PowTables>(
+      cache_key(n, TableKind::kPow, engine), [n, engine] {
+        return std::make_shared<const PowTables>(
+            engine == FftEngine::kSplitRadix ? build_split_radix(n)
+                                             : build_radix2(n));
+      });
+}
+
+std::shared_ptr<const BluesteinTables> acquire_bluestein(
+    std::size_t n, FftEngine engine) {
+  return acquire<BluesteinTables>(
+      cache_key(n, TableKind::kBluestein, engine), [n, engine] {
+        auto t = std::make_shared<BluesteinTables>();
+        t->n = n;
+        t->m = next_pow2(2 * n - 1);
+        t->conv = acquire_pow(t->m, engine);
+        t->chirp_fwd.resize(n);
+        for (std::size_t k = 0; k < n; ++k) {
+          // k² mod 2n keeps the argument small for large N without
+          // changing the chirp (e^{-jπ(k²+2n·q)/n} == e^{-jπk²/n}).
+          const std::size_t k2 = (k * k) % (2 * n);
+          const double a =
+              -kPi * static_cast<double>(k2) / static_cast<double>(n);
+          t->chirp_fwd[k] = {std::cos(a), std::sin(a)};
+        }
+        t->kernel_fft_fwd = make_bluestein_kernel(*t, false);
+        t->kernel_fft_inv = make_bluestein_kernel(*t, true);
+        return std::shared_ptr<const BluesteinTables>(std::move(t));
+      });
+}
+
+std::shared_ptr<const HalfTables> acquire_half(std::size_t n) {
+  return acquire<HalfTables>(
+      cache_key(n, TableKind::kHalf, FftEngine::kRadix2), [n] {
+        return std::make_shared<const HalfTables>(build_half(n));
+      });
+}
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Public engine / cache hooks
+
+FftEngine fft_engine() {
+  const int v = g_engine.load(std::memory_order_acquire);
+  if (v < 0) return resolve_engine();
+  return static_cast<FftEngine>(v);
+}
+
+FftEngine fft_force_engine(FftEngine engine) {
+  g_engine.store(static_cast<int>(engine), std::memory_order_release);
+  return engine;
+}
+
+const char* fft_engine_name(FftEngine engine) {
+  return engine == FftEngine::kSplitRadix ? "splitradix" : "radix2";
+}
+
+FftCacheStats fft_plan_cache_stats() {
+  CacheState& c = cache();
+  std::scoped_lock lk(c.mu);
+  return {c.hits, c.misses, c.map.size()};
+}
+
+void fft_plan_cache_clear() {
+  CacheState& c = cache();
+  std::scoped_lock lk(c.mu);
+  c.map.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fft plans
+
 struct Fft::Impl {
   std::size_t n = 0;
-  std::unique_ptr<Radix2Plan> radix2;
-  std::unique_ptr<BluesteinPlan> bluestein;
+  std::shared_ptr<const PowTables> pow;
+  std::shared_ptr<const BluesteinTables> blu;
+  // Mutable scratch is plan-private (the shared tables are immutable),
+  // preserving the one-thread-per-plan execution contract. For
+  // split-radix plans `work` stages in-place requests through the
+  // out-of-place gather; for Bluestein, work/work2 are the two m-point
+  // convolution buffers.
+  mutable cvec work;
+  mutable cvec work2;
 
-  // Hermitian-inverse fast path (even n only): one n/2-point complex
-  // plan plus the pack twiddles e^{+j2πk/n}. Built lazily on first use
-  // so plans that never emit real signals pay nothing.
-  std::once_flag herm_once;
-  std::unique_ptr<Fft> herm_half;
-  cvec herm_twiddle;
-  cvec herm_work;
+  // Half-size plan kinds (even n): one n/2-point plan plus the shared
+  // pack/unpack twiddle planes. Built on first use so plans that never
+  // touch real signals pay nothing.
+  mutable std::once_flag half_once;
+  mutable std::unique_ptr<Fft> half;
+  mutable std::shared_ptr<const HalfTables> half_tw;
+  mutable cvec half_work;
+
+  void ensure_half() const {
+    std::call_once(half_once, [this] {
+      half = std::make_unique<Fft>(n / 2);
+      half_tw = acquire_half(n);
+      half_work.resize(n / 2);
+    });
+  }
+
+  /// Shared entry for the pow2 paths: in-place split-radix requests
+  /// hand the plan's scratch buffer to the executor, which runs the
+  /// early levels there and finishes into `out`.
+  void run_pow(std::span<const cplx> in, std::span<cplx> out,
+               bool inverse, double scale) const {
+    execute_pow(*pow, in.data(), out.data(), inverse, scale, work.data());
+  }
 };
 
 Fft::Fft(std::size_t n) : impl_(std::make_unique<Impl>()) {
   OFDM_REQUIRE(n >= 1, "Fft: size must be >= 1");
   impl_->n = n;
   if (is_pow2(n)) {
-    impl_->radix2 = std::make_unique<Radix2Plan>(n);
+    impl_->pow = acquire_pow(n, fft_engine());
+    if (impl_->pow->split_radix) impl_->work.resize(n);
   } else {
-    impl_->bluestein = std::make_unique<BluesteinPlan>(n);
+    impl_->blu = acquire_bluestein(n, fft_engine());
+    impl_->work.resize(impl_->blu->m);
+    impl_->work2.resize(impl_->blu->m);
   }
 }
 
@@ -176,18 +502,16 @@ Fft::Fft(Fft&&) noexcept = default;
 Fft& Fft::operator=(Fft&&) noexcept = default;
 
 std::size_t Fft::size() const { return impl_->n; }
-bool Fft::is_radix2() const { return impl_->radix2 != nullptr; }
+bool Fft::is_radix2() const { return impl_->pow != nullptr; }
 
 void Fft::forward(std::span<const cplx> in, std::span<cplx> out) const {
   OFDM_REQUIRE_DIM(in.size() == impl_->n && out.size() == impl_->n,
                    "Fft::forward: buffer size mismatch");
-  if (impl_->radix2) {
-    if (out.data() != in.data()) {
-      std::copy(in.begin(), in.end(), out.begin());
-    }
-    impl_->radix2->execute(out, /*inverse=*/false);
+  if (impl_->pow) {
+    impl_->run_pow(in, out, /*inverse=*/false, 1.0);
   } else {
-    impl_->bluestein->execute(in, out, /*inverse=*/false);
+    execute_bluestein(*impl_->blu, in, out, /*inverse=*/false, 1.0,
+                      impl_->work, impl_->work2);
   }
 }
 
@@ -196,13 +520,51 @@ void Fft::inverse(std::span<const cplx> in, std::span<cplx> out,
   OFDM_REQUIRE_DIM(in.size() == impl_->n && out.size() == impl_->n,
                    "Fft::inverse: buffer size mismatch");
   const double s = scale / static_cast<double>(impl_->n);
-  if (impl_->radix2) {
-    if (out.data() != in.data()) {
-      std::copy(in.begin(), in.end(), out.begin());
-    }
-    impl_->radix2->execute(out, /*inverse=*/true, s);
+  if (impl_->pow) {
+    impl_->run_pow(in, out, /*inverse=*/true, s);
   } else {
-    impl_->bluestein->execute(in, out, /*inverse=*/true, s);
+    execute_bluestein(*impl_->blu, in, out, /*inverse=*/true, s,
+                      impl_->work, impl_->work2);
+  }
+}
+
+void Fft::forward_real(std::span<const cplx> in,
+                       std::span<cplx> out) const {
+  const std::size_t n = impl_->n;
+  OFDM_REQUIRE_DIM(in.size() == n && out.size() == n,
+                   "Fft::forward_real: buffer size mismatch");
+  if (n < 2 || n % 2 != 0) {
+    // Odd sizes: general path over the real parts (imag discarded, as
+    // documented). Elementwise copy first keeps in-place calls safe.
+    for (std::size_t i = 0; i < n; ++i) out[i] = {in[i].real(), 0.0};
+    forward(out, out);
+    return;
+  }
+  impl_->ensure_half();
+  const std::size_t m = n / 2;
+  // Pack adjacent real samples into one complex signal, transform at
+  // half size, then split the packed spectrum back apart:
+  //   Z = FFT_m(x[2i] + j x[2i+1])
+  //   E[k] = (Z[k] + conj(Z[m-k]))/2        (spectrum of the evens)
+  //   O[k] = (Z[k] - conj(Z[m-k]))/(2j)     (spectrum of the odds)
+  //   X[k] = E[k] + W^k O[k],  X[k+m] = E[k] - W^k O[k],  W = e^{-j2π/n}.
+  cvec& z = impl_->half_work;
+  for (std::size_t i = 0; i < m; ++i) {
+    z[i] = {in[2 * i].real(), in[2 * i + 1].real()};
+  }
+  impl_->half->forward(z, z);
+  const cvec& w = impl_->half_tw->unpack_tw;
+  out[0] = {z[0].real() + z[0].imag(), 0.0};
+  out[m] = {z[0].real() - z[0].imag(), 0.0};
+  for (std::size_t k = 1; k < m; ++k) {
+    const cplx zk = z[k];
+    const cplx zc = std::conj(z[m - k]);
+    const cplx e = 0.5 * (zk + zc);
+    const cplx d = zk - zc;
+    const cplx o{0.5 * d.imag(), -0.5 * d.real()};  // d / (2j)
+    const cplx tvx = o * w[k];
+    out[k] = e + tvx;
+    out[k + m] = e - tvx;
   }
 }
 
@@ -215,29 +577,20 @@ void Fft::inverse_hermitian(std::span<const cplx> in, std::span<cplx> out,
     inverse(in, out, scale);
     return;
   }
+  impl_->ensure_half();
   const std::size_t m = n / 2;
-  std::call_once(impl_->herm_once, [this, n, m] {
-    impl_->herm_half = std::make_unique<Fft>(m);
-    impl_->herm_twiddle.resize(m);
-    for (std::size_t k = 0; k < m; ++k) {
-      const double a = kTwoPi * static_cast<double>(k) /
-                       static_cast<double>(n);
-      impl_->herm_twiddle[k] = {std::cos(a), std::sin(a)};
-    }
-    impl_->herm_work.resize(m);
-  });
-
   // Pack the Hermitian spectrum into an m-point complex spectrum whose
   // IFFT z satisfies z[i] = x[2i] + j x[2i+1] for the real output x:
   //   W[k] = (X[k] + X[k+m]) + j e^{+j2πk/n} (X[k] - X[k+m]).
-  cvec& w = impl_->herm_work;
+  cvec& w = impl_->half_work;
+  const cvec& tw = impl_->half_tw->pack_tw;
   for (std::size_t k = 0; k < m; ++k) {
     const cplx e = in[k] + in[k + m];
-    const cplx o = (in[k] - in[k + m]) * impl_->herm_twiddle[k];
+    const cplx o = (in[k] - in[k + m]) * tw[k];
     w[k] = {e.real() - o.imag(), e.imag() + o.real()};
   }
   // z = IFFT_m(W) / 2 (the 1/n of the full transform is 1/(2m)).
-  impl_->herm_half->inverse(w, w, 0.5 * scale);
+  impl_->half->inverse(w, w, 0.5 * scale);
   for (std::size_t i = 0; i < m; ++i) {
     out[2 * i] = {w[i].real(), 0.0};
     out[2 * i + 1] = {w[i].imag(), 0.0};

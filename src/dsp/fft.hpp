@@ -1,22 +1,39 @@
-// Fast Fourier transform with two execution paths:
+// Plan-based fast Fourier transform engine.
 //
-//  * power-of-two sizes  -> iterative radix-2 Cooley-Tukey with precomputed
-//    twiddles (the common case: 64/256/512/.../8192-point OFDM symbols);
-//  * any other size      -> Bluestein's chirp-z algorithm, needed because
-//    the DRM robustness modes use non-power-of-two symbol lengths
-//    (1152, 704, 448 samples at the 48 kHz master rate).
+// Execution paths:
+//
+//  * power-of-two sizes  -> split-radix DIT butterflies (2 complex
+//    multiplies per 4 outputs) over the SIMD kernel table, with the
+//    mixed digit-reversal permutation fused into a vectorized
+//    first-stage gather pass (no scalar scatter loop). Sizes < 8 and
+//    the OFDM_FFT=radix2 fallback run the legacy iterative radix-2
+//    path instead.
+//  * any other size      -> Bluestein's chirp-z algorithm, needed
+//    because the DRM robustness modes use non-power-of-two symbol
+//    lengths (1152, 704, 448 samples at the 48 kHz master rate). Its
+//    inner power-of-two convolution FFT goes through the same engine.
+//
+// Plan kinds: the complex transform above, plus two first-class
+// half-size kinds for the real-signal standards — forward_real()
+// (real-input forward at N/2 cost) and inverse_hermitian()
+// (Hermitian-input inverse at N/2 cost, the DMT TX path).
 //
 // Conventions: forward() computes X[k] = sum_n x[n] e^{-j2πkn/N} (no
 // scaling); inverse() includes the 1/N factor so inverse(forward(x)) == x.
 //
-// Plans own reusable workspaces (Bluestein convolution scratch, the
-// half-size plan behind the Hermitian fast path), so executing a transform
-// performs no heap allocation in steady state. The flip side: a single
-// plan must not be executed from two threads concurrently — give each
-// worker its own plan (they are cheap relative to a burst).
+// The immutable tables behind a plan (twiddle planes, digit-reversal
+// permutation, Bluestein chirp/kernels) live in a process-wide
+// thread-safe cache keyed by (size, kind, engine): every Modulator,
+// receiver, spectrum estimate, LinkRunner worker and Bluestein inner
+// transform of the same size shares one table set instead of
+// rebuilding it. Plans own only their mutable scratch, so executing a
+// transform performs no heap allocation in steady state — but a single
+// plan must still not be executed from two threads concurrently; give
+// each worker its own (now table-sharing, so genuinely cheap) plan.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -24,11 +41,47 @@
 
 namespace ofdm::dsp {
 
-/// A transform plan for a fixed size N. Construct once per symbol size and
-/// reuse; execution is allocation-free after the first call of each kind.
+/// Power-of-two butterfly engine. kSplitRadix is the default; kRadix2
+/// is the legacy fallback kept as an A/B lever (OFDM_FFT=radix2), the
+/// same shape as the OFDM_SIMD=scalar tier lever. Golden-trace digests
+/// are blessed for kSplitRadix.
+enum class FftEngine {
+  kRadix2,
+  kSplitRadix,
+};
+
+/// The engine new plans use. First call resolves the OFDM_FFT
+/// environment variable ("radix2", "splitradix", "auto"); later calls
+/// are an atomic load. Unknown values throw ConfigError.
+FftEngine fft_engine();
+
+/// Override the engine decision (benches and the engine-equivalence
+/// test use this to pit the two pow2 paths against each other).
+/// Existing plans keep the engine they were built with.
+FftEngine fft_force_engine(FftEngine engine);
+
+/// "radix2" / "splitradix".
+const char* fft_engine_name(FftEngine engine);
+
+/// Observability hooks for the process-wide plan-table cache.
+struct FftCacheStats {
+  std::uint64_t hits = 0;    ///< acquisitions served from the cache
+  std::uint64_t misses = 0;  ///< acquisitions that built fresh tables
+  std::size_t entries = 0;   ///< table sets currently cached
+};
+FftCacheStats fft_plan_cache_stats();
+
+/// Drop every cached table set (outstanding plans keep theirs alive
+/// via shared ownership) and reset the hit/miss counters. Test hook.
+void fft_plan_cache_clear();
+
+/// A transform plan for a fixed size N. Construct once per symbol size
+/// and reuse; execution is allocation-free after the first call of
+/// each kind. Table construction is cached process-wide, so repeated
+/// construction at the same size is cheap.
 class Fft {
  public:
-  /// Build a plan for size n (n >= 1). Chooses radix-2 or Bluestein.
+  /// Build a plan for size n. Throws ConfigError for n == 0.
   explicit Fft(std::size_t n);
   ~Fft();
 
@@ -39,11 +92,19 @@ class Fft {
 
   std::size_t size() const;
 
-  /// True if this plan runs the radix-2 path (power-of-two size).
+  /// True if this plan runs a power-of-two butterfly path (split-radix
+  /// or radix-2) rather than Bluestein. Kept under its historical name.
   bool is_radix2() const;
 
   /// Forward DFT. in.size() == out.size() == size(). In-place allowed.
   void forward(std::span<const cplx> in, std::span<cplx> out) const;
+
+  /// Forward DFT of a real signal carried in the real parts of `in`
+  /// (imaginary parts are ignored). For even N this packs the signal
+  /// into an N/2-point complex FFT (~2x faster) and writes the full
+  /// Hermitian-symmetric N-bin spectrum; odd N falls back to the
+  /// general forward path. In-place allowed.
+  void forward_real(std::span<const cplx> in, std::span<cplx> out) const;
 
   /// Inverse DFT with 1/N scaling, times an optional extra amplitude
   /// factor fused into the transform's own output pass (no separate

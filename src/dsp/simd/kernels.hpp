@@ -40,6 +40,46 @@ struct Kernels {
   void (*fft_last_stage)(cplx* d, const cplx* tw, std::size_t half,
                          double scale);
 
+  /// Split-radix fused first pass: gather the mixed digit-reversal
+  /// permutation out[i] = in[perm[i]] and apply the trivial-twiddle
+  /// base butterflies in the same sweep (this is what retires the old
+  /// scalar bit-reversal scatter loop). `quads` lists the output
+  /// offsets of 4-point DFT units — gathered input order (x0, x2, x1,
+  /// x3) of the unit's sub-signal — and `pairs` the offsets of 2-point
+  /// units. `inverse` flips the sign of the ±j rotation inside the
+  /// 4-point units (a component swap + sign flip: exact, so forward
+  /// and inverse stay bit-reproducible). in must not alias out.
+  void (*fft_sr_gather)(const cplx* in, cplx* out,
+                        const std::uint32_t* perm,
+                        const std::uint32_t* quads, std::size_t n_quads,
+                        const std::uint32_t* pairs, std::size_t n_pairs,
+                        bool inverse);
+
+  /// One split-radix combine level over every block offset in `offs`.
+  /// A block of size 4*n4 at offset off holds U = d[off .. off+2*n4)
+  /// (the half-size sub-DFT) and Z / Z' = the two quarter-size sub-DFTs
+  /// at off+2*n4 / off+3*n4. Twiddles are laid out as two contiguous
+  /// planes per level: tw[j] = W^j and tw[n4 + j] = W^{3j}, W =
+  /// e^{-2πi/(4*n4)} (conjugated table for the inverse). Per j:
+  ///   t1 = Z[j]*tw[j]; t3 = Z'[j]*tw[n4+j];
+  ///   d[off+j]      = U[j] + (t1+t3);   d[off+2*n4+j] = U[j] - (t1+t3);
+  ///   d[off+n4+j]   = U[n4+j] + r;      d[off+3*n4+j] = U[n4+j] - r;
+  /// with r = ∓j*(t1-t3) (forward/inverse). The plan only emits levels
+  /// of size >= 8, so n4 is always a power of two >= 2 (tiers may pair
+  /// lanes without a tail loop).
+  void (*fft_sr_combine)(cplx* d, const cplx* tw,
+                         const std::uint32_t* offs, std::size_t n_offs,
+                         std::size_t n4, bool inverse);
+
+  /// The final combine level (single block covering the whole array,
+  /// n4 = n/4) with the output scale folded into the four butterfly
+  /// writes. Reads src, writes dst at the same indices; src == dst is
+  /// the in-place case and src != dst lets an in-place *transform*
+  /// finish out of its staging buffer without an extra copy pass.
+  /// scale == 1.0 must skip the multiply entirely.
+  void (*fft_sr_last)(const cplx* src, cplx* dst, const cplx* tw,
+                      std::size_t n4, bool inverse, double scale);
+
   /// FIR with real taps over complex samples:
   ///   out[i] = sum_{t=0..n_taps-1} x[i + n_taps - 1 - t] * taps[t]
   /// accumulated in ascending t — the scalar delay-line order. `x` must

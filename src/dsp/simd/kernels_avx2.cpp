@@ -137,6 +137,144 @@ void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
   }
 }
 
+// The split-radix ∓j legs are a component swap plus an XOR sign flip
+// — both exact, matching the scalar rot90 bit-for-bit. The masks
+// negate the imaginary lane(s) forward (-j) and the real lane(s)
+// inverse (+j).
+inline __m128d jmask1(bool inverse) {
+  const long long s = static_cast<long long>(0x8000000000000000ULL);
+  return _mm_castsi128_pd(inverse ? _mm_set_epi64x(0, s)
+                                  : _mm_set_epi64x(s, 0));
+}
+inline __m256d jmask2(bool inverse) {
+  const long long s = static_cast<long long>(0x8000000000000000ULL);
+  return _mm256_castsi256_pd(inverse ? _mm256_set_epi64x(0, s, 0, s)
+                                     : _mm256_set_epi64x(s, 0, s, 0));
+}
+
+void fft_sr_gather(const cplx* in, cplx* out, const std::uint32_t* perm,
+                   const std::uint32_t* quads, std::size_t n_quads,
+                   const std::uint32_t* pairs, std::size_t n_pairs,
+                   bool inverse) {
+  const __m128d jm = jmask1(inverse);
+  for (std::size_t q = 0; q < n_quads; ++q) {
+    const std::size_t p = quads[q];
+    const __m128d g0 = load1(in + perm[p]);
+    const __m128d g1 = load1(in + perm[p + 1]);
+    const __m128d g2 = load1(in + perm[p + 2]);
+    const __m128d g3 = load1(in + perm[p + 3]);
+    const __m128d e0 = _mm_add_pd(g0, g1);
+    const __m128d e1 = _mm_sub_pd(g0, g1);
+    const __m128d ts = _mm_add_pd(g2, g3);
+    const __m128d tm = _mm_sub_pd(g2, g3);
+    const __m128d td = _mm_xor_pd(_mm_shuffle_pd(tm, tm, 0x1), jm);
+    store1(out + p, _mm_add_pd(e0, ts));
+    store1(out + p + 2, _mm_sub_pd(e0, ts));
+    store1(out + p + 1, _mm_add_pd(e1, td));
+    store1(out + p + 3, _mm_sub_pd(e1, td));
+  }
+  for (std::size_t r = 0; r < n_pairs; ++r) {
+    const std::size_t p = pairs[r];
+    const __m128d g0 = load1(in + perm[p]);
+    const __m128d g1 = load1(in + perm[p + 1]);
+    store1(out + p, _mm_add_pd(g0, g1));
+    store1(out + p + 1, _mm_sub_pd(g0, g1));
+  }
+}
+
+/// Two split-radix butterflies per iteration; the planar twiddle
+/// layout (all W^j, then all W^{3j}) keeps both loads contiguous.
+inline void sr_block2(cplx* u0, cplx* u1, cplx* z, cplx* zp,
+                      const cplx* tw, std::size_t n4, __m256d jm) {
+  for (std::size_t j = 0; j + 2 <= n4; j += 2) {
+    const __m256d t1 = cmul(load2(z + j), load2(tw + j));
+    const __m256d t3 = cmul(load2(zp + j), load2(tw + n4 + j));
+    const __m256d ts = _mm256_add_pd(t1, t3);
+    const __m256d tm = _mm256_sub_pd(t1, t3);
+    const __m256d td = _mm256_xor_pd(_mm256_permute_pd(tm, 0x5), jm);
+    const __m256d a = load2(u0 + j);
+    const __m256d c = load2(u1 + j);
+    store2(u0 + j, _mm256_add_pd(a, ts));
+    store2(z + j, _mm256_sub_pd(a, ts));
+    store2(u1 + j, _mm256_add_pd(c, td));
+    store2(zp + j, _mm256_sub_pd(c, td));
+  }
+}
+
+void fft_sr_combine(cplx* d, const cplx* tw, const std::uint32_t* offs,
+                    std::size_t n_offs, std::size_t n4, bool inverse) {
+  // The plan only emits levels of size >= 8, so n4 is a power of two
+  // >= 2 and the paired loop needs no tail.
+  const __m256d jm = jmask2(inverse);
+  if (n4 == 2) {
+    // The size-8 level holds n/8 blocks — by far the most of any level
+    // — and its whole twiddle table is two registers. Hoist the loads
+    // out of the block loop (the compiler can't: the block stores may
+    // alias `tw` as far as it knows). Same per-element op sequence as
+    // sr_block2, so bit-identity holds.
+    const __m256d w1 = load2(tw);
+    const __m256d w3 = load2(tw + 2);
+    for (std::size_t b = 0; b < n_offs; ++b) {
+      cplx* const u0 = d + offs[b];
+      const __m256d t1 = cmul(load2(u0 + 4), w1);
+      const __m256d t3 = cmul(load2(u0 + 6), w3);
+      const __m256d ts = _mm256_add_pd(t1, t3);
+      const __m256d tm = _mm256_sub_pd(t1, t3);
+      const __m256d td = _mm256_xor_pd(_mm256_permute_pd(tm, 0x5), jm);
+      const __m256d a = load2(u0);
+      const __m256d c = load2(u0 + 2);
+      store2(u0, _mm256_add_pd(a, ts));
+      store2(u0 + 4, _mm256_sub_pd(a, ts));
+      store2(u0 + 2, _mm256_add_pd(c, td));
+      store2(u0 + 6, _mm256_sub_pd(c, td));
+    }
+    return;
+  }
+  for (std::size_t b = 0; b < n_offs; ++b) {
+    cplx* const u0 = d + offs[b];
+    sr_block2(u0, u0 + n4, u0 + 2 * n4, u0 + 3 * n4, tw, n4, jm);
+  }
+}
+
+void fft_sr_last(const cplx* src, cplx* dst, const cplx* tw,
+                 std::size_t n4, bool inverse, double scale) {
+  const __m256d jm = jmask2(inverse);
+  const cplx* const u0 = src;
+  const cplx* const u1 = src + n4;
+  const cplx* const z = src + 2 * n4;
+  const cplx* const zp = src + 3 * n4;
+  if (scale == 1.0) {
+    for (std::size_t j = 0; j + 2 <= n4; j += 2) {
+      const __m256d t1 = cmul(load2(z + j), load2(tw + j));
+      const __m256d t3 = cmul(load2(zp + j), load2(tw + n4 + j));
+      const __m256d ts = _mm256_add_pd(t1, t3);
+      const __m256d tm = _mm256_sub_pd(t1, t3);
+      const __m256d td = _mm256_xor_pd(_mm256_permute_pd(tm, 0x5), jm);
+      const __m256d a = load2(u0 + j);
+      const __m256d c = load2(u1 + j);
+      store2(dst + j, _mm256_add_pd(a, ts));
+      store2(dst + 2 * n4 + j, _mm256_sub_pd(a, ts));
+      store2(dst + n4 + j, _mm256_add_pd(c, td));
+      store2(dst + 3 * n4 + j, _mm256_sub_pd(c, td));
+    }
+    return;
+  }
+  const __m256d s = _mm256_set1_pd(scale);
+  for (std::size_t j = 0; j + 2 <= n4; j += 2) {
+    const __m256d t1 = cmul(load2(z + j), load2(tw + j));
+    const __m256d t3 = cmul(load2(zp + j), load2(tw + n4 + j));
+    const __m256d ts = _mm256_add_pd(t1, t3);
+    const __m256d tm = _mm256_sub_pd(t1, t3);
+    const __m256d td = _mm256_xor_pd(_mm256_permute_pd(tm, 0x5), jm);
+    const __m256d a = load2(u0 + j);
+    const __m256d c = load2(u1 + j);
+    store2(dst + j, _mm256_mul_pd(_mm256_add_pd(a, ts), s));
+    store2(dst + 2 * n4 + j, _mm256_mul_pd(_mm256_sub_pd(a, ts), s));
+    store2(dst + n4 + j, _mm256_mul_pd(_mm256_add_pd(c, td), s));
+    store2(dst + 3 * n4 + j, _mm256_mul_pd(_mm256_sub_pd(c, td), s));
+  }
+}
+
 void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
             cplx* out, std::size_t n_out) {
   std::size_t i = 0;
@@ -270,9 +408,18 @@ void rvec_add(double* a, const double* b, std::size_t n) {
 
 const Kernels& avx2_kernels() {
   static const Kernels table = {
-      "avx2",          avx2::fft_stage, avx2::fft_last_stage,
-      avx2::fir_cr,    avx2::fir_cc,    avx2::cvec_add,
-      avx2::cvec_mul,  avx2::cvec_scale, avx2::rvec_add,
+      "avx2",
+      avx2::fft_stage,
+      avx2::fft_last_stage,
+      avx2::fft_sr_gather,
+      avx2::fft_sr_combine,
+      avx2::fft_sr_last,
+      avx2::fir_cr,
+      avx2::fir_cc,
+      avx2::cvec_add,
+      avx2::cvec_mul,
+      avx2::cvec_scale,
+      avx2::rvec_add,
       scalar_kernels().map_lut,
   };
   return table;

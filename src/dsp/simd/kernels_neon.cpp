@@ -72,6 +72,100 @@ void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
   }
 }
 
+/// ∓j * v: swap the two lanes, then negate one of them — both exact,
+/// matching the scalar rot90 bit-for-bit.
+inline float64x2_t rot90(float64x2_t v, bool inverse) {
+  return inverse
+             ? vcombine_f64(vneg_f64(vget_high_f64(v)), vget_low_f64(v))
+             : vcombine_f64(vget_high_f64(v), vneg_f64(vget_low_f64(v)));
+}
+
+void fft_sr_gather(const cplx* in, cplx* out, const std::uint32_t* perm,
+                   const std::uint32_t* quads, std::size_t n_quads,
+                   const std::uint32_t* pairs, std::size_t n_pairs,
+                   bool inverse) {
+  for (std::size_t q = 0; q < n_quads; ++q) {
+    const std::size_t p = quads[q];
+    const float64x2_t g0 = load(in + perm[p]);
+    const float64x2_t g1 = load(in + perm[p + 1]);
+    const float64x2_t g2 = load(in + perm[p + 2]);
+    const float64x2_t g3 = load(in + perm[p + 3]);
+    const float64x2_t e0 = vaddq_f64(g0, g1);
+    const float64x2_t e1 = vsubq_f64(g0, g1);
+    const float64x2_t ts = vaddq_f64(g2, g3);
+    const float64x2_t td = rot90(vsubq_f64(g2, g3), inverse);
+    store(out + p, vaddq_f64(e0, ts));
+    store(out + p + 2, vsubq_f64(e0, ts));
+    store(out + p + 1, vaddq_f64(e1, td));
+    store(out + p + 3, vsubq_f64(e1, td));
+  }
+  for (std::size_t r = 0; r < n_pairs; ++r) {
+    const std::size_t p = pairs[r];
+    const float64x2_t g0 = load(in + perm[p]);
+    const float64x2_t g1 = load(in + perm[p + 1]);
+    store(out + p, vaddq_f64(g0, g1));
+    store(out + p + 1, vsubq_f64(g0, g1));
+  }
+}
+
+void fft_sr_combine(cplx* d, const cplx* tw, const std::uint32_t* offs,
+                    std::size_t n_offs, std::size_t n4, bool inverse) {
+  for (std::size_t b = 0; b < n_offs; ++b) {
+    cplx* const u0 = d + offs[b];
+    cplx* const u1 = u0 + n4;
+    cplx* const z = u0 + 2 * n4;
+    cplx* const zp = u0 + 3 * n4;
+    for (std::size_t j = 0; j < n4; ++j) {
+      const float64x2_t t1 = cmul(load(z + j), load(tw + j));
+      const float64x2_t t3 = cmul(load(zp + j), load(tw + n4 + j));
+      const float64x2_t ts = vaddq_f64(t1, t3);
+      const float64x2_t td = rot90(vsubq_f64(t1, t3), inverse);
+      const float64x2_t a = load(u0 + j);
+      const float64x2_t c = load(u1 + j);
+      store(u0 + j, vaddq_f64(a, ts));
+      store(z + j, vsubq_f64(a, ts));
+      store(u1 + j, vaddq_f64(c, td));
+      store(zp + j, vsubq_f64(c, td));
+    }
+  }
+}
+
+void fft_sr_last(const cplx* src, cplx* dst, const cplx* tw,
+                 std::size_t n4, bool inverse, double scale) {
+  const cplx* const u0 = src;
+  const cplx* const u1 = src + n4;
+  const cplx* const z = src + 2 * n4;
+  const cplx* const zp = src + 3 * n4;
+  if (scale == 1.0) {
+    for (std::size_t j = 0; j < n4; ++j) {
+      const float64x2_t t1 = cmul(load(z + j), load(tw + j));
+      const float64x2_t t3 = cmul(load(zp + j), load(tw + n4 + j));
+      const float64x2_t ts = vaddq_f64(t1, t3);
+      const float64x2_t td = rot90(vsubq_f64(t1, t3), inverse);
+      const float64x2_t a = load(u0 + j);
+      const float64x2_t c = load(u1 + j);
+      store(dst + j, vaddq_f64(a, ts));
+      store(dst + 2 * n4 + j, vsubq_f64(a, ts));
+      store(dst + n4 + j, vaddq_f64(c, td));
+      store(dst + 3 * n4 + j, vsubq_f64(c, td));
+    }
+    return;
+  }
+  const float64x2_t s = vdupq_n_f64(scale);
+  for (std::size_t j = 0; j < n4; ++j) {
+    const float64x2_t t1 = cmul(load(z + j), load(tw + j));
+    const float64x2_t t3 = cmul(load(zp + j), load(tw + n4 + j));
+    const float64x2_t ts = vaddq_f64(t1, t3);
+    const float64x2_t td = rot90(vsubq_f64(t1, t3), inverse);
+    const float64x2_t a = load(u0 + j);
+    const float64x2_t c = load(u1 + j);
+    store(dst + j, vmulq_f64(vaddq_f64(a, ts), s));
+    store(dst + 2 * n4 + j, vmulq_f64(vsubq_f64(a, ts), s));
+    store(dst + n4 + j, vmulq_f64(vaddq_f64(c, td), s));
+    store(dst + 3 * n4 + j, vmulq_f64(vsubq_f64(c, td), s));
+  }
+}
+
 void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
             cplx* out, std::size_t n_out) {
   std::size_t i = 0;
@@ -169,9 +263,18 @@ void rvec_add(double* a, const double* b, std::size_t n) {
 
 const Kernels& neon_kernels() {
   static const Kernels table = {
-      "neon",          neon::fft_stage, neon::fft_last_stage,
-      neon::fir_cr,    neon::fir_cc,    neon::cvec_add,
-      neon::cvec_mul,  neon::cvec_scale, neon::rvec_add,
+      "neon",
+      neon::fft_stage,
+      neon::fft_last_stage,
+      neon::fft_sr_gather,
+      neon::fft_sr_combine,
+      neon::fft_sr_last,
+      neon::fir_cr,
+      neon::fir_cc,
+      neon::cvec_add,
+      neon::cvec_mul,
+      neon::cvec_scale,
+      neon::rvec_add,
       scalar_kernels().map_lut,
   };
   return table;

@@ -57,6 +57,98 @@ void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
   }
 }
 
+/// ∓j * v: (v.im, -v.re) forward, (-v.im, v.re) inverse. A component
+/// swap plus a sign flip — exact in IEEE-754, so the split-radix
+/// butterflies need no separate inverse twiddle trick for the ±j legs.
+inline cplx rot90(const cplx& v, bool inverse) {
+  return inverse ? cplx{-v.imag(), v.real()} : cplx{v.imag(), -v.real()};
+}
+
+void fft_sr_gather(const cplx* in, cplx* out, const std::uint32_t* perm,
+                   const std::uint32_t* quads, std::size_t n_quads,
+                   const std::uint32_t* pairs, std::size_t n_pairs,
+                   bool inverse) {
+  for (std::size_t q = 0; q < n_quads; ++q) {
+    const std::size_t p = quads[q];
+    const cplx g0 = in[perm[p]];
+    const cplx g1 = in[perm[p + 1]];
+    const cplx g2 = in[perm[p + 2]];
+    const cplx g3 = in[perm[p + 3]];
+    const cplx e0 = g0 + g1;
+    const cplx e1 = g0 - g1;
+    const cplx ts = g2 + g3;
+    const cplx td = rot90(g2 - g3, inverse);
+    out[p] = e0 + ts;
+    out[p + 2] = e0 - ts;
+    out[p + 1] = e1 + td;
+    out[p + 3] = e1 - td;
+  }
+  for (std::size_t r = 0; r < n_pairs; ++r) {
+    const std::size_t p = pairs[r];
+    const cplx g0 = in[perm[p]];
+    const cplx g1 = in[perm[p + 1]];
+    out[p] = g0 + g1;
+    out[p + 1] = g0 - g1;
+  }
+}
+
+void fft_sr_combine(cplx* d, const cplx* tw, const std::uint32_t* offs,
+                    std::size_t n_offs, std::size_t n4, bool inverse) {
+  for (std::size_t b = 0; b < n_offs; ++b) {
+    cplx* const u0 = d + offs[b];
+    cplx* const u1 = u0 + n4;
+    cplx* const z = u0 + 2 * n4;
+    cplx* const zp = u0 + 3 * n4;
+    for (std::size_t j = 0; j < n4; ++j) {
+      const cplx t1 = cmul(z[j], tw[j]);
+      const cplx t3 = cmul(zp[j], tw[n4 + j]);
+      const cplx ts = t1 + t3;
+      const cplx td = rot90(t1 - t3, inverse);
+      const cplx a = u0[j];
+      const cplx c = u1[j];
+      u0[j] = a + ts;
+      z[j] = a - ts;
+      u1[j] = c + td;
+      zp[j] = c - td;
+    }
+  }
+}
+
+void fft_sr_last(const cplx* src, cplx* dst, const cplx* tw,
+                 std::size_t n4, bool inverse, double scale) {
+  const cplx* const u0 = src;
+  const cplx* const u1 = src + n4;
+  const cplx* const z = src + 2 * n4;
+  const cplx* const zp = src + 3 * n4;
+  if (scale == 1.0) {
+    for (std::size_t j = 0; j < n4; ++j) {
+      const cplx t1 = cmul(z[j], tw[j]);
+      const cplx t3 = cmul(zp[j], tw[n4 + j]);
+      const cplx ts = t1 + t3;
+      const cplx td = rot90(t1 - t3, inverse);
+      const cplx a = u0[j];
+      const cplx c = u1[j];
+      dst[j] = a + ts;
+      dst[2 * n4 + j] = a - ts;
+      dst[n4 + j] = c + td;
+      dst[3 * n4 + j] = c - td;
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < n4; ++j) {
+    const cplx t1 = cmul(z[j], tw[j]);
+    const cplx t3 = cmul(zp[j], tw[n4 + j]);
+    const cplx ts = t1 + t3;
+    const cplx td = rot90(t1 - t3, inverse);
+    const cplx a = u0[j];
+    const cplx c = u1[j];
+    dst[j] = (a + ts) * scale;
+    dst[2 * n4 + j] = (a - ts) * scale;
+    dst[n4 + j] = (c + td) * scale;
+    dst[3 * n4 + j] = (c - td) * scale;
+  }
+}
+
 void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
             cplx* out, std::size_t n_out) {
   for (std::size_t i = 0; i < n_out; ++i) {
@@ -120,9 +212,18 @@ void map_lut(const std::uint8_t* bits, std::size_t n_sym,
 
 const Kernels& scalar_kernels() {
   static const Kernels table = {
-      "scalar",          scalar::fft_stage, scalar::fft_last_stage,
-      scalar::fir_cr,    scalar::fir_cc,    scalar::cvec_add,
-      scalar::cvec_mul,  scalar::cvec_scale, scalar::rvec_add,
+      "scalar",
+      scalar::fft_stage,
+      scalar::fft_last_stage,
+      scalar::fft_sr_gather,
+      scalar::fft_sr_combine,
+      scalar::fft_sr_last,
+      scalar::fir_cr,
+      scalar::fir_cc,
+      scalar::cvec_add,
+      scalar::cvec_mul,
+      scalar::cvec_scale,
+      scalar::rvec_add,
       scalar::map_lut,
   };
   return table;

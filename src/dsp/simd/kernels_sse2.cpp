@@ -81,6 +81,109 @@ void fft_last_stage(cplx* d, const cplx* tw, std::size_t half,
   }
 }
 
+inline __m128d neg_hi_mask() {
+  return _mm_castsi128_pd(
+      _mm_set_epi64x(static_cast<long long>(0x8000000000000000ULL), 0));
+}
+
+// The split-radix ∓j legs are a component swap (shuffle 0x1) plus an
+// XOR sign flip with jmask — both exact, matching scalar rot90
+// bit-for-bit. jmask negates the imaginary lane forward (-j) and the
+// real lane inverse (+j).
+
+void fft_sr_gather(const cplx* in, cplx* out, const std::uint32_t* perm,
+                   const std::uint32_t* quads, std::size_t n_quads,
+                   const std::uint32_t* pairs, std::size_t n_pairs,
+                   bool inverse) {
+  const __m128d jmask = inverse ? neg_lo_mask() : neg_hi_mask();
+  for (std::size_t q = 0; q < n_quads; ++q) {
+    const std::size_t p = quads[q];
+    const __m128d g0 = load(in + perm[p]);
+    const __m128d g1 = load(in + perm[p + 1]);
+    const __m128d g2 = load(in + perm[p + 2]);
+    const __m128d g3 = load(in + perm[p + 3]);
+    const __m128d e0 = _mm_add_pd(g0, g1);
+    const __m128d e1 = _mm_sub_pd(g0, g1);
+    const __m128d ts = _mm_add_pd(g2, g3);
+    const __m128d tm = _mm_sub_pd(g2, g3);
+    const __m128d td = _mm_xor_pd(_mm_shuffle_pd(tm, tm, 0x1), jmask);
+    store(out + p, _mm_add_pd(e0, ts));
+    store(out + p + 2, _mm_sub_pd(e0, ts));
+    store(out + p + 1, _mm_add_pd(e1, td));
+    store(out + p + 3, _mm_sub_pd(e1, td));
+  }
+  for (std::size_t r = 0; r < n_pairs; ++r) {
+    const std::size_t p = pairs[r];
+    const __m128d g0 = load(in + perm[p]);
+    const __m128d g1 = load(in + perm[p + 1]);
+    store(out + p, _mm_add_pd(g0, g1));
+    store(out + p + 1, _mm_sub_pd(g0, g1));
+  }
+}
+
+void fft_sr_combine(cplx* d, const cplx* tw, const std::uint32_t* offs,
+                    std::size_t n_offs, std::size_t n4, bool inverse) {
+  const __m128d jmask = inverse ? neg_lo_mask() : neg_hi_mask();
+  for (std::size_t b = 0; b < n_offs; ++b) {
+    cplx* const u0 = d + offs[b];
+    cplx* const u1 = u0 + n4;
+    cplx* const z = u0 + 2 * n4;
+    cplx* const zp = u0 + 3 * n4;
+    for (std::size_t j = 0; j < n4; ++j) {
+      const __m128d t1 = cmul(load(z + j), load(tw + j));
+      const __m128d t3 = cmul(load(zp + j), load(tw + n4 + j));
+      const __m128d ts = _mm_add_pd(t1, t3);
+      const __m128d tm = _mm_sub_pd(t1, t3);
+      const __m128d td = _mm_xor_pd(_mm_shuffle_pd(tm, tm, 0x1), jmask);
+      const __m128d a = load(u0 + j);
+      const __m128d c = load(u1 + j);
+      store(u0 + j, _mm_add_pd(a, ts));
+      store(z + j, _mm_sub_pd(a, ts));
+      store(u1 + j, _mm_add_pd(c, td));
+      store(zp + j, _mm_sub_pd(c, td));
+    }
+  }
+}
+
+void fft_sr_last(const cplx* src, cplx* dst, const cplx* tw,
+                 std::size_t n4, bool inverse, double scale) {
+  const __m128d jmask = inverse ? neg_lo_mask() : neg_hi_mask();
+  const cplx* const u0 = src;
+  const cplx* const u1 = src + n4;
+  const cplx* const z = src + 2 * n4;
+  const cplx* const zp = src + 3 * n4;
+  if (scale == 1.0) {
+    for (std::size_t j = 0; j < n4; ++j) {
+      const __m128d t1 = cmul(load(z + j), load(tw + j));
+      const __m128d t3 = cmul(load(zp + j), load(tw + n4 + j));
+      const __m128d ts = _mm_add_pd(t1, t3);
+      const __m128d tm = _mm_sub_pd(t1, t3);
+      const __m128d td = _mm_xor_pd(_mm_shuffle_pd(tm, tm, 0x1), jmask);
+      const __m128d a = load(u0 + j);
+      const __m128d c = load(u1 + j);
+      store(dst + j, _mm_add_pd(a, ts));
+      store(dst + 2 * n4 + j, _mm_sub_pd(a, ts));
+      store(dst + n4 + j, _mm_add_pd(c, td));
+      store(dst + 3 * n4 + j, _mm_sub_pd(c, td));
+    }
+    return;
+  }
+  const __m128d s = _mm_set1_pd(scale);
+  for (std::size_t j = 0; j < n4; ++j) {
+    const __m128d t1 = cmul(load(z + j), load(tw + j));
+    const __m128d t3 = cmul(load(zp + j), load(tw + n4 + j));
+    const __m128d ts = _mm_add_pd(t1, t3);
+    const __m128d tm = _mm_sub_pd(t1, t3);
+    const __m128d td = _mm_xor_pd(_mm_shuffle_pd(tm, tm, 0x1), jmask);
+    const __m128d a = load(u0 + j);
+    const __m128d c = load(u1 + j);
+    store(dst + j, _mm_mul_pd(_mm_add_pd(a, ts), s));
+    store(dst + 2 * n4 + j, _mm_mul_pd(_mm_sub_pd(a, ts), s));
+    store(dst + n4 + j, _mm_mul_pd(_mm_add_pd(c, td), s));
+    store(dst + 3 * n4 + j, _mm_mul_pd(_mm_sub_pd(c, td), s));
+  }
+}
+
 void fir_cr(const cplx* x, const double* taps, std::size_t n_taps,
             cplx* out, std::size_t n_out) {
   std::size_t i = 0;
@@ -166,9 +269,18 @@ void rvec_add(double* a, const double* b, std::size_t n) {
 
 const Kernels& sse2_kernels() {
   static const Kernels table = {
-      "sse2",          sse2::fft_stage, sse2::fft_last_stage,
-      sse2::fir_cr,    sse2::fir_cc,    sse2::cvec_add,
-      sse2::cvec_mul,  sse2::cvec_scale, sse2::rvec_add,
+      "sse2",
+      sse2::fft_stage,
+      sse2::fft_last_stage,
+      sse2::fft_sr_gather,
+      sse2::fft_sr_combine,
+      sse2::fft_sr_last,
+      sse2::fir_cr,
+      sse2::fir_cc,
+      sse2::cvec_add,
+      sse2::cvec_mul,
+      sse2::cvec_scale,
+      sse2::rvec_add,
       scalar_kernels().map_lut,
   };
   return table;

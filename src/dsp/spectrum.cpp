@@ -44,14 +44,31 @@ Psd welch_psd(std::span<const cplx> x, const WelchConfig& cfg) {
   const rvec w = make_window(cfg.window, seg);
   const double norm = window_power(w) * static_cast<double>(seg);
 
+  // Per-call construction is fine: the twiddle/permutation tables come
+  // out of the process-wide plan cache, so repeated estimates at the
+  // same segment size rebuild nothing.
   Fft fft(seg);
+  // DMT/powerline captures are exactly real (imaginary lanes bitwise
+  // 0.0); a real window keeps them real, so the half-size real-input
+  // plan kind applies. Any complex content falls back to the full FFT.
+  bool real_input = true;
+  for (const cplx& v : x) {
+    if (v.imag() != 0.0) {
+      real_input = false;
+      break;
+    }
+  }
   cvec buf(seg);
   cvec spec(seg);
   rvec acc(seg, 0.0);
   std::size_t count = 0;
   for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
     for (std::size_t i = 0; i < seg; ++i) buf[i] = x[start + i] * w[i];
-    fft.forward(buf, spec);
+    if (real_input) {
+      fft.forward_real(buf, spec);
+    } else {
+      fft.forward(buf, spec);
+    }
     for (std::size_t i = 0; i < seg; ++i) acc[i] += std::norm(spec[i]);
     ++count;
   }

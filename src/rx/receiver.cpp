@@ -190,7 +190,30 @@ cvec demod_bins(const OfdmParams& p, const dsp::Fft& fft, double scale,
   const std::size_t cp = p.cp_len;
   OFDM_REQUIRE_DIM(offset + cp + n <= burst.size(),
                    "Receiver: burst shorter than expected");
-  cvec bins = fft.forward(burst.subspan(offset + cp, n));
+  const std::span<const cplx> window = burst.subspan(offset + cp, n);
+  cvec bins(n);
+  if (p.hermitian) {
+    // Real-baseband standards (DMT/powerline) keep the imaginary lanes
+    // bitwise 0.0 through loopback and real-only channels, where the
+    // half-size real-input plan kind does the same transform at ~N/2
+    // cost. The check must be exact — forward_real discards imaginary
+    // parts — so any complex impairment (CFO, fading) falls back to the
+    // full complex FFT.
+    bool exactly_real = true;
+    for (const cplx& v : window) {
+      if (v.imag() != 0.0) {
+        exactly_real = false;
+        break;
+      }
+    }
+    if (exactly_real) {
+      fft.forward_real(window, bins);
+    } else {
+      fft.forward(window, bins);
+    }
+  } else {
+    fft.forward(window, bins);
+  }
   const double inv = 1.0 / scale;
   for (cplx& v : bins) v *= inv;
   if (!equalizer.empty()) {
@@ -216,6 +239,8 @@ cvec Receiver::estimate_equalizer(std::span<const cplx> burst) const {
       const std::size_t t1 = p.frame.null_samples + 160 + 32;
       OFDM_REQUIRE_DIM(t1 + 128 <= burst.size(),
                        "estimate_equalizer: burst too short for LTF");
+      // Cheap per-call plan: the 64-point tables are shared through the
+      // process-wide plan cache with every other WLAN-geometry user.
       dsp::Fft fft64(64);
       const cvec r1 = fft64.forward(burst.subspan(t1, 64));
       const cvec r2 = fft64.forward(burst.subspan(t1 + 64, 64));

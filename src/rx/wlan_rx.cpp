@@ -28,6 +28,7 @@ cvec derotate(std::span<const cplx> x, double cfo_hz, double fs) {
 
 // The 64-sample time-domain long training symbol at data scaling.
 cvec ltf_time_symbol() {
+  // Cheap per-call plan: tables come from the process-wide plan cache.
   dsp::Fft fft(64);
   cvec t = fft.inverse(core::wlan_ltf_bins());
   const double scale = 64.0 / std::sqrt(52.0);
@@ -107,7 +108,8 @@ WlanRxResult WlanPacketReceiver::receive(std::span<const cplx> stream,
   corrected = derotate(stream.subspan(result.burst_start),
                        result.coarse_cfo_hz + result.fine_cfo_hz, fs);
 
-  // 5. Channel estimation averaged over T1 and T2.
+  // 5. Channel estimation averaged over T1 and T2. Per-call plan
+  // construction shares the cached 64-point tables.
   dsp::Fft fft(64);
   const double scale = 64.0 / std::sqrt(52.0);
   const cvec known = core::wlan_ltf_bins();

@@ -1,9 +1,14 @@
-// FFT unit & property tests: both execution paths (radix-2 and Bluestein)
-// against the O(N^2) reference DFT, round-trip identity, Parseval, and
-// the shift utilities.
+// FFT unit & property tests: every execution path (split-radix,
+// legacy radix-2, Bluestein) against the O(N^2) reference DFT,
+// round-trip identity, Parseval, the real-input / Hermitian-input
+// half-size plan kinds, the process-wide plan cache (including a
+// multi-threaded hammer), and the shift utilities.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -68,7 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values<std::size_t>(1, 2, 4, 16, 64, 256, 512, 1024, 2048,
                                    8192,        // power-of-two members
                                    448, 704, 1152,  // DRM modes D, C, A
-                                   3, 12, 100, 360));
+                                   3, 12, 100, 360,
+                                   7, 31, 97, 509));  // primes (Bluestein)
 
 TEST(Fft, PathSelection) {
   EXPECT_TRUE(Fft(64).is_radix2());
@@ -112,6 +118,217 @@ TEST(Fft, RejectsSizeMismatch) {
   cvec x(32);
   cvec y(64);
   EXPECT_THROW(fft.forward(x, y), DimensionError);
+}
+
+TEST(Fft, RejectsSizeZero) { EXPECT_THROW(Fft(0), ConfigError); }
+
+// Restores the process engine choice on scope exit so engine-pinning
+// tests cannot leak into later ones.
+class EngineGuard {
+ public:
+  EngineGuard() : saved_(fft_engine()) {}
+  ~EngineGuard() { fft_force_engine(saved_); }
+
+ private:
+  FftEngine saved_;
+};
+
+TEST(FftEngineSel, NamesRoundTrip) {
+  EXPECT_STREQ(fft_engine_name(FftEngine::kSplitRadix), "splitradix");
+  EXPECT_STREQ(fft_engine_name(FftEngine::kRadix2), "radix2");
+}
+
+TEST(FftEngineSel, ForceOverridesAndReturns) {
+  EngineGuard guard;
+  EXPECT_EQ(fft_force_engine(FftEngine::kRadix2), FftEngine::kRadix2);
+  EXPECT_EQ(fft_engine(), FftEngine::kRadix2);
+  EXPECT_EQ(fft_force_engine(FftEngine::kSplitRadix),
+            FftEngine::kSplitRadix);
+  EXPECT_EQ(fft_engine(), FftEngine::kSplitRadix);
+}
+
+// The two power-of-two engines implement the same transform: pit them
+// against each other on random signals (forward, inverse, and through
+// the Bluestein inner convolution, whose tables embed the engine).
+TEST(FftEngineSel, EnginesAgreeOnRandomSignals) {
+  EngineGuard guard;
+  for (std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{512},
+                        std::size_t{2048}, std::size_t{448},
+                        std::size_t{97}}) {
+    const cvec x = random_signal(n, 0xE5 + n);
+    fft_force_engine(FftEngine::kSplitRadix);
+    const Fft sr(n);
+    fft_force_engine(FftEngine::kRadix2);
+    const Fft r2(n);
+    EXPECT_LT(max_abs_error(sr.forward(x), r2.forward(x)),
+              1e-9 * static_cast<double>(n))
+        << "forward size " << n;
+    EXPECT_LT(max_abs_error(sr.inverse(x), r2.inverse(x)), 1e-11)
+        << "inverse size " << n;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Half-size plan kinds
+
+TEST(FftRealInput, MatchesFullForwardOnRealSignals) {
+  for (std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{256},
+                        std::size_t{512}, std::size_t{2048}}) {
+    Rng rng(n);
+    cvec x(n);
+    for (cplx& v : x) v = {rng.gaussian(), 0.0};
+    const Fft fft(n);
+    const cvec full = fft.forward(x);
+    cvec half(n);
+    fft.forward_real(x, half);
+    EXPECT_LT(max_abs_error(half, full), 1e-9 * static_cast<double>(n))
+        << "size " << n;
+  }
+}
+
+TEST(FftRealInput, IgnoresImaginaryParts) {
+  const std::size_t n = 64;
+  Rng rng(7);
+  cvec x(n);
+  cvec junk(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = rng.gaussian();
+    x[i] = {re, 0.0};
+    junk[i] = {re, rng.gaussian()};  // same reals, garbage imag
+  }
+  const Fft fft(n);
+  cvec a(n);
+  cvec b(n);
+  fft.forward_real(x, a);
+  fft.forward_real(junk, b);
+  EXPECT_LT(max_abs_error(a, b), 0.0 + 1e-15);
+}
+
+TEST(FftRealInput, OddSizeFallsBack) {
+  const std::size_t n = 27;
+  Rng rng(3);
+  cvec x(n);
+  for (cplx& v : x) v = {rng.gaussian(), 0.0};
+  const Fft fft(n);
+  cvec out(n);
+  fft.forward_real(x, out);
+  EXPECT_LT(max_abs_error(out, reference_dft(x)),
+            1e-7 * static_cast<double>(n));
+}
+
+TEST(FftRealInput, InPlaceEqualsOutOfPlace) {
+  const std::size_t n = 512;
+  Rng rng(11);
+  cvec x(n);
+  for (cplx& v : x) v = {rng.gaussian(), 0.0};
+  const Fft fft(n);
+  cvec out(n);
+  fft.forward_real(x, out);
+  cvec inplace = x;
+  fft.forward_real(inplace, inplace);
+  EXPECT_LT(max_abs_error(out, inplace), 0.0 + 1e-15);
+}
+
+TEST(FftRealInput, RoundTripsThroughInverseHermitian) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{1024}}) {
+    Rng rng(n + 5);
+    cvec x(n);
+    for (cplx& v : x) v = {rng.gaussian(), 0.0};
+    const Fft fft(n);
+    cvec spec(n);
+    fft.forward_real(x, spec);
+    cvec back(n);
+    fft.inverse_hermitian(spec, back);
+    EXPECT_LT(max_abs_error(back, x), 1e-9) << "size " << n;
+    for (const cplx& v : back) EXPECT_EQ(v.imag(), 0.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Plan-table cache
+
+TEST(FftPlanCache, SharesTablesAcrossPlans) {
+  fft_plan_cache_clear();
+  const Fft a(512);
+  const FftCacheStats after_first = fft_plan_cache_stats();
+  const Fft b(512);
+  const Fft c(512);
+  const FftCacheStats after_three = fft_plan_cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_three.misses, 1u);
+  EXPECT_GE(after_three.hits, after_first.hits + 2);
+  EXPECT_EQ(after_three.entries, 1u);
+}
+
+TEST(FftPlanCache, BluesteinSharesInnerConvolutionTables) {
+  fft_plan_cache_clear();
+  // DRM mode A (1152 points) convolves at next_pow2(2*1152-1) = 4096:
+  // a later direct 4096-point plan must reuse those inner pow2 tables.
+  const Fft a(1152);
+  const FftCacheStats s1 = fft_plan_cache_stats();
+  EXPECT_EQ(s1.entries, 2u);  // bluestein(1152) + pow(4096)
+  const Fft b(4096);
+  const FftCacheStats s2 = fft_plan_cache_stats();
+  EXPECT_EQ(s2.entries, 2u);  // pow(4096) shared, nothing new
+  EXPECT_GE(s2.hits, s1.hits + 1);
+}
+
+TEST(FftPlanCache, ClearDoesNotInvalidateLivePlans) {
+  fft_plan_cache_clear();
+  const std::size_t n = 256;
+  const cvec x = random_signal(n, 21);
+  const Fft fft(n);
+  const cvec before = fft.forward(x);
+  fft_plan_cache_clear();
+  const cvec after = fft.forward(x);  // tables alive via shared_ptr
+  EXPECT_LT(max_abs_error(before, after), 0.0 + 1e-15);
+  EXPECT_EQ(fft_plan_cache_stats().entries, 0u);
+}
+
+TEST(FftPlanCache, EnginesGetDistinctEntries) {
+  EngineGuard guard;
+  fft_plan_cache_clear();
+  fft_force_engine(FftEngine::kSplitRadix);
+  const Fft sr(128);
+  fft_force_engine(FftEngine::kRadix2);
+  const Fft r2(128);
+  EXPECT_EQ(fft_plan_cache_stats().entries, 2u);
+}
+
+// The cache is the one piece of process-global mutable state in the
+// engine: hammer it from concurrent workers the way LinkRunner's
+// trial batches do (plan-per-thread, shared tables underneath), with
+// a clear() thrown in mid-flight to exercise the shared-ownership
+// lifetime. Run under TSan via scripts/tsan.sh.
+TEST(FftPlanCache, ConcurrentAcquireAndExecute) {
+  fft_plan_cache_clear();
+  const std::size_t kThreads = 8;
+  const std::size_t kRounds = 12;
+  const std::size_t sizes[] = {64, 512, 1152, 256, 448};
+  std::vector<cvec> inputs;
+  std::vector<cvec> expected;
+  for (std::size_t n : sizes) {
+    inputs.push_back(random_signal(n, 0xCAFE + n));
+    const Fft fft(n);
+    expected.push_back(fft.forward(inputs.back()));
+  }
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::size_t i = (t + r) % std::size(sizes);
+        const Fft fft(sizes[i]);  // races on the cache by design
+        const cvec got = fft.forward(inputs[i]);
+        if (max_abs_error(got, expected[i]) > 1e-12) ++failures[t];
+        if (t == 0 && r == kRounds / 2) fft_plan_cache_clear();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
 }
 
 TEST(FftShift, EvenLength) {
