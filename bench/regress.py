@@ -37,6 +37,12 @@ batch trial API) and compares each configuration's trials-per-second
 against the BENCH_sim.json baseline. Like --graph, the gate is
 machine-relative.
 
+--rx runs bench_rx (the RX Mother Model's per-standard stage
+throughput: synchronize, estimate_equalizer, the SIMD soft-demap
+kernel and soft-decision Viterbi, each timed in isolation) and
+compares each stage's ops-per-second against the BENCH_rx.json
+baseline. Machine-relative, like --sim.
+
 --server runs bench_server (an in-process ofdm_serverd core on
 loopback, driven through net::LineClient: ping round trips, waveform
 streaming, an end-to-end campaign through the job queue, and cached
@@ -54,6 +60,7 @@ Usage:
     python3 bench/regress.py --blocks [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --graph [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --sim [--tolerance 0.35] [--check-only]
+    python3 bench/regress.py --rx [--tolerance 0.35] [--check-only]
     python3 bench/regress.py --server [--tolerance 0.50] [--check-only]
 """
 
@@ -68,6 +75,7 @@ RESULT_FILE = REPO_ROOT / "BENCH_e5.json"
 BLOCKS_FILE = REPO_ROOT / "BENCH_blocks.json"
 GRAPH_FILE = REPO_ROOT / "BENCH_graph.json"
 SIM_FILE = REPO_ROOT / "BENCH_sim.json"
+RX_FILE = REPO_ROOT / "BENCH_rx.json"
 SERVER_FILE = REPO_ROOT / "BENCH_server.json"
 
 # Blocks below this share of the baseline's wall time never gate: their
@@ -344,6 +352,11 @@ gating:
                          "802.11a AWGN sweep, 1 worker vs all cores) and "
                          "compare each configuration's trials/s against "
                          "BENCH_sim.json")
+    ap.add_argument("--rx", action="store_true",
+                    help="receiver mode: run bench_rx (per-standard RX "
+                         "Mother Model stage throughput: sync, equalize, "
+                         "demap_soft, soft Viterbi) and compare each "
+                         "stage's ops/s against BENCH_rx.json")
     ap.add_argument("--server", action="store_true",
                     help="service-daemon mode: run bench_server "
                          "(loopback ping/waveform/campaign/cache rates "
@@ -356,10 +369,14 @@ gating:
     ap.add_argument("--trials", type=int, default=96,
                     help="Monte-Carlo trials per grid point in --sim "
                          "mode (default: 96)")
+    ap.add_argument("--rx-trials", type=int, default=16,
+                    help="invocations per timed stage in --rx mode "
+                         "(default: 16)")
     args = ap.parse_args()
 
-    if sum([args.blocks, args.graph, args.sim, args.server]) > 1:
-        ap.error("--blocks, --graph, --sim, and --server are "
+    if sum([args.blocks, args.graph, args.sim, args.rx,
+            args.server]) > 1:
+        ap.error("--blocks, --graph, --sim, --rx, and --server are "
                  "mutually exclusive")
 
     build_dir = REPO_ROOT / args.build_dir
@@ -374,6 +391,14 @@ gating:
         # Loopback socket round trips are noisier than any in-process
         # mode; the gate here is a smoke alarm, not a micro-benchmark.
         tolerance = max(args.tolerance, 0.50)
+    elif args.rx:
+        report = run_exe(build_dir, "bench_rx",
+                         ["--trials", str(args.rx_trials)])
+        baseline_file = RX_FILE
+        extract = rows_configs("ops_per_second")
+        unit = "ops/s"
+        # Single-run stage wall times, same variance budget as --sim.
+        tolerance = max(args.tolerance, 0.35)
     elif args.sim:
         report = run_exe(build_dir, "bench_sim",
                          ["--trials", str(args.trials)])

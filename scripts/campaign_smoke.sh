@@ -66,5 +66,9 @@ run_deck() {
 
 run_deck decks/ci_smoke.deck
 run_deck decks/channel_sweep.deck
+# The coded deck extends the contract over the rx= grid dimension: the
+# full FEC receiver (soft LLR + soft Viterbi on WLAN, RS on ADSL+fec)
+# and the pre-FEC uncoded tap in one sweep.
+run_deck decks/coded_smoke.deck
 
 echo "campaign smoke OK"

@@ -38,6 +38,15 @@ OfdmParams profile_homeplug();
 /// The default profile for any family member (used by the family sweep).
 OfdmParams profile_for(Standard standard);
 
+/// Reference FEC overlay for standards whose default profile ships
+/// uncoded (the DSL/DMT family and DRM), enabling coded-vs-uncoded
+/// experiments without touching the golden-pinned defaults: the
+/// byte-oriented DMT standards gain RS(255,239) (the G.992 family
+/// code), everything else the K=7 rate-1/2 industry convolutional
+/// code. Profiles that already carry FEC are returned unchanged. This
+/// backs the deck grammar's `+fec` standard-token suffix.
+OfdmParams with_reference_fec(OfdmParams params);
+
 /// Coded bits per subcarrier and code rate for a WLAN rate.
 mapping::Scheme wlan_rate_scheme(WlanRate rate);
 coding::PuncturePattern wlan_rate_puncture(WlanRate rate);

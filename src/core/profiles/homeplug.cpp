@@ -47,6 +47,23 @@ OfdmParams profile_homeplug() {
   return p;
 }
 
+OfdmParams with_reference_fec(OfdmParams params) {
+  if (params.fec.conv_enabled || params.fec.rs_enabled) return params;
+  if (params.mapping == MappingKind::kBitTable) {
+    // Byte-oriented DMT (ADSL/ADSL2+/VDSL): the G.992-family outer code.
+    params.fec.rs_enabled = true;
+    params.fec.rs_n = 255;
+    params.fec.rs_k = 239;
+  } else {
+    // DRM and any other uncoded fixed/differential profile: the K=7
+    // rate-1/2 mother code shared by the coded family members.
+    params.fec.conv_enabled = true;
+    params.fec.conv = coding::k7_industry_code();
+    params.fec.puncture = coding::puncture_none();
+  }
+  return params;
+}
+
 OfdmParams profile_for(Standard standard) {
   switch (standard) {
     case Standard::kWlan80211a: return profile_wlan_80211a();

@@ -259,6 +259,79 @@ void rvec_add(double* a, const double* b, std::size_t n) {
   for (; i < n; ++i) a[i] += b[i];
 }
 
+void demap_soft(const cplx* syms, std::size_t n_sym, const cplx* points,
+                std::size_t n_points, std::size_t n_bits,
+                const double* noise_var, std::size_t nv_stride,
+                double* out) {
+  const float64x2_t big = vdupq_n_f64(1e300);
+  std::size_t j = 0;
+  // Two symbols per iteration via a deinterleaving vld2q load. vminq
+  // keeps the incumbent on ties, matching the scalar `d < best` update
+  // (all distances are non-negative, so ±0.0 never disagrees).
+  for (; j + 2 <= n_sym; j += 2) {
+    float64x2_t d0[16];
+    float64x2_t d1[16];
+    for (std::size_t b = 0; b < n_bits; ++b) {
+      d0[b] = big;
+      d1[b] = big;
+    }
+    const float64x2x2_t s =
+        vld2q_f64(reinterpret_cast<const double*>(syms + j));
+    const float64x2_t s_re = s.val[0];
+    const float64x2_t s_im = s.val[1];
+    for (std::size_t idx = 0; idx < n_points; ++idx) {
+      const float64x2_t dr =
+          vsubq_f64(s_re, vdupq_n_f64(points[idx].real()));
+      const float64x2_t di =
+          vsubq_f64(s_im, vdupq_n_f64(points[idx].imag()));
+      const float64x2_t d =
+          vaddq_f64(vmulq_f64(dr, dr), vmulq_f64(di, di));
+      for (std::size_t b = 0; b < n_bits; ++b) {
+        if ((idx >> (n_bits - 1 - b)) & 1u) {
+          d1[b] = vminq_f64(d1[b], d);
+        } else {
+          d0[b] = vminq_f64(d0[b], d);
+        }
+      }
+    }
+    const float64x2_t nv = nv_stride == 0
+                               ? vdupq_n_f64(noise_var[0])
+                               : vld1q_f64(noise_var + j);
+    double lanes[2];
+    for (std::size_t b = 0; b < n_bits; ++b) {
+      vst1q_f64(lanes, vdivq_f64(vsubq_f64(d1[b], d0[b]), nv));
+      out[j * n_bits + b] = lanes[0];
+      out[(j + 1) * n_bits + b] = lanes[1];
+    }
+  }
+  for (; j < n_sym; ++j) {
+    double d0[16];
+    double d1[16];
+    for (std::size_t b = 0; b < n_bits; ++b) {
+      d0[b] = 1e300;
+      d1[b] = 1e300;
+    }
+    const double s_re = syms[j].real();
+    const double s_im = syms[j].imag();
+    for (std::size_t idx = 0; idx < n_points; ++idx) {
+      const double dr = s_re - points[idx].real();
+      const double di = s_im - points[idx].imag();
+      const double d = dr * dr + di * di;
+      for (std::size_t b = 0; b < n_bits; ++b) {
+        if ((idx >> (n_bits - 1 - b)) & 1u) {
+          if (d < d1[b]) d1[b] = d;
+        } else {
+          if (d < d0[b]) d0[b] = d;
+        }
+      }
+    }
+    const double nv = noise_var[j * nv_stride];
+    for (std::size_t b = 0; b < n_bits; ++b) {
+      out[j * n_bits + b] = (d1[b] - d0[b]) / nv;
+    }
+  }
+}
+
 }  // namespace neon
 
 const Kernels& neon_kernels() {
@@ -276,6 +349,7 @@ const Kernels& neon_kernels() {
       neon::cvec_scale,
       neon::rvec_add,
       scalar_kernels().map_lut,
+      neon::demap_soft,
   };
   return table;
 }

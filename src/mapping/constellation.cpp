@@ -158,50 +158,69 @@ bitvec Constellation::demap_all(std::span<const cplx> symbols) const {
   return out;
 }
 
-namespace {
-// Max-log LLRs for one symbol given the precomputed point table: per
-// bit, the squared distance to the nearest point with that bit 0 vs 1.
-// Exhaustive over the (<= 256-point) constellation — a reference
-// implementation, not a modem kernel.
-void soft_bits(cplx symbol, double noise_var, const cvec& points,
-               std::size_t n_bits, rvec& out) {
-  for (std::size_t b = 0; b < n_bits; ++b) {
-    double d0 = 1e300;
-    double d1 = 1e300;
-    for (std::size_t idx = 0; idx < points.size(); ++idx) {
-      const double d = std::norm(symbol - points[idx]);
-      if ((idx >> (n_bits - 1 - b)) & 1u) {
-        d1 = std::min(d1, d);
-      } else {
-        d0 = std::min(d0, d);
-      }
-    }
-    out.push_back((d1 - d0) / noise_var);
-  }
+const cplx* Constellation::soft_points(cvec& scratch) const {
+  // The LUT built at construction is exactly the max-log point table
+  // (index = the symbol's bits). Above kLutMaxBits (the 1 MiB-per-
+  // instance rectangular extremes) compute it on demand.
+  if (!lut_.empty()) return lut_.data();
+  scratch.resize(size());
+  for (std::size_t i = 0; i < scratch.size(); ++i) scratch[i] = point(i);
+  return scratch.data();
 }
-}  // namespace
 
 void Constellation::demap_soft(cplx symbol, double noise_var,
                                rvec& out) const {
   OFDM_REQUIRE(noise_var > 0.0,
                "demap_soft: noise variance must be positive");
-  cvec points(size());
-  for (std::size_t i = 0; i < points.size(); ++i) points[i] = point(i);
-  soft_bits(symbol, noise_var, points, bits(), out);
+  cvec scratch;
+  const cplx* points = soft_points(scratch);
+  const std::size_t base = out.size();
+  out.resize(base + bits());
+  simd::kernels().demap_soft(&symbol, 1, points, size(), bits(),
+                             &noise_var, 0, out.data() + base);
 }
 
 rvec Constellation::demap_soft_all(std::span<const cplx> symbols,
                                    double noise_var) const {
+  rvec out;
+  demap_soft_into(symbols, noise_var, out);
+  return out;
+}
+
+void Constellation::demap_soft_into(std::span<const cplx> symbols,
+                                    double noise_var, rvec& out) const {
   OFDM_REQUIRE(noise_var > 0.0,
                "demap_soft_all: noise variance must be positive");
-  cvec points(size());
-  for (std::size_t i = 0; i < points.size(); ++i) points[i] = point(i);
-  rvec out;
-  out.reserve(symbols.size() * bits());
-  for (const cplx& s : symbols) {
-    soft_bits(s, noise_var, points, bits(), out);
+  cvec scratch;
+  const cplx* points = soft_points(scratch);
+  out.resize(symbols.size() * bits());
+  simd::kernels().demap_soft(symbols.data(), symbols.size(), points,
+                             size(), bits(), &noise_var, 0, out.data());
+}
+
+void Constellation::demap_soft_into(std::span<const cplx> symbols,
+                                    std::span<const double> noise_var,
+                                    rvec& out) const {
+  OFDM_REQUIRE_DIM(noise_var.size() == symbols.size(),
+                   "demap_soft_into: need one noise variance per symbol");
+  for (const double nv : noise_var) {
+    OFDM_REQUIRE(nv > 0.0,
+                 "demap_soft_into: noise variance must be positive");
   }
-  return out;
+  cvec scratch;
+  const cplx* points = soft_points(scratch);
+  out.resize(symbols.size() * bits());
+  simd::kernels().demap_soft(symbols.data(), symbols.size(), points,
+                             size(), bits(), noise_var.data(), 1,
+                             out.data());
+}
+
+std::string demap_mode_name(DemapMode m) {
+  switch (m) {
+    case DemapMode::kHard: return "hard";
+    case DemapMode::kSoft: return "soft";
+  }
+  return "?";
 }
 
 cplx Constellation::point(std::size_t index) const {

@@ -26,6 +26,16 @@ enum class Scheme {
 std::size_t bits_per_symbol(Scheme s);
 std::string scheme_name(Scheme s);
 
+/// Demapper output selection. kHard slices to the nearest point's bits
+/// (the Gray threshold path — bit-exact with the historical demapper);
+/// kSoft emits max-log LLRs normalized by the noise variance.
+enum class DemapMode {
+  kHard,
+  kSoft,
+};
+
+std::string demap_mode_name(DemapMode m);
+
 /// A concrete constellation with Gray mapping and unit average energy.
 class Constellation {
  public:
@@ -66,6 +76,18 @@ class Constellation {
   rvec demap_soft_all(std::span<const cplx> symbols,
                       double noise_var) const;
 
+  /// demap_soft_all into a caller-owned buffer (resized to
+  /// symbols.size() * bits()): the no-allocation batched path, running
+  /// the whole stream through the SIMD `demap_soft` kernel.
+  void demap_soft_into(std::span<const cplx> symbols, double noise_var,
+                       rvec& out) const;
+
+  /// Per-symbol noise variances (the per-tone equalizer weighting:
+  /// noise_var.size() must equal symbols.size()).
+  void demap_soft_into(std::span<const cplx> symbols,
+                       std::span<const double> noise_var,
+                       rvec& out) const;
+
   /// The point a given bit pattern maps to (index = bits as an integer,
   /// I bits in the high positions).
   cplx point(std::size_t index) const;
@@ -79,6 +101,7 @@ class Constellation {
   static int gray_to_level(std::size_t gray_bits, std::size_t n_bits);
   static std::size_t level_to_gray(double value, std::size_t n_bits);
   void demap_scaled(cplx scaled, bitvec& out) const;
+  const cplx* soft_points(cvec& scratch) const;
 
   std::size_t bits_i_;
   std::size_t bits_q_;

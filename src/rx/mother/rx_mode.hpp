@@ -1,0 +1,24 @@
+// RxMode: what the RX Mother Model measures. Split out of mother_rx.hpp
+// so lightweight consumers (the scenario-deck grammar) can name receiver
+// modes without pulling the full receiver machinery into their headers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ofdm::rx {
+
+/// kCoded runs the full FEC chain and returns the decoded payload
+/// (post-FEC BER); kUncoded stops at the hard-demapped, deinterleaved
+/// coded stream (pre-FEC channel BER, compared against
+/// Transmitter::encode_payload's output).
+enum class RxMode {
+  kCoded,
+  kUncoded,
+};
+
+std::string rx_mode_name(RxMode m);
+std::optional<RxMode> rx_mode_from_name(std::string_view name);
+
+}  // namespace ofdm::rx

@@ -1,457 +1,64 @@
+// The generic Receiver is a thin compatibility wrapper over the RX
+// Mother Model (rx::MotherReceiver) — same aligned-burst contract and
+// results, with the demodulation core owned by src/rx/mother.
 #include "rx/receiver.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "coding/interleaver.hpp"
-#include "coding/lfsr.hpp"
-#include "coding/reed_solomon.hpp"
-#include "coding/viterbi.hpp"
-#include "common/bits.hpp"
-#include "common/error.hpp"
-#include "core/pilots.hpp"
-#include "core/preamble.hpp"
-#include "dsp/fft.hpp"
+#include "rx/mother/mother_rx.hpp"
 
 namespace ofdm::rx {
 
-using core::MappingKind;
-using core::OfdmParams;
-using core::PreambleKind;
-using core::ToneLayout;
-
 struct Receiver::State {
-  OfdmParams params;
-  ToneLayout layout;
-  dsp::Fft fft{64};
-  double scale = 1.0;
-  std::optional<mapping::Constellation> constellation;
-  std::optional<mapping::DmtMapper> dmt;
-  std::optional<coding::PermutationInterleaver> bit_interleaver;
-  std::optional<coding::PermutationInterleaver> cell_interleaver;
-  std::optional<coding::ViterbiDecoder> viterbi;
-  std::optional<coding::ReedSolomon> rs;
-  std::size_t cbps = 0;
-  std::size_t preamble_len = 0;
-  cvec equalizer;  // empty = identity
-  bool pilot_tracking = false;
-  bool soft_decoding = false;
-
-  bool soft_path_active() const {
-    return soft_decoding && params.fec.conv_enabled &&
-           params.mapping == MappingKind::kFixed;
-  }
-
-  // Common phase error from the pilots of one demodulated symbol:
-  // returns the unit rotor that re-aligns the data tones.
-  cplx pilot_rotor(const cvec& bins, const cvec& expected) const {
-    cplx acc{0.0, 0.0};
-    for (std::size_t i = 0; i < layout.pilot_bins.size(); ++i) {
-      acc += bins[layout.pilot_bins[i]] * std::conj(expected[i]);
-    }
-    const double mag = std::abs(acc);
-    if (mag < 1e-12) return cplx{1.0, 0.0};
-    return std::conj(acc / mag);
-  }
+  MotherReceiver rx;
 };
-
-namespace {
-
-// Coded-chain length bookkeeping mirroring Transmitter::coded_length().
-struct ChainLengths {
-  std::size_t scrambled_bits;   ///< payload length (scrambling preserves it)
-  std::size_t rs_out_bits;      ///< after outer coding (== input if no RS)
-  std::size_t punctured_bits;   ///< after inner coding (== rs_out if none)
-  std::size_t mother_bits;      ///< unpunctured inner-code length
-};
-
-ChainLengths chain_lengths(const OfdmParams& p, std::size_t payload_bits) {
-  ChainLengths len{};
-  len.scrambled_bits = payload_bits;
-  std::size_t bits = payload_bits;
-  if (p.fec.rs_enabled) {
-    const std::size_t bytes = (bits + 7) / 8;
-    const std::size_t blocks =
-        std::max<std::size_t>((bytes + p.fec.rs_k - 1) / p.fec.rs_k, 1);
-    bits = blocks * p.fec.rs_n * 8;
-  }
-  len.rs_out_bits = bits;
-  if (p.fec.conv_enabled) {
-    const std::size_t steps = bits + p.fec.conv.constraint_length - 1;
-    len.mother_bits = steps * p.fec.conv.generators.size();
-    const auto& pat = p.fec.puncture;
-    const std::size_t period = pat.period();
-    std::size_t coded = (steps / period) * pat.kept_per_period();
-    for (std::size_t r = 0; r < steps % period; ++r) {
-      for (const auto& stream : pat.keep) coded += stream[r];
-    }
-    bits = coded;
-  } else {
-    len.mother_bits = bits;
-  }
-  len.punctured_bits = bits;
-  return len;
-}
-
-}  // namespace
 
 Receiver::Receiver(core::OfdmParams params)
-    : state_(std::make_unique<State>()) {
-  core::validate(params);
-  State& s = *state_;
-  s.params = std::move(params);
-  const OfdmParams& p = s.params;
-  s.layout = core::make_tone_layout(p);
-  s.fft = dsp::Fft(p.fft_size);
-  s.cbps = core::coded_bits_per_symbol(p);
-
-  std::size_t used = s.layout.used_tones();
-  if (p.hermitian) used *= 2;
-  s.scale = static_cast<double>(p.fft_size) /
-            std::sqrt(static_cast<double>(used));
-
-  switch (p.mapping) {
-    case MappingKind::kFixed:
-      s.constellation = mapping::Constellation::make(p.scheme);
-      break;
-    case MappingKind::kDifferential:
-      break;  // demapper is per-burst state, created in demodulate()
-    case MappingKind::kBitTable:
-      s.dmt.emplace(p.bit_table);
-      break;
-  }
-
-  switch (p.interleaver.kind) {
-    case core::InterleaverKind::kNone:
-      break;
-    case core::InterleaverKind::kWlan:
-      s.bit_interleaver = coding::make_wlan_interleaver(
-          s.cbps, mapping::bits_per_symbol(p.scheme));
-      break;
-    case core::InterleaverKind::kBlock:
-      s.bit_interleaver = coding::make_block_interleaver(
-          p.interleaver.rows, s.cbps / p.interleaver.rows);
-      break;
-    case core::InterleaverKind::kCell:
-      s.cell_interleaver = coding::make_random_interleaver(
-          s.layout.data_bins.size(), p.interleaver.seed);
-      break;
-  }
-
-  if (p.fec.conv_enabled) s.viterbi.emplace(p.fec.conv);
-  if (p.fec.rs_enabled) s.rs.emplace(p.fec.rs_n, p.fec.rs_k);
-
-  switch (p.frame.preamble) {
-    case PreambleKind::kNone:
-      s.preamble_len = 0;
-      break;
-    case PreambleKind::kWlan:
-      s.preamble_len = 320;
-      break;
-    case PreambleKind::kPhaseReference:
-      s.preamble_len = p.symbol_len();
-      break;
-  }
-}
+    : state_(std::make_unique<State>(
+          State{MotherReceiver(std::move(params))})) {}
 
 Receiver::~Receiver() = default;
 Receiver::Receiver(Receiver&&) noexcept = default;
 Receiver& Receiver::operator=(Receiver&&) noexcept = default;
 
-const core::OfdmParams& Receiver::params() const { return state_->params; }
-
-void Receiver::set_equalizer(cvec per_bin) {
-  OFDM_REQUIRE_DIM(per_bin.size() == state_->params.fft_size,
-                   "Receiver::set_equalizer: one coefficient per bin");
-  state_->equalizer = std::move(per_bin);
+const core::OfdmParams& Receiver::params() const {
+  return state_->rx.params();
 }
 
-void Receiver::clear_equalizer() { state_->equalizer.clear(); }
+void Receiver::set_equalizer(cvec per_bin) {
+  state_->rx.set_equalizer(std::move(per_bin));
+}
+
+void Receiver::clear_equalizer() { state_->rx.clear_equalizer(); }
 
 void Receiver::enable_pilot_phase_tracking(bool on) {
-  state_->pilot_tracking = on;
+  state_->rx.set_pilot_tracking(on);
 }
 
 void Receiver::enable_soft_decoding(bool on) {
-  state_->soft_decoding = on;
+  state_->rx.set_demap(on ? mapping::DemapMode::kSoft
+                          : mapping::DemapMode::kHard);
 }
 
 std::size_t Receiver::payload_offset() const {
-  return state_->params.frame.null_samples + state_->preamble_len;
+  return state_->rx.payload_offset();
 }
-
-namespace {
-
-// FFT window of the symbol starting at `offset`, descaled and equalized.
-cvec demod_bins(const OfdmParams& p, const dsp::Fft& fft, double scale,
-                const cvec& equalizer, std::span<const cplx> burst,
-                std::size_t offset) {
-  const std::size_t n = p.fft_size;
-  const std::size_t cp = p.cp_len;
-  OFDM_REQUIRE_DIM(offset + cp + n <= burst.size(),
-                   "Receiver: burst shorter than expected");
-  const std::span<const cplx> window = burst.subspan(offset + cp, n);
-  cvec bins(n);
-  if (p.hermitian) {
-    // Real-baseband standards (DMT/powerline) keep the imaginary lanes
-    // bitwise 0.0 through loopback and real-only channels, where the
-    // half-size real-input plan kind does the same transform at ~N/2
-    // cost. The check must be exact — forward_real discards imaginary
-    // parts — so any complex impairment (CFO, fading) falls back to the
-    // full complex FFT.
-    bool exactly_real = true;
-    for (const cplx& v : window) {
-      if (v.imag() != 0.0) {
-        exactly_real = false;
-        break;
-      }
-    }
-    if (exactly_real) {
-      fft.forward_real(window, bins);
-    } else {
-      fft.forward(window, bins);
-    }
-  } else {
-    fft.forward(window, bins);
-  }
-  const double inv = 1.0 / scale;
-  for (cplx& v : bins) v *= inv;
-  if (!equalizer.empty()) {
-    for (std::size_t i = 0; i < bins.size(); ++i) bins[i] *= equalizer[i];
-  }
-  return bins;
-}
-
-}  // namespace
 
 cvec Receiver::estimate_equalizer(std::span<const cplx> burst) const {
-  const State& s = *state_;
-  const OfdmParams& p = s.params;
-  cvec eq(p.fft_size, cplx{1.0, 0.0});
-
-  switch (p.frame.preamble) {
-    case PreambleKind::kNone:
-      return eq;
-    case PreambleKind::kWlan: {
-      // Average both long training symbols (T1 at 192, T2 at 256 into
-      // the burst) for a 3 dB better estimate. No CP handling: the LTF
-      // symbols are plain 64-sample repetitions.
-      const std::size_t t1 = p.frame.null_samples + 160 + 32;
-      OFDM_REQUIRE_DIM(t1 + 128 <= burst.size(),
-                       "estimate_equalizer: burst too short for LTF");
-      // Cheap per-call plan: the 64-point tables are shared through the
-      // process-wide plan cache with every other WLAN-geometry user.
-      dsp::Fft fft64(64);
-      const cvec r1 = fft64.forward(burst.subspan(t1, 64));
-      const cvec r2 = fft64.forward(burst.subspan(t1 + 64, 64));
-      const cvec known = core::wlan_ltf_bins();
-      for (std::size_t bin = 0; bin < 64; ++bin) {
-        const cplx avg = (r1[bin] + r2[bin]) / (2.0 * s.scale);
-        if (std::abs(known[bin]) > 0.0 && std::abs(avg) > 1e-12) {
-          eq[bin] = known[bin] / avg;
-        }
-      }
-      return eq;
-    }
-    case PreambleKind::kPhaseReference: {
-      const std::size_t off = p.frame.null_samples;
-      const cvec rx =
-          demod_bins(p, s.fft, s.scale, {}, burst, off);
-      const cvec ref_data =
-          core::phase_reference_values(p, s.layout.data_bins.size());
-      for (std::size_t i = 0; i < s.layout.data_bins.size(); ++i) {
-        const std::size_t bin = s.layout.data_bins[i];
-        if (std::abs(rx[bin]) > 1e-12) eq[bin] = ref_data[i] / rx[bin];
-      }
-      for (std::size_t i = 0; i < s.layout.pilot_bins.size(); ++i) {
-        const std::size_t bin = s.layout.pilot_bins[i];
-        if (std::abs(rx[bin]) > 1e-12) {
-          eq[bin] = p.pilots.base_values[i] / rx[bin];
-        }
-      }
-      return eq;
-    }
-  }
-  return eq;
+  return state_->rx.estimate_equalizer(burst);
 }
 
 std::vector<cvec> Receiver::extract_data_tones(std::span<const cplx> burst,
                                                std::size_t n_symbols) const {
-  const State& s = *state_;
-  const OfdmParams& p = s.params;
-  std::vector<cvec> out;
-  out.reserve(n_symbols);
-  core::PilotGenerator pilots(p.pilots, s.layout.pilot_bins.size());
-  std::size_t offset = payload_offset();
-  for (std::size_t sym = 0; sym < n_symbols; ++sym) {
-    const cvec bins = demod_bins(p, s.fft, s.scale, s.equalizer,
-                                 burst, offset);
-    const cvec expected_pilots = pilots.next_symbol();
-    const cplx rotor = s.pilot_tracking
-                           ? s.pilot_rotor(bins, expected_pilots)
-                           : cplx{1.0, 0.0};
-    cvec data(s.layout.data_bins.size());
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      data[i] = bins[s.layout.data_bins[i]] * rotor;
-    }
-    if (s.cell_interleaver) {
-      data = s.cell_interleaver->deinterleave(std::span<const cplx>(data));
-    }
-    out.push_back(std::move(data));
-    offset += p.symbol_len();
-  }
-  return out;
+  return state_->rx.extract_data_tones(burst, n_symbols);
 }
 
 Receiver::Result Receiver::demodulate(std::span<const cplx> burst,
                                       std::size_t payload_bits) const {
-  const State& s = *state_;
-  const OfdmParams& p = s.params;
-  const ChainLengths len = chain_lengths(p, payload_bits);
-  const std::size_t min_syms = p.frame.symbols_per_frame;
-  const std::size_t n_symbols = std::max(
-      min_syms, (len.punctured_bits + s.cbps - 1) / s.cbps);
-
-  Result result;
-  result.symbols = n_symbols;
-
-  // Differential demapper seeded from the *received* phase reference so
-  // a static channel phase cancels out.
-  std::optional<mapping::DifferentialMapper> diff;
-  if (p.mapping == MappingKind::kDifferential) {
-    diff.emplace(p.diff_kind, s.layout.data_bins.size());
-    const std::size_t ref_off = p.frame.null_samples;
-    const cvec bins = demod_bins(p, s.fft, s.scale, s.equalizer,
-                                 burst, ref_off);
-    cvec ref(s.layout.data_bins.size());
-    for (std::size_t i = 0; i < ref.size(); ++i) {
-      ref[i] = bins[s.layout.data_bins[i]];
-    }
-    diff->reset(ref);
-  }
-
-  // 1. Tones -> coded bits (or LLRs on the soft path).
-  const bool soft = s.soft_path_active();
-  bitvec coded;
-  rvec soft_coded;
-  coded.reserve(soft ? 0 : n_symbols * s.cbps);
-  if (soft) soft_coded.reserve(n_symbols * s.cbps);
-  core::PilotGenerator pilots(p.pilots, s.layout.pilot_bins.size());
-  std::size_t offset = payload_offset();
-  for (std::size_t sym = 0; sym < n_symbols; ++sym) {
-    const cvec bins = demod_bins(p, s.fft, s.scale, s.equalizer,
-                                 burst, offset);
-    const cvec expected_pilots = pilots.next_symbol();
-    const cplx rotor = s.pilot_tracking
-                           ? s.pilot_rotor(bins, expected_pilots)
-                           : cplx{1.0, 0.0};
-    cvec data(s.layout.data_bins.size());
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      data[i] = bins[s.layout.data_bins[i]] * rotor;
-    }
-    if (s.cell_interleaver) {
-      data = s.cell_interleaver->deinterleave(std::span<const cplx>(data));
-    }
-
-    if (soft) {
-      // Max-log LLRs weighted by the per-tone noise after equalization:
-      // a one-tap equalizer multiplies tone k's noise variance by
-      // |eq_k|^2, so confident-looking bins on enhanced-noise tones
-      // must be de-weighted (the soft Viterbi is otherwise
-      // scale-invariant).
-      rvec sym_llr;
-      sym_llr.reserve(s.cbps);
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        double noise_var = 1.0;
-        if (!s.equalizer.empty()) {
-          // Cell interleaving permutes tones; index the equalizer
-          // through the same permutation the data went through.
-          const std::size_t tone =
-              s.cell_interleaver ? s.cell_interleaver->mapping()[i] : i;
-          noise_var = std::norm(s.equalizer[s.layout.data_bins[tone]]);
-          if (noise_var < 1e-12) noise_var = 1e-12;
-        }
-        s.constellation->demap_soft(data[i], noise_var, sym_llr);
-      }
-      if (s.bit_interleaver) {
-        sym_llr = s.bit_interleaver->deinterleave(
-            std::span<const double>(sym_llr));
-      }
-      soft_coded.insert(soft_coded.end(), sym_llr.begin(),
-                        sym_llr.end());
-      offset += p.symbol_len();
-      continue;
-    }
-
-    bitvec sym_bits;
-    switch (p.mapping) {
-      case MappingKind::kFixed:
-        sym_bits = s.constellation->demap_all(data);
-        break;
-      case MappingKind::kDifferential:
-        sym_bits = diff->demap_symbol(data);
-        break;
-      case MappingKind::kBitTable:
-        sym_bits = s.dmt->demap_symbol(data);
-        break;
-    }
-    if (s.bit_interleaver) {
-      sym_bits = s.bit_interleaver->deinterleave(
-          std::span<const std::uint8_t>(sym_bits));
-    }
-    coded.insert(coded.end(), sym_bits.begin(), sym_bits.end());
-    offset += p.symbol_len();
-  }
-
-  // 2. Inner code.
-  bitvec bits;
-  if (soft) {
-    soft_coded.resize(len.punctured_bits);  // drop symbol padding
-    const rvec mother = coding::depuncture_soft(
-        soft_coded, p.fec.puncture, len.mother_bits);
-    bits = s.viterbi->decode_soft_terminated(mother);
-  } else if (p.fec.conv_enabled) {
-    coded.resize(len.punctured_bits);
-    const bitvec mother =
-        coding::depuncture(coded, p.fec.puncture, len.mother_bits);
-    bits = s.viterbi->decode_terminated(mother);
-  } else {
-    coded.resize(len.punctured_bits);
-    bits = std::move(coded);
-  }
-  bits.resize(len.rs_out_bits);
-
-  // 3. Outer code.
-  if (p.fec.rs_enabled) {
-    const bytevec rx_bytes = bits_to_bytes_msb(bits);
-    bytevec message;
-    message.reserve(rx_bytes.size() / s.rs->n() * s.rs->k());
-    for (std::size_t off = 0; off < rx_bytes.size(); off += s.rs->n()) {
-      const auto block = std::span<const std::uint8_t>(rx_bytes)
-                             .subspan(off, s.rs->n());
-      auto decoded = s.rs->decode(block);
-      if (!decoded.success) {
-        ++result.rs_blocks_failed;
-        // Fall back to the systematic part.
-        decoded.message.assign(block.begin(),
-                               block.begin() + static_cast<std::ptrdiff_t>(
-                                                   s.rs->k()));
-      }
-      message.insert(message.end(), decoded.message.begin(),
-                     decoded.message.end());
-    }
-    bits = bytes_to_bits_msb(message);
-  }
-  bits.resize(len.scrambled_bits);
-
-  // 4. Descramble.
-  if (p.scrambler.enabled) {
-    coding::Scrambler scr(p.scrambler.degree, p.scrambler.taps,
-                          p.scrambler.seed);
-    bits = scr.process(bits);
-  }
-  result.payload = std::move(bits);
-  return result;
+  MotherReceiver::Result r = state_->rx.demodulate(burst, payload_bits);
+  Result out;
+  out.payload = std::move(r.payload);
+  out.symbols = r.symbols;
+  out.rs_blocks_failed = r.rs_blocks_failed;
+  return out;
 }
 
 }  // namespace ofdm::rx

@@ -52,25 +52,30 @@ std::string curves_json(const ScenarioDeck& deck,
   os << "{\"campaign\":\"" << deck.name << "\",\"seed\":" << deck.seed
      << ",\"confidence\":" << fmt(deck.confidence) << ",\"curves\":[";
   bool first_curve = true;
-  // Grid order is standard-major then channel, so one linear scan per
-  // (standard, channel) pair collects each curve's SNR points in order.
+  // Grid order is standard-major, then channel, then rx mode, so one
+  // linear scan per (standard, channel, rx) triple collects each
+  // curve's SNR points in order.
   for (std::size_t s = 0; s < deck.standards.size(); ++s) {
     for (std::size_t c = 0; c < deck.channels.size(); ++c) {
-      if (!first_curve) os << ",";
-      first_curve = false;
-      os << "{\"standard\":\"" << deck.standards[s].token
-         << "\",\"channel\":\"" << deck.channels[c].token
-         << "\",\"points\":[";
-      bool first_point = true;
-      for (const PointResult& p : result.points) {
-        if (p.spec.standard_index != s || p.spec.channel_index != c) {
-          continue;
+      for (std::size_t r = 0; r < deck.rx_modes.size(); ++r) {
+        if (!first_curve) os << ",";
+        first_curve = false;
+        os << "{\"standard\":\"" << deck.standards[s].token
+           << "\",\"channel\":\"" << deck.channels[c].token
+           << "\",\"rx\":\"" << deck.rx_modes[r].token
+           << "\",\"points\":[";
+        bool first_point = true;
+        for (const PointResult& p : result.points) {
+          if (p.spec.standard_index != s || p.spec.channel_index != c ||
+              p.spec.rx_index != r) {
+            continue;
+          }
+          if (!first_point) os << ",";
+          first_point = false;
+          append_point_json(os, deck, p);
         }
-        if (!first_point) os << ",";
-        first_point = false;
-        append_point_json(os, deck, p);
+        os << "]}";
       }
-      os << "]}";
     }
   }
   os << "]}\n";
@@ -80,11 +85,12 @@ std::string curves_json(const ScenarioDeck& deck,
 std::string curves_csv(const ScenarioDeck& deck,
                        const CampaignResult& result) {
   std::ostringstream os;
-  os << "standard,channel,snr_db,trials,bits,errors,ber,ci_lo,ci_hi,"
+  os << "standard,channel,rx,snr_db,trials,bits,errors,ber,ci_lo,ci_hi,"
         "evm_rms,valid,stop\n";
   for (const PointResult& p : result.points) {
     const PointView v = view_of(deck, p);
-    os << p.standard << "," << p.channel << "," << fmt(p.spec.snr_db)
+    os << p.standard << "," << p.channel << "," << p.rx << ","
+       << fmt(p.spec.snr_db)
        << "," << p.state.trials << "," << p.state.bits << ","
        << p.state.errors << "," << fmt(v.ber) << "," << fmt(v.ci_lo)
        << "," << fmt(v.ci_hi) << "," << fmt(v.evm_rms) << ","
@@ -98,9 +104,9 @@ std::string timing_table(const CampaignResult& result) {
   std::ostringstream os;
   char line[192];
   std::snprintf(line, sizeof line,
-                "%-5s %-18s %-13s %7s %7s %9s %11s %9s %9s\n", "point",
-                "standard", "channel", "snr_dB", "trials", "errors",
-                "ber", "wall_s", "trials/s");
+                "%-5s %-18s %-13s %-8s %7s %7s %9s %11s %9s %9s\n",
+                "point", "standard", "channel", "rx", "snr_dB", "trials",
+                "errors", "ber", "wall_s", "trials/s");
   os << line;
   double total_seconds = 0.0;
   std::size_t total_trials = 0;
@@ -109,11 +115,12 @@ std::string timing_table(const CampaignResult& result) {
         p.state.seconds > 0.0
             ? static_cast<double>(p.state.trials) / p.state.seconds
             : 0.0;
-    std::snprintf(line, sizeof line,
-                  "%-5zu %-18s %-13s %7.1f %7zu %9zu %11.3e %9.3f %9.1f\n",
-                  p.spec.index, p.standard.c_str(), p.channel.c_str(),
-                  p.spec.snr_db, p.state.trials, p.state.errors,
-                  p.state.ber(), p.state.seconds, tps);
+    std::snprintf(
+        line, sizeof line,
+        "%-5zu %-18s %-13s %-8s %7.1f %7zu %9zu %11.3e %9.3f %9.1f\n",
+        p.spec.index, p.standard.c_str(), p.channel.c_str(),
+        p.rx.c_str(), p.spec.snr_db, p.state.trials, p.state.errors,
+        p.state.ber(), p.state.seconds, tps);
     os << line;
     total_seconds += p.state.seconds;
     total_trials += p.state.trials;

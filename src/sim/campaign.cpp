@@ -166,6 +166,7 @@ CampaignResult Campaign::run(const RunOptions& opts) {
     pr.spec = p;
     pr.standard = deck_.standards[p.standard_index].token;
     pr.channel = deck_.channels[p.channel_index].token;
+    pr.rx = deck_.rx_modes[p.rx_index].token;
     pr.state = states[p.index];
     result.points.push_back(std::move(pr));
   }

@@ -59,6 +59,7 @@ struct PointResult {
   PointSpec spec;
   std::string standard;  ///< deck token, e.g. "wlan_80211a@24"
   std::string channel;   ///< preset token, e.g. "awgn"
+  std::string rx;        ///< rx-mode token, "coded" or "uncoded"
   PointState state;
 };
 

@@ -76,6 +76,17 @@ core::WlanRate wlan_rate_from(const std::string& field,
 }
 
 StandardSpec standard_from_token(const std::string& token) {
+  // "+fec" suffix: overlay the reference FEC (profiles.hpp) on a
+  // standard whose default profile ships uncoded, e.g. "adsl+fec",
+  // "drm@B+fec". The suffix test keeps "adsl2+" itself intact.
+  if (token.size() > 4 &&
+      token.compare(token.size() - 4, 4, "+fec") == 0) {
+    StandardSpec spec =
+        standard_from_token(token.substr(0, token.size() - 4));
+    spec.token = token;
+    spec.params = core::with_reference_fec(std::move(spec.params));
+    return spec;
+  }
   std::string base = token;
   std::string variant;
   const std::size_t at = token.find('@');
@@ -291,6 +302,22 @@ ScenarioDeck parse_deck(const std::string& text) {
   d.phase_noise_hz = parse_double("phase_noise.linewidth_hz",
                                   take("phase_noise.linewidth_hz", "0"));
 
+  // Receiver-mode grid dimension. Absent key = the single historical
+  // coded entry, keeping legacy grids and substreams bit-identical.
+  d.rx_modes.clear();
+  for (const std::string& token : split(take("rx", "coded"), ',')) {
+    const auto mode = rx::rx_mode_from_name(token);
+    if (!mode) {
+      throw ConfigError("sim_deck: rx: unknown mode '" + token +
+                        "' (expect coded|uncoded)");
+    }
+    for (const RxSpec& seen : d.rx_modes) {
+      OFDM_REQUIRE(seen.token != token,
+                   "sim_deck: rx: duplicate mode '" + token + "'");
+    }
+    d.rx_modes.push_back(RxSpec{token, *mode});
+  }
+
   d.rx_equalize = parse_bool("rx.equalize", take("rx.equalize", "1"));
   d.rx_pilot_tracking =
       parse_bool("rx.pilot_tracking", take("rx.pilot_tracking", "0"));
@@ -326,12 +353,14 @@ ScenarioDeck parse_deck(const std::string& text) {
 std::vector<PointSpec> expand_grid(const ScenarioDeck& deck) {
   std::vector<PointSpec> grid;
   grid.reserve(deck.standards.size() * deck.channels.size() *
-               deck.snr_db.size());
+               deck.rx_modes.size() * deck.snr_db.size());
   std::size_t index = 0;
   for (std::size_t s = 0; s < deck.standards.size(); ++s) {
     for (std::size_t c = 0; c < deck.channels.size(); ++c) {
-      for (double snr : deck.snr_db) {
-        grid.push_back({index++, s, c, snr});
+      for (std::size_t r = 0; r < deck.rx_modes.size(); ++r) {
+        for (double snr : deck.snr_db) {
+          grid.push_back({index++, s, c, r, snr});
+        }
       }
     }
   }
@@ -391,6 +420,14 @@ std::uint64_t deck_digest(const ScenarioDeck& deck) {
   mix_u64(deck.measure_evm);
   mix_u64(deck.payload_bits);
   mix_u64(deck.seed);
+  // The rx dimension is mixed only when it differs from the historical
+  // single-coded default, so checkpoints of pre-rx decks keep resuming
+  // (same conditional-field policy as the kStandard channel extras).
+  if (deck.rx_modes.size() != 1 ||
+      deck.rx_modes[0].mode != rx::RxMode::kCoded) {
+    mix_u64(deck.rx_modes.size());
+    for (const RxSpec& r : deck.rx_modes) mix_str(r.token);
+  }
   return h;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "rx/mother/rx_mode.hpp"
 
 namespace ofdm::sim {
 
@@ -45,8 +46,16 @@ struct ChannelPreset {
 
 /// One transmitter configuration from the deck's `standard=` list.
 struct StandardSpec {
-  std::string token;  ///< e.g. "wlan_80211a@24"
+  std::string token;  ///< e.g. "wlan_80211a@24" or "adsl+fec"
   core::OfdmParams params;
+};
+
+/// One receiver mode from the deck's `rx=` list. A deck without the key
+/// gets the single historical entry (coded), so legacy grids, point
+/// indices and RNG substreams stay bit-identical.
+struct RxSpec {
+  std::string token = "coded";
+  rx::RxMode mode = rx::RxMode::kCoded;
 };
 
 /// A parsed scenario deck. Defaults match parse_deck()'s documentation;
@@ -56,6 +65,7 @@ struct ScenarioDeck {
   std::vector<StandardSpec> standards;
   std::vector<double> snr_db;
   std::vector<ChannelPreset> channels;
+  std::vector<RxSpec> rx_modes{RxSpec{}};
 
   // Optional analog front end ahead of the channel.
   bool pa_enabled = false;
@@ -92,17 +102,21 @@ ScenarioDeck parse_deck(const std::string& text);
 StandardSpec parse_standard_token(const std::string& token);
 
 /// One grid point of the expanded job matrix. `index` is the point's
-/// position in the deterministic expansion order (standard-major,
-/// channel, SNR) and the counter fed to Rng::substream.
+/// position in the deterministic expansion order (standard-major, then
+/// channel, then rx mode, then SNR) and the counter fed to
+/// Rng::substream.
 struct PointSpec {
   std::size_t index = 0;
   std::size_t standard_index = 0;
   std::size_t channel_index = 0;
+  std::size_t rx_index = 0;
   double snr_db = 0.0;
 };
 
 /// Expand the deck into its job matrix: for each standard, for each
-/// channel preset, for each SNR value, in deck order.
+/// channel preset, for each rx mode, for each SNR value, in deck order.
+/// A deck without an `rx=` key has exactly one rx mode, so legacy decks
+/// expand to their historical indices.
 std::vector<PointSpec> expand_grid(const ScenarioDeck& deck);
 
 /// Stable 64-bit digest over every campaign-relevant deck field (not

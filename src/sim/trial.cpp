@@ -10,6 +10,7 @@
 #include "rf/channels/registry.hpp"
 #include "rf/impairments.hpp"
 #include "rf/pa.hpp"
+#include "rx/mother/mother_rx.hpp"
 
 namespace ofdm::sim {
 
@@ -17,8 +18,8 @@ struct LinkRunner::State {
   const ScenarioDeck& deck;
   PointSpec point;
   core::Transmitter tx;
-  rx::Receiver rx;
-  rx::Receiver ref_rx;  ///< equalizer-free, for clean reference tones
+  rx::MotherReceiver rx;
+  rx::MotherReceiver ref_rx;  ///< equalizer-free, for clean reference tones
   std::size_t payload_bits = 0;
   cvec channel_taps;  ///< multipath / twisted-pair FIR, empty for AWGN
 
@@ -41,8 +42,10 @@ struct LinkRunner::State {
                  "sim: standard '" +
                      d.standards.at(p.standard_index).token +
                      "' yields an empty payload");
-    rx.enable_pilot_phase_tracking(d.rx_pilot_tracking);
-    rx.enable_soft_decoding(d.rx_soft);
+    rx.set_mode(d.rx_modes.at(p.rx_index).mode);
+    rx.set_pilot_tracking(d.rx_pilot_tracking);
+    rx.set_demap(d.rx_soft ? mapping::DemapMode::kSoft
+                           : mapping::DemapMode::kHard);
 
     const ChannelPreset& ch = d.channels.at(p.channel_index);
     switch (ch.kind) {
@@ -147,8 +150,9 @@ TrialResult LinkRunner::State::run_one(std::size_t trial_index,
     opts.doppler_scale = ch.doppler_scale;
     chain.add_ptr(rf::channels::make_preset(ch.token, opts));
   }
-  chain.add<rf::AwgnChannel>(
-      rf::snr_to_noise_power(sig_power, s.point.snr_db), awgn_seed);
+  const double noise_power =
+      rf::snr_to_noise_power(sig_power, s.point.snr_db);
+  chain.add<rf::AwgnChannel>(noise_power, awgn_seed);
 
   chain.process(burst.samples, rx_samples);
 
@@ -157,10 +161,24 @@ TrialResult LinkRunner::State::run_one(std::size_t trial_index,
   } else {
     s.rx.clear_equalizer();
   }
+  // Normalize soft LLRs by the true tone-domain noise floor (the
+  // max-log Viterbi is scale-invariant, so coded decisions don't move;
+  // anything consuming absolute LLRs sees calibrated values).
+  if (s.rx.soft_path_active()) {
+    s.rx.set_noise_from_sample_variance(noise_power);
+  }
   const auto decoded = s.rx.demodulate(rx_samples, payload.size());
 
   TrialResult r;
-  const auto b = metrics::ber(payload, decoded.payload);
+  metrics::BerResult b;
+  if (d.rx_modes.at(s.point.rx_index).mode == rx::RxMode::kUncoded) {
+    // Pre-FEC channel BER: the raw demapped stream (symbol padding
+    // included) against the transmitter's exact coded reference.
+    const bitvec coded_ref = s.tx.encode_payload(payload);
+    b = metrics::ber(coded_ref, decoded.raw_bits);
+  } else {
+    b = metrics::ber(payload, decoded.payload);
+  }
   r.bits = b.bits;
   r.errors = b.errors;
 

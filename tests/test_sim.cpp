@@ -198,6 +198,89 @@ TEST(SimDeck, GridExpansionCountAndOrder) {
   }
 }
 
+TEST(SimDeck, RxModeListParsesAndExpands) {
+  const auto d = sim::parse_deck(
+      "standard=wlan_80211a@6\n"
+      "snr_db=0,4\n"
+      "channel=awgn,multipath\n"
+      "rx=coded,uncoded\n");
+  ASSERT_EQ(d.rx_modes.size(), 2u);
+  EXPECT_EQ(d.rx_modes[0].token, "coded");
+  EXPECT_EQ(d.rx_modes[0].mode, rx::RxMode::kCoded);
+  EXPECT_EQ(d.rx_modes[1].token, "uncoded");
+  EXPECT_EQ(d.rx_modes[1].mode, rx::RxMode::kUncoded);
+
+  // Grid order: standard-major, then channel, then rx, then SNR.
+  const auto grid = sim::expand_grid(d);
+  ASSERT_EQ(grid.size(), 1u * 2u * 2u * 2u);
+  EXPECT_EQ(grid[0].rx_index, 0u);
+  EXPECT_DOUBLE_EQ(grid[0].snr_db, 0.0);
+  EXPECT_EQ(grid[1].rx_index, 0u);
+  EXPECT_DOUBLE_EQ(grid[1].snr_db, 4.0);
+  EXPECT_EQ(grid[2].rx_index, 1u);
+  EXPECT_EQ(grid[3].rx_index, 1u);
+  EXPECT_EQ(grid[4].channel_index, 1u);
+  EXPECT_EQ(grid[4].rx_index, 0u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+  }
+}
+
+TEST(SimDeck, RxModeErrorsAndDefaults) {
+  // A deck without the key keeps the single historical (coded) entry.
+  const auto d = sim::parse_deck("standard=adsl\nsnr_db=10\n");
+  ASSERT_EQ(d.rx_modes.size(), 1u);
+  EXPECT_EQ(d.rx_modes[0].mode, rx::RxMode::kCoded);
+
+  EXPECT_NE(error_message("standard=adsl\nsnr_db=10\nrx=sideways\n")
+                .find("rx"),
+            std::string::npos);
+  EXPECT_NE(error_message("standard=adsl\nsnr_db=10\nrx=coded,coded\n")
+                .find("rx"),
+            std::string::npos);
+}
+
+TEST(SimDeck, DigestStableForDefaultRxAndSensitiveOtherwise) {
+  // Legacy decks must keep their historical digests: an explicit
+  // rx=coded is the default and must not move the digest (checkpoints
+  // recorded before the rx dimension existed still resume).
+  const auto legacy = sim::parse_deck("standard=adsl\nsnr_db=10\n");
+  const auto explicit_coded =
+      sim::parse_deck("standard=adsl\nsnr_db=10\nrx=coded\n");
+  const auto both =
+      sim::parse_deck("standard=adsl\nsnr_db=10\nrx=coded,uncoded\n");
+  const auto uncoded =
+      sim::parse_deck("standard=adsl\nsnr_db=10\nrx=uncoded\n");
+  EXPECT_EQ(sim::deck_digest(legacy), sim::deck_digest(explicit_coded));
+  EXPECT_NE(sim::deck_digest(legacy), sim::deck_digest(both));
+  EXPECT_NE(sim::deck_digest(legacy), sim::deck_digest(uncoded));
+  EXPECT_NE(sim::deck_digest(both), sim::deck_digest(uncoded));
+}
+
+TEST(SimDeck, FecSuffixOverlaysReferenceCode) {
+  // "+fec" overlays the family's reference FEC on an uncoded profile.
+  const auto adsl = sim::parse_standard_token("adsl+fec");
+  EXPECT_EQ(adsl.token, "adsl+fec");
+  EXPECT_TRUE(adsl.params.fec.rs_enabled);
+  EXPECT_EQ(adsl.params.fec.rs_n, 255u);
+  EXPECT_EQ(adsl.params.fec.rs_k, 239u);
+
+  const auto drm = sim::parse_standard_token("drm@B+fec");
+  EXPECT_TRUE(drm.params.fec.conv_enabled);
+
+  // The ADSL2+ spelling keeps its own trailing '+'.
+  const auto adsl2 = sim::parse_standard_token("adsl2++fec");
+  EXPECT_EQ(adsl2.token, "adsl2++fec");
+  EXPECT_TRUE(adsl2.params.fec.rs_enabled);
+
+  // Already-coded standards are unchanged by the overlay.
+  const auto dvbt = sim::parse_standard_token("dvbt+fec");
+  const auto plain = sim::parse_standard_token("dvbt");
+  EXPECT_EQ(dvbt.params.fec.rs_n, plain.params.fec.rs_n);
+  EXPECT_EQ(dvbt.params.fec.conv_enabled,
+            plain.params.fec.conv_enabled);
+}
+
 TEST(SimDeck, DigestIgnoresCommentsButNotParameters) {
   const auto a = sim::parse_deck("standard=adsl\nsnr_db=10\n");
   const auto b = sim::parse_deck("# different text\nstandard=adsl\n"
@@ -400,7 +483,7 @@ TEST(SimAggregator, CsvHasHeaderAndOneRowPerPoint) {
   sim::Campaign c{sim::parse_deck(kSmokeDeck)};
   const auto result = c.run();
   const std::string csv = sim::curves_csv(c.deck(), result);
-  EXPECT_EQ(csv.rfind("standard,channel,snr_db,", 0), 0u);
+  EXPECT_EQ(csv.rfind("standard,channel,rx,snr_db,", 0), 0u);
   std::size_t lines = 0;
   for (char ch : csv) lines += ch == '\n';
   EXPECT_EQ(lines, 1u + result.points.size());

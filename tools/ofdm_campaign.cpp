@@ -14,6 +14,8 @@
 // simulates a mid-run kill for the CI resume check (exit code 3).
 // --list-channels prints the named channel-model presets a deck's
 // channel= key accepts (beyond awgn/multipath/twisted_pair) and exits.
+// --list-rx prints the receiver instance the RX Mother Model
+// reconfigures into for each of the ten family standards and exits.
 //
 // SIGINT/SIGTERM request a graceful stop: in-flight rounds drain, a
 // final atomic checkpoint is written, curves for the completed state
@@ -26,7 +28,10 @@
 #include <sstream>
 #include <string>
 
+#include "core/profiles.hpp"
+#include "core/standard.hpp"
 #include "rf/channels/registry.hpp"
+#include "rx/mother/descriptor.hpp"
 #include "sim/aggregator.hpp"
 #include "sim/campaign.hpp"
 
@@ -53,8 +58,9 @@ int usage(const char* argv0) {
       "usage: %s <deck-file> [--threads N] [--out PREFIX]\n"
       "          [--checkpoint FILE] [--resume] [--halt-after-rounds N]\n"
       "          [--quiet]\n"
-      "       %s --list-channels\n",
-      argv0, argv0);
+      "       %s --list-channels\n"
+      "       %s --list-rx\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -66,6 +72,22 @@ int list_channels() {
                 p.family.c_str(), p.paths, p.delay_spread_us,
                 p.doppler_hz, p.description.c_str(),
                 p.time_varying ? "" : " [static]");
+  }
+  return 0;
+}
+
+int list_rx() {
+  std::printf("%-12s %-14s %-15s %-19s %-15s %-11s %4s\n", "standard",
+              "sync", "equalizer", "demapper", "inner", "outer", "soft");
+  for (const ofdm::core::Standard s : ofdm::core::kStandardFamily) {
+    const auto params = ofdm::core::profile_for(s);
+    const auto d = ofdm::rx::describe_receiver(params);
+    std::printf("%-12s %-14s %-15s %-19s %-15s %-11s %4s\n",
+                ofdm::core::standard_name(s).c_str(), d.sync.c_str(),
+                d.equalizer.c_str(), d.demapper.c_str(),
+                d.inner_code.c_str(), d.outer_code.c_str(),
+                d.soft_capable ? "yes" : "no");
+    std::printf("%-12s   %s\n", "", d.chain.c_str());
   }
   return 0;
 }
@@ -107,6 +129,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--list-channels") {
       return list_channels();
+    } else if (arg == "--list-rx") {
+      return list_rx();
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
